@@ -1,0 +1,46 @@
+//! Microbenchmarks for the clustered B+ tree access path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jaws_morton::{AtomId, MortonKey};
+use jaws_turbdb::BPlusTree;
+
+fn production_index() -> BPlusTree<AtomId, u64> {
+    // 31 timesteps × 4096 atoms, the paper's experimental sample.
+    let pairs = (0..31u32).flat_map(|t| {
+        (0..4096u64).map(move |m| (AtomId::new(t, MortonKey(m)), t as u64 * 4096 + m))
+    });
+    BPlusTree::bulk_load(64, pairs)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let tree = production_index();
+    c.bench_function("btree/bulk_load_127k", |b| {
+        b.iter(|| black_box(production_index().len()))
+    });
+    c.bench_function("btree/point_get", |b| {
+        let mut m = 0u64;
+        b.iter(|| {
+            m = (m + 2_654_435_761) % 4096;
+            black_box(tree.get(&AtomId::new((m % 31) as u32, MortonKey(m))))
+        })
+    });
+    c.bench_function("btree/range_scan_one_timestep", |b| {
+        b.iter(|| {
+            let lo = AtomId::new(7, MortonKey(0));
+            let hi = AtomId::new(8, MortonKey(0));
+            black_box(tree.range(&lo, &hi).len())
+        })
+    });
+    c.bench_function("btree/incremental_insert_4k", |b| {
+        b.iter(|| {
+            let mut t: BPlusTree<u64, u64> = BPlusTree::new(64);
+            for k in 0..4096u64 {
+                t.insert(k.wrapping_mul(2_654_435_761) % 65_536, k);
+            }
+            black_box(t.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Cache-policy maintenance cost — the mechanism behind Table I's
+//! "Overhead/Qry" column: SLRU is nearly free, URC pays a ranking pass per
+//! eviction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jaws_cache::{BufferPool, Lru, LruK, ReplacementPolicy, Slru, Urc};
+use jaws_cache::{UtilityOracle, UtilityRank};
+use jaws_morton::{AtomId, MortonKey};
+
+/// A deterministic oracle standing in for the scheduler's workload queues.
+struct SynthOracle;
+
+impl UtilityOracle<AtomId> for SynthOracle {
+    fn rank(&self, key: &AtomId) -> UtilityRank {
+        UtilityRank {
+            timestep_mean: (key.timestep % 7) as f64,
+            atom_utility: (key.morton.raw() % 13) as f64,
+        }
+    }
+}
+
+/// Zipf-ish access stream over 31 × 4096 atoms.
+fn access_stream(n: usize) -> Vec<AtomId> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            // Skew: half the accesses hit a 64-atom hot set.
+            let m = if h & 1 == 0 { h % 64 } else { h % 4096 };
+            AtomId::new((h % 31) as u32, MortonKey(m))
+        })
+        .collect()
+}
+
+fn run_policy(policy: Box<dyn ReplacementPolicy<AtomId>>, stream: &[AtomId]) -> u64 {
+    let mut pool: BufferPool<AtomId, ()> = BufferPool::new(256, policy);
+    for (i, &a) in stream.iter().enumerate() {
+        pool.access_with(a, || (), &SynthOracle);
+        if i % 50 == 0 {
+            pool.end_run();
+        }
+    }
+    pool.stats().hits
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let stream = access_stream(20_000);
+    let mut g = c.benchmark_group("cache/20k_accesses_256_atoms");
+    g.bench_function("LRU", |b| {
+        b.iter(|| black_box(run_policy(Box::new(Lru::new()), &stream)))
+    });
+    g.bench_function("LRU-K", |b| {
+        b.iter(|| black_box(run_policy(Box::new(LruK::new()), &stream)))
+    });
+    g.bench_function("SLRU", |b| {
+        b.iter(|| black_box(run_policy(Box::new(Slru::for_cache(256)), &stream)))
+    });
+    g.bench_function("URC", |b| {
+        b.iter(|| black_box(run_policy(Box::new(Urc::new()), &stream)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Scheduling-decision latency: how long one `next_batch` takes with
+//! thousands of pending atoms — the cost the two-level framework and metric
+//! evaluation add per pass. Includes an ablation of Morton-ordered versus
+//! utility-ordered batch execution (the design choice DESIGN.md calls out).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jaws_morton::{AtomId, MortonKey};
+use jaws_scheduler::{
+    Jaws, JawsConfig, LifeRaft, MetricParams, Residency, Scheduler,
+};
+use jaws_workload::{Footprint, Query, QueryOp};
+
+struct NoneResident;
+
+impl Residency for NoneResident {
+    fn is_resident(&self, _atom: &AtomId) -> bool {
+        false
+    }
+}
+
+/// Loads a scheduler with `n` queries over a 16³ atom grid, 31 timesteps.
+fn load<S: Scheduler>(s: &mut S, n: u64) {
+    for i in 0..n {
+        let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let q = Query {
+            id: i + 1,
+            user: (h % 16) as u32,
+            op: QueryOp::Velocity,
+            timestep: (h % 31) as u32,
+            footprint: Footprint::from_pairs(
+                (0..6u64).map(|d| (MortonKey((h >> 8) % 4090 + d), 100u32)),
+            ),
+        };
+        s.query_available(&q, i as f64);
+    }
+}
+
+fn bench_next_batch(c: &mut Criterion) {
+    let params = MetricParams::paper_testbed();
+    c.bench_function("scheduler/jaws_next_batch_2k_queries", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Jaws::new(JawsConfig::jaws1(params));
+                load(&mut s, 2000);
+                s
+            },
+            |mut s| {
+                // Drain ten batches against a fully loaded queue state.
+                for t in 0..10 {
+                    black_box(s.next_batch(t as f64, &NoneResident));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("scheduler/liferaft_next_batch_2k_queries", |b| {
+        b.iter_batched(
+            || {
+                let mut s = LifeRaft::contention(params, 50);
+                load(&mut s, 2000);
+                s
+            },
+            |mut s| {
+                for t in 0..10 {
+                    black_box(s.next_batch(t as f64, &NoneResident));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("scheduler/jaws_drain_500_queries", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Jaws::new(JawsConfig::jaws1(params));
+                load(&mut s, 500);
+                s
+            },
+            |mut s| {
+                let mut t = 0.0;
+                while let Some(batch) = s.next_batch(t, &NoneResident) {
+                    t += 1.0;
+                    black_box(batch.atom_count());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_next_batch);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Calibration sweep (not a paper figure): finds the saturation regime where
+//! the schedulers' capacity differences are visible as throughput, i.e.
+//! offered load sits at or just above JAWS's capacity. Prints throughput,
+//! response time, reads and gating diagnostics per (burst-gap, scheduler).
+
+use jaws_sim::sweep::RunSpec;
+use jaws_sim::{run_parallel, CachePolicyKind, SchedulerKind};
+use jaws_turbdb::{CostModel, DbConfig};
+use jaws_workload::{GenConfig, TraceGenerator};
+
+fn main() {
+    let gaps: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let gaps = if gaps.is_empty() {
+        vec![2000.0, 1200.0, 800.0]
+    } else {
+        gaps
+    };
+    for gap in gaps {
+        let cfg = GenConfig {
+            jobs: 1000,
+            mean_burst_gap_ms: gap,
+            ..GenConfig::paper_like(7)
+        };
+        let trace = TraceGenerator::new(cfg).generate();
+        let mut kinds = vec![
+            (SchedulerKind::Jaws1 { batch_k: 15 }, 20_000.0),
+            (SchedulerKind::Jaws2 { batch_k: 15 }, 90_000.0),
+            (SchedulerKind::Jaws2 { batch_k: 15 }, 180_000.0),
+            (SchedulerKind::Jaws2 { batch_k: 15 }, 360_000.0),
+            (SchedulerKind::Jaws2 { batch_k: 15 }, 720_000.0),
+        ];
+        if std::env::var("CALIB_ALL").is_ok() {
+            kinds = vec![
+                (SchedulerKind::NoShare, 20_000.0),
+                (SchedulerKind::LifeRaft1, 20_000.0),
+                (SchedulerKind::LifeRaft2, 20_000.0),
+                (SchedulerKind::Jaws1 { batch_k: 15 }, 20_000.0),
+                (SchedulerKind::Jaws2 { batch_k: 15 }, 20_000.0),
+            ];
+        }
+        let specs: Vec<RunSpec> = kinds
+        .iter()
+        .map(|&(k, gate)| RunSpec {
+            label: k.name().to_string(),
+            db: DbConfig::paper_sample(),
+            cost: CostModel::paper_testbed(),
+            scheduler: k,
+            cache_policy: CachePolicyKind::LruK,
+            cache_atoms: 256,
+            run_len: 50,
+            gate_timeout_ms: gate,
+            speedup: 1.0,
+        })
+        .collect();
+        println!(
+            "\n== burst gap {gap} ms: {} queries over {:.2} h of arrivals ==",
+            trace.query_count(),
+            (trace.jobs.last().unwrap().arrival_ms - trace.jobs[0].arrival_ms) / 3.6e6
+        );
+        for (spec, r) in run_parallel(&specs, &trace) {
+            println!(
+                "{:<11} gate {:>6.0}  qps {:>6.3}  rt {:>8.1}s  mkspan {:>5.2}h  reads {:>6}  hit {:>5.1}%  forced {:>4}  alpha {:.2}",
+                spec.label,
+                spec.gate_timeout_ms,
+                r.throughput_qps,
+                r.mean_response_ms / 1000.0,
+                r.makespan_ms / 3.6e6,
+                r.disk.reads,
+                r.cache.hit_ratio() * 100.0,
+                r.scheduler_stats.forced_releases,
+                r.alpha_final
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Cluster scale-out (§V-C / Fig. 7 deployment; not a paper figure).
+//!
+//! The production Turbulence cluster partitions the 27 TB archive spatially
+//! across nodes, "each running a separate JAWS instance". This experiment
+//! replays the evaluation trace on 1–8 such nodes and reports aggregate
+//! throughput, per-query latency and load imbalance — the scalability story
+//! behind the deployment choice.
+
+use jaws_bench::exp;
+use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind};
+
+fn main() {
+    let trace = exp::select_trace();
+    println!("\nCluster scale-out — JAWS_2 per node, Morton-slab partitioning");
+    exp::rule();
+    println!(
+        "{:<7} {:>9} {:>12} {:>10} {:>10} {:>11} {:>10}",
+        "nodes", "qps", "mean rt (s)", "reads", "cache hit", "imbalance", "speedup"
+    );
+    exp::rule();
+    let mut base_qps = None;
+    for nodes in [1u32, 2, 4, 8] {
+        let mut ex = ClusterExecutor::new(ClusterConfig {
+            nodes,
+            db: exp::paper_db(),
+            cost: exp::paper_cost(),
+            scheduler: SchedulerKind::Jaws2 { batch_k: 15 },
+            cache_policy: CachePolicyKind::LruK,
+            cache_atoms_per_node: (exp::CACHE_ATOMS as u32 / nodes).max(16) as usize,
+            run_len: exp::RUN_LEN,
+            gate_timeout_ms: exp::GATE_TIMEOUT_MS,
+        });
+        let r = ex.run(&trace);
+        let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
+        println!(
+            "{:<7} {:>9.3} {:>12.1} {:>10} {:>9.1}% {:>10.2}x {:>9.2}x{}",
+            nodes,
+            r.aggregate.throughput_qps,
+            r.aggregate.mean_response_ms / 1000.0,
+            r.aggregate.disk.reads,
+            r.aggregate.cache.hit_ratio() * 100.0,
+            r.imbalance(),
+            r.aggregate.throughput_qps / base,
+            if r.aggregate.truncated { "  [TRUNCATED]" } else { "" }
+        );
+    }
+    exp::rule();
+    println!("cache is split across nodes (total stays at {} atoms ≙ 2 GB).", exp::CACHE_ATOMS);
+}

@@ -1,0 +1,91 @@
+//! Shared experiment harness for the JAWS paper reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of §VI; this
+//! library holds the common configuration so every experiment runs against
+//! the same database geometry, cost model and calibrated trace — mirroring
+//! the paper's single experimental setup (800 GB sample, 31 timesteps,
+//! 4096 atoms/timestep, 2 GB external cache, 50k-query trace of ~1k jobs).
+
+pub mod exp {
+    use jaws_sim::{CachePolicyKind, SchedulerKind};
+    use jaws_sim::sweep::RunSpec;
+    use jaws_turbdb::{CostModel, DbConfig};
+    use jaws_workload::{GenConfig, Trace, TraceGenerator};
+
+    /// Trace seed shared by all experiments (deterministic reproduction).
+    pub const TRACE_SEED: u64 = 2009_0720; // the paper's week-of-July-20th trace
+
+    /// The paper's 2 GB cache in 8 MB atoms.
+    pub const CACHE_ATOMS: usize = 256;
+
+    /// Run length `r` for α adaptation and SLRU promotion.
+    pub const RUN_LEN: usize = 50;
+
+    /// Gate timeout for JAWS₂'s starvation valve, ms.
+    pub const GATE_TIMEOUT_MS: f64 = 180_000.0;
+
+    /// The experimental database geometry (§VI): 31 timesteps of the 1024³
+    /// grid — 4096 atoms per timestep.
+    pub fn paper_db() -> DbConfig {
+        DbConfig::paper_sample()
+    }
+
+    /// The cost model (T_b, T_m, seek) used everywhere.
+    pub fn paper_cost() -> CostModel {
+        CostModel::paper_testbed()
+    }
+
+    /// The evaluation trace: ~1k jobs, tens of thousands of queries,
+    /// calibrated to §VI-A.
+    pub fn paper_trace() -> Trace {
+        TraceGenerator::new(GenConfig::paper_like(TRACE_SEED)).generate()
+    }
+
+    /// A smaller trace for quick smoke runs (`--quick` flag on binaries).
+    pub fn quick_trace() -> Trace {
+        let cfg = GenConfig {
+            jobs: 150,
+            ..GenConfig::paper_like(TRACE_SEED)
+        };
+        TraceGenerator::new(cfg).generate()
+    }
+
+    /// A fully specified run at the paper's defaults.
+    pub fn base_spec(label: &str, scheduler: SchedulerKind, policy: CachePolicyKind) -> RunSpec {
+        RunSpec {
+            label: label.to_string(),
+            db: paper_db(),
+            cost: paper_cost(),
+            scheduler,
+            cache_policy: policy,
+            cache_atoms: CACHE_ATOMS,
+            run_len: RUN_LEN,
+            gate_timeout_ms: GATE_TIMEOUT_MS,
+            speedup: 1.0,
+        }
+    }
+
+    /// True if the process was invoked with `--quick`.
+    pub fn quick_mode() -> bool {
+        std::env::args().any(|a| a == "--quick")
+    }
+
+    /// Picks the trace per the `--quick` flag and announces it.
+    pub fn select_trace() -> Trace {
+        let quick = quick_mode();
+        let t = if quick { quick_trace() } else { paper_trace() };
+        eprintln!(
+            "# trace: {} jobs, {} queries, {} positions{}",
+            t.jobs.len(),
+            t.query_count(),
+            t.position_count(),
+            if quick { " [--quick]" } else { "" }
+        );
+        t
+    }
+
+    /// Prints a rule line for experiment tables.
+    pub fn rule() {
+        println!("{}", "-".repeat(100));
+    }
+}

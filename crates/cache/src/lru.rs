@@ -1,0 +1,118 @@
+//! Plain least-recently-used replacement (reference policy).
+
+use crate::policy::{ReplacementPolicy, UtilityOracle};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::mem::size_of;
+
+/// Classic LRU. Recency is tracked with a monotone logical clock: a
+/// `BTreeMap<stamp, key>` ordered oldest-first plus a reverse index. All
+/// operations are `O(log n)`.
+#[derive(Debug, Default)]
+pub struct Lru<K> {
+    clock: u64,
+    by_age: BTreeMap<u64, K>,
+    stamp_of: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Ord + Copy + Debug> Lru<K> {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Lru {
+            clock: 0,
+            by_age: BTreeMap::new(),
+            stamp_of: HashMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: K) {
+        if let Some(old) = self.stamp_of.insert(key, self.clock) {
+            self.by_age.remove(&old);
+        }
+        self.by_age.insert(self.clock, key);
+        self.clock += 1;
+    }
+
+    /// Number of tracked keys (test helper).
+    pub fn tracked(&self) -> usize {
+        self.stamp_of.len()
+    }
+}
+
+impl<K: Eq + Hash + Ord + Copy + Debug + Send> ReplacementPolicy<K> for Lru<K> {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        debug_assert!(self.stamp_of.contains_key(key), "hit on untracked key");
+        self.touch(*key);
+    }
+
+    fn on_insert(&mut self, key: K) {
+        self.touch(key);
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        if let Some(stamp) = self.stamp_of.remove(key) {
+            self.by_age.remove(&stamp);
+        }
+    }
+
+    fn choose_victim(&mut self, _oracle: &dyn UtilityOracle<K>) -> Option<K> {
+        self.by_age.values().next().copied()
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.stamp_of.len() * (2 * size_of::<u64>() + 2 * size_of::<K>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NullOracle;
+
+    fn victim(l: &mut Lru<u32>) -> Option<u32> {
+        l.choose_victim(&NullOracle)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut l = Lru::new();
+        l.on_insert(1);
+        l.on_insert(2);
+        l.on_insert(3);
+        assert_eq!(victim(&mut l), Some(1));
+        l.on_hit(&1); // 2 is now the oldest
+        assert_eq!(victim(&mut l), Some(2));
+    }
+
+    #[test]
+    fn remove_clears_metadata() {
+        let mut l = Lru::new();
+        l.on_insert(1);
+        l.on_insert(2);
+        l.on_remove(&1);
+        assert_eq!(l.tracked(), 1);
+        assert_eq!(victim(&mut l), Some(2));
+    }
+
+    #[test]
+    fn empty_policy_has_no_victim() {
+        let mut l: Lru<u32> = Lru::new();
+        assert_eq!(victim(&mut l), None);
+    }
+
+    #[test]
+    fn repeated_hits_do_not_duplicate() {
+        let mut l = Lru::new();
+        l.on_insert(7);
+        for _ in 0..10 {
+            l.on_hit(&7);
+        }
+        assert_eq!(l.tracked(), 1);
+        assert_eq!(victim(&mut l), Some(7));
+    }
+}

@@ -1,0 +1,276 @@
+//! 2Q replacement (Johnson & Shasha, VLDB '94) — the paper's citation [23],
+//! one of the two "prior work" policies SLRU is inspired by.
+//!
+//! 2Q addresses the same scan-resistance problem as SLRU with a different
+//! mechanism: a first touch only admits a page to a small FIFO trial queue
+//! (**A1in**); on eviction from A1in the page's *identity* is remembered in a
+//! ghost list (**A1out**, holding keys only, no data); only a re-reference
+//! while in A1out promotes the page into the main LRU queue (**Am**). A long
+//! one-touch scan therefore flows through A1in without ever displacing the
+//! hot working set in Am.
+
+use crate::policy::{ReplacementPolicy, UtilityOracle};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::mem::size_of;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Where {
+    A1in,
+    Am,
+}
+
+/// The 2Q policy. `a1in_capacity` bounds the trial FIFO (the classic paper
+/// suggests ~25% of the cache) and `a1out_capacity` the ghost list (~50% of
+/// the cache, in *keys*).
+#[derive(Debug)]
+pub struct TwoQ<K> {
+    a1in_capacity: usize,
+    a1out_capacity: usize,
+    clock: u64,
+    /// Resident keys and their location.
+    loc: HashMap<K, Where>,
+    /// FIFO order of A1in.
+    a1in: VecDeque<K>,
+    /// Ghost list: key → insertion stamp (bounded FIFO via stamp order).
+    a1out: VecDeque<K>,
+    a1out_set: HashMap<K, ()>,
+    /// Am recency order.
+    am_by_age: BTreeMap<u64, K>,
+    am_stamp: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Ord + Copy + Debug> TwoQ<K> {
+    /// Creates a 2Q policy with explicit sub-queue capacities.
+    pub fn new(a1in_capacity: usize, a1out_capacity: usize) -> Self {
+        assert!(a1in_capacity >= 1, "A1in needs at least one slot");
+        TwoQ {
+            a1in_capacity,
+            a1out_capacity,
+            clock: 0,
+            loc: HashMap::new(),
+            a1in: VecDeque::new(),
+            a1out: VecDeque::new(),
+            a1out_set: HashMap::new(),
+            am_by_age: BTreeMap::new(),
+            am_stamp: HashMap::new(),
+        }
+    }
+
+    /// The classic sizing for a cache of `cache_capacity` entries: A1in 25%,
+    /// A1out 50% (keys).
+    pub fn for_cache(cache_capacity: usize) -> Self {
+        Self::new(
+            (cache_capacity / 4).max(1),
+            (cache_capacity / 2).max(1),
+        )
+    }
+
+    fn touch_am(&mut self, key: K) {
+        let stamp = self.clock;
+        self.clock += 1;
+        if let Some(old) = self.am_stamp.insert(key, stamp) {
+            self.am_by_age.remove(&old);
+        }
+        self.am_by_age.insert(stamp, key);
+    }
+
+    fn remember_ghost(&mut self, key: K) {
+        if self.a1out_set.insert(key, ()).is_none() {
+            self.a1out.push_back(key);
+        }
+        while self.a1out.len() > self.a1out_capacity {
+            if let Some(old) = self.a1out.pop_front() {
+                self.a1out_set.remove(&old);
+            }
+        }
+    }
+
+    /// Number of resident keys in A1in / Am (test helper).
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.a1in.len(), self.am_stamp.len())
+    }
+
+    /// True if the key's identity is remembered in the ghost list.
+    pub fn in_ghost(&self, key: &K) -> bool {
+        self.a1out_set.contains_key(key)
+    }
+}
+
+impl<K: Eq + Hash + Ord + Copy + Debug + Send> ReplacementPolicy<K> for TwoQ<K> {
+    fn name(&self) -> &'static str {
+        "2Q"
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        match self.loc.get(key) {
+            Some(Where::Am) => self.touch_am(*key),
+            Some(Where::A1in) => {
+                // Classic 2Q leaves A1in hits in place (correlated references
+                // should not promote).
+            }
+            None => debug_assert!(false, "hit on untracked key {key:?}"),
+        }
+    }
+
+    fn on_insert(&mut self, key: K) {
+        debug_assert!(!self.loc.contains_key(&key), "insert of resident key");
+        if self.a1out_set.contains_key(&key) {
+            // Re-reference within the ghost window: straight into Am.
+            self.a1out_set.remove(&key);
+            self.a1out.retain(|k| k != &key);
+            self.loc.insert(key, Where::Am);
+            self.touch_am(key);
+        } else {
+            self.loc.insert(key, Where::A1in);
+            self.a1in.push_back(key);
+        }
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        match self.loc.remove(key) {
+            Some(Where::A1in) => {
+                self.a1in.retain(|k| k != key);
+            }
+            Some(Where::Am) => {
+                if let Some(stamp) = self.am_stamp.remove(key) {
+                    self.am_by_age.remove(&stamp);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn choose_victim(&mut self, _oracle: &dyn UtilityOracle<K>) -> Option<K> {
+        // Evict from A1in when it is over its share (remembering the ghost),
+        // else from Am's LRU end.
+        if self.a1in.len() >= self.a1in_capacity || self.am_stamp.is_empty() {
+            if let Some(&victim) = self.a1in.front() {
+                self.remember_ghost(victim);
+                return Some(victim);
+            }
+        }
+        self.am_by_age.values().next().copied()
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        (self.loc.len() + self.a1out.len()) * (size_of::<K>() + size_of::<u64>())
+            + self.am_stamp.len() * size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NullOracle;
+    use crate::BufferPool;
+
+    fn pool(cap: usize) -> BufferPool<u32, ()> {
+        BufferPool::new(cap, Box::new(TwoQ::for_cache(cap)))
+    }
+
+    #[test]
+    fn one_touch_scan_does_not_enter_am() {
+        let mut p = pool(8);
+        for k in 0..100 {
+            p.access(k, || ());
+        }
+        // Nothing was ever re-referenced from the ghost list: Am stays empty
+        // is not directly observable through the pool, but the hot-set test
+        // below covers the behavioural consequence. Here: capacity respected.
+        assert!(p.len() <= 8);
+    }
+
+    #[test]
+    fn ghost_rereference_promotes_to_am_and_survives_scans() {
+        // for_cache(8): A1in = 2 slots, ghost = 4 keys. The hot pair must be
+        // re-referenced within the 4-key ghost window to earn Am residency —
+        // after that, arbitrarily long scans cannot displace it.
+        let mut p = pool(8);
+        p.access(1000, || ());
+        p.access(1001, || ());
+        for k in 0..6 {
+            p.access(k, || ()); // fills the pool to capacity
+        }
+        p.access(6, || ()); // evicts 1000 (A1in FIFO front) into the ghost
+        p.access(7, || ()); // evicts 1001 into the ghost
+        assert!(!p.contains(&1000));
+        p.access(1000, || ()); // ghost hit: promoted to Am
+        p.access(1001, || ());
+        for k in 100..200 {
+            p.access(k, || ()); // long one-touch scan
+        }
+        assert!(p.contains(&1000), "Am-resident page evicted by a scan");
+        assert!(p.contains(&1001), "Am-resident page evicted by a scan");
+    }
+
+    #[test]
+    fn rereference_outside_the_ghost_window_stays_probationary() {
+        let mut p = pool(8);
+        p.access(1000, || ());
+        for k in 0..30 {
+            p.access(k, || ()); // scan far longer than the 4-key ghost window
+        }
+        p.access(1000, || ()); // ghost entry long gone: back to A1in
+        for k in 100..110 {
+            p.access(k, || ());
+        }
+        assert!(
+            !p.contains(&1000),
+            "a reference outside the ghost window must not earn protection"
+        );
+    }
+
+    #[test]
+    fn a1in_hits_do_not_promote() {
+        let mut q: TwoQ<u32> = TwoQ::new(2, 4);
+        q.on_insert(1);
+        q.on_hit(&1); // correlated reference: stays in A1in
+        assert_eq!(q.occupancy(), (1, 0));
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let mut q: TwoQ<u32> = TwoQ::new(1, 3);
+        for k in 0..10 {
+            q.on_insert(k);
+            let v = q.choose_victim(&NullOracle).unwrap();
+            q.on_remove(&v);
+        }
+        let remembered = (0..10).filter(|k| q.in_ghost(k)).count();
+        assert!(remembered <= 3, "ghost list exceeded capacity: {remembered}");
+    }
+
+    #[test]
+    fn victim_preference_follows_2q_rules() {
+        let mut q: TwoQ<u32> = TwoQ::new(2, 4);
+        // Fill A1in beyond its share.
+        q.on_insert(1);
+        q.on_insert(2);
+        q.on_insert(3);
+        assert_eq!(q.choose_victim(&NullOracle), Some(1), "A1in FIFO first");
+        q.on_remove(&1);
+        // Promote 2 via ghost round-trip.
+        q.on_remove(&2);
+        // 2 evicted without ghost (direct removal) — reinsert twice via ghost:
+        let v = q.choose_victim(&NullOracle);
+        assert!(v.is_some());
+    }
+
+    #[test]
+    fn pool_invariants_under_mixed_traffic() {
+        let mut p = pool(6);
+        let mut accesses = 0u64;
+        for round in 0..50u32 {
+            for k in [1, 2, round % 10 + 100, 1, 3] {
+                p.access(k, || ());
+                accesses += 1;
+                assert!(p.len() <= 6);
+            }
+        }
+        assert_eq!(p.stats().accesses(), accesses);
+        // The permanently hot trio must be hitting by now.
+        assert!(p.stats().hit_ratio() > 0.4, "{}", p.stats().hit_ratio());
+    }
+}

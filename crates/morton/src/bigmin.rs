@@ -1,0 +1,212 @@
+//! BIGMIN/LITMAX pruning for Z-order range queries (Tropf & Herzog, 1981).
+//!
+//! A box query over Morton-ordered storage scans the key interval
+//! `[zmin, zmax]`, but most keys in that interval can fall *outside* the box.
+//! When a scan hits such a key, BIGMIN computes the smallest Morton key
+//! greater than the current one that re-enters the box, letting the B+ tree
+//! skip dead ranges instead of filtering key by key. This complements
+//! [`cover_box`](crate::cover_box): covers pre-compute ranges (best for small
+//! boxes), BIGMIN prunes on the fly (best for large boxes whose cover would
+//! explode into many ranges).
+
+use crate::encode::{decode, encode};
+use crate::key::MortonKey;
+
+/// The three interleaved bit masks of a 3-D Morton code.
+const DIM: u32 = 3;
+
+/// Loads the `dim`-th coordinate's bit at position `bit` of `code`.
+#[inline]
+fn bit_of(code: u64, dim: u32, bit: u32) -> bool {
+    code >> (bit * DIM + dim) & 1 == 1
+}
+
+/// Returns `code` with the `dim`-th coordinate forced to the *minimum* value
+/// that still has bit `bit` set: bit set, all lower bits of that dim cleared.
+#[inline]
+fn load_min(code: u64, dim: u32, bit: u32) -> u64 {
+    let mut c = code;
+    c |= 1 << (bit * DIM + dim);
+    for b in 0..bit {
+        c &= !(1 << (b * DIM + dim));
+    }
+    c
+}
+
+/// Returns `code` with the `dim`-th coordinate forced to the *maximum* value
+/// that still has bit `bit` clear: bit cleared, all lower bits of that dim set.
+#[inline]
+fn load_max(code: u64, dim: u32, bit: u32) -> u64 {
+    let mut c = code;
+    c &= !(1 << (bit * DIM + dim));
+    for b in 0..bit {
+        c |= 1 << (b * DIM + dim);
+    }
+    c
+}
+
+/// Highest bit index worth scanning for the given bounds.
+fn top_bit(zmax: u64) -> u32 {
+    (63 - zmax.leading_zeros().min(63)) / DIM + 1
+}
+
+/// BIGMIN: the smallest Morton key `> current` whose coordinates lie inside
+/// the box `[zmin, zmax]` (coordinate-wise, both inclusive). Returns `None`
+/// when no such key exists.
+///
+/// `zmin`/`zmax` must be the Morton codes of the box's min/max corners.
+pub fn bigmin(current: MortonKey, zmin: MortonKey, zmax: MortonKey) -> Option<MortonKey> {
+    let (cur, mut lo, mut hi) = (current.0, zmin.0, zmax.0);
+    debug_assert!(box_is_valid(zmin, zmax), "zmin must be the min corner");
+    let mut best: Option<u64> = None;
+    // Walk bits from the most significant interleaved position downward,
+    // maintaining the invariant that lo/hi describe the still-feasible
+    // sub-box after the decisions taken so far.
+    for bit in (0..top_bit(hi.max(cur)).max(1)).rev() {
+        for dim in (0..DIM).rev() {
+            let c = bit_of(cur, dim, bit);
+            let l = bit_of(lo, dim, bit);
+            let h = bit_of(hi, dim, bit);
+            match (c, l, h) {
+                (false, false, false) => {}
+                (false, false, true) => {
+                    // The box spans this bit: the upper half-box starts at a
+                    // candidate BIGMIN; continue searching the lower half.
+                    best = Some(load_min(lo, dim, bit));
+                    hi = load_max(hi, dim, bit);
+                }
+                (false, true, true) => {
+                    // Box entirely in the upper half, current below it: the
+                    // box minimum is the answer.
+                    return Some(MortonKey(lo));
+                }
+                (true, false, false) => {
+                    // Current in the upper half, box entirely lower: no key
+                    // in this sub-box can exceed current — fall back to the
+                    // best candidate recorded so far.
+                    return best.map(MortonKey);
+                }
+                (true, false, true) => {
+                    // Current in the upper half: restrict to it.
+                    lo = load_min(lo, dim, bit);
+                }
+                (true, true, true) => {}
+                // (c, true, false) would mean zmin > zmax in this dim/bit.
+                (_, true, false) => unreachable!("inverted box bounds"),
+            }
+        }
+    }
+    // current lies inside the box: the next key inside is current + 1 if it
+    // is still in the box, otherwise BIGMIN of current + 1.
+    let next = cur + 1;
+    if next > hi {
+        return best.map(MortonKey);
+    }
+    if in_box(MortonKey(next), zmin, zmax) {
+        Some(MortonKey(next))
+    } else {
+        bigmin(MortonKey(next), zmin, zmax)
+    }
+}
+
+/// True if `key`'s coordinates lie inside the box spanned by `zmin`/`zmax`.
+pub fn in_box(key: MortonKey, zmin: MortonKey, zmax: MortonKey) -> bool {
+    let (x, y, z) = decode(key.0);
+    let (x0, y0, z0) = decode(zmin.0);
+    let (x1, y1, z1) = decode(zmax.0);
+    (x0..=x1).contains(&x) && (y0..=y1).contains(&y) && (z0..=z1).contains(&z)
+}
+
+fn box_is_valid(zmin: MortonKey, zmax: MortonKey) -> bool {
+    let (x0, y0, z0) = decode(zmin.0);
+    let (x1, y1, z1) = decode(zmax.0);
+    x0 <= x1 && y0 <= y1 && z0 <= z1
+}
+
+/// Convenience: the Morton codes of a coordinate box's corners.
+pub fn box_corners(min: (u32, u32, u32), max: (u32, u32, u32)) -> (MortonKey, MortonKey) {
+    (
+        MortonKey(encode(min.0, min.1, min.2)),
+        MortonKey(encode(max.0, max.1, max.2)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: linear scan for the next in-box key.
+    fn bigmin_naive(current: MortonKey, zmin: MortonKey, zmax: MortonKey) -> Option<MortonKey> {
+        ((current.0 + 1)..=zmax.0)
+            .map(MortonKey)
+            .find(|&k| in_box(k, zmin, zmax))
+    }
+
+    #[test]
+    fn matches_naive_on_a_small_grid() {
+        let (zmin, zmax) = box_corners((1, 2, 0), (5, 6, 3));
+        for code in 0..512u64 {
+            let got = bigmin(MortonKey(code), zmin, zmax);
+            let expect = bigmin_naive(MortonKey(code), zmin, zmax);
+            assert_eq!(got, expect, "current = {code}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_an_asymmetric_box() {
+        let (zmin, zmax) = box_corners((0, 3, 5), (7, 3, 6));
+        for code in 0..1024u64 {
+            assert_eq!(
+                bigmin(MortonKey(code), zmin, zmax),
+                bigmin_naive(MortonKey(code), zmin, zmax),
+                "current = {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn below_the_box_returns_the_box_minimum() {
+        let (zmin, zmax) = box_corners((2, 2, 2), (5, 5, 5));
+        assert_eq!(bigmin(MortonKey(0), zmin, zmax), Some(zmin));
+    }
+
+    #[test]
+    fn at_or_above_zmax_returns_none() {
+        let (zmin, zmax) = box_corners((2, 2, 2), (5, 5, 5));
+        assert_eq!(bigmin(zmax, zmin, zmax), None);
+        assert_eq!(bigmin(MortonKey(zmax.0 + 100), zmin, zmax), None);
+    }
+
+    #[test]
+    fn skips_dead_gaps() {
+        // Box [0,1]x[0,1]x[0,1] = codes 0..8; from code 3 the next is 4.
+        let (zmin, zmax) = box_corners((0, 0, 0), (1, 1, 1));
+        assert_eq!(bigmin(MortonKey(3), zmin, zmax), Some(MortonKey(4)));
+        // Box x in [0,1], y = 0, z = 0: codes {0, 1}; from 1, nothing.
+        let (zmin, zmax) = box_corners((0, 0, 0), (1, 0, 0));
+        assert_eq!(bigmin(MortonKey(1), zmin, zmax), None);
+        // From 0 the next in-box key is 1 even though 2..7 are in the cube.
+        assert_eq!(bigmin(MortonKey(0), zmin, zmax), Some(MortonKey(1)));
+    }
+
+    #[test]
+    fn scan_with_bigmin_enumerates_exactly_the_box() {
+        let (zmin, zmax) = box_corners((3, 1, 2), (6, 4, 5));
+        let mut found = Vec::new();
+        let mut cur = if in_box(zmin, zmin, zmax) {
+            Some(zmin)
+        } else {
+            bigmin(zmin, zmin, zmax)
+        };
+        while let Some(k) = cur {
+            found.push(k);
+            cur = bigmin(k, zmin, zmax);
+        }
+        let expect: Vec<MortonKey> = (zmin.0..=zmax.0)
+            .map(MortonKey)
+            .filter(|&k| in_box(k, zmin, zmax))
+            .collect();
+        assert_eq!(found, expect);
+        assert_eq!(found.len(), 4 * 4 * 4);
+    }
+}

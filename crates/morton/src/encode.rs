@@ -1,0 +1,130 @@
+//! Branch-free 3-D Morton encoding/decoding via bit dilation.
+//!
+//! `encode` interleaves the bits of three 21-bit coordinates into a single
+//! 63-bit code: bit `i` of `x` lands at bit `3i`, of `y` at `3i + 1`, of `z`
+//! at `3i + 2`. The magic-constant dilation runs in a handful of shifts and
+//! masks with no table lookups, which keeps the hot path (sorting millions of
+//! query positions in Morton order) cheap.
+
+/// Maximum value a single coordinate may take: 2²¹ − 1.
+///
+/// Three 21-bit coordinates interleave into 63 bits, fitting a `u64`.
+pub const MAX_COORD: u32 = (1 << 21) - 1;
+
+/// Spreads the low 21 bits of `v` so that consecutive input bits land three
+/// positions apart (bit `i` moves to bit `3i`).
+#[inline]
+const fn dilate(v: u32) -> u64 {
+    // Each step doubles the gap between surviving bit groups; masks keep only
+    // the bits in their post-shift homes. Constants are the standard 3-D
+    // dilation magic numbers for 21-bit inputs.
+    let mut x = (v as u64) & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x1f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`dilate`]: collects every third bit back into the low 21 bits.
+#[inline]
+const fn undilate(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x1f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x1f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Interleaves three coordinates into a 63-bit Morton code.
+///
+/// # Panics
+///
+/// Panics in debug builds if any coordinate exceeds [`MAX_COORD`]. Release
+/// builds silently truncate to the low 21 bits, matching the internal
+/// dilation masks.
+#[inline]
+pub const fn encode(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x <= MAX_COORD && y <= MAX_COORD && z <= MAX_COORD);
+    dilate(x) | (dilate(y) << 1) | (dilate(z) << 2)
+}
+
+/// Recovers `(x, y, z)` from a Morton code produced by [`encode`].
+#[inline]
+pub const fn decode(code: u64) -> (u32, u32, u32) {
+    (undilate(code), undilate(code >> 1), undilate(code >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_maps_to_zero() {
+        assert_eq!(encode(0, 0, 0), 0);
+        assert_eq!(decode(0), (0, 0, 0));
+    }
+
+    #[test]
+    fn unit_axes_hit_expected_bits() {
+        assert_eq!(encode(1, 0, 0), 0b001);
+        assert_eq!(encode(0, 1, 0), 0b010);
+        assert_eq!(encode(0, 0, 1), 0b100);
+        assert_eq!(encode(1, 1, 1), 0b111);
+    }
+
+    #[test]
+    fn second_bit_of_each_axis() {
+        assert_eq!(encode(2, 0, 0), 0b001_000);
+        assert_eq!(encode(0, 2, 0), 0b010_000);
+        assert_eq!(encode(0, 0, 2), 0b100_000);
+    }
+
+    #[test]
+    fn max_coordinate_round_trips() {
+        let code = encode(MAX_COORD, MAX_COORD, MAX_COORD);
+        assert_eq!(code, (1u64 << 63) - 1);
+        assert_eq!(decode(code), (MAX_COORD, MAX_COORD, MAX_COORD));
+    }
+
+    #[test]
+    fn z_order_walk_over_a_2x2x2_cube() {
+        // The canonical Z-curve visiting order of the unit cube.
+        let expected = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (0, 0, 1),
+            (1, 0, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ];
+        for (i, &(x, y, z)) in expected.iter().enumerate() {
+            assert_eq!(encode(x, y, z), i as u64, "cell {:?}", (x, y, z));
+        }
+    }
+
+    #[test]
+    fn round_trip_structured_sample() {
+        for x in (0..64).step_by(7) {
+            for y in (0..64).step_by(5) {
+                for z in (0..64).step_by(3) {
+                    assert_eq!(decode(encode(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locality_within_octants() {
+        // All cells of the low octant [0,2)³ precede all cells of the
+        // high octant [2,4)³ that differ in the top bit of every axis.
+        let low_max = encode(1, 1, 1);
+        let high_min = encode(2, 2, 2);
+        assert!(low_max < high_min);
+    }
+}

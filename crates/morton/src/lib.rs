@@ -1,0 +1,37 @@
+//! 3-D Morton (Z-order) spatial indexing for the JAWS turbulence database.
+//!
+//! The Turbulence Database Cluster partitions each 1024³ timestep into 64³-voxel
+//! *atoms* and lays the atoms out on disk in Morton order. The Morton index acts
+//! as a space-filling curve: atoms that are close together in Morton order are
+//! also near each other in voxel space, so both range and containment queries
+//! are I/O-efficient, and sorting query positions in Morton order amortizes disk
+//! seeks (JAWS paper, §III-A).
+//!
+//! This crate provides:
+//!
+//! * [`encode`]/[`decode`] — branch-free 3-D Morton encoding via bit dilation.
+//! * [`MortonKey`] — a typed Morton index with hierarchy operations (the paper's
+//!   "cubes of side 2^k" logical partitioning).
+//! * [`cover_box`] — decomposition of an axis-aligned voxel box into a minimal
+//!   set of contiguous Morton ranges, used for clustered B+ tree range scans.
+//!
+//! All operations support coordinates up to 2²¹−1 per axis (63 usable bits),
+//! far beyond the 16 atoms/side (1024³ grid / 64³ atoms) of the production
+//! database.
+
+#![warn(missing_docs)]
+
+mod atom;
+mod bigmin;
+mod encode;
+mod key;
+mod range;
+
+pub use atom::AtomId;
+pub use bigmin::{bigmin, box_corners, in_box};
+pub use encode::{decode, encode, MAX_COORD};
+pub use key::MortonKey;
+pub use range::{cover_box, BoxCover, MortonRange};
+
+#[cfg(test)]
+mod proptests;

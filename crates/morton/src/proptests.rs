@@ -1,0 +1,131 @@
+//! Property-based tests for Morton encoding and box covers.
+
+use crate::{cover_box, decode, encode, MortonKey, MAX_COORD};
+use proptest::prelude::*;
+
+proptest! {
+    /// encode/decode are inverses over the whole coordinate domain.
+    #[test]
+    fn encode_decode_round_trip(x in 0..=MAX_COORD, y in 0..=MAX_COORD, z in 0..=MAX_COORD) {
+        prop_assert_eq!(decode(encode(x, y, z)), (x, y, z));
+    }
+
+    /// Morton codes are unique per coordinate triple.
+    #[test]
+    fn encode_is_injective(
+        a in (0u32..256, 0u32..256, 0u32..256),
+        b in (0u32..256, 0u32..256, 0u32..256),
+    ) {
+        let ca = encode(a.0, a.1, a.2);
+        let cb = encode(b.0, b.1, b.2);
+        prop_assert_eq!(ca == cb, a == b);
+    }
+
+    /// Incrementing a single axis strictly increases the code (monotone per axis).
+    #[test]
+    fn per_axis_monotonicity(x in 0..MAX_COORD, y in 0..MAX_COORD, z in 0..MAX_COORD) {
+        let c = encode(x, y, z);
+        prop_assert!(encode(x + 1, y, z) > c);
+        prop_assert!(encode(x, y + 1, z) > c);
+        prop_assert!(encode(x, y, z + 1) > c);
+    }
+
+    /// The cube hierarchy nests: the level-(l+1) cube contains the level-l cube.
+    #[test]
+    fn cube_hierarchy_nests(code in 0u64..(1 << 30), level in 0u32..9) {
+        let k = MortonKey(code);
+        let (lo1, hi1) = k.cube_range(level);
+        let (lo2, hi2) = k.cube_range(level + 1);
+        prop_assert!(lo2 <= lo1 && hi1 <= hi2);
+        prop_assert!(lo1 <= k && k < hi1);
+    }
+
+    /// Box covers agree with brute-force membership on grids up to 16³.
+    #[test]
+    fn cover_matches_membership(
+        x0 in 0u32..16, y0 in 0u32..16, z0 in 0u32..16,
+        dx in 0u32..8, dy in 0u32..8, dz in 0u32..8,
+        probe in (0u32..24, 0u32..24, 0u32..24),
+    ) {
+        let min = (x0, y0, z0);
+        let max = (x0 + dx, y0 + dy, z0 + dz);
+        let cover = cover_box(min, max);
+        let (px, py, pz) = probe;
+        let inside = (min.0..=max.0).contains(&px)
+            && (min.1..=max.1).contains(&py)
+            && (min.2..=max.2).contains(&pz);
+        prop_assert_eq!(cover.contains(MortonKey::from_coords(px, py, pz)), inside);
+    }
+
+    /// Covers count exactly the box volume and keep ranges sorted and disjoint.
+    #[test]
+    fn cover_volume_and_structure(
+        x0 in 0u32..32, y0 in 0u32..32, z0 in 0u32..32,
+        dx in 0u32..16, dy in 0u32..16, dz in 0u32..16,
+    ) {
+        let cover = cover_box((x0, y0, z0), (x0 + dx, y0 + dy, z0 + dz));
+        let volume = (dx as u64 + 1) * (dy as u64 + 1) * (dz as u64 + 1);
+        prop_assert_eq!(cover.cell_count(), volume);
+        for w in cover.ranges.windows(2) {
+            prop_assert!(w[0].hi.0 < w[1].lo.0);
+        }
+    }
+
+    /// Chebyshev distance is a metric: symmetric, zero iff equal, triangle inequality.
+    #[test]
+    fn chebyshev_is_a_metric(
+        a in (0u32..128, 0u32..128, 0u32..128),
+        b in (0u32..128, 0u32..128, 0u32..128),
+        c in (0u32..128, 0u32..128, 0u32..128),
+    ) {
+        let ka = MortonKey::from_coords(a.0, a.1, a.2);
+        let kb = MortonKey::from_coords(b.0, b.1, b.2);
+        let kc = MortonKey::from_coords(c.0, c.1, c.2);
+        prop_assert_eq!(ka.chebyshev_distance(kb), kb.chebyshev_distance(ka));
+        prop_assert_eq!(ka.chebyshev_distance(kb) == 0, a == b);
+        prop_assert!(
+            ka.chebyshev_distance(kc) <= ka.chebyshev_distance(kb) + kb.chebyshev_distance(kc)
+        );
+    }
+}
+
+mod bigmin_props {
+    use crate::{bigmin, box_corners, in_box, MortonKey};
+    use proptest::prelude::*;
+
+    fn naive(current: MortonKey, zmin: MortonKey, zmax: MortonKey) -> Option<MortonKey> {
+        ((current.0 + 1)..=zmax.0)
+            .map(MortonKey)
+            .find(|&k| in_box(k, zmin, zmax))
+    }
+
+    proptest! {
+        /// BIGMIN agrees with the linear-scan reference on random boxes.
+        #[test]
+        fn bigmin_matches_naive(
+            x0 in 0u32..12, y0 in 0u32..12, z0 in 0u32..12,
+            dx in 0u32..6, dy in 0u32..6, dz in 0u32..6,
+            cur in 0u64..6000,
+        ) {
+            let (zmin, zmax) = box_corners((x0, y0, z0), (x0 + dx, y0 + dy, z0 + dz));
+            prop_assert_eq!(
+                bigmin(MortonKey(cur), zmin, zmax),
+                naive(MortonKey(cur), zmin, zmax)
+            );
+        }
+
+        /// BIGMIN's result is always strictly greater and inside the box.
+        #[test]
+        fn bigmin_postconditions(
+            x0 in 0u32..16, y0 in 0u32..16, z0 in 0u32..16,
+            dx in 0u32..8, dy in 0u32..8, dz in 0u32..8,
+            cur in 0u64..20_000,
+        ) {
+            let (zmin, zmax) = box_corners((x0, y0, z0), (x0 + dx, y0 + dy, z0 + dz));
+            if let Some(next) = bigmin(MortonKey(cur), zmin, zmax) {
+                prop_assert!(next.0 > cur);
+                prop_assert!(in_box(next, zmin, zmax));
+            }
+        }
+    }
+}

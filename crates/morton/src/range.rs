@@ -1,0 +1,239 @@
+//! Decomposition of axis-aligned boxes into contiguous Morton ranges.
+//!
+//! A spatial range query ("all atoms intersecting this box") becomes a small
+//! set of contiguous key intervals on the clustered B+ tree. The decomposition
+//! walks the implicit octree: an aligned cube entirely inside the box
+//! contributes its whole (contiguous) Morton interval; a cube intersecting the
+//! boundary is split into its eight children.
+
+use crate::key::MortonKey;
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[lo, hi)` of Morton keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MortonRange {
+    /// Inclusive lower bound.
+    pub lo: MortonKey,
+    /// Exclusive upper bound.
+    pub hi: MortonKey,
+}
+
+impl MortonRange {
+    /// Number of cells in the interval.
+    pub fn len(&self) -> u64 {
+        self.hi.0 - self.lo.0
+    }
+
+    /// True if the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi.0 <= self.lo.0
+    }
+
+    /// True if `key` falls inside the interval.
+    pub fn contains(&self, key: MortonKey) -> bool {
+        self.lo <= key && key < self.hi
+    }
+}
+
+/// The result of covering a box: sorted, non-overlapping, coalesced ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxCover {
+    /// Sorted, pairwise-disjoint, maximally coalesced intervals.
+    pub ranges: Vec<MortonRange>,
+}
+
+impl BoxCover {
+    /// Total number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        self.ranges.iter().map(MortonRange::len).sum()
+    }
+
+    /// True if `key` lies in any range (binary search).
+    pub fn contains(&self, key: MortonKey) -> bool {
+        match self.ranges.binary_search_by(|r| r.lo.cmp(&key)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ranges[i - 1].contains(key),
+        }
+    }
+
+    /// Iterates every cell key in ascending Morton order.
+    pub fn iter_keys(&self) -> impl Iterator<Item = MortonKey> + '_ {
+        self.ranges
+            .iter()
+            .flat_map(|r| (r.lo.0..r.hi.0).map(MortonKey))
+    }
+}
+
+/// Covers the inclusive cell box `[min, max]` (per-axis bounds) with Morton
+/// ranges. Bounds are cell coordinates, e.g. atom coordinates within one
+/// timestep.
+///
+/// # Panics
+///
+/// Panics if any `min` coordinate exceeds the matching `max` coordinate.
+pub fn cover_box(min: (u32, u32, u32), max: (u32, u32, u32)) -> BoxCover {
+    assert!(
+        min.0 <= max.0 && min.1 <= max.1 && min.2 <= max.2,
+        "degenerate box: min {min:?} > max {max:?}"
+    );
+    // Smallest power-of-two cube enclosing the box.
+    let top = max.0.max(max.1).max(max.2);
+    let level = 32 - top.leading_zeros().min(31); // ceil(log2(top+1))
+    let mut ranges = Vec::new();
+    descend(MortonKey(0), level, min, max, &mut ranges);
+    coalesce(&mut ranges);
+    BoxCover { ranges }
+}
+
+/// Recursive octree walk. `cube_lo` is the smallest Morton key inside the
+/// current cube, `level` its side exponent (side = 2^level).
+fn descend(
+    cube_lo: MortonKey,
+    level: u32,
+    min: (u32, u32, u32),
+    max: (u32, u32, u32),
+    out: &mut Vec<MortonRange>,
+) {
+    let side = 1u32 << level;
+    let (cx, cy, cz) = cube_lo.coords();
+    // Disjoint?
+    if cx > max.0 || cy > max.1 || cz > max.2 {
+        return;
+    }
+    let (ex, ey, ez) = (cx + side - 1, cy + side - 1, cz + side - 1);
+    if ex < min.0 || ey < min.1 || ez < min.2 {
+        return;
+    }
+    // Fully contained?
+    if cx >= min.0 && cy >= min.1 && cz >= min.2 && ex <= max.0 && ey <= max.1 && ez <= max.2 {
+        out.push(MortonRange {
+            lo: cube_lo,
+            hi: MortonKey(cube_lo.0 + (1u64 << (3 * level))),
+        });
+        return;
+    }
+    // Partial overlap: split into the eight children, which are contiguous in
+    // Morton order starting at cube_lo.
+    debug_assert!(level > 0, "unit cube must be contained or disjoint");
+    let child_cells = 1u64 << (3 * (level - 1));
+    for i in 0..8 {
+        descend(
+            MortonKey(cube_lo.0 + i * child_cells),
+            level - 1,
+            min,
+            max,
+            out,
+        );
+    }
+}
+
+/// Merges adjacent intervals in place. `descend` emits in ascending order, so
+/// one linear pass suffices.
+fn coalesce(ranges: &mut Vec<MortonRange>) {
+    let mut w = 0usize;
+    for i in 0..ranges.len() {
+        if w > 0 && ranges[w - 1].hi == ranges[i].lo {
+            ranges[w - 1].hi = ranges[i].hi;
+        } else {
+            ranges[w] = ranges[i];
+            w += 1;
+        }
+    }
+    ranges.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(min: (u32, u32, u32), max: (u32, u32, u32)) -> Vec<MortonKey> {
+        let mut keys = Vec::new();
+        for x in min.0..=max.0 {
+            for y in min.1..=max.1 {
+                for z in min.2..=max.2 {
+                    keys.push(MortonKey::from_coords(x, y, z));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn assert_cover_matches(min: (u32, u32, u32), max: (u32, u32, u32)) {
+        let cover = cover_box(min, max);
+        let expect = brute_force(min, max);
+        let got: Vec<MortonKey> = cover.iter_keys().collect();
+        assert_eq!(got, expect, "cover mismatch for box {min:?}..={max:?}");
+        // Structural invariants: sorted, disjoint, maximally coalesced.
+        for w in cover.ranges.windows(2) {
+            assert!(w[0].hi.0 < w[1].lo.0, "ranges {:?} and {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn single_cell_box() {
+        let c = cover_box((3, 5, 7), (3, 5, 7));
+        assert_eq!(c.cell_count(), 1);
+        assert!(c.contains(MortonKey::from_coords(3, 5, 7)));
+        assert!(!c.contains(MortonKey::from_coords(3, 5, 6)));
+    }
+
+    #[test]
+    fn aligned_cube_is_one_range() {
+        // The whole 4³ cube at the origin is a single Morton interval.
+        let c = cover_box((0, 0, 0), (3, 3, 3));
+        assert_eq!(c.ranges.len(), 1);
+        assert_eq!(c.cell_count(), 64);
+    }
+
+    #[test]
+    fn full_atom_grid_is_one_range() {
+        // 16³ atoms per timestep in the production layout.
+        let c = cover_box((0, 0, 0), (15, 15, 15));
+        assert_eq!(c.ranges.len(), 1);
+        assert_eq!(c.cell_count(), 4096);
+    }
+
+    #[test]
+    fn unaligned_boxes_match_brute_force() {
+        assert_cover_matches((1, 0, 0), (2, 3, 3));
+        assert_cover_matches((0, 1, 2), (5, 6, 3));
+        assert_cover_matches((3, 3, 3), (4, 4, 4)); // straddles the center
+        assert_cover_matches((1, 1, 1), (6, 6, 6));
+        assert_cover_matches((0, 0, 0), (7, 0, 0)); // a line of cells
+    }
+
+    #[test]
+    fn slab_through_grid() {
+        assert_cover_matches((0, 7, 0), (15, 8, 15));
+    }
+
+    #[test]
+    fn ranges_are_sorted_disjoint_coalesced() {
+        let c = cover_box((1, 1, 1), (6, 6, 6));
+        for w in c.ranges.windows(2) {
+            assert!(w[0].hi.0 < w[1].lo.0, "sorted, disjoint and coalesced");
+        }
+        assert_eq!(c.cell_count(), 6 * 6 * 6);
+    }
+
+    #[test]
+    fn contains_agrees_with_iteration() {
+        let c = cover_box((2, 0, 1), (5, 4, 6));
+        let inside: std::collections::HashSet<u64> = c.iter_keys().map(|k| k.0).collect();
+        for code in 0..4096u64 {
+            assert_eq!(
+                c.contains(MortonKey(code)),
+                inside.contains(&code),
+                "key {code}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate box")]
+    fn degenerate_box_panics() {
+        cover_box((4, 0, 0), (3, 9, 9));
+    }
+}

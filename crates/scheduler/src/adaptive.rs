@@ -1,0 +1,262 @@
+//! Adaptive starvation resistance: the α controller of §V-A.
+//!
+//! JAWS "divides the workload into runs of r consecutive queries each,
+//! measures query performance for each run, and then adjusts α incrementally
+//! based on observed performance trade-offs compared with past runs":
+//!
+//! 1. if rt(i)/rt(i−1) ≥ 1 and tp(i)/tp(i−1) < rt(i)/rt(i−1):
+//!    αᵢ₊₁ = αᵢ − min{rt-ratio − tp-ratio, αᵢ}  (bias towards contention);
+//! 2. if rt(i)/rt(i−1) < 1 and tp(i)/tp(i−1) < rt(i)/rt(i−1):
+//!    αᵢ₊₁ = αᵢ + min{rt-ratio − tp-ratio, 1 − αᵢ}  (bias towards age).
+//!
+//! Rule 2's increment term is negative as literally printed (tp-ratio exceeds
+//! rt-ratio is false in its guard, so rt-ratio − tp-ratio > 0 there); we apply
+//! the magnitude |rt-ratio − tp-ratio| in both rules, clamped to keep
+//! α ∈ \[0, 1\].
+//!
+//! To avoid rapid variation, performance is smoothed across runs:
+//! rt′(i) = 0.2·rt(i) + 0.8·rt′(i−1) and likewise for throughput. And "it can
+//! be difficult to recover from a poor initial choice for α if workload
+//! saturation exhibits little change over an extended period", so the
+//! controller perturbs α to explore the trade-off curve when two consecutive
+//! runs show no movement.
+
+use serde::Serialize;
+
+/// Measured performance of one run of `r` consecutive queries.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunFeedback {
+    /// Mean query response time during the run, ms.
+    pub mean_response_ms: f64,
+    /// Query throughput during the run, queries/s.
+    pub throughput_qps: f64,
+}
+
+/// The incremental α controller.
+#[derive(Debug, Clone)]
+pub struct AlphaController {
+    alpha: f64,
+    run_len: usize,
+    completed_in_run: usize,
+    run_started_ms: f64,
+    response_sum_ms: f64,
+    /// Smoothed rt′/tp′ of the previous run.
+    prev: Option<RunFeedback>,
+    /// Runs with negligible movement, for trade-off-curve exploration.
+    flat_runs: u32,
+    explore_sign: f64,
+    history: Vec<(f64, RunFeedback)>,
+}
+
+impl AlphaController {
+    /// Threshold below which two runs count as "no change".
+    const FLAT_EPS: f64 = 0.02;
+    /// Exploration step applied after two flat runs.
+    const EXPLORE_STEP: f64 = 0.1;
+
+    /// Creates a controller with initial bias `alpha0` (the paper initializes
+    /// 0.5) and run length `run_len` queries.
+    pub fn new(alpha0: f64, run_len: usize) -> Self {
+        assert!((0.0..=1.0).contains(&alpha0), "alpha must be in [0,1]");
+        assert!(run_len > 0, "runs must contain at least one query");
+        AlphaController {
+            alpha: alpha0,
+            run_len,
+            completed_in_run: 0,
+            run_started_ms: 0.0,
+            response_sum_ms: 0.0,
+            prev: None,
+            flat_runs: 0,
+            explore_sign: 1.0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current age bias.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// (α, run feedback) pairs recorded at each run boundary.
+    pub fn history(&self) -> &[(f64, RunFeedback)] {
+        &self.history
+    }
+
+    /// Records a query completion. Returns `true` when this completion closed
+    /// a run (the caller should propagate the boundary to the cache for
+    /// SLRU's batch promotion).
+    pub fn on_query_complete(&mut self, response_ms: f64, now_ms: f64) -> bool {
+        if self.completed_in_run == 0 && self.history.is_empty() && self.prev.is_none() {
+            // First query overall: anchor the first run's start.
+            self.run_started_ms = (now_ms - response_ms).max(0.0);
+        }
+        self.response_sum_ms += response_ms;
+        self.completed_in_run += 1;
+        if self.completed_in_run < self.run_len {
+            return false;
+        }
+        let elapsed_ms = (now_ms - self.run_started_ms).max(1e-6);
+        let raw = RunFeedback {
+            mean_response_ms: self.response_sum_ms / self.run_len as f64,
+            throughput_qps: self.run_len as f64 / (elapsed_ms / 1000.0),
+        };
+        self.close_run(raw);
+        self.completed_in_run = 0;
+        self.response_sum_ms = 0.0;
+        self.run_started_ms = now_ms;
+        true
+    }
+
+    fn close_run(&mut self, raw: RunFeedback) {
+        let smoothed = match self.prev {
+            None => raw,
+            Some(p) => RunFeedback {
+                mean_response_ms: 0.2 * raw.mean_response_ms + 0.8 * p.mean_response_ms,
+                throughput_qps: 0.2 * raw.throughput_qps + 0.8 * p.throughput_qps,
+            },
+        };
+        if let Some(p) = self.prev {
+            let rt_ratio = smoothed.mean_response_ms / p.mean_response_ms.max(1e-9);
+            let tp_ratio = smoothed.throughput_qps / p.throughput_qps.max(1e-9);
+            let delta = (rt_ratio - tp_ratio).abs();
+            if rt_ratio >= 1.0 && tp_ratio < rt_ratio {
+                // Saturation rising without commensurate throughput: chase
+                // contention (lower α).
+                self.alpha -= delta.min(self.alpha);
+                self.flat_runs = 0;
+            } else if rt_ratio < 1.0 && tp_ratio < rt_ratio {
+                // Saturation falling and throughput sagging: spend slack on
+                // response time (raise α).
+                self.alpha += delta.min(1.0 - self.alpha);
+                self.flat_runs = 0;
+            } else if (rt_ratio - 1.0).abs() < Self::FLAT_EPS
+                && (tp_ratio - 1.0).abs() < Self::FLAT_EPS
+            {
+                // No movement: explore the trade-off curve so α cannot stay
+                // stuck at a bad initial value.
+                self.flat_runs += 1;
+                if self.flat_runs >= 2 {
+                    let step = Self::EXPLORE_STEP * self.explore_sign;
+                    let next = (self.alpha + step).clamp(0.0, 1.0);
+                    if next == self.alpha {
+                        self.explore_sign = -self.explore_sign;
+                    } else {
+                        self.alpha = next;
+                    }
+                    self.flat_runs = 0;
+                }
+            } else {
+                self.flat_runs = 0;
+            }
+        }
+        self.prev = Some(smoothed);
+        self.history.push((self.alpha, smoothed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one full run with uniform response times and a chosen duration.
+    fn push_run(c: &mut AlphaController, start_ms: f64, rt_ms: f64, run_secs: f64) -> f64 {
+        let r = c.run_len;
+        for i in 0..r {
+            let t = start_ms + run_secs * 1000.0 * (i + 1) as f64 / r as f64;
+            c.on_query_complete(rt_ms, t);
+        }
+        start_ms + run_secs * 1000.0
+    }
+
+    #[test]
+    fn run_boundary_fires_every_r_queries() {
+        let mut c = AlphaController::new(0.5, 3);
+        assert!(!c.on_query_complete(10.0, 100.0));
+        assert!(!c.on_query_complete(10.0, 200.0));
+        assert!(c.on_query_complete(10.0, 300.0), "third completion closes");
+        assert!(!c.on_query_complete(10.0, 400.0));
+    }
+
+    #[test]
+    fn rising_saturation_lowers_alpha() {
+        let mut c = AlphaController::new(0.5, 10);
+        let t = push_run(&mut c, 0.0, 100.0, 10.0);
+        // Response times explode while throughput stays flat: rule (1).
+        push_run(&mut c, t, 500.0, 10.0);
+        assert!(c.alpha() < 0.5, "alpha {} should drop", c.alpha());
+        assert!(c.alpha() >= 0.0);
+    }
+
+    #[test]
+    fn falling_saturation_with_sagging_throughput_raises_alpha() {
+        let mut c = AlphaController::new(0.5, 10);
+        let t = push_run(&mut c, 0.0, 500.0, 5.0);
+        // Response time improves but throughput collapses harder: rule (2).
+        push_run(&mut c, t, 400.0, 50.0);
+        assert!(c.alpha() > 0.5, "alpha {} should rise", c.alpha());
+        assert!(c.alpha() <= 1.0);
+    }
+
+    #[test]
+    fn alpha_stays_clamped_under_extreme_swings() {
+        let mut c = AlphaController::new(0.5, 5);
+        let mut t = push_run(&mut c, 0.0, 10.0, 1.0);
+        for i in 0..20 {
+            // Alternate violent rises and falls in saturation.
+            let rt = if i % 2 == 0 { 10_000.0 } else { 1.0 };
+            t = push_run(&mut c, t, rt, 1.0);
+            assert!((0.0..=1.0).contains(&c.alpha()), "alpha {}", c.alpha());
+        }
+    }
+
+    #[test]
+    fn flat_workload_triggers_exploration() {
+        let mut c = AlphaController::new(0.5, 5);
+        let mut t = 0.0;
+        for _ in 0..6 {
+            t = push_run(&mut c, t, 100.0, 10.0);
+        }
+        assert!(
+            (c.alpha() - 0.5).abs() > 1e-9,
+            "alpha {} never explored despite a flat workload",
+            c.alpha()
+        );
+    }
+
+    #[test]
+    fn exploration_reverses_at_the_boundary() {
+        let mut c = AlphaController::new(1.0, 2);
+        let mut t = 0.0;
+        for _ in 0..8 {
+            t = push_run(&mut c, t, 100.0, 10.0);
+        }
+        assert!(c.alpha() < 1.0, "stuck at the upper clamp");
+    }
+
+    #[test]
+    fn smoothing_damps_a_single_spike() {
+        let mut c = AlphaController::new(0.5, 10);
+        let t = push_run(&mut c, 0.0, 100.0, 10.0);
+        // One spiky run: the 0.2/0.8 EWMA records 0.2·1000 + 0.8·100 = 280,
+        // not the raw 1000 — a 2.8× apparent rise instead of 10×.
+        push_run(&mut c, t, 1_000.0, 10.0);
+        let (_, fb) = c.history().last().unwrap();
+        assert!((fb.mean_response_ms - 280.0).abs() < 1e-6, "{}", fb.mean_response_ms);
+        assert!(c.alpha() < 0.5, "saturation rise still lowers alpha");
+        assert!((0.0..=1.0).contains(&c.alpha()));
+    }
+
+    #[test]
+    fn history_records_each_run() {
+        let mut c = AlphaController::new(0.5, 4);
+        let t = push_run(&mut c, 0.0, 50.0, 2.0);
+        push_run(&mut c, t, 60.0, 2.0);
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_out_of_range_alpha() {
+        let _ = AlphaController::new(1.5, 10);
+    }
+}

@@ -1,0 +1,944 @@
+//! Gated execution: the job-aware precedence graph of §IV.
+//!
+//! Ordered jobs are sequences of queries with data dependencies. JAWS aligns
+//! every pair of jobs with a Needleman–Wunsch dynamic program ([`align_jobs`])
+//! and turns each aligned, data-sharing pair of queries into a *gating edge*:
+//! the two queries must be co-scheduled so the shared atoms are read once.
+//! Gating edges are transitive ("q inherits all gating edges incident to its
+//! partner", Fig. 4 line 2), so edges form *gating groups* — sets of queries,
+//! at most one per job, that enter the workload queues together.
+//!
+//! Query states follow the paper: **WAIT** (precedence/think-time constraints
+//! unsatisfied), **READY** (only gating constraints remain), **QUEUE**
+//! (schedulable), **DONE**. "JAWS can schedule a query qᵢ,ⱼ₊₁ only if
+//! S(qᵢ,ⱼ) = DONE and every adjacent (via a gating edge) query is in the
+//! READY state."
+//!
+//! ## Deadlock freedom
+//!
+//! The paper's Fig. 4 admission test uses *gating numbers* to refuse edges
+//! that would deadlock the schedule. We implement the property those numbers
+//! approximate directly: gating groups must form a DAG under the precedence
+//! relation "some job executes a query of group A before a query of group B".
+//! An edge whose admission would create a cycle is refused. This is strictly
+//! safe: an acyclic group order can always be scheduled.
+//!
+//! ## Starvation valve
+//!
+//! A group only fires when every member is READY, and a member's job may be
+//! arbitrarily slow (long think times). Following the spirit of §V-A's
+//! starvation resistance, a READY query gated for longer than
+//! [`GatingConfig::gate_timeout_ms`] is force-released: it leaves its group
+//! and becomes schedulable alone, trading the missed sharing for bounded
+//! delay. (The paper relies on alignment feasibility alone; the timeout is an
+//! engineering addition documented in DESIGN.md.)
+
+use crate::align::align_jobs;
+use jaws_workload::{Job, JobId, JobKind, Query, QueryId};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// Gating behaviour knobs.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GatingConfig {
+    /// Maximum time a READY query may wait on gating partners before being
+    /// force-released, ms.
+    pub gate_timeout_ms: f64,
+    /// Maximum number of existing jobs a new job is aligned against (most
+    /// recently arrived first) — bounds the O(n²m²) dynamic-program phase.
+    pub max_align_jobs: usize,
+}
+
+impl Default for GatingConfig {
+    fn default() -> Self {
+        GatingConfig {
+            gate_timeout_ms: 180_000.0,
+            max_align_jobs: 64,
+        }
+    }
+}
+
+/// The WAIT/READY/QUEUE/DONE lifecycle of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum QueryState {
+    /// Precedence constraints (predecessor, think time) unsatisfied.
+    Wait,
+    /// Available, but gating partners are not all READY yet.
+    Ready,
+    /// All constraints satisfied — sub-queries sit in the workload queues.
+    Queue,
+    /// Completed.
+    Done,
+}
+
+type GroupId = u64;
+
+#[derive(Debug)]
+struct QueryEntry {
+    job: JobId,
+    /// Index within the job's query sequence.
+    index: usize,
+    state: QueryState,
+    ready_since_ms: f64,
+    group: Option<GroupId>,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    /// The job's queries in precedence order (footprints retained for future
+    /// alignments against newly arriving jobs).
+    queries: Vec<Query>,
+    /// Indices of queries that are not DONE yet (monotone front pointer).
+    first_pending: usize,
+}
+
+/// The job-aware precedence/gating graph.
+#[derive(Debug)]
+pub struct GatingGraph {
+    cfg: GatingConfig,
+    jobs: HashMap<JobId, JobEntry>,
+    /// Arrival order of ordered jobs, for alignment candidate selection.
+    job_order: Vec<JobId>,
+    queries: HashMap<QueryId, QueryEntry>,
+    groups: HashMap<GroupId, Vec<QueryId>>,
+    next_group: GroupId,
+    admitted_edges: u64,
+    refused_edges: u64,
+    forced_releases: u64,
+}
+
+impl GatingGraph {
+    /// Creates an empty graph.
+    pub fn new(cfg: GatingConfig) -> Self {
+        GatingGraph {
+            cfg,
+            jobs: HashMap::new(),
+            job_order: Vec::new(),
+            queries: HashMap::new(),
+            groups: HashMap::new(),
+            next_group: 0,
+            admitted_edges: 0,
+            refused_edges: 0,
+            forced_releases: 0,
+        }
+    }
+
+    /// Total gating edges admitted so far.
+    pub fn admitted_edges(&self) -> u64 {
+        self.admitted_edges
+    }
+
+    /// Edges refused by the deadlock / one-per-job checks.
+    pub fn refused_edges(&self) -> u64 {
+        self.refused_edges
+    }
+
+    /// Queries force-released by the starvation valve.
+    pub fn forced_releases(&self) -> u64 {
+        self.forced_releases
+    }
+
+    /// Current state of a query ([`QueryState::Done`] if unknown/pruned).
+    pub fn state(&self, q: QueryId) -> QueryState {
+        self.queries.get(&q).map_or(QueryState::Done, |e| e.state)
+    }
+
+    /// The co-scheduling group of a query, if it is gated.
+    pub fn group_members(&self, q: QueryId) -> Option<&[QueryId]> {
+        let g = self.queries.get(&q)?.group?;
+        self.groups.get(&g).map(Vec::as_slice)
+    }
+
+    /// True if any query is READY but held back by a gate.
+    pub fn has_gated_ready(&self) -> bool {
+        self.queries
+            .values()
+            .any(|e| e.state == QueryState::Ready && e.group.is_some())
+    }
+
+    /// Declares a new ordered job, aligning it against existing jobs and
+    /// admitting gating edges greedily (largest alignments first, per the
+    /// merge phase of §IV-B). Batched jobs and one-off queries register their
+    /// queries but never gate. Returns the number of edges admitted.
+    pub fn add_job(&mut self, job: &Job) -> usize {
+        let entry = JobEntry {
+            queries: job.queries.clone(),
+            first_pending: 0,
+        };
+        for (i, q) in job.queries.iter().enumerate() {
+            self.queries.insert(
+                q.id,
+                QueryEntry {
+                    job: job.id,
+                    index: i,
+                    state: QueryState::Wait,
+                    ready_since_ms: 0.0,
+                    group: None,
+                },
+            );
+        }
+        self.jobs.insert(job.id, entry);
+        if job.kind != JobKind::Ordered || job.queries.len() < 2 {
+            return 0;
+        }
+        // Dynamic-program phase: align against the most recent ordered jobs.
+        let mut alignments: Vec<(JobId, Vec<(usize, usize)>)> = Vec::new();
+        for &other_id in self
+            .job_order
+            .iter()
+            .rev()
+            .take(self.cfg.max_align_jobs)
+        {
+            let other = &self.jobs[&other_id];
+            // Only align against the not-yet-done suffix: gating a completed
+            // query is meaningless.
+            let offset = other.first_pending;
+            if offset >= other.queries.len() {
+                continue;
+            }
+            let al = align_jobs(&job.queries, &other.queries[offset..]);
+            if al.score > 0 {
+                let pairs = al
+                    .pairs
+                    .into_iter()
+                    .map(|(i, j)| (i, j + offset))
+                    .collect();
+                alignments.push((other_id, pairs));
+            }
+        }
+        self.job_order.push(job.id);
+        // Merge phase: job pairs in decreasing alignment size.
+        alignments.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut admitted = 0;
+        for (other_id, pairs) in alignments {
+            for (new_idx, other_idx) in pairs {
+                let new_q = self.jobs[&job.id].queries[new_idx].id;
+                let other_q = self.jobs[&other_id].queries[other_idx].id;
+                if self.admit_edge(new_q, other_q) {
+                    admitted += 1;
+                }
+            }
+        }
+        admitted as usize
+    }
+
+    /// Admits a gating edge between `a` (new job) and `b` (existing job) if
+    /// it cannot deadlock the schedule; see the module docs.
+    fn admit_edge(&mut self, a: QueryId, b: QueryId) -> bool {
+        let (ea, eb) = match (self.queries.get(&a), self.queries.get(&b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        // Gating an already scheduled / completed query is pointless.
+        if !matches!(ea.state, QueryState::Wait | QueryState::Ready)
+            || !matches!(eb.state, QueryState::Wait | QueryState::Ready)
+        {
+            self.refused_edges += 1;
+            return false;
+        }
+        if ea.group.is_some() && ea.group == eb.group {
+            return false; // already co-grouped (transitivity)
+        }
+        // Determine the merged membership. Transitivity (Fig. 4 line 2):
+        // joining b means joining b's whole group. Constraint: the merged
+        // group may hold at most one query per job (two queries of one job in
+        // a group could never be co-scheduled).
+        let old_a: Option<(GroupId, Vec<QueryId>)> =
+            ea.group.map(|g| (g, self.groups[&g].clone()));
+        let old_b: Option<(GroupId, Vec<QueryId>)> =
+            eb.group.map(|g| (g, self.groups[&g].clone()));
+        let side_a = old_a.as_ref().map_or_else(|| vec![a], |(_, m)| m.clone());
+        let side_b = old_b.as_ref().map_or_else(|| vec![b], |(_, m)| m.clone());
+        let merged: Vec<QueryId> = side_a.iter().chain(side_b.iter()).copied().collect();
+        let mut jobs_seen = HashSet::new();
+        for q in &merged {
+            if !jobs_seen.insert(self.queries[q].job) {
+                self.refused_edges += 1;
+                return false;
+            }
+        }
+        // Tentatively apply, then verify the group-precedence DAG is acyclic.
+        let gid = self.next_group;
+        self.next_group += 1;
+        for q in &merged {
+            self.queries.get_mut(q).expect("tracked").group = Some(gid);
+        }
+        if let Some((g, _)) = &old_a {
+            self.groups.remove(g);
+        }
+        if let Some((g, _)) = &old_b {
+            self.groups.remove(g);
+        }
+        self.groups.insert(gid, merged);
+        if self.group_dag_is_acyclic() {
+            self.admitted_edges += 1;
+            true
+        } else {
+            // Revert to the exact pre-merge state.
+            self.groups.remove(&gid);
+            for (old, lone) in [(old_a, a), (old_b, b)] {
+                match old {
+                    None => {
+                        self.queries.get_mut(&lone).expect("tracked").group = None;
+                    }
+                    Some((g, members)) => {
+                        for m in &members {
+                            self.queries.get_mut(m).expect("tracked").group = Some(g);
+                        }
+                        self.groups.insert(g, members);
+                    }
+                }
+            }
+            self.refused_edges += 1;
+            false
+        }
+    }
+
+    /// Cycle check over the gating-group precedence DAG.
+    fn group_dag_is_acyclic(&self) -> bool {
+        // Edges: for each job, consecutive gated queries g_prev -> g_next.
+        let mut edges: HashMap<GroupId, HashSet<GroupId>> = HashMap::new();
+        for job in self.jobs.values() {
+            let mut prev: Option<GroupId> = None;
+            for q in &job.queries[job.first_pending..] {
+                if let Some(e) = self.queries.get(&q.id) {
+                    if let Some(g) = e.group {
+                        if let Some(p) = prev {
+                            if p != g {
+                                edges.entry(p).or_default().insert(g);
+                            }
+                        }
+                        prev = Some(g);
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm over the groups that participate in edges.
+        let mut indeg: HashMap<GroupId, usize> = HashMap::new();
+        for (&from, tos) in &edges {
+            indeg.entry(from).or_insert(0);
+            for &to in tos {
+                *indeg.entry(to).or_insert(0) += 1;
+            }
+        }
+        let mut stack: Vec<GroupId> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&g, _)| g)
+            .collect();
+        let mut seen = 0usize;
+        let total = indeg.len();
+        while let Some(g) = stack.pop() {
+            seen += 1;
+            if let Some(tos) = edges.get(&g) {
+                for &to in tos {
+                    let d = indeg.get_mut(&to).expect("counted");
+                    *d -= 1;
+                    if *d == 0 {
+                        stack.push(to);
+                    }
+                }
+            }
+        }
+        seen == total
+    }
+
+    /// Marks a query available (predecessor done, think time elapsed):
+    /// WAIT → READY, then fires any group that became fully ready. Returns
+    /// the queries newly promoted to QUEUE.
+    pub fn query_available(&mut self, q: QueryId, now_ms: f64) -> Vec<QueryId> {
+        let e = self.queries.get_mut(&q).expect("available query is tracked");
+        debug_assert_eq!(e.state, QueryState::Wait, "double availability for {q}");
+        e.state = QueryState::Ready;
+        e.ready_since_ms = now_ms;
+        self.try_fire(q)
+    }
+
+    /// Marks a query complete: QUEUE → DONE, prunes it from its group and the
+    /// job front, and fires any group unblocked by the pruning. Returns the
+    /// queries newly promoted to QUEUE.
+    pub fn query_done(&mut self, q: QueryId) -> Vec<QueryId> {
+        let Some(e) = self.queries.get_mut(&q) else {
+            return Vec::new();
+        };
+        e.state = QueryState::Done;
+        let job = e.job;
+        let group = e.group.take();
+        // Advance the job's pending front (prunes completed queries from
+        // future alignments and DAG checks).
+        if let Some(j) = self.jobs.get_mut(&job) {
+            while j.first_pending < j.queries.len()
+                && self
+                    .queries
+                    .get(&j.queries[j.first_pending].id)
+                    .is_none_or(|e| e.state == QueryState::Done)
+            {
+                j.first_pending += 1;
+            }
+        }
+        let mut promoted = Vec::new();
+        if let Some(g) = group {
+            if let Some(members) = self.groups.get_mut(&g) {
+                members.retain(|&m| m != q);
+                let remaining = members.clone();
+                if remaining.len() <= 1 {
+                    self.groups.remove(&g);
+                    for m in remaining {
+                        self.queries.get_mut(&m).expect("tracked").group = None;
+                        if self.queries[&m].state == QueryState::Ready {
+                            promoted.extend(self.promote(m));
+                        }
+                    }
+                } else if let Some(&m) = remaining.first() {
+                    promoted.extend(self.try_fire(m));
+                }
+            }
+        }
+        promoted
+    }
+
+    /// Promotes a READY query (and, if gated, its whole ready group) to QUEUE
+    /// when all gating constraints hold. Returns newly QUEUEd queries.
+    fn try_fire(&mut self, q: QueryId) -> Vec<QueryId> {
+        let Some(e) = self.queries.get(&q) else {
+            return Vec::new();
+        };
+        if e.state != QueryState::Ready {
+            return Vec::new();
+        }
+        match e.group {
+            None => self.promote(q),
+            Some(g) => {
+                let members = self.groups.get(&g).expect("member's group exists");
+                let all_ready = members.iter().all(|m| {
+                    matches!(
+                        self.queries[m].state,
+                        QueryState::Ready | QueryState::Queue | QueryState::Done
+                    )
+                });
+                if !all_ready {
+                    return Vec::new();
+                }
+                let to_fire: Vec<QueryId> = members
+                    .iter()
+                    .filter(|m| self.queries[*m].state == QueryState::Ready)
+                    .copied()
+                    .collect();
+                let mut out = Vec::new();
+                for m in to_fire {
+                    out.extend(self.promote(m));
+                }
+                out
+            }
+        }
+    }
+
+    fn promote(&mut self, q: QueryId) -> Vec<QueryId> {
+        let e = self.queries.get_mut(&q).expect("tracked");
+        debug_assert_eq!(e.state, QueryState::Ready);
+        e.state = QueryState::Queue;
+        vec![q]
+    }
+
+    /// Force-releases READY queries gated for longer than the timeout.
+    /// Returns the queries promoted to QUEUE (the released query itself plus
+    /// any group mates its departure unblocked).
+    pub fn release_stale(&mut self, now_ms: f64) -> Vec<QueryId> {
+        let stale: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, e)| {
+                e.state == QueryState::Ready
+                    && e.group.is_some()
+                    && now_ms - e.ready_since_ms > self.cfg.gate_timeout_ms
+            })
+            .map(|(&q, _)| q)
+            .collect();
+        let mut promoted = Vec::new();
+        for q in stale {
+            if self.queries[&q].state != QueryState::Ready {
+                continue; // already promoted by an earlier release this round
+            }
+            self.forced_releases += 1;
+            let g = self.queries.get_mut(&q).expect("tracked").group.take();
+            if let Some(g) = g {
+                if let Some(members) = self.groups.get_mut(&g) {
+                    members.retain(|&m| m != q);
+                    let rest = members.clone();
+                    if rest.len() <= 1 {
+                        self.groups.remove(&g);
+                        for m in &rest {
+                            self.queries.get_mut(m).expect("tracked").group = None;
+                        }
+                    }
+                    if let Some(&m) = rest.first() {
+                        promoted.extend(self.try_fire(m));
+                    }
+                }
+            }
+            promoted.extend(self.promote(q));
+        }
+        promoted
+    }
+
+    /// Gating number diagnostic: how many gating groups must fire before this
+    /// query can be scheduled (ancestors of its group in the precedence DAG,
+    /// plus groups earlier in its own job). Used by tests and reports.
+    pub fn gating_number(&self, q: QueryId) -> usize {
+        let Some(e) = self.queries.get(&q) else {
+            return 0;
+        };
+        let job = &self.jobs[&e.job];
+        let mut blocking: HashSet<GroupId> = HashSet::new();
+        for pq in &job.queries[job.first_pending..] {
+            let pe = &self.queries[&pq.id];
+            if pe.index >= e.index {
+                break;
+            }
+            if let Some(g) = pe.group {
+                blocking.insert(g);
+            }
+        }
+        // Expand to DAG ancestors of the query's own group.
+        if let Some(g) = e.group {
+            let mut frontier = vec![g];
+            let mut seen = HashSet::new();
+            while let Some(cur) = frontier.pop() {
+                for job in self.jobs.values() {
+                    let mut prev: Option<GroupId> = None;
+                    for pq in &job.queries[job.first_pending..] {
+                        if let Some(pe) = self.queries.get(&pq.id) {
+                            if let Some(pg) = pe.group {
+                                if Some(pg) != prev {
+                                    if let Some(p) = prev {
+                                        if pg == cur && p != cur && seen.insert(p) {
+                                            blocking.insert(p);
+                                            frontier.push(p);
+                                        }
+                                    }
+                                }
+                                prev = Some(pg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        blocking.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaws_morton::MortonKey;
+    use jaws_workload::{Footprint, QueryOp};
+
+    /// Builds a query with id `id` touching region `r` at timestep `ts`.
+    fn q(id: u64, ts: u32, r: u64) -> Query {
+        Query {
+            id,
+            user: 0,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            footprint: Footprint::from_pairs([(MortonKey(r), 10u32)]),
+        }
+    }
+
+    /// Ordered job from (timestep, region) specs with query ids
+    /// `base*100 + i`.
+    fn job(base: u64, spec: &[(u32, u64)]) -> Job {
+        Job {
+            id: base,
+            user: base as u32,
+            kind: JobKind::Ordered,
+            campaign: base,
+            queries: spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(ts, r))| q(base * 100 + i as u64, ts, r))
+                .collect(),
+            arrival_ms: 0.0,
+            think_ms: 0.0,
+        }
+    }
+
+    fn graph() -> GatingGraph {
+        GatingGraph::new(GatingConfig::default())
+    }
+
+    #[test]
+    fn ungated_query_queues_immediately_on_availability() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 2)]));
+        assert_eq!(g.state(100), QueryState::Wait);
+        let fired = g.query_available(100, 0.0);
+        assert_eq!(fired, vec![100]);
+        assert_eq!(g.state(100), QueryState::Queue);
+        assert_eq!(g.state(101), QueryState::Wait);
+    }
+
+    #[test]
+    fn aligned_jobs_get_gating_edges() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3), (2, 4)]));
+        let admitted = g.add_job(&job(2, &[(0, 1), (1, 3), (2, 4)]));
+        assert_eq!(admitted, 3);
+        assert_eq!(g.admitted_edges(), 3);
+        // Queries sharing R1 are co-grouped.
+        let members = g.group_members(100).expect("gated");
+        assert!(members.contains(&100) && members.contains(&200));
+    }
+
+    #[test]
+    fn gated_queries_fire_together() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3)]));
+        g.add_job(&job(2, &[(0, 1), (1, 3)]));
+        // First query of job 1 ready: partner not ready yet, so it holds.
+        let fired = g.query_available(100, 0.0);
+        assert!(fired.is_empty(), "waits for its gating partner");
+        assert_eq!(g.state(100), QueryState::Ready);
+        // Partner arrives: both fire together (co-scheduling on R1).
+        let mut fired = g.query_available(200, 1.0);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![100, 200]);
+        assert_eq!(g.state(100), QueryState::Queue);
+        assert_eq!(g.state(200), QueryState::Queue);
+    }
+
+    #[test]
+    fn fig2_three_job_coscheduling() {
+        // The paper's Fig. 2: J1 = R1 R3 R4, J2 = R2 R3 R4, J3 = R1 R3(R4…).
+        // JAWS delays J2/J3 so R3 and R4 are each read once.
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3), (2, 4)]));
+        g.add_job(&job(2, &[(0, 2), (1, 3), (2, 4)]));
+        g.add_job(&job(3, &[(0, 1), (1, 3), (2, 4)]));
+        // R1 gating: jobs 1 and 3 (first queries). Job 2's R2 is ungated.
+        let f1 = g.query_available(100, 0.0);
+        assert!(f1.is_empty());
+        let f2 = g.query_available(200, 0.0);
+        assert_eq!(f2, vec![200], "R2 has no partner: runs immediately");
+        let mut f3 = g.query_available(300, 0.0);
+        f3.sort_unstable();
+        assert_eq!(f3, vec![100, 300], "R1 pair fires together");
+        // Complete the first wave; the R3 group is j1q2 + j2q2 + j3q2.
+        g.query_done(200);
+        g.query_done(100);
+        g.query_done(300);
+        let m = g.group_members(101).expect("R3 gated across all three jobs");
+        assert_eq!(m.len(), 3, "transitivity merged all three R3 queries");
+        // R3 queries become available one by one; only the last arrival fires
+        // the whole group.
+        assert!(g.query_available(101, 1.0).is_empty());
+        assert!(g.query_available(201, 1.0).is_empty());
+        let mut f = g.query_available(301, 1.0);
+        f.sort_unstable();
+        assert_eq!(f, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn crossing_alignments_cannot_deadlock() {
+        // J1 visits A then B; J2 visits B then A. Gating both pairs would
+        // deadlock (each waits for the other's later query). The NW alignment
+        // itself is monotone, so at most one pair aligns — and the DAG check
+        // guards the transitive case.
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 2)]));
+        g.add_job(&job(2, &[(1, 2), (0, 1)]));
+        assert!(g.admitted_edges() <= 1);
+        // Whatever was admitted, the schedule must complete:
+        let mut done = 0;
+        let mut available: Vec<QueryId> = vec![100, 200];
+        for &q in &available {
+            g.query_available(q, 0.0);
+        }
+        // Drive to completion, force-releasing if a gate would stall us.
+        let mut now = 0.0;
+        let mut next: Vec<QueryId> = vec![101, 201];
+        for _ in 0..10 {
+            let queued: Vec<QueryId> = [100, 101, 200, 201]
+                .iter()
+                .copied()
+                .filter(|&q| g.state(q) == QueryState::Queue)
+                .collect();
+            if queued.is_empty() {
+                now += 100_000.0;
+                g.release_stale(now);
+                continue;
+            }
+            for q in queued {
+                g.query_done(q);
+                done += 1;
+                if q == 100 && !available.contains(&101) {
+                    available.push(101);
+                    g.query_available(101, now);
+                    next.retain(|&x| x != 101);
+                }
+                if q == 200 && !available.contains(&201) {
+                    available.push(201);
+                    g.query_available(201, now);
+                    next.retain(|&x| x != 201);
+                }
+            }
+            if done == 4 {
+                break;
+            }
+        }
+        assert_eq!(done, 4, "schedule completed without deadlock");
+    }
+
+    #[test]
+    fn one_gating_partner_per_job_pair() {
+        // A group never holds two queries of one job.
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 1)])); // same region twice
+        g.add_job(&job(2, &[(0, 1), (1, 1)]));
+        for qid in [100u64, 101, 200, 201] {
+            if let Some(members) = g.group_members(qid) {
+                let mut jobs: Vec<u64> =
+                    members.iter().map(|m| m / 100).collect();
+                jobs.sort_unstable();
+                jobs.dedup();
+                assert_eq!(jobs.len(), members.len(), "duplicate job in group");
+            }
+        }
+    }
+
+    #[test]
+    fn completed_partner_does_not_block() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3)]));
+        g.add_job(&job(2, &[(0, 1), (1, 3)]));
+        g.query_available(100, 0.0);
+        g.query_available(200, 0.0);
+        g.query_done(100);
+        g.query_done(200);
+        // Both R3 queries gated; complete job 1's side first.
+        g.query_available(101, 1.0);
+        let f = g.query_available(201, 2.0);
+        assert_eq!(f.len(), 2);
+        g.query_done(101);
+        // Job 2's query now alone in a dissolved group; still completes.
+        g.query_done(201);
+        assert_eq!(g.state(201), QueryState::Done);
+    }
+
+    #[test]
+    fn stale_gates_are_released() {
+        let mut g = GatingGraph::new(GatingConfig {
+            gate_timeout_ms: 1_000.0,
+            max_align_jobs: 64,
+        });
+        g.add_job(&job(1, &[(0, 1), (1, 3)]));
+        g.add_job(&job(2, &[(0, 1), (1, 3)]));
+        g.query_available(100, 0.0);
+        assert_eq!(g.state(100), QueryState::Ready);
+        // Partner never arrives; the valve opens after the timeout.
+        assert!(g.release_stale(500.0).is_empty(), "not stale yet");
+        let released = g.release_stale(2_000.0);
+        assert_eq!(released, vec![100]);
+        assert_eq!(g.state(100), QueryState::Queue);
+        assert_eq!(g.forced_releases(), 1);
+        // The abandoned partner is no longer gated either.
+        let f = g.query_available(200, 3_000.0);
+        assert_eq!(f, vec![200], "dissolved group does not hold the partner");
+    }
+
+    #[test]
+    fn group_pruning_on_done_unblocks_survivors() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1)]));
+        // Single-query jobs never gate (len < 2): no group.
+        assert!(g.group_members(100).is_none());
+    }
+
+    #[test]
+    fn batched_jobs_never_gate() {
+        let mut g = graph();
+        let mut b = job(1, &[(0, 1), (0, 1), (0, 1)]);
+        b.kind = JobKind::Batched;
+        assert_eq!(g.add_job(&b), 0);
+        let mut b2 = job(2, &[(0, 1), (0, 1)]);
+        b2.kind = JobKind::Batched;
+        assert_eq!(g.add_job(&b2), 0);
+        assert_eq!(g.admitted_edges(), 0);
+    }
+
+    #[test]
+    fn gating_numbers_count_upstream_groups() {
+        // Mirror of Fig. 3: J1 = R1 R3 R4 aligned with J2 = R1 R2 R3 R4.
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3), (2, 4)]));
+        g.add_job(&job(2, &[(0, 1), (3, 2), (1, 3), (2, 4)]));
+        // j1's R4 query (102) is gated and has two prior groups (R1, R3) on
+        // its path.
+        assert_eq!(g.gating_number(100), 0, "first gated query");
+        assert!(g.gating_number(101) >= 1);
+        assert!(g.gating_number(102) >= 2);
+    }
+
+    #[test]
+    fn late_arriving_job_aligns_against_remaining_suffix_only() {
+        let mut g = graph();
+        g.add_job(&job(1, &[(0, 1), (1, 3), (2, 4)]));
+        // Job 1 completes its first query before job 2 arrives.
+        g.query_available(100, 0.0);
+        g.query_done(100);
+        g.add_job(&job(2, &[(0, 1), (1, 3), (2, 4)]));
+        // R1 cannot gate anymore (done); R3/R4 can.
+        assert!(g.group_members(200).is_none(), "R1 edge skipped");
+        assert!(g.group_members(201).is_some(), "R3 edge admitted");
+        assert!(g.group_members(202).is_some(), "R4 edge admitted");
+    }
+
+    #[test]
+    fn many_random_jobs_never_deadlock() {
+        // Property-style stress: random jobs over few regions; drive every
+        // query through availability in job order; with periodic stale
+        // release the graph must drain completely.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for round in 0..20 {
+            let mut g = GatingGraph::new(GatingConfig {
+                gate_timeout_ms: 10.0,
+                max_align_jobs: 64,
+            });
+            let mut jobs = Vec::new();
+            for jid in 1..=6u64 {
+                let len = rng.gen_range(1..6);
+                let spec: Vec<(u32, u64)> = (0..len)
+                    .map(|i| (i as u32, rng.gen_range(0..4)))
+                    .collect();
+                let j = job(jid, &spec);
+                g.add_job(&j);
+                jobs.push(j);
+            }
+            let mut cursor: HashMap<u64, usize> =
+                jobs.iter().map(|j| (j.id, 0usize)).collect();
+            for j in &jobs {
+                g.query_available(j.queries[0].id, 0.0);
+            }
+            let mut now = 0.0;
+            let mut remaining: usize = jobs.iter().map(|j| j.queries.len()).sum();
+            let mut guard = 0;
+            while remaining > 0 {
+                guard += 1;
+                assert!(guard < 10_000, "round {round}: stuck with {remaining} left");
+                let queued: Vec<(u64, QueryId)> = jobs
+                    .iter()
+                    .flat_map(|j| j.queries.iter().map(move |q| (j.id, q.id)))
+                    .filter(|&(_, q)| g.state(q) == QueryState::Queue)
+                    .collect();
+                if queued.is_empty() {
+                    now += 100.0;
+                    g.release_stale(now);
+                    continue;
+                }
+                for (jid, qid) in queued {
+                    g.query_done(qid);
+                    remaining -= 1;
+                    let c = cursor.get_mut(&jid).unwrap();
+                    *c += 1;
+                    let j = jobs.iter().find(|j| j.id == jid).unwrap();
+                    if *c < j.queries.len() {
+                        g.query_available(j.queries[*c].id, now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl GatingGraph {
+    /// Renders the current precedence/gating graph in Graphviz DOT format:
+    /// solid arrows are precedence edges within a job, dashed undirected
+    /// edges connect gating-group members, and node fill encodes the
+    /// WAIT/READY/QUEUE/DONE state. Intended for debugging schedules — pipe
+    /// into `dot -Tsvg`.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph jaws_gating {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n");
+        // Precedence chains per job (drawn as directed-looking edges).
+        let mut job_ids: Vec<&JobId> = self.jobs.keys().collect();
+        job_ids.sort_unstable();
+        for jid in job_ids {
+            let job = &self.jobs[jid];
+            let _ = writeln!(out, "  subgraph cluster_job_{jid} {{ label=\"job {jid}\";");
+            for q in &job.queries {
+                if let Some(e) = self.queries.get(&q.id) {
+                    let fill = match e.state {
+                        QueryState::Wait => "white",
+                        QueryState::Ready => "lightyellow",
+                        QueryState::Queue => "lightblue",
+                        QueryState::Done => "lightgray",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    q{} [style=filled fillcolor={fill} label=\"{}\\n{:?}\"];",
+                        q.id, q.id, e.state
+                    );
+                }
+            }
+            for w in job.queries.windows(2) {
+                let _ = writeln!(out, "    q{} -- q{} [dir=forward];", w[0].id, w[1].id);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        // Gating groups as dashed cliques (draw the path through the group).
+        let mut group_ids: Vec<&GroupId> = self.groups.keys().collect();
+        group_ids.sort_unstable();
+        for g in group_ids {
+            let members = &self.groups[g];
+            for w in members.windows(2) {
+                let _ = writeln!(
+                    out,
+                    "  q{} -- q{} [style=dashed color=red constraint=false];",
+                    w[0], w[1]
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use jaws_morton::MortonKey;
+    use jaws_workload::{Footprint, QueryOp};
+
+    #[test]
+    fn dot_export_lists_every_query_and_gate() {
+        let q = |id: u64, ts: u32, r: u64| Query {
+            id,
+            user: 0,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            footprint: Footprint::from_pairs([(MortonKey(r), 10u32)]),
+        };
+        let job = |jid: u64, base: u64| Job {
+            id: jid,
+            user: jid as u32,
+            kind: JobKind::Ordered,
+            campaign: jid,
+            queries: vec![q(base, 0, 1), q(base + 1, 1, 3)],
+            arrival_ms: 0.0,
+            think_ms: 0.0,
+        };
+        let mut g = GatingGraph::new(GatingConfig::default());
+        g.add_job(&job(1, 100));
+        g.add_job(&job(2, 200));
+        g.query_available(100, 0.0);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph jaws_gating"));
+        for qid in [100, 101, 200, 201] {
+            assert!(dot.contains(&format!("q{qid} [")), "missing node q{qid}");
+        }
+        assert!(dot.contains("style=dashed"), "missing gating edges");
+        assert!(dot.contains("Ready"), "state rendering missing");
+        assert!(dot.ends_with("}\n"));
+    }
+}

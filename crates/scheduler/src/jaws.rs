@@ -1,0 +1,442 @@
+//! JAWS: the Job-Aware Workload Scheduler (§IV–V).
+//!
+//! On top of LifeRaft's contention-ordered workload queues, JAWS adds:
+//!
+//! * **Two-level scheduling** (§V): first pick the timestep with the highest
+//!   mean aged workload-throughput metric, then schedule up to `k` of that
+//!   timestep's atoms whose metric exceeds the timestep mean, executing them
+//!   in Morton order — one pass that exploits locality of reference and
+//!   sequential disk layout.
+//! * **Adaptive starvation resistance** (§V-A): the age bias α is tuned
+//!   incrementally per run of `r` queries by an [`AlphaController`].
+//! * **Job-aware gated execution** (§IV): queries of aligned ordered jobs are
+//!   held until their gating partners are ready, then released together so
+//!   shared atoms are read once. Disable `job_aware` to get the paper's
+//!   JAWS₁ ablation; enable it for the full JAWS₂.
+
+use crate::adaptive::AlphaController;
+use crate::batch::{preprocess, Batch};
+use crate::gating::{GatingConfig, GatingGraph};
+use crate::policy::{Residency, Scheduler, SchedulerStats};
+use crate::queues::{MetricParams, UtilitySnapshot, WorkloadManager};
+use jaws_workload::{Job, Query, QueryId};
+use std::collections::HashMap;
+
+/// JAWS configuration.
+#[derive(Debug, Clone)]
+pub struct JawsConfig {
+    /// Eq. 1 cost constants.
+    pub params: MetricParams,
+    /// Batch size `k`: maximum atoms co-scheduled per timestep pass (the
+    /// paper sets 15; Fig. 12 sweeps it).
+    pub batch_k: usize,
+    /// Initial age bias α (the paper initializes 0.5).
+    pub alpha0: f64,
+    /// If false, α stays fixed at `alpha0` (ablation of §V-A).
+    pub adaptive_alpha: bool,
+    /// Run length `r` in queries, for α adaptation and cache run boundaries.
+    pub run_len: usize,
+    /// If true, ordered jobs are aligned and gated (JAWS₂); if false the
+    /// scheduler is the paper's JAWS₁.
+    pub job_aware: bool,
+    /// Gating knobs (timeout valve, alignment fan-in).
+    pub gating: GatingConfig,
+}
+
+impl JawsConfig {
+    /// The paper's full configuration: k = 15, α₀ = 0.5, adaptive, job-aware.
+    pub fn jaws2(params: MetricParams) -> Self {
+        JawsConfig {
+            params,
+            batch_k: 15,
+            alpha0: 0.5,
+            adaptive_alpha: true,
+            run_len: 50,
+            job_aware: true,
+            gating: GatingConfig::default(),
+        }
+    }
+
+    /// JAWS₁: two-level scheduling and adaptive α without job-awareness.
+    pub fn jaws1(params: MetricParams) -> Self {
+        JawsConfig {
+            job_aware: false,
+            ..Self::jaws2(params)
+        }
+    }
+}
+
+/// The JAWS scheduler.
+pub struct Jaws {
+    cfg: JawsConfig,
+    wm: WorkloadManager,
+    gating: GatingGraph,
+    alpha_ctl: AlphaController,
+    /// Queries available but held by gating, by id, awaiting release.
+    held: HashMap<QueryId, Query>,
+    run_boundary: bool,
+    stats: SchedulerStats,
+}
+
+impl Jaws {
+    /// Creates a JAWS scheduler.
+    pub fn new(cfg: JawsConfig) -> Self {
+        assert!(cfg.batch_k >= 1, "batch size k must be at least 1");
+        assert!((0.0..=1.0).contains(&cfg.alpha0));
+        Jaws {
+            wm: WorkloadManager::new(cfg.params),
+            gating: GatingGraph::new(cfg.gating),
+            alpha_ctl: AlphaController::new(cfg.alpha0, cfg.run_len),
+            held: HashMap::new(),
+            run_boundary: false,
+            stats: SchedulerStats::default(),
+            cfg,
+        }
+    }
+
+    /// The gating graph (diagnostics: admitted edges, forced releases).
+    pub fn gating(&self) -> &GatingGraph {
+        &self.gating
+    }
+
+    /// The α adaptation history.
+    pub fn alpha_history(&self) -> &[(f64, crate::adaptive::RunFeedback)] {
+        self.alpha_ctl.history()
+    }
+
+    fn enqueue_query(&mut self, query: &Query, now_ms: f64) {
+        self.wm.enqueue(preprocess(query, now_ms));
+    }
+
+    fn release(&mut self, fired: Vec<QueryId>, now_ms: f64) {
+        for qid in fired {
+            if let Some(q) = self.held.remove(&qid) {
+                self.enqueue_query(&q, now_ms);
+            }
+        }
+    }
+}
+
+impl Scheduler for Jaws {
+    fn name(&self) -> &'static str {
+        if self.cfg.job_aware {
+            "JAWS_2"
+        } else {
+            "JAWS_1"
+        }
+    }
+
+    fn job_declared(&mut self, job: &Job, _now_ms: f64) {
+        if self.cfg.job_aware {
+            self.gating.add_job(job);
+        }
+    }
+
+    fn query_available(&mut self, query: &Query, now_ms: f64) {
+        if self.cfg.job_aware {
+            self.held.insert(query.id, query.clone());
+            let fired = self.gating.query_available(query.id, now_ms);
+            self.release(fired, now_ms);
+        } else {
+            self.enqueue_query(query, now_ms);
+        }
+    }
+
+    fn next_batch(&mut self, now_ms: f64, residency: &dyn Residency) -> Option<Batch> {
+        if self.cfg.job_aware {
+            // Starvation valve: break gates that out-waited their budget.
+            let released = self.gating.release_stale(now_ms);
+            if !released.is_empty() {
+                self.stats.forced_releases += released.len() as u64;
+                self.release(released, now_ms);
+            }
+        }
+        if self.wm.is_empty() {
+            return None;
+        }
+        let alpha = self.alpha();
+        let utilities = self.wm.aged_utilities(now_ms, alpha, residency);
+        // Coarse level: the timestep with the highest mean aged utility,
+        // where the mean runs over *all* atoms of the timestep (§V) — i.e.
+        // the densest pending timestep wins.
+        let mut ts_sum: HashMap<u32, f64> = HashMap::new();
+        for &(atom, u) in &utilities {
+            *ts_sum.entry(atom.timestep).or_insert(0.0) += u;
+        }
+        let (best_ts, sum) = ts_sum
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
+        let ts_mean = sum / self.cfg.params.atoms_per_timestep.max(1) as f64;
+        // Fine level: up to k atoms of that timestep with utility above the
+        // (all-atoms) mean, best first; always at least the maximum. The
+        // threshold only bites for very large k, which is why "the impact
+        // beyond 50 is marginal" (Fig. 12).
+        let mut in_ts: Vec<(jaws_morton::AtomId, f64)> = utilities
+            .into_iter()
+            .filter(|(a, _)| a.timestep == best_ts)
+            .collect();
+        in_ts.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut selected: Vec<jaws_morton::AtomId> = in_ts
+            .iter()
+            .take(self.cfg.batch_k)
+            .filter(|&&(_, u)| u >= ts_mean)
+            .map(|&(a, _)| a)
+            .collect();
+        if selected.is_empty() {
+            selected.push(in_ts[0].0);
+        }
+        // Execute in Morton order: "the k atoms are sorted in Morton order
+        // and the corresponding sub-queries from each atom are evaluated in
+        // that order".
+        selected.sort_unstable();
+        let mut atoms = Vec::with_capacity(selected.len());
+        let mut completing = Vec::new();
+        for atom in selected {
+            let (group, done) = self.wm.take_atom(&atom);
+            self.stats.subqueries += group.subqueries.len() as u64;
+            atoms.push(group);
+            completing.extend(done);
+        }
+        self.stats.batches += 1;
+        self.stats.atom_groups += atoms.len() as u64;
+        Some(Batch {
+            atoms,
+            completing_queries: completing,
+        })
+    }
+
+    fn on_query_complete(&mut self, query: QueryId, response_ms: f64, now_ms: f64) {
+        if self.cfg.adaptive_alpha {
+            if self.alpha_ctl.on_query_complete(response_ms, now_ms) {
+                self.run_boundary = true;
+            }
+        } else {
+            // Fixed-α ablation still wants run boundaries for the cache.
+            if self.alpha_ctl.on_query_complete(0.0, now_ms) {
+                self.run_boundary = true;
+            }
+        }
+        if self.cfg.job_aware {
+            let fired = self.gating.query_done(query);
+            self.release(fired, now_ms);
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.wm.is_empty() || !self.held.is_empty()
+    }
+
+    fn take_run_boundary(&mut self) -> bool {
+        std::mem::take(&mut self.run_boundary)
+    }
+
+    fn alpha(&self) -> f64 {
+        if self.cfg.adaptive_alpha {
+            self.alpha_ctl.alpha()
+        } else {
+            self.cfg.alpha0
+        }
+    }
+
+    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
+        self.wm.utility_snapshot(residency)
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::FixedResidency;
+    use jaws_morton::{AtomId, MortonKey};
+    use jaws_workload::{Footprint, JobKind, QueryOp};
+
+    fn params() -> MetricParams {
+        MetricParams {
+            atom_read_ms: 100.0,
+            position_compute_ms: 1.0,
+            atoms_per_timestep: 64,
+        }
+    }
+
+    fn q(id: u64, ts: u32, atoms: &[(u64, u32)]) -> Query {
+        Query {
+            id,
+            user: 0,
+            op: QueryOp::Velocity,
+            timestep: ts,
+            footprint: Footprint::from_pairs(atoms.iter().map(|&(m, c)| (MortonKey(m), c))),
+        }
+    }
+
+    fn jaws1() -> Jaws {
+        Jaws::new(JawsConfig {
+            batch_k: 3,
+            ..JawsConfig::jaws1(params())
+        })
+    }
+
+    #[test]
+    fn two_level_selects_the_densest_timestep() {
+        let mut s = jaws1();
+        let none = FixedResidency::none();
+        // Timestep 0: two hot atoms. Timestep 5: one lukewarm atom.
+        s.query_available(&q(1, 0, &[(0, 300), (1, 300)]), 0.0);
+        s.query_available(&q(2, 5, &[(0, 50)]), 0.0);
+        let b = s.next_batch(1.0, &none).unwrap();
+        assert!(b.atoms.iter().all(|a| a.atom.timestep == 0));
+        assert_eq!(b.atom_count(), 2, "both hot atoms in one pass");
+    }
+
+    #[test]
+    fn batch_respects_k_and_morton_order() {
+        let mut s = Jaws::new(JawsConfig {
+            batch_k: 2,
+            ..JawsConfig::jaws1(params())
+        });
+        let none = FixedResidency::none();
+        s.query_available(&q(1, 0, &[(9, 100), (2, 100), (5, 100), (7, 100)]), 0.0);
+        let b = s.next_batch(1.0, &none).unwrap();
+        assert_eq!(b.atom_count(), 2, "capped at k");
+        let order: Vec<u64> = b.atoms.iter().map(|a| a.atom.morton.raw()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "Morton execution order");
+    }
+
+    #[test]
+    fn above_mean_filter_excludes_cold_atoms() {
+        // A tiny 4-atom timestep makes the all-atoms mean discriminating.
+        let mut s = Jaws::new(JawsConfig {
+            batch_k: 10,
+            ..JawsConfig::jaws1(MetricParams {
+                atoms_per_timestep: 4,
+                ..params()
+            })
+        });
+        let none = FixedResidency::none();
+        // One very hot atom and three tiny ones in the same timestep.
+        s.query_available(&q(1, 0, &[(0, 1000)]), 0.0);
+        s.query_available(&q(2, 0, &[(1, 1), (2, 1), (3, 1)]), 0.0);
+        let b = s.next_batch(1.0, &none).unwrap();
+        assert!(
+            b.atom_count() < 4,
+            "cold atoms below the timestep mean are left for later"
+        );
+        assert_eq!(b.atoms[0].atom, AtomId::new(0, MortonKey(0)));
+    }
+
+    #[test]
+    fn completions_are_reported_once_per_query() {
+        let mut s = jaws1();
+        let none = FixedResidency::none();
+        s.query_available(&q(1, 0, &[(0, 10), (1, 10)]), 0.0);
+        let b = s.next_batch(1.0, &none).unwrap();
+        assert_eq!(b.completing_queries, vec![1]);
+        assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn jaws2_holds_gated_queries_until_partners_arrive() {
+        let mut s = Jaws::new(JawsConfig {
+            batch_k: 4,
+            ..JawsConfig::jaws2(params())
+        });
+        let none = FixedResidency::none();
+        let mk_job = |jid: u64, base: u64| Job {
+            id: jid,
+            user: jid as u32,
+            kind: JobKind::Ordered,
+            campaign: jid,
+            queries: vec![q(base, 0, &[(1, 50)]), q(base + 1, 1, &[(2, 50)])],
+            arrival_ms: 0.0,
+            think_ms: 0.0,
+        };
+        let j1 = mk_job(1, 100);
+        let j2 = mk_job(2, 200);
+        s.job_declared(&j1, 0.0);
+        s.job_declared(&j2, 0.0);
+        // Only job 1's first query is available: it is gated with job 2's.
+        s.query_available(&j1.queries[0], 0.0);
+        assert!(s.next_batch(1.0, &none).is_none(), "held by the gate");
+        assert!(s.has_pending(), "held queries still count as pending");
+        // Partner arrives: both release together and share the atom read.
+        s.query_available(&j2.queries[0], 2.0);
+        let b = s.next_batch(3.0, &none).unwrap();
+        assert_eq!(b.atom_count(), 1);
+        assert_eq!(b.positions(), 100, "both queries in one pass over atom 1");
+        assert_eq!(b.completing_queries.len(), 2);
+    }
+
+    #[test]
+    fn jaws2_gate_timeout_releases_held_queries() {
+        let mut s = Jaws::new(JawsConfig {
+            batch_k: 4,
+            gating: GatingConfig {
+                gate_timeout_ms: 1_000.0,
+                max_align_jobs: 64,
+            },
+            ..JawsConfig::jaws2(params())
+        });
+        let none = FixedResidency::none();
+        let mk_job = |jid: u64, base: u64| Job {
+            id: jid,
+            user: jid as u32,
+            kind: JobKind::Ordered,
+            campaign: jid,
+            queries: vec![q(base, 0, &[(1, 50)]), q(base + 1, 1, &[(2, 50)])],
+            arrival_ms: 0.0,
+            think_ms: 0.0,
+        };
+        s.job_declared(&mk_job(1, 100), 0.0);
+        s.job_declared(&mk_job(2, 200), 0.0);
+        s.query_available(&mk_job(1, 100).queries[0], 0.0);
+        assert!(s.next_batch(1.0, &none).is_none());
+        // Partner never shows up; the valve opens.
+        let b = s.next_batch(5_000.0, &none).expect("force-released");
+        assert_eq!(b.positions(), 50);
+        assert!(s.stats().forced_releases >= 1);
+    }
+
+    #[test]
+    fn alpha_is_fixed_when_adaptation_is_off() {
+        let mut s = Jaws::new(JawsConfig {
+            adaptive_alpha: false,
+            alpha0: 0.3,
+            ..JawsConfig::jaws1(params())
+        });
+        for i in 0..500 {
+            s.on_query_complete(i, 100.0 + i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.alpha(), 0.3);
+    }
+
+    #[test]
+    fn run_boundaries_propagate() {
+        let mut s = Jaws::new(JawsConfig {
+            run_len: 2,
+            ..JawsConfig::jaws1(params())
+        });
+        s.on_query_complete(1, 10.0, 100.0);
+        assert!(!s.take_run_boundary());
+        s.on_query_complete(2, 10.0, 200.0);
+        assert!(s.take_run_boundary());
+        assert!(!s.take_run_boundary());
+    }
+
+    #[test]
+    fn empty_scheduler_yields_nothing() {
+        let mut s = jaws1();
+        assert!(s.next_batch(0.0, &FixedResidency::none()).is_none());
+        assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Jaws::new(JawsConfig::jaws2(params())).name(), "JAWS_2");
+        assert_eq!(Jaws::new(JawsConfig::jaws1(params())).name(), "JAWS_1");
+    }
+}

@@ -1,0 +1,108 @@
+//! The scheduler interface the execution engine drives.
+
+use crate::batch::Batch;
+use crate::queues::UtilitySnapshot;
+use jaws_morton::AtomId;
+use jaws_workload::{Job, Query, QueryId};
+use serde::Serialize;
+
+/// Residency information — φ of Eq. 1. Implemented by the execution engine
+/// over the database buffer pool.
+pub trait Residency {
+    /// True if the atom is currently cached in memory.
+    fn is_resident(&self, atom: &AtomId) -> bool;
+}
+
+/// Aggregate scheduler statistics for experiment reports.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SchedulerStats {
+    /// Batches produced.
+    pub batches: u64,
+    /// Atom groups scheduled (one atom read amortized per group).
+    pub atom_groups: u64,
+    /// Sub-queries dispatched.
+    pub subqueries: u64,
+    /// Queries released by a broken gate (starvation valve; JAWS only).
+    pub forced_releases: u64,
+}
+
+/// A query scheduler. The execution engine owns the clock and the job loop:
+///
+/// 1. [`Scheduler::job_declared`] when a job arrives (jobs are visible to the
+///    scheduler up front — §IV-A's job identification applied at admission);
+/// 2. [`Scheduler::query_available`] when a query is actually submitted (for
+///    ordered jobs: after its predecessor completed and the user's think time
+///    elapsed);
+/// 3. [`Scheduler::next_batch`] whenever the engine is idle;
+/// 4. [`Scheduler::on_query_complete`] when every sub-query of a query has
+///    been executed.
+pub trait Scheduler {
+    /// Scheduler name for reports (e.g. `"JAWS_2"`).
+    fn name(&self) -> &'static str;
+
+    /// Announces a job before any of its queries run. Job-aware schedulers
+    /// build gating structure here; others ignore it.
+    fn job_declared(&mut self, job: &Job, now_ms: f64);
+
+    /// Submits one query for scheduling (its precedence/think constraints are
+    /// already satisfied by the caller).
+    fn query_available(&mut self, query: &Query, now_ms: f64);
+
+    /// Produces the next batch, or `None` when nothing is schedulable right
+    /// now (which is not the same as empty: gated queries may be waiting on
+    /// partners).
+    fn next_batch(&mut self, now_ms: f64, residency: &dyn Residency) -> Option<Batch>;
+
+    /// Reports a query completion with its response time.
+    fn on_query_complete(&mut self, query: QueryId, response_ms: f64, now_ms: f64);
+
+    /// True if the scheduler holds any pending work (queued *or* gated).
+    fn has_pending(&self) -> bool;
+
+    /// Crosses a run boundary if the scheduler's run counter says so; returns
+    /// true when the cache should be notified (`end_run`, SLRU promotion) —
+    /// §V-A divides the workload into runs of `r` consecutive queries.
+    fn take_run_boundary(&mut self) -> bool;
+
+    /// Current age-bias α (fixed for LifeRaft, adaptive for JAWS).
+    fn alpha(&self) -> f64;
+
+    /// URC's ranking oracle: the current workload-queue utilities.
+    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> SchedulerStats;
+}
+
+/// Test helpers shared across scheduler modules.
+#[cfg(test)]
+pub mod test_support {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// A residency set fixed by the test.
+    #[derive(Debug, Default)]
+    pub struct FixedResidency {
+        resident: HashSet<AtomId>,
+    }
+
+    impl FixedResidency {
+        /// Nothing resident.
+        pub fn none() -> Self {
+            Self::default()
+        }
+
+        /// The given atoms resident.
+        pub fn of(atoms: impl IntoIterator<Item = AtomId>) -> Self {
+            FixedResidency {
+                resident: atoms.into_iter().collect(),
+            }
+        }
+    }
+
+    impl Residency for FixedResidency {
+        fn is_resident(&self, atom: &AtomId) -> bool {
+            self.resident.contains(atom)
+        }
+    }
+}

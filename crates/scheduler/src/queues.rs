@@ -1,0 +1,519 @@
+//! Per-atom workload queues and the workload-throughput metrics.
+//!
+//! "A workload Wⱼⁱ represents the set of positions from Qᵢ that are contained
+//! within Aⱼ and the workload queue for an atom Aⱼ consists of the union of
+//! Wⱼ¹, Wⱼ², …" (§III-C). The [`WorkloadManager`] owns these queues and
+//! computes:
+//!
+//! * **Eq. 1** — workload throughput
+//!   `U_t(i) = ΣW / (T_b·φ(i) + T_m·ΣW)`, where φ(i) is 0 when the atom is
+//!   cached and 1 otherwise;
+//! * **Eq. 2** — the aged metric `U_e(i) = U_t(i)·(1−α) + E(i)·α`. The paper
+//!   combines a throughput (positions/ms) with an age (ms) directly, leaving
+//!   the trade-off scale to the tuning of α; to keep α ∈ \[0, 1\]
+//!   interpretable across cost models we normalize each term by its current
+//!   maximum over all pending atoms before blending (documented deviation —
+//!   DESIGN.md).
+//!
+//! The manager also produces the [`UtilitySnapshot`] that URC (the
+//! workload-aware cache policy of §V-B) consumes as its ranking oracle.
+
+use crate::batch::{AtomBatch, SubQuery};
+use crate::policy::Residency;
+use jaws_cache::{UtilityOracle, UtilityRank};
+use jaws_morton::AtomId;
+use jaws_workload::QueryId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The cost constants of Eq. 1 plus the geometry the per-timestep mean is
+/// taken over.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetricParams {
+    /// T_b: estimated time to read one atom from disk, ms.
+    pub atom_read_ms: f64,
+    /// T_m: estimated computation cost per position, ms.
+    pub position_compute_ms: f64,
+    /// Atoms per timestep (4096 in production). §V computes the coarse-level
+    /// selection "based on the mean workload throughput metric computed over
+    /// all atoms in a time step" — including the workload-free ones — so the
+    /// mean needs the full atom count, not just the pending atoms.
+    pub atoms_per_timestep: u64,
+}
+
+impl MetricParams {
+    /// Matches `CostModel::paper_testbed()` and the production 16³ atom grid.
+    pub fn paper_testbed() -> Self {
+        MetricParams {
+            atom_read_ms: 80.0,
+            position_compute_ms: 0.05,
+            atoms_per_timestep: 4096,
+        }
+    }
+}
+
+/// One atom's workload queue.
+#[derive(Debug, Default, Clone)]
+struct AtomQueue {
+    subs: Vec<SubQuery>,
+    /// Cached ΣW (total positions) — the numerator of Eq. 1.
+    positions: u64,
+    /// Enqueue time of the oldest sub-query, ms.
+    oldest_ms: f64,
+}
+
+/// The workload manager: per-atom queues plus per-query bookkeeping.
+#[derive(Debug)]
+pub struct WorkloadManager {
+    params: MetricParams,
+    queues: HashMap<AtomId, AtomQueue>,
+    /// Remaining sub-query count per query (for completion detection).
+    pending_subs: HashMap<QueryId, usize>,
+    total_subs: usize,
+}
+
+impl WorkloadManager {
+    /// Creates an empty manager.
+    pub fn new(params: MetricParams) -> Self {
+        WorkloadManager {
+            params,
+            queues: HashMap::new(),
+            pending_subs: HashMap::new(),
+            total_subs: 0,
+        }
+    }
+
+    /// Cost constants in use.
+    pub fn params(&self) -> MetricParams {
+        self.params
+    }
+
+    /// Adds sub-queries to their atoms' queues.
+    pub fn enqueue(&mut self, subs: impl IntoIterator<Item = SubQuery>) {
+        for s in subs {
+            debug_assert!(s.positions > 0, "empty sub-query");
+            let q = self.queues.entry(s.atom).or_insert_with(|| AtomQueue {
+                subs: Vec::new(),
+                positions: 0,
+                oldest_ms: s.enqueued_ms,
+            });
+            q.oldest_ms = q.oldest_ms.min(s.enqueued_ms);
+            q.positions += s.positions as u64;
+            q.subs.push(s);
+            *self.pending_subs.entry(s.query).or_insert(0) += 1;
+            self.total_subs += 1;
+        }
+    }
+
+    /// True if no sub-queries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.total_subs == 0
+    }
+
+    /// Number of pending sub-queries.
+    pub fn pending_subqueries(&self) -> usize {
+        self.total_subs
+    }
+
+    /// Number of atoms with non-empty queues.
+    pub fn pending_atoms(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pending positions on one atom (ΣW of Eq. 1), zero if queue-less.
+    pub fn atom_positions(&self, atom: &AtomId) -> u64 {
+        self.queues.get(atom).map_or(0, |q| q.positions)
+    }
+
+    /// Eq. 1 for one atom. `resident` is φ(i) = 0 (cached) / 1 (on disk).
+    pub fn workload_throughput(&self, atom: &AtomId, resident: bool) -> f64 {
+        let Some(q) = self.queues.get(atom) else {
+            return 0.0;
+        };
+        let w = q.positions as f64;
+        let phi = if resident { 0.0 } else { 1.0 };
+        let denom = self.params.atom_read_ms * phi + self.params.position_compute_ms * w;
+        if denom <= 0.0 {
+            // Resident atom with zero compute cost: treat as infinitely cheap;
+            // rank it by raw workload so bigger queues still win.
+            return w * 1e9;
+        }
+        w / denom
+    }
+
+    /// Age E(i) of the oldest sub-query on one atom, ms.
+    pub fn age(&self, atom: &AtomId, now_ms: f64) -> f64 {
+        self.queues
+            .get(atom)
+            .map_or(0.0, |q| (now_ms - q.oldest_ms).max(0.0))
+    }
+
+    /// Eq. 2 over every pending atom: `(atom, U_e)` with both terms
+    /// max-normalized before blending. `alpha = 0` is pure contention order,
+    /// `alpha = 1` pure arrival (age) order.
+    pub fn aged_utilities(
+        &self,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        let raw: Vec<(AtomId, f64, f64)> = self
+            .queues
+            .keys()
+            .map(|&a| {
+                (
+                    a,
+                    self.workload_throughput(&a, residency.is_resident(&a)),
+                    self.age(&a, now_ms),
+                )
+            })
+            .collect();
+        let max_u = raw.iter().map(|&(_, u, _)| u).fold(0.0f64, f64::max);
+        let max_e = raw.iter().map(|&(_, _, e)| e).fold(0.0f64, f64::max);
+        raw.into_iter()
+            .map(|(a, u, e)| {
+                let un = if max_u > 0.0 { u / max_u } else { 0.0 };
+                let en = if max_e > 0.0 { e / max_e } else { 0.0 };
+                (a, un * (1.0 - alpha) + en * alpha)
+            })
+            .collect()
+    }
+
+    /// Mean workload throughput per timestep over *all* of that timestep's
+    /// atoms (workload-free atoms contribute zero) — the coarse level of
+    /// two-level scheduling (§V) and the cross-timestep eviction order of
+    /// URC. Because every timestep has the same atom count, this ranks
+    /// timesteps by total pending utility, which "tends to yield higher
+    /// workload density".
+    pub fn timestep_means(&self, residency: &dyn Residency) -> HashMap<u32, f64> {
+        let mut sum: HashMap<u32, f64> = HashMap::new();
+        for &a in self.queues.keys() {
+            let u = self.workload_throughput(&a, residency.is_resident(&a));
+            *sum.entry(a.timestep).or_insert(0.0) += u;
+        }
+        let n = self.params.atoms_per_timestep.max(1) as f64;
+        sum.into_iter().map(|(t, s)| (t, s / n)).collect()
+    }
+
+    /// Removes and returns the whole queue of one atom, plus the queries that
+    /// now have no pending sub-queries anywhere (they complete with this
+    /// batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom has no queue — schedulers must only take atoms they
+    /// observed as pending.
+    pub fn take_atom(&mut self, atom: &AtomId) -> (AtomBatch, Vec<QueryId>) {
+        let q = self
+            .queues
+            .remove(atom)
+            .unwrap_or_else(|| panic!("take_atom on empty queue {atom}"));
+        self.total_subs -= q.subs.len();
+        let mut completing = Vec::new();
+        for s in &q.subs {
+            let left = self
+                .pending_subs
+                .get_mut(&s.query)
+                .expect("sub-query of a tracked query");
+            *left -= 1;
+            if *left == 0 {
+                self.pending_subs.remove(&s.query);
+                completing.push(s.query);
+            }
+        }
+        (
+            AtomBatch {
+                atom: *atom,
+                subqueries: q.subs,
+            },
+            completing,
+        )
+    }
+
+    /// Pending atoms of one timestep.
+    pub fn atoms_in_timestep(&self, timestep: u32) -> Vec<AtomId> {
+        self.queues
+            .keys()
+            .filter(|a| a.timestep == timestep)
+            .copied()
+            .collect()
+    }
+
+    /// Builds the URC oracle snapshot: every pending atom's Eq. 1 value plus
+    /// its timestep's mean. Atoms without pending work rank
+    /// [`UtilityRank::ZERO`] and are evicted first.
+    pub fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
+        let means = self.timestep_means(residency);
+        let atoms = self
+            .queues
+            .keys()
+            .map(|&a| {
+                let u = self.workload_throughput(&a, residency.is_resident(&a));
+                (a, u)
+            })
+            .collect();
+        UtilitySnapshot { atoms, means }
+    }
+}
+
+/// A point-in-time ranking of pending atoms, consumed by the URC cache policy
+/// through the [`UtilityOracle`] interface.
+#[derive(Debug, Clone)]
+pub struct UtilitySnapshot {
+    atoms: HashMap<AtomId, f64>,
+    means: HashMap<u32, f64>,
+}
+
+impl UtilitySnapshot {
+    /// A snapshot with no pending workload: every atom ranks
+    /// [`UtilityRank::ZERO`], so URC degrades to plain LRU. Used by
+    /// schedulers that keep no workload queues (NoShare).
+    pub fn empty() -> Self {
+        UtilitySnapshot {
+            atoms: HashMap::new(),
+            means: HashMap::new(),
+        }
+    }
+}
+
+impl UtilityOracle<AtomId> for UtilitySnapshot {
+    fn rank(&self, key: &AtomId) -> UtilityRank {
+        match self.atoms.get(key) {
+            Some(&u) => UtilityRank {
+                timestep_mean: self.means.get(&key.timestep).copied().unwrap_or(0.0),
+                atom_utility: u,
+            },
+            None => UtilityRank::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::FixedResidency;
+    use jaws_morton::MortonKey;
+
+    fn sub(query: QueryId, t: u32, m: u64, positions: u32, at: f64) -> SubQuery {
+        SubQuery {
+            query,
+            atom: AtomId::new(t, MortonKey(m)),
+            positions,
+            enqueued_ms: at,
+        }
+    }
+
+    fn params() -> MetricParams {
+        MetricParams {
+            atom_read_ms: 100.0,
+            position_compute_ms: 1.0,
+            atoms_per_timestep: 64,
+        }
+    }
+
+    #[test]
+    fn eq1_favors_longer_queues() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 10, 0.0), sub(2, 0, 1, 100, 0.0)]);
+        let none = FixedResidency::none();
+        let a0 = AtomId::new(0, MortonKey(0));
+        let a1 = AtomId::new(0, MortonKey(1));
+        let u0 = wm.workload_throughput(&a0, none.is_resident(&a0));
+        let u1 = wm.workload_throughput(&a1, none.is_resident(&a1));
+        // 10/(100+10) vs 100/(100+100).
+        assert!((u0 - 10.0 / 110.0).abs() < 1e-12);
+        assert!((u1 - 0.5).abs() < 1e-12);
+        assert!(u1 > u0, "longer queue amortizes the read better");
+    }
+
+    #[test]
+    fn eq1_phi_zero_for_resident_atoms() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 10, 0.0)]);
+        let a0 = AtomId::new(0, MortonKey(0));
+        let u_disk = wm.workload_throughput(&a0, false);
+        let u_mem = wm.workload_throughput(&a0, true);
+        assert!((u_mem - 1.0).abs() < 1e-12, "pure compute: W/(T_m·W) = 1/T_m");
+        assert!(u_mem > u_disk, "cached atoms rank higher (Eq. 1 φ)");
+    }
+
+    #[test]
+    fn age_tracks_oldest_subquery() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 5, 100.0)]);
+        wm.enqueue([sub(2, 0, 0, 5, 900.0)]);
+        let a0 = AtomId::new(0, MortonKey(0));
+        assert_eq!(wm.age(&a0, 1000.0), 900.0, "oldest wins");
+        assert_eq!(wm.age(&AtomId::new(0, MortonKey(9)), 1000.0), 0.0);
+    }
+
+    #[test]
+    fn aged_metric_interpolates_between_contention_and_age() {
+        let mut wm = WorkloadManager::new(params());
+        // Atom 0: huge queue, fresh. Atom 1: tiny queue, ancient.
+        wm.enqueue([sub(1, 0, 0, 1000, 990.0), sub(2, 0, 1, 1, 0.0)]);
+        let none = FixedResidency::none();
+        let rank_of = |alpha: f64| {
+            let mut u = wm.aged_utilities(1000.0, alpha, &none);
+            u.sort_by(|a, b| b.1.total_cmp(&a.1));
+            u[0].0
+        };
+        assert_eq!(rank_of(0.0), AtomId::new(0, MortonKey(0)), "contention");
+        assert_eq!(rank_of(1.0), AtomId::new(0, MortonKey(1)), "arrival order");
+    }
+
+    #[test]
+    fn take_atom_reports_completions() {
+        let mut wm = WorkloadManager::new(params());
+        // Query 1 spans two atoms; query 2 one atom.
+        wm.enqueue([sub(1, 0, 0, 5, 0.0), sub(1, 0, 1, 5, 0.0), sub(2, 0, 0, 7, 0.0)]);
+        assert_eq!(wm.pending_subqueries(), 3);
+        let (batch, done) = wm.take_atom(&AtomId::new(0, MortonKey(0)));
+        assert_eq!(batch.subqueries.len(), 2);
+        assert_eq!(batch.positions(), 12);
+        assert_eq!(done, vec![2], "query 2 fully served; query 1 still pending");
+        let (_, done) = wm.take_atom(&AtomId::new(0, MortonKey(1)));
+        assert_eq!(done, vec![1]);
+        assert!(wm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "take_atom on empty queue")]
+    fn take_atom_requires_a_queue() {
+        let mut wm = WorkloadManager::new(params());
+        wm.take_atom(&AtomId::new(0, MortonKey(0)));
+    }
+
+    #[test]
+    fn timestep_means_aggregate_per_timestep() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([
+            sub(1, 0, 0, 100, 0.0),
+            sub(2, 0, 1, 100, 0.0),
+            sub(3, 5, 0, 10, 0.0),
+        ]);
+        let none = FixedResidency::none();
+        let means = wm.timestep_means(&none);
+        assert_eq!(means.len(), 2);
+        assert!(means[&0] > means[&5], "denser timestep has higher mean");
+    }
+
+    #[test]
+    fn utility_snapshot_feeds_urc() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 100, 0.0), sub(2, 3, 1, 5, 0.0)]);
+        let none = FixedResidency::none();
+        let snap = wm.utility_snapshot(&none);
+        let hot = snap.rank(&AtomId::new(0, MortonKey(0)));
+        let cold = snap.rank(&AtomId::new(3, MortonKey(1)));
+        let absent = snap.rank(&AtomId::new(7, MortonKey(7)));
+        assert!(hot.atom_utility > cold.atom_utility);
+        assert!(hot.timestep_mean > cold.timestep_mean);
+        assert_eq!(absent.atom_utility, 0.0);
+        // URC would evict `absent` first, then `cold`, then `hot`.
+        assert_eq!(
+            absent.cmp_for_eviction(&cold),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(cold.cmp_for_eviction(&hot), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn enqueue_merges_same_atom_across_queries() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 4, 10, 0.0)]);
+        wm.enqueue([sub(2, 0, 4, 20, 5.0)]);
+        assert_eq!(wm.pending_atoms(), 1);
+        assert_eq!(wm.atom_positions(&AtomId::new(0, MortonKey(4))), 30);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::batch::SubQuery;
+    use crate::policy::test_support::FixedResidency;
+    use jaws_morton::MortonKey;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation: every enqueued sub-query is returned by exactly one
+        /// take_atom, completions fire exactly once per query, and counters
+        /// never go negative.
+        #[test]
+        fn enqueue_take_conservation(
+            subs in proptest::collection::vec(
+                (1u64..20, 0u32..4, 0u64..16, 1u32..50), 1..120),
+        ) {
+            let mut wm = WorkloadManager::new(MetricParams::paper_testbed());
+            let mut expected_per_query: HashMap<QueryId, usize> = HashMap::new();
+            for (i, &(q, t, m, c)) in subs.iter().enumerate() {
+                wm.enqueue([SubQuery {
+                    query: q,
+                    atom: AtomId::new(t, MortonKey(m)),
+                    positions: c,
+                    enqueued_ms: i as f64,
+                }]);
+                *expected_per_query.entry(q).or_default() += 1;
+            }
+            prop_assert_eq!(wm.pending_subqueries(), subs.len());
+            let none = FixedResidency::none();
+            let mut taken = 0usize;
+            let mut completed: Vec<QueryId> = Vec::new();
+            while !wm.is_empty() {
+                let atoms = wm.aged_utilities(1e6, 0.3, &none);
+                prop_assert!(!atoms.is_empty());
+                let (atom, _) = atoms[0];
+                let (batch, done) = wm.take_atom(&atom);
+                prop_assert!(!batch.subqueries.is_empty());
+                taken += batch.subqueries.len();
+                completed.extend(done);
+            }
+            prop_assert_eq!(taken, subs.len());
+            completed.sort_unstable();
+            let mut expect: Vec<QueryId> = expected_per_query.keys().copied().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(completed, expect, "each query completes exactly once");
+        }
+
+        /// Eq. 1 monotonicity: more pending positions never lower the metric,
+        /// and residency never lowers it either.
+        #[test]
+        fn metric_monotonicity(w1 in 1u32..10_000, extra in 1u32..10_000) {
+            let params = MetricParams::paper_testbed();
+            let atom = AtomId::new(0, MortonKey(5));
+            let mut a = WorkloadManager::new(params);
+            a.enqueue([SubQuery { query: 1, atom, positions: w1, enqueued_ms: 0.0 }]);
+            let mut b = WorkloadManager::new(params);
+            b.enqueue([SubQuery { query: 1, atom, positions: w1 + extra, enqueued_ms: 0.0 }]);
+            prop_assert!(
+                b.workload_throughput(&atom, false) >= a.workload_throughput(&atom, false)
+            );
+            prop_assert!(
+                a.workload_throughput(&atom, true) >= a.workload_throughput(&atom, false)
+            );
+        }
+
+        /// Aged utilities stay within [0, 1] after normalization for any α.
+        #[test]
+        fn aged_utilities_are_normalized(
+            alpha in 0.0f64..=1.0,
+            subs in proptest::collection::vec((1u64..9, 0u32..3, 0u64..8, 1u32..100), 1..40),
+        ) {
+            let mut wm = WorkloadManager::new(MetricParams::paper_testbed());
+            for (i, &(q, t, m, c)) in subs.iter().enumerate() {
+                wm.enqueue([SubQuery {
+                    query: q,
+                    atom: AtomId::new(t, MortonKey(m)),
+                    positions: c,
+                    enqueued_ms: i as f64 * 10.0,
+                }]);
+            }
+            let none = FixedResidency::none();
+            for (_, u) in wm.aged_utilities(1e5, alpha, &none) {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utility {u}");
+            }
+        }
+    }
+}

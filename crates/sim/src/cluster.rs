@@ -1,0 +1,651 @@
+//! Multi-node cluster execution (§V-C, Fig. 7).
+//!
+//! "In the Turbulence cluster, data are partitioned spatially … and stored
+//! across different nodes, each running a separate JAWS instance. Incoming
+//! queries are first evaluated by the Query Pre-Processor … the positions are
+//! then assigned to the workload queues of the corresponding atoms."
+//!
+//! This module reproduces that deployment: the atom grid is split into `n`
+//! contiguous Morton slabs (contiguous in Morton order ⇒ compact in space),
+//! every node owns one slab across all timesteps and runs its own scheduler,
+//! buffer pool and simulated disk. A query fans out into per-node parts; it
+//! completes — and, for ordered jobs, unblocks its successor — only when
+//! every part has finished (the paper's "JAWS combines and buffers the
+//! sub-query results before delivering the final result to the user").
+//!
+//! One shared discrete-event clock drives all nodes, so cross-node barriers
+//! and job think-time loops stay exact.
+
+use crate::report::{Percentiles, RunReport};
+use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
+use jaws_cache::CacheStats;
+use jaws_morton::{AtomId, MortonKey};
+use jaws_scheduler::{MetricParams, Residency, Scheduler, SchedulerStats};
+use jaws_turbdb::{CostModel, DbConfig, DiskStats, TurbDb};
+use jaws_workload::{Footprint, JobKind, Query, QueryId, Trace};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes; the atom grid is split into this many Morton slabs.
+    /// Must divide the atoms per timestep.
+    pub nodes: u32,
+    /// Geometry of the *whole* database (each node stores one slab of it).
+    pub db: DbConfig,
+    /// Cost model per node.
+    pub cost: CostModel,
+    /// Scheduler run on every node.
+    pub scheduler: SchedulerKind,
+    /// Cache policy per node.
+    pub cache_policy: CachePolicyKind,
+    /// Buffer-pool capacity per node, in atoms.
+    pub cache_atoms_per_node: usize,
+    /// Run length `r`.
+    pub run_len: usize,
+    /// Gate timeout per node, ms.
+    pub gate_timeout_ms: f64,
+}
+
+/// Per-node measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: u32,
+    /// Sub-query parts executed.
+    pub parts_completed: u64,
+    /// Disk statistics.
+    pub disk: DiskStats,
+    /// Cache statistics.
+    pub cache: CacheStats,
+    /// Scheduler statistics.
+    pub scheduler: SchedulerStats,
+    /// Fraction of the makespan this node's pipeline was busy.
+    pub utilization: f64,
+}
+
+/// Cluster-level outcome: the aggregate [`RunReport`] plus per-node detail.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Aggregate measurements (throughput, response times, totals).
+    pub aggregate: RunReport,
+    /// Per-node breakdown.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl ClusterReport {
+    /// Load imbalance: max/mean node busy time (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .nodes
+            .iter()
+            .map(|n| n.utilization)
+            .fold(0.0f64, f64::max);
+        let mean = self.nodes.iter().map(|n| n.utilization).sum::<f64>()
+            / self.nodes.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+struct Node {
+    db: TurbDb,
+    scheduler: Box<dyn Scheduler>,
+    busy: bool,
+    busy_ms: f64,
+    parts_completed: u64,
+}
+
+struct NodeResidency<'a>(&'a TurbDb);
+
+impl Residency for NodeResidency<'_> {
+    fn is_resident(&self, atom: &AtomId) -> bool {
+        self.0.is_resident(atom)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    JobArrival(usize),
+    QuerySubmit(usize, usize),
+    /// A node finished a batch: (node, completed per-node part ids).
+    BatchDone(u32, Vec<QueryId>),
+    IdleCheck(u32),
+}
+
+#[derive(Debug, PartialEq)]
+struct Key(f64, u64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// The shared-clock multi-node executor.
+pub struct ClusterExecutor {
+    cfg: ClusterConfig,
+    nodes: Vec<Node>,
+    slab_size: u64,
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    events: HashMap<u64, Event>,
+    next_event: u64,
+    now_ms: f64,
+    idle_pending: Vec<bool>,
+}
+
+impl ClusterExecutor {
+    /// Builds a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` does not divide the atoms per timestep.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.db.validate();
+        let per_ts = cfg.db.atoms_per_timestep();
+        assert!(cfg.nodes >= 1, "need at least one node");
+        assert_eq!(
+            per_ts % cfg.nodes as u64,
+            0,
+            "nodes ({}) must divide atoms per timestep ({per_ts})",
+            cfg.nodes
+        );
+        let params = MetricParams {
+            atom_read_ms: cfg.cost.atom_read_ms,
+            position_compute_ms: cfg.cost.position_compute_ms,
+            atoms_per_timestep: per_ts / cfg.nodes as u64,
+        };
+        let nodes = (0..cfg.nodes)
+            .map(|_| Node {
+                // Every node opens the full geometry but only ever reads its
+                // slab; its cache and disk stats therefore reflect slab
+                // traffic only.
+                db: build_db(
+                    cfg.db,
+                    cfg.cost,
+                    jaws_turbdb::DataMode::Virtual,
+                    cfg.cache_atoms_per_node,
+                    cfg.cache_policy,
+                ),
+                scheduler: build_scheduler(
+                    cfg.scheduler,
+                    params,
+                    cfg.run_len,
+                    cfg.gate_timeout_ms,
+                ),
+                busy: false,
+                busy_ms: 0.0,
+                parts_completed: 0,
+            })
+            .collect();
+        let slab_size = per_ts / cfg.nodes as u64;
+        ClusterExecutor {
+            idle_pending: vec![false; cfg.nodes as usize],
+            cfg,
+            nodes,
+            slab_size,
+            heap: BinaryHeap::new(),
+            events: HashMap::new(),
+            next_event: 0,
+            now_ms: 0.0,
+        }
+    }
+
+    /// The node owning a Morton key: contiguous Morton slabs of equal size.
+    pub fn node_of(&self, m: MortonKey) -> u32 {
+        (m.raw() / self.slab_size) as u32
+    }
+
+    fn push(&mut self, at_ms: f64, ev: Event) {
+        let id = self.next_event;
+        self.next_event += 1;
+        self.events.insert(id, ev);
+        self.heap.push(Reverse((Key(at_ms, id), id)));
+    }
+
+    /// Splits a query into per-node part queries. Part ids pack the node into
+    /// the high bits so they stay unique across nodes.
+    fn split(&self, q: &Query) -> Vec<(u32, Query)> {
+        let mut per_node: HashMap<u32, Vec<(MortonKey, u32)>> = HashMap::new();
+        for &(m, c) in &q.footprint.atoms {
+            per_node.entry(self.node_of(m)).or_default().push((m, c));
+        }
+        per_node
+            .into_iter()
+            .map(|(node, atoms)| {
+                let part = Query {
+                    id: part_id(q.id, node),
+                    user: q.user,
+                    op: q.op,
+                    timestep: q.timestep,
+                    footprint: Footprint::from_pairs(atoms),
+                };
+                (node, part)
+            })
+            .collect()
+    }
+
+    /// Replays `trace` on the cluster.
+    pub fn run(&mut self, trace: &Trace) -> ClusterReport {
+        assert_eq!(
+            trace.atoms_per_side,
+            self.cfg.db.atoms_per_side(),
+            "trace grid mismatch"
+        );
+        let mut locate: HashMap<QueryId, (usize, usize)> = HashMap::new();
+        for (ji, job) in trace.jobs.iter().enumerate() {
+            for (qi, q) in job.queries.iter().enumerate() {
+                locate.insert(q.id, (ji, qi));
+            }
+        }
+        // Per-query barrier: outstanding part count.
+        let mut outstanding: HashMap<QueryId, u32> = HashMap::new();
+        let mut submit_ms: HashMap<QueryId, f64> = HashMap::new();
+        let mut responses: Vec<f64> = Vec::new();
+        let mut remaining_per_job: Vec<usize> =
+            trace.jobs.iter().map(|j| j.queries.len()).collect();
+        let mut jobs_completed = 0u64;
+        let first_arrival = trace.jobs.first().map_or(0.0, |j| j.arrival_ms);
+        let mut last_completion = first_arrival;
+
+        for (ji, job) in trace.jobs.iter().enumerate() {
+            self.push(job.arrival_ms, Event::JobArrival(ji));
+        }
+
+        while let Some(Reverse((Key(at, _), id))) = self.heap.pop() {
+            self.now_ms = self.now_ms.max(at);
+            let ev = self.events.remove(&id).expect("event payload");
+            match ev {
+                Event::JobArrival(ji) => {
+                    let job = &trace.jobs[ji];
+                    // Declare per-node part jobs to job-aware schedulers: the
+                    // slab projection preserves the precedence structure.
+                    for node in 0..self.cfg.nodes {
+                        let part_job = project_job(job, node, self);
+                        if !part_job.queries.is_empty() {
+                            self.nodes[node as usize]
+                                .scheduler
+                                .job_declared(&part_job, self.now_ms);
+                        }
+                    }
+                    match job.kind {
+                        JobKind::Batched => {
+                            for (qi, _) in job.queries.iter().enumerate() {
+                                self.push(
+                                    self.now_ms + qi as f64 * job.think_ms,
+                                    Event::QuerySubmit(ji, qi),
+                                );
+                            }
+                        }
+                        JobKind::Ordered => {
+                            self.push(self.now_ms, Event::QuerySubmit(ji, 0));
+                        }
+                    }
+                }
+                Event::QuerySubmit(ji, qi) => {
+                    let q = &trace.jobs[ji].queries[qi];
+                    submit_ms.insert(q.id, self.now_ms);
+                    let parts = self.split(q);
+                    outstanding.insert(q.id, parts.len() as u32);
+                    for (node, part) in parts {
+                        self.nodes[node as usize]
+                            .scheduler
+                            .query_available(&part, self.now_ms);
+                    }
+                }
+                Event::BatchDone(node, completed_parts) => {
+                    self.nodes[node as usize].busy = false;
+                    for pid in completed_parts {
+                        {
+                            let n = &mut self.nodes[node as usize];
+                            n.parts_completed += 1;
+                            let rt_part = self.now_ms - submit_ms[&orig_id(pid)];
+                            n.scheduler.on_query_complete(pid, rt_part, self.now_ms);
+                            if n.scheduler.take_run_boundary() {
+                                n.db.end_run();
+                            }
+                        }
+                        let qid = orig_id(pid);
+                        let left = outstanding
+                            .get_mut(&qid)
+                            .expect("completed part of a tracked query");
+                        *left -= 1;
+                        if *left > 0 {
+                            continue;
+                        }
+                        outstanding.remove(&qid);
+                        // The whole query is done: record and advance the job.
+                        let rt = self.now_ms - submit_ms[&qid];
+                        responses.push(rt);
+                        last_completion = self.now_ms;
+                        let (ji, qi) = locate[&qid];
+                        let job = &trace.jobs[ji];
+                        remaining_per_job[ji] -= 1;
+                        if remaining_per_job[ji] == 0 {
+                            jobs_completed += 1;
+                        }
+                        if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
+                            self.push(
+                                self.now_ms + job.think_ms,
+                                Event::QuerySubmit(ji, qi + 1),
+                            );
+                        }
+                    }
+                }
+                Event::IdleCheck(node) => {
+                    self.idle_pending[node as usize] = false;
+                }
+            }
+            for node in 0..self.cfg.nodes {
+                self.dispatch(node);
+            }
+        }
+
+        let completed = responses.len() as u64;
+        let makespan_ms = (last_completion - first_arrival).max(1e-9);
+        let mean_response_ms = if responses.is_empty() {
+            0.0
+        } else {
+            responses.iter().sum::<f64>() / responses.len() as f64
+        };
+        let total_disk = self.nodes.iter().fold(DiskStats::default(), |mut a, n| {
+            let d = n.db.disk_stats();
+            a.reads += d.reads;
+            a.seeks += d.seeks;
+            a.io_ms += d.io_ms;
+            a
+        });
+        let total_cache = self.nodes.iter().fold(CacheStats::default(), |mut a, n| {
+            let c = n.db.cache_stats();
+            a.hits += c.hits;
+            a.misses += c.misses;
+            a.evictions += c.evictions;
+            a.policy_overhead_ns += c.policy_overhead_ns;
+            a
+        });
+        let total_sched = self
+            .nodes
+            .iter()
+            .fold(SchedulerStats::default(), |mut a, n| {
+                let s = n.scheduler.stats();
+                a.batches += s.batches;
+                a.atom_groups += s.atom_groups;
+                a.subqueries += s.subqueries;
+                a.forced_releases += s.forced_releases;
+                a
+            });
+        let aggregate = RunReport {
+            scheduler: format!("{}x{}", self.cfg.nodes, self.nodes[0].scheduler.name()),
+            cache_policy: self.nodes[0].db.cache_policy_name().to_string(),
+            queries_completed: completed,
+            jobs_completed,
+            makespan_ms,
+            throughput_qps: completed as f64 / (makespan_ms / 1000.0),
+            mean_response_ms,
+            response: Percentiles::from_samples(&mut responses),
+            cache: total_cache,
+            disk: total_disk,
+            scheduler_stats: total_sched,
+            cache_overhead_ms_per_query: if completed == 0 {
+                0.0
+            } else {
+                total_cache.policy_overhead_ns as f64 / completed as f64 / 1e6
+            },
+            seconds_per_query: if completed == 0 {
+                0.0
+            } else {
+                makespan_ms / 1000.0 / completed as f64
+            },
+            alpha_final: self.nodes[0].scheduler.alpha(),
+            truncated: completed < trace.query_count() as u64,
+        };
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeReport {
+                node: i as u32,
+                parts_completed: n.parts_completed,
+                disk: n.db.disk_stats(),
+                cache: n.db.cache_stats(),
+                scheduler: n.scheduler.stats(),
+                utilization: n.busy_ms / makespan_ms,
+            })
+            .collect();
+        ClusterReport { aggregate, nodes }
+    }
+
+    fn dispatch(&mut self, node: u32) {
+        let ni = node as usize;
+        if self.nodes[ni].busy {
+            return;
+        }
+        let batch = {
+            let n = &mut self.nodes[ni];
+            let res = NodeResidency(&n.db);
+            n.scheduler.next_batch(self.now_ms, &res)
+        };
+        match batch {
+            Some(batch) => {
+                let (service_ms, completing) = {
+                    let n = &mut self.nodes[ni];
+                    let snapshot = {
+                        let res = NodeResidency(&n.db);
+                        n.scheduler.utility_snapshot(&res)
+                    };
+                    let mut service_ms = n.db.batch_dispatch_ms();
+                    for group in &batch.atoms {
+                        let r = n.db.read_atom(group.atom, &snapshot);
+                        service_ms += r.io_ms;
+                        service_ms += n.db.compute_cost_ms(group.positions());
+                    }
+                    for group in &batch.atoms {
+                        for nb in n.db.stencil_neighbor_ids(group.atom) {
+                            let r = n.db.read_atom(nb, &snapshot);
+                            service_ms += r.io_ms;
+                        }
+                    }
+                    n.busy = true;
+                    n.busy_ms += service_ms;
+                    (service_ms, batch.completing_queries)
+                };
+                self.push(self.now_ms + service_ms, Event::BatchDone(node, completing));
+            }
+            None => {
+                if self.nodes[ni].scheduler.has_pending() && !self.idle_pending[ni] {
+                    self.idle_pending[ni] = true;
+                    self.push(self.now_ms + 500.0, Event::IdleCheck(node));
+                }
+            }
+        }
+    }
+}
+
+/// Packs a node index into the high bits of a part id.
+fn part_id(query: QueryId, node: u32) -> QueryId {
+    debug_assert!(query < 1 << 48, "query id too large for part packing");
+    ((node as u64 + 1) << 48) | query
+}
+
+/// Recovers the original query id from a part id.
+fn orig_id(part: QueryId) -> QueryId {
+    part & ((1 << 48) - 1)
+}
+
+/// Projects a job onto one node: each query keeps only the footprint atoms
+/// the node owns; empty projections are dropped, preserving order.
+fn project_job(job: &jaws_workload::Job, node: u32, ex: &ClusterExecutor) -> jaws_workload::Job {
+    let queries = job
+        .queries
+        .iter()
+        .filter_map(|q| {
+            let atoms: Vec<(MortonKey, u32)> = q
+                .footprint
+                .atoms
+                .iter()
+                .copied()
+                .filter(|&(m, _)| ex.node_of(m) == node)
+                .collect();
+            if atoms.is_empty() {
+                return None;
+            }
+            Some(Query {
+                id: part_id(q.id, node),
+                user: q.user,
+                op: q.op,
+                timestep: q.timestep,
+                footprint: Footprint::from_pairs(atoms),
+            })
+        })
+        .collect();
+    jaws_workload::Job {
+        id: job.id,
+        user: job.user,
+        kind: job.kind,
+        campaign: job.campaign,
+        queries,
+        arrival_ms: job.arrival_ms,
+        think_ms: job.think_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaws_workload::{GenConfig, TraceGenerator};
+
+    fn cluster_cfg(nodes: u32, scheduler: SchedulerKind) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            db: DbConfig {
+                grid_side: 32,
+                atom_side: 8,
+                ghost: 2,
+                timesteps: 8,
+                dt: 0.002,
+                seed: 5,
+            },
+            cost: CostModel::paper_testbed(),
+            scheduler,
+            cache_policy: CachePolicyKind::LruK,
+            cache_atoms_per_node: 8,
+            run_len: 25,
+            gate_timeout_ms: 10_000.0,
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_matches_trace_totals() {
+        let trace = TraceGenerator::new(GenConfig::small(51)).generate();
+        let mut ex = ClusterExecutor::new(cluster_cfg(1, SchedulerKind::Jaws2 { batch_k: 8 }));
+        let r = ex.run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        assert_eq!(r.aggregate.jobs_completed, trace.jobs.len() as u64);
+        assert!(!r.aggregate.truncated);
+    }
+
+    #[test]
+    fn multi_node_cluster_drains_and_splits_work() {
+        let trace = TraceGenerator::new(GenConfig::small(53)).generate();
+        let mut ex = ClusterExecutor::new(cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 }));
+        let r = ex.run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        // Every node saw some work (footprints are scattered blobs).
+        let active = r.nodes.iter().filter(|n| n.parts_completed > 0).count();
+        assert!(active >= 3, "only {active} of 4 nodes did work");
+        assert!(r.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn more_nodes_speed_up_the_replay() {
+        let trace = TraceGenerator::new(GenConfig::small(55)).generate();
+        // Compress arrivals so the run is capacity-bound, then scale out.
+        let trace = trace.speedup(20.0);
+        let mut one = ClusterExecutor::new(cluster_cfg(1, SchedulerKind::LifeRaft2));
+        let mut four = ClusterExecutor::new(cluster_cfg(4, SchedulerKind::LifeRaft2));
+        let r1 = one.run(&trace);
+        let r4 = four.run(&trace);
+        assert_eq!(r1.aggregate.queries_completed, r4.aggregate.queries_completed);
+        assert!(
+            r4.aggregate.makespan_ms < r1.aggregate.makespan_ms,
+            "4 nodes {:.0} ms vs 1 node {:.0} ms",
+            r4.aggregate.makespan_ms,
+            r1.aggregate.makespan_ms
+        );
+    }
+
+    #[test]
+    fn morton_slabs_partition_the_grid_evenly() {
+        let ex = ClusterExecutor::new(cluster_cfg(4, SchedulerKind::NoShare));
+        let mut counts = [0u64; 4];
+        for m in 0..64u64 {
+            counts[ex.node_of(MortonKey(m)) as usize] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn part_ids_round_trip() {
+        for q in [1u64, 42, 1 << 40] {
+            for node in [0u32, 3, 15] {
+                assert_eq!(orig_id(part_id(q, node)), q);
+            }
+        }
+        assert_ne!(part_id(7, 0), part_id(7, 1), "parts distinct across nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn uneven_split_rejected() {
+        let _ = ClusterExecutor::new(cluster_cfg(3, SchedulerKind::NoShare));
+    }
+
+    #[test]
+    fn ordered_chains_respect_cross_node_barriers() {
+        use jaws_morton::MortonKey as MK;
+        use jaws_workload::{Job, JobKind, Query, QueryOp, Trace};
+        // One ordered job whose every query spans two nodes' slabs: the
+        // second query must not start before both parts of the first finish.
+        let q = |id: u64, ts: u32| Query {
+            id,
+            user: 0,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            // Atoms 0 (node 0) and 63 (node 3) in a 4-node split of 64.
+            footprint: Footprint::from_pairs([(MK(0), 50u32), (MK(63), 50u32)]),
+        };
+        let trace = Trace::new(
+            8,
+            4,
+            vec![Job {
+                id: 1,
+                user: 0,
+                kind: JobKind::Ordered,
+                campaign: 1,
+                queries: vec![q(1, 0), q(2, 1), q(3, 2)],
+                arrival_ms: 0.0,
+                think_ms: 100.0,
+            }],
+        );
+        let mut ex = ClusterExecutor::new(cluster_cfg(4, SchedulerKind::LifeRaft2));
+        let r = ex.run(&trace);
+        assert_eq!(r.aggregate.queries_completed, 3);
+        // Both end nodes executed one part per query.
+        assert_eq!(r.nodes[0].parts_completed, 3);
+        assert_eq!(r.nodes[3].parts_completed, 3);
+        assert_eq!(r.nodes[1].parts_completed, 0);
+    }
+}

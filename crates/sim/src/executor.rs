@@ -1,0 +1,671 @@
+//! The discrete-event executor.
+
+use crate::report::{Percentiles, RunReport};
+use jaws_morton::AtomId;
+use jaws_scheduler::{Batch, Prefetcher, Residency, Scheduler};
+use jaws_turbdb::TurbDb;
+use jaws_workload::{JobKind, QueryId, Trace};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated-time cap; runs report `truncated = true` when they hit it.
+    pub max_sim_ms: f64,
+    /// Re-poll interval while the scheduler is idle but holds gated work.
+    pub idle_recheck_ms: f64,
+    /// Enable trajectory-based prefetching (§VII): when the pipeline would
+    /// otherwise idle, extrapolated next-step atoms of ordered jobs are read
+    /// into the cache ahead of demand.
+    pub prefetch: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_sim_ms: 1e10,
+            idle_recheck_ms: 500.0,
+            prefetch: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    JobArrival(usize),
+    QuerySubmit(usize, usize),
+    BatchDone(Batch),
+    /// A speculative read issued during idle time finished.
+    PrefetchDone,
+    IdleCheck,
+}
+
+/// Wrapper giving f64 event times a total order in the heap.
+#[derive(Debug, PartialEq)]
+struct Key(f64, u64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Adapter exposing buffer-pool residency (φ of Eq. 1) to the scheduler.
+struct DbResidency<'a>(&'a TurbDb);
+
+impl Residency for DbResidency<'_> {
+    fn is_resident(&self, atom: &AtomId) -> bool {
+        self.0.is_resident(atom)
+    }
+}
+
+/// One simulated cluster node: a database plus a scheduler.
+pub struct Executor {
+    db: TurbDb,
+    scheduler: Box<dyn Scheduler>,
+    cfg: SimConfig,
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    events: HashMap<u64, Event>,
+    next_event: u64,
+    now_ms: f64,
+    busy: bool,
+    idle_check_pending: bool,
+    prefetcher: Option<Prefetcher>,
+    prefetch_reads: u64,
+    declared_jobs: Option<Vec<jaws_workload::Job>>,
+    declarations_overridden: bool,
+    response_log: Vec<(QueryId, f64)>,
+}
+
+impl Executor {
+    /// Builds an executor over an opened database and a scheduler.
+    pub fn new(db: TurbDb, scheduler: Box<dyn Scheduler>, cfg: SimConfig) -> Self {
+        let prefetcher = cfg.prefetch.then(|| {
+            Prefetcher::new(db.config().atoms_per_side(), db.config().timesteps)
+        });
+        Executor {
+            db,
+            scheduler,
+            cfg,
+            heap: BinaryHeap::new(),
+            events: HashMap::new(),
+            next_event: 0,
+            now_ms: 0.0,
+            busy: false,
+            idle_check_pending: false,
+            prefetcher,
+            prefetch_reads: 0,
+            declared_jobs: None,
+            declarations_overridden: false,
+            response_log: Vec::new(),
+        }
+    }
+
+    /// Per-query response times of the last run, in completion order — used
+    /// by experiments that slice latency by query class (e.g. the CasJobs
+    /// starvation comparison).
+    pub fn response_log(&self) -> &[(QueryId, f64)] {
+        &self.response_log
+    }
+
+    /// Speculative atom reads issued by the prefetcher.
+    pub fn prefetch_reads(&self) -> u64 {
+        self.prefetch_reads
+    }
+
+    /// Overrides the job declarations the scheduler sees: instead of each
+    /// trace job at its arrival, these jobs are declared up front. Execution
+    /// semantics (arrivals, precedence, think times) still follow the trace —
+    /// only the scheduler's *knowledge* of job structure changes. Used to
+    /// evaluate heuristic job identification (§IV-A) against ground truth.
+    pub fn declare_jobs(&mut self, jobs: Vec<jaws_workload::Job>) {
+        self.declared_jobs = Some(jobs);
+    }
+
+    /// Access to the database (post-run inspection).
+    pub fn db(&self) -> &TurbDb {
+        &self.db
+    }
+
+    /// Access to the scheduler (post-run inspection).
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    fn push(&mut self, at_ms: f64, ev: Event) {
+        let id = self.next_event;
+        self.next_event += 1;
+        self.events.insert(id, ev);
+        self.heap.push(Reverse((Key(at_ms, id), id)));
+    }
+
+    /// Replays `trace` to completion (or the simulated-time cap) and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace geometry does not match the database (timesteps or
+    /// atom grid).
+    pub fn run(&mut self, trace: &Trace) -> RunReport {
+        let cfg = self.db.config();
+        assert!(
+            trace.timesteps <= cfg.timesteps,
+            "trace addresses timestep {} beyond the database's {}",
+            trace.timesteps,
+            cfg.timesteps
+        );
+        assert_eq!(
+            trace.atoms_per_side,
+            cfg.atoms_per_side(),
+            "trace atom grid does not match the database"
+        );
+        // Query → (job index, query index) for completion routing.
+        let mut locate: HashMap<QueryId, (usize, usize)> = HashMap::new();
+        for (ji, job) in trace.jobs.iter().enumerate() {
+            for (qi, q) in job.queries.iter().enumerate() {
+                locate.insert(q.id, (ji, qi));
+            }
+        }
+        let total_queries: usize = trace.query_count();
+        let mut submit_ms: HashMap<QueryId, f64> = HashMap::new();
+        let mut responses: Vec<f64> = Vec::with_capacity(total_queries);
+        let mut jobs_completed = 0u64;
+        let mut remaining_per_job: Vec<usize> =
+            trace.jobs.iter().map(|j| j.queries.len()).collect();
+        let first_arrival = trace.jobs.first().map_or(0.0, |j| j.arrival_ms);
+        let mut last_completion = first_arrival;
+        let mut truncated = false;
+
+        if let Some(decls) = self.declared_jobs.take() {
+            self.declarations_overridden = true;
+            for d in &decls {
+                self.scheduler.job_declared(d, 0.0);
+            }
+        }
+        for (ji, job) in trace.jobs.iter().enumerate() {
+            self.push(job.arrival_ms, Event::JobArrival(ji));
+        }
+
+        while let Some(Reverse((Key(at, _), id))) = self.heap.pop() {
+            if at > self.cfg.max_sim_ms {
+                truncated = true;
+                break;
+            }
+            self.now_ms = self.now_ms.max(at);
+            let ev = self.events.remove(&id).expect("event payload");
+            match ev {
+                Event::JobArrival(ji) => {
+                    let job = &trace.jobs[ji];
+                    if !self.declarations_overridden {
+                        self.scheduler.job_declared(job, self.now_ms);
+                    }
+                    match job.kind {
+                        JobKind::Batched => {
+                            // The client loop streams order-independent
+                            // queries at its pacing cadence.
+                            for (qi, _) in job.queries.iter().enumerate() {
+                                self.push(
+                                    self.now_ms + qi as f64 * job.think_ms,
+                                    Event::QuerySubmit(ji, qi),
+                                );
+                            }
+                        }
+                        JobKind::Ordered => {
+                            let q = &job.queries[0];
+                            submit_ms.insert(q.id, self.now_ms);
+                            self.scheduler.query_available(q, self.now_ms);
+                        }
+                    }
+                }
+                Event::QuerySubmit(ji, qi) => {
+                    let q = &trace.jobs[ji].queries[qi];
+                    submit_ms.insert(q.id, self.now_ms);
+                    if let Some(p) = &mut self.prefetcher {
+                        if trace.jobs[ji].kind == JobKind::Ordered {
+                            p.observe(trace.jobs[ji].id, q);
+                        }
+                    }
+                    self.scheduler.query_available(q, self.now_ms);
+                }
+                Event::BatchDone(batch) => {
+                    self.busy = false;
+                    for &qid in &batch.completing_queries {
+                        let submitted = submit_ms
+                            .get(&qid)
+                            .copied()
+                            .expect("completed query was submitted");
+                        let rt = self.now_ms - submitted;
+                        responses.push(rt);
+                        self.response_log.push((qid, rt));
+                        last_completion = self.now_ms;
+                        self.scheduler.on_query_complete(qid, rt, self.now_ms);
+                        if self.scheduler.take_run_boundary() {
+                            self.db.end_run();
+                        }
+                        let (ji, qi) = locate[&qid];
+                        let job = &trace.jobs[ji];
+                        remaining_per_job[ji] -= 1;
+                        if remaining_per_job[ji] == 0 {
+                            jobs_completed += 1;
+                        }
+                        if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
+                            self.push(
+                                self.now_ms + job.think_ms,
+                                Event::QuerySubmit(ji, qi + 1),
+                            );
+                        }
+                    }
+                }
+                Event::PrefetchDone => {
+                    self.busy = false;
+                }
+                Event::IdleCheck => {
+                    self.idle_check_pending = false;
+                }
+            }
+            self.dispatch();
+        }
+
+        let completed = responses.len() as u64;
+        if completed < total_queries as u64 {
+            truncated = true;
+        }
+        let makespan_ms = (last_completion - first_arrival).max(1e-9);
+        let mean_response_ms = if responses.is_empty() {
+            0.0
+        } else {
+            responses.iter().sum::<f64>() / responses.len() as f64
+        };
+        let cache = self.db.cache_stats();
+        RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            cache_policy: self.db.cache_policy_name().to_string(),
+            queries_completed: completed,
+            jobs_completed,
+            makespan_ms,
+            throughput_qps: completed as f64 / (makespan_ms / 1000.0),
+            mean_response_ms,
+            response: Percentiles::from_samples(&mut responses),
+            cache,
+            disk: self.db.disk_stats(),
+            scheduler_stats: self.scheduler.stats(),
+            cache_overhead_ms_per_query: if completed == 0 {
+                0.0
+            } else {
+                cache.policy_overhead_ns as f64 / completed as f64 / 1e6
+            },
+            seconds_per_query: if completed == 0 {
+                0.0
+            } else {
+                makespan_ms / 1000.0 / completed as f64
+            },
+            alpha_final: self.scheduler.alpha(),
+            truncated,
+        }
+    }
+
+    /// Starts the next batch if the pipeline is free and work is schedulable;
+    /// otherwise arranges a wake-up if gated work exists.
+    fn dispatch(&mut self) {
+        if self.busy {
+            return;
+        }
+        let batch = {
+            let res = DbResidency(&self.db);
+            self.scheduler.next_batch(self.now_ms, &res)
+        };
+        match batch {
+            Some(batch) => {
+                debug_assert!(!batch.is_empty(), "scheduler produced an empty batch");
+                let snapshot = {
+                    let res = DbResidency(&self.db);
+                    self.scheduler.utility_snapshot(&res)
+                };
+                let mut service_ms = self.db.batch_dispatch_ms();
+                // First pass: the batch atoms themselves, in Morton order
+                // (sequential on disk when contiguous).
+                for group in &batch.atoms {
+                    let r = self.db.read_atom(group.atom, &snapshot);
+                    service_ms += r.io_ms;
+                    service_ms += self.db.compute_cost_ms(group.positions());
+                }
+                // Second pass: stencil spill-over into neighboring atoms
+                // (§V locality of reference). Neighbors co-scheduled in this
+                // batch, or still cached, cost nothing extra.
+                for group in &batch.atoms {
+                    for n in self.db.stencil_neighbor_ids(group.atom) {
+                        let r = self.db.read_atom(n, &snapshot);
+                        service_ms += r.io_ms;
+                    }
+                }
+                self.busy = true;
+                self.push(self.now_ms + service_ms, Event::BatchDone(batch));
+            }
+            None => {
+                // Nothing schedulable: spend the idle capacity on a
+                // speculative read, if the trajectory predictor has one.
+                if let Some(p) = &mut self.prefetcher {
+                    let candidate = p.next_prefetch(|a| self.db.is_resident(a));
+                    if let Some(atom) = candidate {
+                        let snapshot = {
+                            let res = DbResidency(&self.db);
+                            self.scheduler.utility_snapshot(&res)
+                        };
+                        let r = self.db.read_atom(atom, &snapshot);
+                        self.prefetch_reads += 1;
+                        self.busy = true;
+                        self.push(self.now_ms + r.io_ms, Event::PrefetchDone);
+                        return;
+                    }
+                }
+                // If gated work exists, poll again soon so the starvation
+                // valve can fire even with no other events.
+                if self.scheduler.has_pending() && !self.idle_check_pending {
+                    self.idle_check_pending = true;
+                    let at = self.now_ms + self.cfg.idle_recheck_ms;
+                    self.push(at, Event::IdleCheck);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
+    use jaws_scheduler::MetricParams;
+    use jaws_turbdb::{CostModel, DataMode, DbConfig};
+    use jaws_workload::{GenConfig, TraceGenerator};
+
+    fn small_db_config() -> DbConfig {
+        DbConfig {
+            grid_side: 32,
+            atom_side: 8,
+            ghost: 2,
+            timesteps: 8,
+            dt: 0.002,
+            seed: 5,
+        }
+    }
+
+    fn run_kind(kind: SchedulerKind, seed: u64) -> RunReport {
+        let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
+        let db = build_db(
+            small_db_config(),
+            CostModel::paper_testbed(),
+            DataMode::Virtual,
+            16,
+            CachePolicyKind::LruK,
+        );
+        let sched = build_scheduler(kind, MetricParams::paper_testbed(), 25, 10_000.0);
+        let mut ex = Executor::new(db, sched, SimConfig::default());
+        ex.run(&trace)
+    }
+
+    #[test]
+    fn every_scheduler_drains_the_trace() {
+        let trace = TraceGenerator::new(GenConfig::small(5)).generate();
+        let total = trace.query_count() as u64;
+        for kind in SchedulerKind::evaluation_set() {
+            let r = run_kind(kind, 5);
+            assert_eq!(
+                r.queries_completed, total,
+                "{} left queries behind",
+                kind.name()
+            );
+            assert!(!r.truncated, "{} truncated", kind.name());
+            assert_eq!(r.jobs_completed, trace.jobs.len() as u64);
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.mean_response_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_schedulers_beat_noshare_on_contended_traces() {
+        let noshare = run_kind(SchedulerKind::NoShare, 7);
+        let jaws2 = run_kind(SchedulerKind::Jaws2 { batch_k: 10 }, 7);
+        assert!(
+            jaws2.throughput_qps > noshare.throughput_qps,
+            "JAWS {:.3} q/s vs NoShare {:.3} q/s",
+            jaws2.throughput_qps,
+            noshare.throughput_qps
+        );
+    }
+
+    #[test]
+    fn shared_scans_reduce_disk_reads() {
+        let noshare = run_kind(SchedulerKind::NoShare, 9);
+        let liferaft2 = run_kind(SchedulerKind::LifeRaft2, 9);
+        assert!(
+            liferaft2.disk.reads < noshare.disk.reads,
+            "LifeRaft {} reads vs NoShare {}",
+            liferaft2.disk.reads,
+            noshare.disk.reads
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = run_kind(SchedulerKind::Jaws2 { batch_k: 10 }, 3);
+        let b = run_kind(SchedulerKind::Jaws2 { batch_k: 10 }, 3);
+        assert_eq!(a.queries_completed, b.queries_completed);
+        assert_eq!(a.disk.reads, b.disk.reads);
+        assert!((a.makespan_ms - b.makespan_ms).abs() < 1e-6);
+        assert!((a.throughput_qps - b.throughput_qps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_times_are_measured_from_submission() {
+        // A single one-query job arriving at t=1000 must have response time
+        // roughly its own service time, not counted from t=0.
+        use jaws_morton::MortonKey;
+        use jaws_workload::{Footprint, Job, Query, QueryOp, Trace};
+        let q = Query {
+            id: 1,
+            user: 0,
+            op: QueryOp::Velocity,
+            timestep: 0,
+            footprint: Footprint::from_pairs([(MortonKey(0), 100u32)]),
+        };
+        let trace = Trace::new(
+            8,
+            4,
+            vec![Job {
+                id: 1,
+                user: 0,
+                kind: JobKind::Batched,
+                campaign: 1,
+                queries: vec![q],
+                arrival_ms: 1000.0,
+                think_ms: 0.0,
+            }],
+        );
+        let db = build_db(
+            small_db_config(),
+            CostModel {
+                seek_ms: 10.0,
+                atom_read_ms: 100.0,
+                position_compute_ms: 1.0,
+                batch_dispatch_ms: 0.0,
+                stencil_neighbors: 0,
+            },
+            DataMode::Virtual,
+            16,
+            CachePolicyKind::Lru,
+        );
+        let sched = build_scheduler(
+            SchedulerKind::LifeRaft2,
+            MetricParams {
+                atom_read_ms: 100.0,
+                position_compute_ms: 1.0,
+                atoms_per_timestep: 64,
+            },
+            25,
+            10_000.0,
+        );
+        let mut ex = Executor::new(db, sched, SimConfig::default());
+        let r = ex.run(&trace);
+        // Service: seek 10 + read 100 + compute 100 = 210 ms.
+        assert!((r.mean_response_ms - 210.0).abs() < 1e-6, "{}", r.mean_response_ms);
+    }
+
+    #[test]
+    fn time_cap_truncates_gracefully() {
+        let trace = TraceGenerator::new(GenConfig::small(11)).generate();
+        let db = build_db(
+            small_db_config(),
+            CostModel::paper_testbed(),
+            DataMode::Virtual,
+            16,
+            CachePolicyKind::LruK,
+        );
+        let sched = build_scheduler(
+            SchedulerKind::NoShare,
+            MetricParams::paper_testbed(),
+            25,
+            10_000.0,
+        );
+        let mut ex = Executor::new(
+            db,
+            sched,
+            SimConfig {
+                max_sim_ms: 10_000.0,
+                ..SimConfig::default()
+            },
+        );
+        let r = ex.run(&trace);
+        assert!(r.truncated);
+        assert!(r.queries_completed < trace.query_count() as u64);
+    }
+
+    #[test]
+    fn urc_cache_gets_scheduler_knowledge() {
+        let trace = TraceGenerator::new(GenConfig::small(13)).generate();
+        let db = build_db(
+            small_db_config(),
+            CostModel::paper_testbed(),
+            DataMode::Virtual,
+            8,
+            CachePolicyKind::Urc,
+        );
+        let sched = build_scheduler(
+            SchedulerKind::Jaws2 { batch_k: 8 },
+            MetricParams::paper_testbed(),
+            25,
+            10_000.0,
+        );
+        let mut ex = Executor::new(db, sched, SimConfig::default());
+        let r = ex.run(&trace);
+        assert_eq!(r.cache_policy, "URC");
+        assert!(r.cache.hits > 0, "URC never hit");
+        assert!(!r.truncated);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
+    use jaws_morton::MortonKey;
+    use jaws_scheduler::MetricParams;
+    use jaws_turbdb::{CostModel, DataMode, DbConfig};
+    use jaws_workload::{Footprint, Job, Query, QueryOp, Trace};
+
+    /// A slow single tracking chain: plenty of idle time for the prefetcher.
+    fn chain_trace() -> Trace {
+        let q = |id: u64, ts: u32, x: u32| Query {
+            id,
+            user: 0,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            footprint: Footprint::from_pairs([(MortonKey::from_coords(x, 1, 1), 200u32)]),
+        };
+        Trace::new(
+            8,
+            4,
+            vec![Job {
+                id: 1,
+                user: 0,
+                kind: JobKind::Ordered,
+                campaign: 1,
+                // Steady +1 drift in x, one timestep per query.
+                queries: (0..6).map(|i| q(i + 1, i as u32, (i as u32) % 4)).collect(),
+                arrival_ms: 0.0,
+                think_ms: 5_000.0,
+            }],
+        )
+    }
+
+    fn run_chain(prefetch: bool) -> (RunReport, u64) {
+        let db = build_db(
+            DbConfig {
+                grid_side: 32,
+                atom_side: 8,
+                ghost: 2,
+                timesteps: 8,
+                dt: 0.002,
+                seed: 9,
+            },
+            CostModel::paper_testbed(),
+            DataMode::Virtual,
+            16,
+            CachePolicyKind::LruK,
+        );
+        let sched = build_scheduler(
+            SchedulerKind::Jaws2 { batch_k: 8 },
+            MetricParams::paper_testbed(),
+            25,
+            10_000.0,
+        );
+        let mut ex = Executor::new(
+            db,
+            sched,
+            SimConfig {
+                prefetch,
+                ..SimConfig::default()
+            },
+        );
+        let r = ex.run(&chain_trace());
+        (r, ex.prefetch_reads())
+    }
+
+    #[test]
+    fn prefetching_issues_speculative_reads_and_cuts_latency() {
+        let (base, base_pf) = run_chain(false);
+        let (pf, pf_reads) = run_chain(true);
+        assert_eq!(base_pf, 0);
+        assert!(pf_reads > 0, "predictor never fired");
+        assert_eq!(pf.queries_completed, base.queries_completed);
+        // Later chain queries hit prefetched atoms: cache hits rise and mean
+        // response time drops.
+        assert!(
+            pf.cache.hits > base.cache.hits,
+            "prefetch hits {} vs {}",
+            pf.cache.hits,
+            base.cache.hits
+        );
+        assert!(
+            pf.mean_response_ms < base.mean_response_ms,
+            "prefetch rt {:.1} vs base {:.1}",
+            pf.mean_response_ms,
+            base.mean_response_ms
+        );
+    }
+
+    #[test]
+    fn prefetching_never_loses_queries() {
+        let (pf, _) = run_chain(true);
+        assert!(!pf.truncated);
+        assert_eq!(pf.jobs_completed, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Run reports: the measurements every experiment binary prints.
+
+use jaws_cache::CacheStats;
+use jaws_scheduler::SchedulerStats;
+use jaws_turbdb::DiskStats;
+use serde::Serialize;
+
+/// Response-time percentiles in ms.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles from unsorted samples (empty → zeros), using the
+    /// nearest-rank convention on index `round((n−1)·q)`.
+    pub fn from_samples(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            samples[idx]
+        };
+        Percentiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Scheduler name (`NoShare`, `LifeRaft_1`, `LifeRaft_2`, `JAWS_1`,
+    /// `JAWS_2`).
+    pub scheduler: String,
+    /// Cache policy name (`LRU`, `LRU-K`, `SLRU`, `URC`).
+    pub cache_policy: String,
+    /// Queries completed.
+    pub queries_completed: u64,
+    /// Jobs fully completed.
+    pub jobs_completed: u64,
+    /// Simulated time from first arrival to last completion, ms.
+    pub makespan_ms: f64,
+    /// Query throughput over the makespan, queries/s — the paper's headline
+    /// metric (Figs. 10–12).
+    pub throughput_qps: f64,
+    /// Mean query response time (submission → completion), ms.
+    pub mean_response_ms: f64,
+    /// Response-time percentiles, ms.
+    pub response: Percentiles,
+    /// Buffer-cache statistics (hit ratio of Table I).
+    pub cache: CacheStats,
+    /// Simulated-disk statistics.
+    pub disk: DiskStats,
+    /// Scheduler statistics.
+    pub scheduler_stats: SchedulerStats,
+    /// Measured cache-policy maintenance overhead per query, ms (Table I's
+    /// Overhead/Qry column; wall-clock, not simulated).
+    pub cache_overhead_ms_per_query: f64,
+    /// Mean simulated seconds per query (Table I's Seconds/Qry).
+    pub seconds_per_query: f64,
+    /// Final age bias α.
+    pub alpha_final: f64,
+    /// True if the run hit its simulated-time cap before draining the trace.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<11} {:<6} {:>7.3} q/s  rt mean {:>9.1} ms  p95 {:>9.1} ms  hit {:>5.1}%  {:>6} queries{}",
+            self.scheduler,
+            self.cache_policy,
+            self.throughput_qps,
+            self.mean_response_ms,
+            self.response.p95,
+            self.cache.hit_ratio() * 100.0,
+            self.queries_completed,
+            if self.truncated { "  [TRUNCATED]" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let mut s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let p = Percentiles::from_samples(&mut s);
+        // Nearest-rank on index round((n−1)·q): 1-based values are index + 1.
+        assert_eq!(p.p50, 51.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_single() {
+        assert_eq!(Percentiles::from_samples(&mut []).max, 0.0);
+        let p = Percentiles::from_samples(&mut [42.0]);
+        assert_eq!(p.p50, 42.0);
+        assert_eq!(p.max, 42.0);
+    }
+
+    #[test]
+    fn percentiles_sort_unsorted_input() {
+        let p = Percentiles::from_samples(&mut [3.0, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.max, 3.0);
+    }
+}

@@ -1,0 +1,582 @@
+//! Clustered B+ tree access path.
+//!
+//! "A clustered B+ tree access path, which is keyed on a combination of the
+//! Morton index and the time step, is used to retrieve each atom" (§III-A).
+//! This is a from-scratch, arena-based B+ tree: all nodes live in a `Vec` and
+//! refer to each other by index, leaves are chained for range scans, and the
+//! tree supports bulk loading (how the simulation archive is ingested) as well
+//! as incremental inserts (how new timesteps arrive from the DNS pipeline).
+//!
+//! The tree is generic over key and value so tests can exercise it with small
+//! integer keys; the database instantiates `BPlusTree<AtomId, DiskExtent>`.
+
+use std::fmt::Debug;
+
+/// Index of a node in the arena.
+type NodeId = usize;
+
+#[derive(Debug)]
+enum Node<K, V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[keys.len()]` holds the rest.
+        keys: Vec<K>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<NodeId>,
+    },
+}
+
+/// A B+ tree with fan-out `order` (maximum keys per node is `order - 1`).
+#[derive(Debug)]
+pub struct BPlusTree<K, V> {
+    order: usize,
+    nodes: Vec<Node<K, V>>,
+    root: NodeId,
+    len: usize,
+}
+
+impl<K: Ord + Copy + Debug, V: Copy> BPlusTree<K, V> {
+    /// Creates an empty tree. `order` must be at least 4.
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 4, "B+ tree order must be >= 4");
+        let nodes = vec![Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }];
+        BPlusTree {
+            order,
+            nodes,
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Bulk-loads a tree from key-sorted pairs — the fast path used when the
+    /// archive layout is generated. Leaves are packed to ~100% occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not strictly ascending in key.
+    pub fn bulk_load(order: usize, pairs: impl IntoIterator<Item = (K, V)>) -> Self {
+        assert!(order >= 4, "B+ tree order must be >= 4");
+        let max_keys = order - 1;
+        let mut nodes: Vec<Node<K, V>> = Vec::new();
+        let mut leaf_level: Vec<(K, NodeId)> = Vec::new(); // (min key, node)
+        let mut cur_keys: Vec<K> = Vec::new();
+        let mut cur_vals: Vec<V> = Vec::new();
+        let mut len = 0usize;
+        let mut last_key: Option<K> = None;
+
+        let flush = |keys: &mut Vec<K>, vals: &mut Vec<V>, nodes: &mut Vec<Node<K, V>>| {
+            if keys.is_empty() {
+                return None;
+            }
+            let min = keys[0];
+            let id = nodes.len();
+            nodes.push(Node::Leaf {
+                keys: std::mem::take(keys),
+                values: std::mem::take(vals),
+                next: None,
+            });
+            Some((min, id))
+        };
+
+        for (k, v) in pairs {
+            if let Some(prev) = last_key {
+                assert!(prev < k, "bulk_load input not strictly ascending");
+            }
+            last_key = Some(k);
+            cur_keys.push(k);
+            cur_vals.push(v);
+            len += 1;
+            if cur_keys.len() == max_keys {
+                if let Some(e) = flush(&mut cur_keys, &mut cur_vals, &mut nodes) {
+                    leaf_level.push(e);
+                }
+            }
+        }
+        if let Some(e) = flush(&mut cur_keys, &mut cur_vals, &mut nodes) {
+            leaf_level.push(e);
+        }
+        if leaf_level.is_empty() {
+            return Self::new(order);
+        }
+        // Chain the leaves.
+        for w in leaf_level.windows(2) {
+            let (_, a) = w[0];
+            let (_, b) = w[1];
+            if let Node::Leaf { next, .. } = &mut nodes[a] {
+                *next = Some(b);
+            }
+        }
+        // Build internal levels bottom-up. Chunk boundaries are chosen so no
+        // internal node ends up with a single child (which would leave it
+        // keyless): if the tail chunk would hold one entry, the previous
+        // chunk donates one.
+        let mut level = leaf_level;
+        while level.len() > 1 {
+            let fanout = max_keys + 1;
+            let mut parent_level = Vec::new();
+            let mut start = 0usize;
+            while start < level.len() {
+                let remaining = level.len() - start;
+                let take = if remaining > fanout && remaining - fanout == 1 {
+                    fanout - 1
+                } else {
+                    remaining.min(fanout)
+                };
+                let chunk = &level[start..start + take];
+                debug_assert!(chunk.len() >= 2, "internal node needs >= 2 children");
+                let keys: Vec<K> = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let children: Vec<NodeId> = chunk.iter().map(|&(_, id)| id).collect();
+                let min = chunk[0].0;
+                let id = nodes.len();
+                nodes.push(Node::Internal { keys, children });
+                parent_level.push((min, id));
+                start += take;
+            }
+            level = parent_level;
+        }
+        let root = level[0].1;
+        BPlusTree {
+            order,
+            nodes,
+            root,
+            len,
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[id] {
+            id = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &self.nodes[leaf] {
+            keys.binary_search(key).ok().map(|i| values[i])
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (split, old) = self.insert_rec(self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let left = self.root;
+            let id = self.nodes.len();
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+            });
+            self.root = id;
+        }
+        old
+    }
+
+    /// All pairs with `lo <= key < hi`, in key order, via the leaf chain.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if hi <= lo {
+            return out;
+        }
+        let mut leaf = Some(self.find_leaf(lo));
+        while let Some(id) = leaf {
+            let Node::Leaf { keys, values, next } = &self.nodes[id] else {
+                unreachable!()
+            };
+            let start = keys.partition_point(|k| k < lo);
+            for i in start..keys.len() {
+                if keys[i] >= *hi {
+                    return out;
+                }
+                out.push((keys[i], values[i]));
+            }
+            leaf = *next;
+        }
+        out
+    }
+
+    /// Full scan in key order (test helper and archive verification).
+    pub fn scan(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        // Find the leftmost leaf.
+        let mut id = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[id] {
+            id = children[0];
+        }
+        let mut leaf = Some(id);
+        while let Some(id) = leaf {
+            let Node::Leaf { keys, values, next } = &self.nodes[id] else {
+                unreachable!()
+            };
+            out.extend(keys.iter().copied().zip(values.iter().copied()));
+            leaf = *next;
+        }
+        out
+    }
+
+    /// Structural invariant check, used by tests: sorted keys everywhere,
+    /// separator correctness, uniform depth, and leaf-chain completeness.
+    pub fn validate(&self) {
+        let depth = self.check_node(self.root, None, None);
+        // All leaves at the same depth.
+        let _ = depth;
+        // The leaf chain enumerates exactly len() pairs in ascending order.
+        let scan = self.scan();
+        assert_eq!(scan.len(), self.len, "leaf chain misses pairs");
+        for w in scan.windows(2) {
+            assert!(w[0].0 < w[1].0, "leaf chain out of order");
+        }
+    }
+
+    fn check_node(&self, id: NodeId, lo: Option<&K>, hi: Option<&K>) -> usize {
+        match &self.nodes[id] {
+            Node::Leaf { keys, values, .. } => {
+                assert_eq!(keys.len(), values.len());
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted leaf");
+                }
+                for k in keys {
+                    if let Some(lo) = lo {
+                        assert!(k >= lo, "leaf key below separator");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(k < hi, "leaf key above separator");
+                    }
+                }
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "fan-out mismatch");
+                assert!(!keys.is_empty(), "empty internal node");
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted internal");
+                }
+                let mut depth = None;
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    let d = self.check_node(c, clo, chi);
+                    if let Some(prev) = depth {
+                        assert_eq!(prev, d, "non-uniform depth");
+                    }
+                    depth = Some(d);
+                }
+                depth.unwrap() + 1
+            }
+        }
+    }
+
+    fn find_leaf(&self, key: &K) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return id,
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k <= key);
+                    id = children[i];
+                }
+            }
+        }
+    }
+
+    /// Recursive insert; returns `(split, old_value)` where `split` is the
+    /// `(separator, new_right_node)` produced if this node overflowed.
+    fn insert_rec(&mut self, id: NodeId, key: K, value: V) -> (Option<(K, NodeId)>, Option<V>) {
+        let max_keys = self.order - 1;
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values, .. } => {
+                let old = match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = values[i];
+                        values[i] = value;
+                        return (None, Some(old));
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        None
+                    }
+                };
+                if keys.len() > max_keys {
+                    let mid = keys.len() / 2;
+                    let rkeys = keys.split_off(mid);
+                    let rvals = values.split_off(mid);
+                    let sep = rkeys[0];
+                    let Node::Leaf { next, .. } = &mut self.nodes[id] else {
+                        unreachable!()
+                    };
+                    let old_next = *next;
+                    let rid = self.nodes.len();
+                    self.nodes.push(Node::Leaf {
+                        keys: rkeys,
+                        values: rvals,
+                        next: old_next,
+                    });
+                    let Node::Leaf { next, .. } = &mut self.nodes[id] else {
+                        unreachable!()
+                    };
+                    *next = Some(rid);
+                    (Some((sep, rid)), old)
+                } else {
+                    (None, old)
+                }
+            }
+            Node::Internal { keys, .. } => {
+                let i = keys.partition_point(|k| k <= &key);
+                let child = match &self.nodes[id] {
+                    Node::Internal { children, .. } => children[i],
+                    _ => unreachable!(),
+                };
+                let (split, old) = self.insert_rec(child, key, value);
+                if let Some((sep, rchild)) = split {
+                    let Node::Internal { keys, children } = &mut self.nodes[id] else {
+                        unreachable!()
+                    };
+                    keys.insert(i, sep);
+                    children.insert(i + 1, rchild);
+                    if keys.len() > max_keys {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid];
+                        let rkeys = keys.split_off(mid + 1);
+                        keys.pop(); // sep_up moves up, not right
+                        let rchildren = children.split_off(mid + 1);
+                        let rid = self.nodes.len();
+                        self.nodes.push(Node::Internal {
+                            keys: rkeys,
+                            children: rchildren,
+                        });
+                        return (Some((sep_up, rid)), old);
+                    }
+                }
+                (None, old)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.height(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn insert_and_get_sequential() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..200u64 {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        t.validate();
+        assert_eq!(t.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(t.get(&k), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.get(&200), None);
+        assert!(t.height() > 2, "tree actually split");
+    }
+
+    #[test]
+    fn insert_reverse_and_shuffled() {
+        let mut t = BPlusTree::new(5);
+        for k in (0..100u64).rev() {
+            t.insert(k, k);
+        }
+        t.validate();
+        // Pseudo-shuffled second wave (odd stride over a larger range).
+        let mut t2 = BPlusTree::new(5);
+        let mut k = 0u64;
+        for _ in 0..257 {
+            k = (k + 97) % 257;
+            t2.insert(k, k + 1);
+        }
+        t2.validate();
+        assert_eq!(t2.len(), 257);
+        for k in 0..257u64 {
+            assert_eq!(t2.get(&k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = BPlusTree::new(4);
+        t.insert(7u64, 1u64);
+        assert_eq!(t.insert(7, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), Some(2));
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k, k * 3)).collect();
+        let bulk = BPlusTree::bulk_load(8, pairs.clone());
+        bulk.validate();
+        assert_eq!(bulk.len(), 500);
+        let mut inc = BPlusTree::new(8);
+        for &(k, v) in &pairs {
+            inc.insert(k, v);
+        }
+        assert_eq!(bulk.scan(), inc.scan());
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t: BPlusTree<u64, u64> = BPlusTree::bulk_load(4, std::iter::empty());
+        assert!(t.is_empty());
+        t.validate();
+        let t = BPlusTree::bulk_load(4, [(5u64, 50u64)]);
+        assert_eq!(t.get(&5), Some(50));
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn bulk_load_rejects_unsorted() {
+        let _ = BPlusTree::bulk_load(4, [(2u64, 0u64), (1, 0)]);
+    }
+
+    #[test]
+    fn range_scan_subset() {
+        let t = BPlusTree::bulk_load(6, (0..100u64).map(|k| (k, k)));
+        let r = t.range(&10, &20);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], (10, 10));
+        assert_eq!(r[9], (19, 19));
+    }
+
+    #[test]
+    fn range_scan_edges() {
+        let t = BPlusTree::bulk_load(4, (0..50u64).map(|k| (k * 2, k)));
+        // Bounds between stored keys.
+        let r = t.range(&5, &11);
+        assert_eq!(
+            r.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![6, 8, 10]
+        );
+        assert!(t.range(&30, &30).is_empty(), "empty interval");
+        assert!(t.range(&40, &30).is_empty(), "inverted interval");
+        assert_eq!(t.range(&0, &1000).len(), 50, "full cover");
+    }
+
+    #[test]
+    fn range_after_splits() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..300u64 {
+            t.insert(k, k);
+        }
+        let r = t.range(&123, &211);
+        assert_eq!(r.len(), 88);
+        assert!(r.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+    }
+
+    #[test]
+    fn works_with_atom_ids() {
+        use jaws_morton::{AtomId, MortonKey};
+        let mut pairs = Vec::new();
+        for t in 0..3u32 {
+            for m in 0..64u64 {
+                pairs.push((AtomId::new(t, MortonKey(m)), (t as u64) * 64 + m));
+            }
+        }
+        let tree = BPlusTree::bulk_load(16, pairs.clone());
+        tree.validate();
+        // A full-timestep scan is one contiguous range.
+        let lo = AtomId::new(1, MortonKey(0));
+        let hi = AtomId::new(2, MortonKey(0));
+        let r = tree.range(&lo, &hi);
+        assert_eq!(r.len(), 64);
+        assert!(r.iter().all(|(k, _)| k.timestep == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be")]
+    fn tiny_order_rejected() {
+        let _: BPlusTree<u64, u64> = BPlusTree::new(3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// The tree agrees with a std BTreeMap reference model under random
+        /// interleaved inserts, point gets and range scans.
+        #[test]
+        fn matches_reference_model(
+            order in 4usize..12,
+            ops in proptest::collection::vec((0u64..512, 0u64..1000), 1..300),
+            range in (0u64..512, 0u64..512),
+        ) {
+            let mut tree = BPlusTree::new(order);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for &(k, v) in &ops {
+                prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+            }
+            tree.validate();
+            prop_assert_eq!(tree.len(), model.len());
+            for &(k, _) in &ops {
+                prop_assert_eq!(tree.get(&k), model.get(&k).copied());
+            }
+            let (a, b) = range;
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got = tree.range(&lo, &hi);
+            let expect: Vec<(u64, u64)> =
+                model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Bulk load of any strictly-sorted input equals incremental inserts.
+        #[test]
+        fn bulk_load_equals_incremental(
+            order in 4usize..16,
+            keys in proptest::collection::btree_set(0u64..10_000, 0..400),
+        ) {
+            let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 7)).collect();
+            let bulk = BPlusTree::bulk_load(order, pairs.clone());
+            bulk.validate();
+            let mut inc = BPlusTree::new(order);
+            for &(k, v) in &pairs {
+                inc.insert(k, v);
+            }
+            prop_assert_eq!(bulk.scan(), inc.scan());
+            prop_assert_eq!(bulk.len(), pairs.len());
+        }
+    }
+}

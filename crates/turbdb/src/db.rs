@@ -1,0 +1,424 @@
+//! The database facade: B+ tree + simulated disk + buffer pool.
+
+use crate::atom::AtomData;
+use crate::btree::BPlusTree;
+use crate::config::{CostModel, DbConfig};
+use crate::disk::{DiskExtent, DiskStats, SimulatedDisk};
+use crate::synth::SyntheticField;
+use jaws_cache::{BufferPool, CacheStats, ReplacementPolicy, UtilityOracle};
+use jaws_morton::{AtomId, MortonKey};
+use std::sync::Arc;
+
+/// Whether atom payloads are materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Only residency and cost are modeled; no voxel data exists. Used by the
+    /// large scheduling experiments (the paper's 4096-atom timesteps).
+    Virtual,
+    /// Voxel payloads are synthesized on first read and cached. Used by the
+    /// computation kernels, examples and physics tests.
+    Synthetic,
+}
+
+/// Result of reading one atom.
+#[derive(Debug, Clone)]
+pub struct ReadResult {
+    /// True if the read was served from the buffer pool.
+    pub cache_hit: bool,
+    /// Simulated I/O time charged, in ms (zero on a hit).
+    pub io_ms: f64,
+    /// The payload, in [`DataMode::Synthetic`] only.
+    pub data: Option<Arc<AtomData>>,
+}
+
+/// One node of the Turbulence Database Cluster.
+///
+/// Each cluster node runs a separate JAWS instance over its spatial partition
+/// (§V-C); a `TurbDb` models one such node: a clustered B+ tree mapping
+/// [`AtomId`]s to disk extents, a simulated disk, and an externally managed
+/// buffer pool exactly like the paper's 2 GB external cache (§VI-B).
+pub struct TurbDb {
+    cfg: DbConfig,
+    mode: DataMode,
+    field: Option<SyntheticField>,
+    index: BPlusTree<AtomId, DiskExtent>,
+    disk: SimulatedDisk,
+    pool: BufferPool<AtomId, Option<Arc<AtomData>>>,
+    materializations: u64,
+}
+
+impl TurbDb {
+    /// Opens a database: lays out every atom in (timestep, Morton) order on
+    /// the simulated disk and bulk-loads the clustered index.
+    ///
+    /// `cache_atoms` is the buffer pool capacity in atoms (the paper's 2 GB
+    /// cache is 256 × 8 MB atoms) and `policy` its replacement policy.
+    pub fn open(
+        cfg: DbConfig,
+        cost: CostModel,
+        mode: DataMode,
+        cache_atoms: usize,
+        policy: Box<dyn ReplacementPolicy<AtomId>>,
+    ) -> Self {
+        cfg.validate();
+        let per_ts = cfg.atoms_per_timestep();
+        let mut pairs = Vec::with_capacity(cfg.total_atoms() as usize);
+        for t in 0..cfg.timesteps {
+            for m in 0..per_ts {
+                let id = AtomId::new(t, MortonKey(m));
+                let extent = DiskExtent {
+                    start: t as u64 * per_ts + m,
+                    len: 1,
+                };
+                pairs.push((id, extent));
+            }
+        }
+        let index = BPlusTree::bulk_load(64, pairs);
+        let field = match mode {
+            DataMode::Virtual => None,
+            DataMode::Synthetic => Some(SyntheticField::new(cfg.seed, cfg.grid_side)),
+        };
+        TurbDb {
+            cfg,
+            mode,
+            field,
+            index,
+            disk: SimulatedDisk::new(cost),
+            pool: BufferPool::new(cache_atoms, policy),
+            materializations: 0,
+        }
+    }
+
+    /// The geometry configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The data mode.
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    /// The synthetic field (Synthetic mode only) — exposed for ground-truth
+    /// physics checks in tests.
+    pub fn field(&self) -> Option<&SyntheticField> {
+        self.field.as_ref()
+    }
+
+    /// φ from Eq. 1: true if the atom is resident in the buffer pool.
+    pub fn is_resident(&self, id: &AtomId) -> bool {
+        self.pool.contains(id)
+    }
+
+    /// Atoms of one timestep whose grid coordinates fall inside the inclusive
+    /// atom-coordinate box `[min, max]` — a spatial range query answered with
+    /// a BIGMIN skip-scan over the clustered index: the scan jumps over the
+    /// Morton-interval gaps that lie outside the box instead of filtering key
+    /// by key (§III-A: "both range and containment queries are efficient with
+    /// respect to I/O").
+    pub fn atoms_in_box(
+        &self,
+        timestep: u32,
+        min: (u32, u32, u32),
+        max: (u32, u32, u32),
+    ) -> Vec<AtomId> {
+        assert!(
+            min.0 <= max.0 && min.1 <= max.1 && min.2 <= max.2,
+            "degenerate atom box"
+        );
+        let side = self.cfg.atoms_per_side();
+        assert!(
+            max.0 < side && max.1 < side && max.2 < side,
+            "atom box exceeds the grid"
+        );
+        let (zmin, zmax) = jaws_morton::box_corners(min, max);
+        let mut out = Vec::new();
+        let mut cur = if jaws_morton::in_box(zmin, zmin, zmax) {
+            Some(zmin)
+        } else {
+            jaws_morton::bigmin(zmin, zmin, zmax)
+        };
+        while let Some(k) = cur {
+            let id = AtomId::new(timestep, k);
+            debug_assert!(self.index.get(&id).is_some(), "index covers the grid");
+            out.push(id);
+            cur = jaws_morton::bigmin(k, zmin, zmax);
+        }
+        out
+    }
+
+    /// Atom (Morton key) owning a continuous voxel position, with periodic
+    /// wrapping.
+    pub fn atom_of_position(&self, p: [f64; 3]) -> MortonKey {
+        let l = self.cfg.grid_side as f64;
+        let side = self.cfg.atom_side as f64;
+        let wrap = |v: f64| v.rem_euclid(l);
+        let ax = (wrap(p[0]) / side) as u32;
+        let ay = (wrap(p[1]) / side) as u32;
+        let az = (wrap(p[2]) / side) as u32;
+        MortonKey::from_coords(ax, ay, az)
+    }
+
+    /// Reads one atom through the cache; charges simulated I/O on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the stored geometry (an index corruption in
+    /// the real system).
+    pub fn read_atom(&mut self, id: AtomId, oracle: &dyn UtilityOracle<AtomId>) -> ReadResult {
+        let extent = self
+            .index
+            .get(&id)
+            .unwrap_or_else(|| panic!("atom {id} not in the clustered index"));
+        let mut io_ms = 0.0;
+        let mut materialized = None;
+        let outcome = self.pool.access_with(
+            id,
+            || {
+                io_ms = self.disk.read(extent);
+                match self.mode {
+                    DataMode::Virtual => None,
+                    DataMode::Synthetic => {
+                        self.materializations += 1;
+                        let data = Arc::new(AtomData::materialize(
+                            &self.cfg,
+                            self.field.as_ref().expect("synthetic mode has a field"),
+                            id,
+                        ));
+                        materialized = Some(Arc::clone(&data));
+                        Some(data)
+                    }
+                }
+            },
+            oracle,
+        );
+        let cache_hit = outcome.is_hit();
+        let data = if cache_hit {
+            self.pool.peek(&id).and_then(|d| d.clone())
+        } else {
+            materialized
+        };
+        ReadResult {
+            cache_hit,
+            io_ms,
+            data,
+        }
+    }
+
+    /// Simulated compute charge for evaluating `positions` positions (T_m).
+    pub fn compute_cost_ms(&self, positions: u64) -> f64 {
+        self.disk.cost_model().position_compute_ms * positions as f64
+    }
+
+    /// Fixed per-pass submission cost (statement preparation, result
+    /// delivery) — amortized by multi-atom batches.
+    pub fn batch_dispatch_ms(&self) -> f64 {
+        self.disk.cost_model().batch_dispatch_ms
+    }
+
+    /// The neighboring atoms a kernel evaluation of `id` touches beyond the
+    /// atom itself (up to `stencil_neighbors` of them, configured in the cost
+    /// model): Lagrange stencils at boundary positions spill into the atoms
+    /// adjacent along the x axis, periodically wrapped. These reads go
+    /// through the cache like any other (§V's locality of reference).
+    pub fn stencil_neighbor_ids(&self, id: AtomId) -> Vec<AtomId> {
+        let n = self.disk.cost_model().stencil_neighbors.min(2);
+        if n == 0 {
+            return Vec::new();
+        }
+        let side = self.cfg.atoms_per_side();
+        let (x, y, z) = id.morton.coords();
+        let mut out = Vec::with_capacity(n as usize);
+        out.push(AtomId::from_coords(id.timestep, (x + 1) % side, y, z));
+        if n > 1 {
+            out.push(AtomId::from_coords(
+                id.timestep,
+                (x + side - 1) % side,
+                y,
+                z,
+            ));
+        }
+        out
+    }
+
+    /// Disk statistics.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pool.stats()
+    }
+
+    /// Cache policy name.
+    pub fn cache_policy_name(&self) -> &'static str {
+        self.pool.policy_name()
+    }
+
+    /// Policy metadata footprint in bytes.
+    pub fn cache_metadata_bytes(&self) -> usize {
+        self.pool.metadata_bytes()
+    }
+
+    /// Number of atoms materialized so far (Synthetic mode).
+    pub fn materializations(&self) -> u64 {
+        self.materializations
+    }
+
+    /// Signals a workload-run boundary to the cache (SLRU promotion point).
+    pub fn end_run(&mut self) {
+        self.pool.end_run();
+    }
+
+    /// Resets disk and cache statistics (residency preserved) — used between
+    /// warm-up and measurement phases.
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+        self.pool.reset_stats();
+    }
+
+    /// Total number of atoms stored.
+    pub fn total_atoms(&self) -> u64 {
+        self.cfg.total_atoms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaws_cache::Lru;
+
+    fn open_tiny(mode: DataMode, cache_atoms: usize) -> TurbDb {
+        TurbDb::open(
+            DbConfig::tiny(),
+            CostModel {
+                seek_ms: 10.0,
+                atom_read_ms: 100.0,
+                position_compute_ms: 0.5,
+                batch_dispatch_ms: 0.0,
+                stencil_neighbors: 0,
+            },
+            mode,
+            cache_atoms,
+            Box::new(Lru::new()),
+        )
+    }
+
+    #[test]
+    fn index_covers_every_atom() {
+        let db = open_tiny(DataMode::Virtual, 4);
+        assert_eq!(db.total_atoms(), 4 * 8); // 4 timesteps × 2³ atoms
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut db = open_tiny(DataMode::Virtual, 4);
+        let id = AtomId::from_coords(0, 1, 0, 1);
+        let r1 = db.read_atom(id, &jaws_cache::NullOracle);
+        assert!(!r1.cache_hit);
+        assert!(r1.io_ms > 0.0);
+        let r2 = db.read_atom(id, &jaws_cache::NullOracle);
+        assert!(r2.cache_hit);
+        assert_eq!(r2.io_ms, 0.0);
+        assert!(db.is_resident(&id));
+    }
+
+    #[test]
+    fn morton_sequential_reads_amortize_seeks() {
+        let mut db = open_tiny(DataMode::Virtual, 8);
+        for m in 0..8u64 {
+            db.read_atom(AtomId::new(0, MortonKey(m)), &jaws_cache::NullOracle);
+        }
+        let s = db.disk_stats();
+        assert_eq!(s.reads, 8);
+        assert_eq!(s.seeks, 1, "Morton-ordered scan pays a single seek");
+    }
+
+    #[test]
+    fn timestep_boundary_is_still_sequential_on_disk() {
+        // t0's last atom (block 7) and t1's first atom (block 8) are
+        // physically contiguous, so crossing the timestep boundary in key
+        // order does not pay a seek.
+        let mut db = open_tiny(DataMode::Virtual, 16);
+        db.read_atom(AtomId::new(0, MortonKey(7)), &jaws_cache::NullOracle);
+        let before = db.disk_stats().seeks;
+        db.read_atom(AtomId::new(1, MortonKey(0)), &jaws_cache::NullOracle);
+        assert_eq!(db.disk_stats().seeks, before, "t-boundary is contiguous");
+    }
+
+    #[test]
+    fn synthetic_mode_returns_data() {
+        let mut db = open_tiny(DataMode::Synthetic, 4);
+        let id = AtomId::from_coords(2, 0, 1, 0);
+        let r = db.read_atom(id, &jaws_cache::NullOracle);
+        let data = r.data.expect("payload in synthetic mode");
+        assert_eq!(data.id(), id);
+        assert_eq!(db.materializations(), 1);
+        // A hit returns the same Arc without re-materializing.
+        let r2 = db.read_atom(id, &jaws_cache::NullOracle);
+        assert!(r2.cache_hit);
+        assert!(r2.data.is_some());
+        assert_eq!(db.materializations(), 1);
+    }
+
+    #[test]
+    fn virtual_mode_has_no_data() {
+        let mut db = open_tiny(DataMode::Virtual, 4);
+        let r = db.read_atom(AtomId::from_coords(0, 0, 0, 0), &jaws_cache::NullOracle);
+        assert!(r.data.is_none());
+    }
+
+    #[test]
+    fn position_to_atom_mapping_wraps() {
+        let db = open_tiny(DataMode::Virtual, 4);
+        // tiny: grid 16, atom 8 → 2 atoms per side.
+        assert_eq!(db.atom_of_position([0.0, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
+        assert_eq!(db.atom_of_position([7.9, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
+        assert_eq!(db.atom_of_position([8.0, 0.0, 0.0]), MortonKey::from_coords(1, 0, 0));
+        assert_eq!(db.atom_of_position([16.0, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
+        assert_eq!(db.atom_of_position([-0.5, 0.0, 0.0]), MortonKey::from_coords(1, 0, 0));
+    }
+
+    #[test]
+    fn compute_cost_is_linear_in_positions() {
+        let db = open_tiny(DataMode::Virtual, 4);
+        assert_eq!(db.compute_cost_ms(0), 0.0);
+        assert_eq!(db.compute_cost_ms(100), 50.0);
+    }
+
+    #[test]
+    fn atoms_in_box_matches_brute_force() {
+        let db = open_tiny(DataMode::Virtual, 4); // 2 atoms per side
+        let got = db.atoms_in_box(1, (0, 0, 0), (1, 1, 0));
+        let mut expect = Vec::new();
+        for z in 0..1u32 {
+            for y in 0..2u32 {
+                for x in 0..2u32 {
+                    expect.push(AtomId::from_coords(1, x, y, z));
+                }
+            }
+        }
+        expect.sort();
+        assert_eq!(got, expect, "4 atoms of the z=0 slab, Morton order");
+        assert_eq!(db.atoms_in_box(0, (1, 1, 1), (1, 1, 1)).len(), 1);
+        assert_eq!(db.atoms_in_box(0, (0, 0, 0), (1, 1, 1)).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the grid")]
+    fn atoms_in_box_checks_bounds() {
+        let db = open_tiny(DataMode::Virtual, 4);
+        let _ = db.atoms_in_box(0, (0, 0, 0), (5, 0, 0));
+    }
+
+    #[test]
+    fn eviction_under_tiny_cache() {
+        let mut db = open_tiny(DataMode::Virtual, 2);
+        for m in 0..6u64 {
+            db.read_atom(AtomId::new(0, MortonKey(m)), &jaws_cache::NullOracle);
+        }
+        assert_eq!(db.cache_stats().evictions, 4);
+        assert!(!db.is_resident(&AtomId::new(0, MortonKey(0))));
+    }
+}

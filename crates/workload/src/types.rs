@@ -1,0 +1,346 @@
+//! Queries, jobs and data footprints.
+
+use jaws_morton::{AtomId, MortonKey};
+use serde::{Deserialize, Serialize};
+
+/// Unique query identifier within a trace.
+pub type QueryId = u64;
+/// Unique job identifier within a trace.
+pub type JobId = u64;
+/// Submitting user (scientist) identifier.
+pub type UserId = u32;
+
+/// The spatial/temporal operation a query performs — one of the three
+/// production workload classes of §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryOp {
+    /// Point velocity evaluation (GetVelocity with Lagrange interpolation).
+    Velocity,
+    /// Particle-tracking step (positions advected between timesteps).
+    ParticleTrack,
+    /// Statistical arrays over a volume.
+    RegionStats,
+}
+
+/// The data requirements of one query: for each atom it touches, the number
+/// of queried positions falling inside that atom.
+///
+/// This is exactly what the pre-processor of §III-B extracts ("the
+/// pre-processor identifies the data atom that corresponds to each position")
+/// and all the scheduler ever needs; concrete coordinates only matter to the
+/// computation kernels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Footprint {
+    /// (atom, positions-in-atom) pairs, sorted by Morton key, counts > 0.
+    pub atoms: Vec<(MortonKey, u32)>,
+}
+
+impl Footprint {
+    /// Builds a footprint from unsorted pairs, merging duplicates and
+    /// dropping zero counts.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (MortonKey, u32)>) -> Self {
+        let mut v: Vec<(MortonKey, u32)> = pairs.into_iter().filter(|&(_, c)| c > 0).collect();
+        v.sort_unstable_by_key(|&(m, _)| m);
+        let mut merged: Vec<(MortonKey, u32)> = Vec::with_capacity(v.len());
+        for (m, c) in v {
+            match merged.last_mut() {
+                Some((lm, lc)) if *lm == m => *lc += c,
+                _ => merged.push((m, c)),
+            }
+        }
+        Footprint { atoms: merged }
+    }
+
+    /// Total queried positions.
+    pub fn positions(&self) -> u64 {
+        self.atoms.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// Number of atoms touched.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if this footprint shares at least one atom with `other` — the
+    /// paper's data-sharing predicate A(q₁) ∩ A(q₂) ≠ ∅.
+    pub fn overlaps(&self, other: &Footprint) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.atoms.len() && j < other.atoms.len() {
+            match self.atoms[i].0.cmp(&other.atoms[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of shared atoms with `other`.
+    pub fn overlap_count(&self, other: &Footprint) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.atoms.len() && j < other.atoms.len() {
+            match self.atoms[i].0.cmp(&other.atoms[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// One query: an operation over a set of positions at one timestep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Trace-unique identifier.
+    pub id: QueryId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Operation class.
+    pub op: QueryOp,
+    /// Timestep accessed.
+    pub timestep: u32,
+    /// Per-atom position counts.
+    pub footprint: Footprint,
+}
+
+impl Query {
+    /// The set of atoms accessed, as full [`AtomId`]s — A(q) in §IV.
+    pub fn atom_ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.footprint
+            .atoms
+            .iter()
+            .map(move |&(m, _)| AtomId::new(self.timestep, m))
+    }
+
+    /// Total queried positions.
+    pub fn positions(&self) -> u64 {
+        self.footprint.positions()
+    }
+
+    /// Data-sharing predicate between two queries: same timestep and
+    /// overlapping atom sets.
+    pub fn shares_data(&self, other: &Query) -> bool {
+        self.timestep == other.timestep && self.footprint.overlaps(&other.footprint)
+    }
+}
+
+/// Job category (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Queries exhibit data dependencies and must run one after the other —
+    /// e.g. particle tracking, where "the positions of particles at the next
+    /// time step depend on the state … computed from the previous time step".
+    Ordered,
+    /// Queries are independent and may run in any order (aggregate statistics
+    /// over the data). Treated like one-off queries by JAWS.
+    Batched,
+}
+
+/// A job: "a collection of queries that belong to the same experiment".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    /// Trace-unique identifier.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Ordered or batched.
+    pub kind: JobKind,
+    /// Experiment campaign this job belongs to (the burst of concurrent jobs
+    /// one user submitted together — e.g. tracking runs differing only in
+    /// particle mass). Jobs of one campaign are statistically interchangeable;
+    /// job identification is additionally scored at this granularity.
+    pub campaign: u64,
+    /// The query sequence. For [`JobKind::Ordered`] the order is the
+    /// precedence order q₁ → q₂ → …; for batched jobs it is arbitrary.
+    pub queries: Vec<Query>,
+    /// Job submission time in trace milliseconds.
+    pub arrival_ms: f64,
+    /// Client-side pacing. For ordered jobs: think time between a query
+    /// completing and the user submitting the next one (results are
+    /// post-processed outside the database, §IV-A). For batched jobs: the
+    /// client loop's submission pacing — queries remain order-independent,
+    /// but the stream trickles in at this cadence.
+    pub think_ms: f64,
+}
+
+impl Job {
+    /// Total positions across all queries.
+    pub fn positions(&self) -> u64 {
+        self.queries.iter().map(Query::positions).sum()
+    }
+
+    /// Number of distinct timesteps the job touches.
+    pub fn timestep_span(&self) -> usize {
+        let mut ts: Vec<u32> = self.queries.iter().map(|q| q.timestep).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts.len()
+    }
+
+    /// Nominal execution time estimate in ms: per-query service estimate plus
+    /// think time between ordered queries. `atom_read_ms`/`position_compute_ms`
+    /// are the cost-model constants T_b and T_m.
+    pub fn nominal_duration_ms(&self, atom_read_ms: f64, position_compute_ms: f64) -> f64 {
+        let service: f64 = self
+            .queries
+            .iter()
+            .map(|q| {
+                q.footprint.atom_count() as f64 * atom_read_ms
+                    + q.positions() as f64 * position_compute_ms
+            })
+            .sum();
+        // Both kinds pace at think_ms per query (data-dependent for ordered,
+        // submission cadence for batched).
+        let think = self.think_ms * self.queries.len().saturating_sub(1) as f64;
+        service + think
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(atoms: &[(u64, u32)]) -> Footprint {
+        Footprint::from_pairs(atoms.iter().map(|&(m, c)| (MortonKey(m), c)))
+    }
+
+    #[test]
+    fn footprint_merges_and_sorts() {
+        let f = fp(&[(5, 2), (1, 3), (5, 4), (9, 0)]);
+        assert_eq!(
+            f.atoms,
+            vec![(MortonKey(1), 3), (MortonKey(5), 6)],
+            "sorted, merged, zero-dropped"
+        );
+        assert_eq!(f.positions(), 9);
+        assert_eq!(f.atom_count(), 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = fp(&[(1, 1), (3, 1), (7, 1)]);
+        let b = fp(&[(2, 1), (3, 1)]);
+        let c = fp(&[(4, 1), (8, 1)]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.overlap_count(&b), 1);
+        assert_eq!(b.overlap_count(&a), 1);
+        assert_eq!(a.overlap_count(&c), 0);
+        assert!(!Footprint::default().overlaps(&a), "empty footprint");
+    }
+
+    #[test]
+    fn query_sharing_requires_same_timestep() {
+        let q1 = Query {
+            id: 1,
+            user: 0,
+            op: QueryOp::Velocity,
+            timestep: 3,
+            footprint: fp(&[(1, 5)]),
+        };
+        let mut q2 = q1.clone();
+        q2.id = 2;
+        assert!(q1.shares_data(&q2));
+        q2.timestep = 4;
+        assert!(!q1.shares_data(&q2), "different timestep, same atoms");
+    }
+
+    #[test]
+    fn atom_ids_carry_the_timestep() {
+        let q = Query {
+            id: 1,
+            user: 0,
+            op: QueryOp::RegionStats,
+            timestep: 7,
+            footprint: fp(&[(0, 1), (4, 2)]),
+        };
+        let ids: Vec<AtomId> = q.atom_ids().collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|a| a.timestep == 7));
+    }
+
+    #[test]
+    fn job_duration_estimate() {
+        let q = |id: u64, ts: u32| Query {
+            id,
+            user: 1,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            footprint: fp(&[(0, 10)]),
+        };
+        let job = Job {
+            id: 1,
+            user: 1,
+            kind: JobKind::Ordered,
+            campaign: 1,
+            queries: vec![q(1, 0), q(2, 1), q(3, 2)],
+            arrival_ms: 0.0,
+            think_ms: 100.0,
+        };
+        // 3 queries × (1 atom × 80 + 10 pos × 1) + 2 gaps × 100.
+        assert_eq!(job.nominal_duration_ms(80.0, 1.0), 3.0 * 90.0 + 200.0);
+        assert_eq!(job.timestep_span(), 3);
+        assert_eq!(job.positions(), 30);
+    }
+
+    #[test]
+    fn empty_job_has_zero_duration() {
+        let job = Job {
+            id: 1,
+            user: 1,
+            kind: JobKind::Batched,
+            campaign: 1,
+            queries: vec![],
+            arrival_ms: 0.0,
+            think_ms: 500.0,
+        };
+        assert_eq!(job.nominal_duration_ms(80.0, 1.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        proptest::collection::vec((0u64..64, 0u32..100), 0..30)
+    }
+
+    proptest! {
+        /// from_pairs output is sorted, deduplicated, zero-free, and
+        /// preserves the position total.
+        #[test]
+        fn footprint_normalization_invariants(pairs in arb_pairs()) {
+            let f = Footprint::from_pairs(pairs.iter().map(|&(m, c)| (MortonKey(m), c)));
+            for w in f.atoms.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "sorted and deduped");
+            }
+            prop_assert!(f.atoms.iter().all(|&(_, c)| c > 0));
+            let expect: u64 = pairs.iter().map(|&(_, c)| c as u64).sum();
+            prop_assert_eq!(f.positions(), expect);
+        }
+
+        /// Overlap is symmetric and consistent with overlap_count.
+        #[test]
+        fn overlap_symmetry(a in arb_pairs(), b in arb_pairs()) {
+            let fa = Footprint::from_pairs(a.iter().map(|&(m, c)| (MortonKey(m), c)));
+            let fb = Footprint::from_pairs(b.iter().map(|&(m, c)| (MortonKey(m), c)));
+            prop_assert_eq!(fa.overlaps(&fb), fb.overlaps(&fa));
+            prop_assert_eq!(fa.overlap_count(&fb), fb.overlap_count(&fa));
+            prop_assert_eq!(fa.overlaps(&fb), fa.overlap_count(&fb) > 0);
+        }
+
+        /// A footprint always overlaps itself when non-empty.
+        #[test]
+        fn self_overlap(a in arb_pairs()) {
+            let fa = Footprint::from_pairs(a.iter().map(|&(m, c)| (MortonKey(m), c)));
+            prop_assert_eq!(fa.overlaps(&fa), !fa.atoms.is_empty());
+        }
+    }
+}
