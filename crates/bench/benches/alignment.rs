@@ -20,9 +20,7 @@ fn tracking_job(id: u64, steps: u32, region: u64) -> Job {
                 user: (id % 8) as u32,
                 op: QueryOp::ParticleTrack,
                 timestep: s,
-                footprint: Footprint::from_pairs(
-                    (0..8u64).map(|d| (MortonKey(region + d), 50u32)),
-                ),
+                footprint: Footprint::from_pairs((0..8u64).map(|d| (MortonKey(region + d), 50u32))),
             })
             .collect(),
         arrival_ms: id as f64,
@@ -48,7 +46,9 @@ fn bench_alignment(c: &mut Criterion) {
     });
 
     c.bench_function("gating/full_lifecycle_10_jobs", |bch| {
-        let jobs: Vec<Job> = (0..10u64).map(|j| tracking_job(j + 1, 10, (j % 3) * 4)).collect();
+        let jobs: Vec<Job> = (0..10u64)
+            .map(|j| tracking_job(j + 1, 10, (j % 3) * 4))
+            .collect();
         bch.iter(|| {
             let mut g = GatingGraph::new(GatingConfig {
                 gate_timeout_ms: 100.0,

@@ -1,0 +1,94 @@
+//! Cost of job admission into the gating graph — the Needleman–Wunsch
+//! alignment phase of §IV-B. DESIGN.md bounds the O(n²m²) dynamic-program
+//! phase with `GatingConfig::max_align_jobs` (align each arriving job against
+//! the most recent candidates only); this bench quantifies what that bound
+//! buys by comparing it against naive all-pairs admission.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jaws_morton::MortonKey;
+use jaws_scheduler::{align_jobs, GatingConfig, GatingGraph};
+use jaws_workload::{Footprint, Job, JobKind, Query, QueryOp};
+
+/// An ordered job of `len` queries walking a region sequence. Jobs share
+/// regions with a quarter of their peers (same campaign residue), so the
+/// alignments actually find edges.
+fn mk_job(id: u64, len: usize) -> Job {
+    let campaign = id % 4;
+    let queries = (0..len)
+        .map(|i| Query {
+            id: id * 1000 + i as u64,
+            user: id as u32,
+            op: QueryOp::ParticleTrack,
+            timestep: i as u32,
+            footprint: Footprint::from_pairs([(MortonKey(campaign * 100 + i as u64), 20u32)]),
+        })
+        .collect();
+    Job {
+        id,
+        user: id as u32,
+        kind: JobKind::Ordered,
+        campaign,
+        queries,
+        arrival_ms: id as f64,
+        think_ms: 0.0,
+    }
+}
+
+/// Admitting a stream of jobs through the gating graph: bounded candidate
+/// selection versus aligning every new job against every existing one.
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gating/admission");
+    for &(jobs, len) in &[(64usize, 12usize), (256, 12)] {
+        let stream: Vec<Job> = (0..jobs as u64).map(|id| mk_job(id, len)).collect();
+        group.bench_function(&format!("naive_all_pairs_{jobs}_jobs"), |b| {
+            b.iter_batched(
+                || stream.clone(),
+                |stream| {
+                    let mut g = GatingGraph::new(GatingConfig {
+                        max_align_jobs: usize::MAX,
+                        ..GatingConfig::default()
+                    });
+                    for job in &stream {
+                        g.add_job(job);
+                    }
+                    black_box((g.admitted_edges(), g.refused_edges()))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(&format!("nw_bounded_16_{jobs}_jobs"), |b| {
+            b.iter_batched(
+                || stream.clone(),
+                |stream| {
+                    let mut g = GatingGraph::new(GatingConfig {
+                        max_align_jobs: 16,
+                        ..GatingConfig::default()
+                    });
+                    for job in &stream {
+                        g.add_job(job);
+                    }
+                    black_box((g.admitted_edges(), g.refused_edges()))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The raw dynamic program: one pairwise alignment at several job lengths —
+/// the O(n·m) inner kernel the admission bound multiplies.
+fn bench_pairwise_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gating/align_pair");
+    for &len in &[8usize, 32, 128] {
+        let a = mk_job(0, len);
+        let b_ = mk_job(4, len); // same campaign residue → real matches
+        group.bench_function(&format!("{len}_queries"), |b| {
+            b.iter(|| black_box(align_jobs(&a.queries, &b_.queries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_pairwise_alignment);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jaws_morton::{AtomId, MortonKey};
 use jaws_scheduler::{
-    Jaws, JawsConfig, LifeRaft, MetricParams, Residency, Scheduler,
+    Jaws, JawsConfig, LifeRaft, MetricParams, Residency, Scheduler, SubQuery, WorkloadManager,
 };
 use jaws_workload::{Footprint, Query, QueryOp};
 
@@ -15,6 +15,14 @@ struct NoneResident;
 impl Residency for NoneResident {
     fn is_resident(&self, _atom: &AtomId) -> bool {
         false
+    }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        Some(0) // nothing ever becomes resident
+    }
+
+    fn residency_changes_since(&self, _since: u64) -> Option<Vec<(AtomId, bool)>> {
+        Some(Vec::new())
     }
 }
 
@@ -87,5 +95,86 @@ fn bench_next_batch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_next_batch);
+/// A workload manager with exactly `n` pending atoms spread over 32
+/// timesteps, one sub-query each.
+fn loaded_wm(n: u64) -> WorkloadManager {
+    let mut wm = WorkloadManager::new(MetricParams::paper_testbed());
+    for i in 0..n {
+        let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        wm.enqueue([SubQuery {
+            query: i + 1,
+            atom: AtomId::new((i % 32) as u32, MortonKey(i / 32)),
+            positions: (h % 900 + 10) as u32,
+            enqueued_ms: (h % 1000) as f64,
+        }]);
+    }
+    wm
+}
+
+/// One steady-state scheduling step against the reference full-scan path:
+/// argmax over a fresh `aged_utilities` scan, take the atom, enqueue a
+/// replacement sub-query, rebuild the URC snapshot from scratch.
+fn full_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
+    let res = NoneResident;
+    let (atom, _) = wm
+        .aged_utilities(now_ms, 0.3, &res)
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .unwrap();
+    let (batch, _) = wm.take_atom(&atom);
+    black_box(batch.positions());
+    wm.enqueue([SubQuery {
+        query: 1_000_000 + i,
+        atom,
+        positions: 100,
+        enqueued_ms: now_ms,
+    }]);
+    black_box(wm.utility_snapshot(&res));
+}
+
+/// The same step through the incrementally maintained state: O(#timesteps)
+/// argmax, O(Δ) refresh, O(1) snapshot clone.
+fn incremental_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
+    let res = NoneResident;
+    let (atom, _) = wm.best_atom(now_ms, 0.3, &res).unwrap();
+    let (batch, _) = wm.take_atom(&atom);
+    black_box(batch.positions());
+    wm.enqueue([SubQuery {
+        query: 1_000_000 + i,
+        atom,
+        positions: 100,
+        enqueued_ms: now_ms,
+    }]);
+    black_box(wm.utility_snapshot_incremental(&res));
+}
+
+/// Full-recompute versus incremental metric maintenance at 1k / 10k / 100k
+/// pending atoms — the tentpole comparison: the full path rescans every
+/// pending atom per dispatch, the incremental path only touches what changed.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/metric_maintenance");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        group.bench_function(&format!("full_scan_{n}_atoms"), |b| {
+            let mut wm = loaded_wm(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                full_step(&mut wm, i, 2000.0 + i as f64);
+            })
+        });
+        group.bench_function(&format!("incremental_{n}_atoms"), |b| {
+            let mut wm = loaded_wm(n);
+            let res = NoneResident;
+            black_box(wm.utility_snapshot_incremental(&res)); // prime the cache
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                incremental_step(&mut wm, i, 2000.0 + i as f64);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_next_batch, bench_incremental_vs_full);
 criterion_main!(benches);

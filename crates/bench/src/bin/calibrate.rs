@@ -42,19 +42,19 @@ fn main() {
             ];
         }
         let specs: Vec<RunSpec> = kinds
-        .iter()
-        .map(|&(k, gate)| RunSpec {
-            label: k.name().to_string(),
-            db: DbConfig::paper_sample(),
-            cost: CostModel::paper_testbed(),
-            scheduler: k,
-            cache_policy: CachePolicyKind::LruK,
-            cache_atoms: 256,
-            run_len: 50,
-            gate_timeout_ms: gate,
-            speedup: 1.0,
-        })
-        .collect();
+            .iter()
+            .map(|&(k, gate)| RunSpec {
+                label: k.name().to_string(),
+                db: DbConfig::paper_sample(),
+                cost: CostModel::paper_testbed(),
+                scheduler: k,
+                cache_policy: CachePolicyKind::LruK,
+                cache_atoms: 256,
+                run_len: 50,
+                gate_timeout_ms: gate,
+                speedup: 1.0,
+            })
+            .collect();
         println!(
             "\n== burst gap {gap} ms: {} queries over {:.2} h of arrivals ==",
             trace.query_count(),

@@ -41,9 +41,16 @@ fn main() {
             r.aggregate.cache.hit_ratio() * 100.0,
             r.imbalance(),
             r.aggregate.throughput_qps / base,
-            if r.aggregate.truncated { "  [TRUNCATED]" } else { "" }
+            if r.aggregate.truncated {
+                "  [TRUNCATED]"
+            } else {
+                ""
+            }
         );
     }
     exp::rule();
-    println!("cache is split across nodes (total stays at {} atoms ≙ 2 GB).", exp::CACHE_ATOMS);
+    println!(
+        "cache is split across nodes (total stays at {} atoms ≙ 2 GB).",
+        exp::CACHE_ATOMS
+    );
 }

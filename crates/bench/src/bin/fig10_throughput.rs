@@ -22,7 +22,16 @@ fn main() {
     exp::rule();
     println!(
         "{:<11} {:>9} {:>12} {:>10} {:>8} {:>8} {:>8} {:>9} {:>8} {:>6}",
-        "scheduler", "qps", "mean rt (s)", "mkspan(h)", "reads", "seeks", "batches", "cache hit", "forced", "alpha"
+        "scheduler",
+        "qps",
+        "mean rt (s)",
+        "mkspan(h)",
+        "reads",
+        "seeks",
+        "batches",
+        "cache hit",
+        "forced",
+        "alpha"
     );
     exp::rule();
     let mut qps = std::collections::HashMap::new();

@@ -15,11 +15,20 @@ fn main() {
 
     println!("\nFig. 8 — Distribution of jobs by execution time");
     exp::rule();
-    println!("{:<12} {:>8} {:>10}  histogram", "bucket", "jobs", "fraction");
+    println!(
+        "{:<12} {:>8} {:>10}  histogram",
+        "bucket", "jobs", "fraction"
+    );
     exp::rule();
     for b in &hist {
         let bar = "#".repeat((b.fraction * 60.0).round() as usize);
-        println!("{:<12} {:>8} {:>9.1}%  {}", b.label, b.count, b.fraction * 100.0, bar);
+        println!(
+            "{:<12} {:>8} {:>9.1}%  {}",
+            b.label,
+            b.count,
+            b.fraction * 100.0,
+            bar
+        );
     }
     exp::rule();
     let mid = hist

@@ -16,7 +16,10 @@ fn main() {
 
     println!("\nFig. 9 — Distribution of queries by timestep accessed");
     exp::rule();
-    println!("{:>8} {:>9} {:>9}  access frequency", "timestep", "queries", "share");
+    println!(
+        "{:>8} {:>9} {:>9}  access frequency",
+        "timestep", "queries", "share"
+    );
     exp::rule();
     for (t, &n) in hist.iter().enumerate() {
         let bar = "#".repeat(((n as f64 / peak) * 60.0).round() as usize);

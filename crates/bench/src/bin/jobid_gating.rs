@@ -8,12 +8,12 @@
 //! (JAWS₁), all replaying the identical trace.
 
 use jaws_bench::exp;
-use jaws_sim::{build_db, build_scheduler, Executor, SchedulerKind, SimConfig};
-use jaws_sim::CachePolicyKind;
 use jaws_scheduler::MetricParams;
+use jaws_sim::CachePolicyKind;
+use jaws_sim::{build_db, build_scheduler, Executor, SchedulerKind, SimConfig};
 use jaws_turbdb::DataMode;
-use jaws_workload::{identify_jobs, JobIdConfig, JobIdEvaluation, SubmitRecord};
 use jaws_workload::jobid::reconstruct_jobs;
+use jaws_workload::{identify_jobs, JobIdConfig, JobIdEvaluation, SubmitRecord};
 
 fn main() {
     let trace = exp::select_trace();
@@ -61,13 +61,21 @@ fn main() {
     };
 
     println!();
-    let none = run("JAWS_1 (no jobs)", SchedulerKind::Jaws1 { batch_k: 15 }, None);
+    let none = run(
+        "JAWS_1 (no jobs)",
+        SchedulerKind::Jaws1 { batch_k: 15 },
+        None,
+    );
     let ident = run(
         "JAWS_2 (identified)",
         SchedulerKind::Jaws2 { batch_k: 15 },
         Some(identified),
     );
-    let truth = run("JAWS_2 (declared)", SchedulerKind::Jaws2 { batch_k: 15 }, None);
+    let truth = run(
+        "JAWS_2 (declared)",
+        SchedulerKind::Jaws2 { batch_k: 15 },
+        None,
+    );
     exp::rule();
     println!(
         "job-awareness from the log recovers {:.0}% of the declared-structure gain",

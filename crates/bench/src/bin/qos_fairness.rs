@@ -8,9 +8,9 @@
 //! paper's future-work proposal while keeping per-pass data sharing.
 
 use jaws_bench::exp;
-use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
 use jaws_scheduler::MetricParams;
 use jaws_sim::Percentiles;
+use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
 use jaws_turbdb::DataMode;
 use std::collections::HashMap;
 

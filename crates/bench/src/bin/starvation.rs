@@ -9,9 +9,9 @@
 //! response times by query size class.
 
 use jaws_bench::exp;
-use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
 use jaws_scheduler::MetricParams;
 use jaws_sim::Percentiles;
+use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
 use jaws_turbdb::DataMode;
 use std::collections::HashMap;
 

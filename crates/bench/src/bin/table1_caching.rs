@@ -20,13 +20,7 @@ fn main() {
     let trace = exp::select_trace();
     let specs: Vec<_> = CachePolicyKind::table1_set()
         .iter()
-        .map(|&p| {
-            exp::base_spec(
-                &format!("{p:?}"),
-                SchedulerKind::Jaws2 { batch_k: 15 },
-                p,
-            )
-        })
+        .map(|&p| exp::base_spec(&format!("{p:?}"), SchedulerKind::Jaws2 { batch_k: 15 }, p))
         .collect();
     let results = run_parallel(&specs, &trace);
 

@@ -105,17 +105,33 @@ fn info(args: &[String]) -> Result<(), String> {
     let t = load(path)?;
     t.validate();
     println!("trace {path}");
-    println!("  geometry        {} timesteps x {}^3 atoms", t.timesteps, t.atoms_per_side);
-    println!("  jobs            {} ({} ordered)", t.jobs.len(), t.ordered_job_count());
+    println!(
+        "  geometry        {} timesteps x {}^3 atoms",
+        t.timesteps, t.atoms_per_side
+    );
+    println!(
+        "  jobs            {} ({} ordered)",
+        t.jobs.len(),
+        t.ordered_job_count()
+    );
     println!("  queries         {}", t.query_count());
     println!("  positions       {}", t.position_count());
     println!("  in-job queries  {:.1}%", t.fraction_in_jobs() * 100.0);
-    let span_ms = t.jobs.last().map_or(0.0, |j| j.arrival_ms) - t.jobs.first().map_or(0.0, |j| j.arrival_ms);
+    let span_ms =
+        t.jobs.last().map_or(0.0, |j| j.arrival_ms) - t.jobs.first().map_or(0.0, |j| j.arrival_ms);
     println!("  arrival span    {:.2} h", span_ms / 3.6e6);
-    println!("  top-12 ts share {:.1}%", top_timestep_share(&t, 12) * 100.0);
+    println!(
+        "  top-12 ts share {:.1}%",
+        top_timestep_share(&t, 12) * 100.0
+    );
     println!("  duration histogram (nominal, paper cost model):");
     for b in job_duration_histogram(&t, 80.0, 0.05) {
-        println!("    {:<10} {:>6} jobs {:>5.1}%", b.label, b.count, b.fraction * 100.0);
+        println!(
+            "    {:<10} {:>6} jobs {:>5.1}%",
+            b.label,
+            b.count,
+            b.fraction * 100.0
+        );
     }
     let hist = timestep_histogram(&t);
     let peak = *hist.iter().max().unwrap_or(&1) as f64;

@@ -7,8 +7,8 @@
 //! 4096 atoms/timestep, 2 GB external cache, 50k-query trace of ~1k jobs).
 
 pub mod exp {
-    use jaws_sim::{CachePolicyKind, SchedulerKind};
     use jaws_sim::sweep::RunSpec;
+    use jaws_sim::{CachePolicyKind, SchedulerKind};
     use jaws_turbdb::{CostModel, DbConfig};
     use jaws_workload::{GenConfig, Trace, TraceGenerator};
 

@@ -138,7 +138,7 @@ mod tests {
         p.on_insert(1);
         p.on_hit(&1); // 1 is hot (2 references)
         p.on_insert(2); // 2 is cold (1 reference)
-        // Even though 2 was referenced more recently, it has < K references.
+                        // Even though 2 was referenced more recently, it has < K references.
         assert_eq!(victim(&mut p), Some(2));
     }
 
@@ -158,7 +158,7 @@ mod tests {
         p.on_insert(2); // stamp 1
         p.on_hit(&1); // 1: stamps {0, 2}
         p.on_hit(&2); // 2: stamps {1, 3}
-        // Both hot; 1's 2nd-most-recent (0) < 2's (1).
+                      // Both hot; 1's 2nd-most-recent (0) < 2's (1).
         assert_eq!(victim(&mut p), Some(1));
         p.on_hit(&1); // 1: stamps {2, 4} — now 2's penultimate (1) is oldest
         assert_eq!(victim(&mut p), Some(2));

@@ -61,10 +61,7 @@ impl<K: Eq + Hash + Ord + Copy + Debug> TwoQ<K> {
     /// The classic sizing for a cache of `cache_capacity` entries: A1in 25%,
     /// A1out 50% (keys).
     pub fn for_cache(cache_capacity: usize) -> Self {
-        Self::new(
-            (cache_capacity / 4).max(1),
-            (cache_capacity / 2).max(1),
-        )
+        Self::new((cache_capacity / 4).max(1), (cache_capacity / 2).max(1))
     }
 
     fn touch_am(&mut self, key: K) {
@@ -239,7 +236,10 @@ mod tests {
             q.on_remove(&v);
         }
         let remembered = (0..10).filter(|k| q.in_ghost(k)).count();
-        assert!(remembered <= 3, "ghost list exceeded capacity: {remembered}");
+        assert!(
+            remembered <= 3,
+            "ghost list exceeded capacity: {remembered}"
+        );
     }
 
     #[test]

@@ -241,7 +241,11 @@ mod tests {
         // not the raw 1000 — a 2.8× apparent rise instead of 10×.
         push_run(&mut c, t, 1_000.0, 10.0);
         let (_, fb) = c.history().last().unwrap();
-        assert!((fb.mean_response_ms - 280.0).abs() < 1e-6, "{}", fb.mean_response_ms);
+        assert!(
+            (fb.mean_response_ms - 280.0).abs() < 1e-6,
+            "{}",
+            fb.mean_response_ms
+        );
         assert!(c.alpha() < 0.5, "saturation rise still lowers alpha");
         assert!((0.0..=1.0).contains(&c.alpha()));
     }

@@ -130,7 +130,7 @@ impl Scheduler for CasJobs {
         1.0 // arrival order within each class
     }
 
-    fn utility_snapshot(&self, _residency: &dyn Residency) -> UtilitySnapshot {
+    fn utility_snapshot(&mut self, _residency: &dyn Residency) -> UtilitySnapshot {
         UtilitySnapshot::empty()
     }
 
@@ -182,8 +182,14 @@ mod tests {
         let none = FixedResidency::none();
         s.query_available(&q(1, 1, 50), 0.0);
         s.query_available(&q(2, 1, 50), 1.0);
-        assert_eq!(s.next_batch(2.0, &none).unwrap().completing_queries, vec![1]);
-        assert_eq!(s.next_batch(3.0, &none).unwrap().completing_queries, vec![2]);
+        assert_eq!(
+            s.next_batch(2.0, &none).unwrap().completing_queries,
+            vec![1]
+        );
+        assert_eq!(
+            s.next_batch(3.0, &none).unwrap().completing_queries,
+            vec![2]
+        );
     }
 
     #[test]

@@ -183,12 +183,7 @@ impl GatingGraph {
         }
         // Dynamic-program phase: align against the most recent ordered jobs.
         let mut alignments: Vec<(JobId, Vec<(usize, usize)>)> = Vec::new();
-        for &other_id in self
-            .job_order
-            .iter()
-            .rev()
-            .take(self.cfg.max_align_jobs)
-        {
+        for &other_id in self.job_order.iter().rev().take(self.cfg.max_align_jobs) {
             let other = &self.jobs[&other_id];
             // Only align against the not-yet-done suffix: gating a completed
             // query is meaningless.
@@ -198,11 +193,7 @@ impl GatingGraph {
             }
             let al = align_jobs(&job.queries, &other.queries[offset..]);
             if al.score > 0 {
-                let pairs = al
-                    .pairs
-                    .into_iter()
-                    .map(|(i, j)| (i, j + offset))
-                    .collect();
+                let pairs = al.pairs.into_iter().map(|(i, j)| (i, j + offset)).collect();
                 alignments.push((other_id, pairs));
             }
         }
@@ -243,10 +234,8 @@ impl GatingGraph {
         // joining b means joining b's whole group. Constraint: the merged
         // group may hold at most one query per job (two queries of one job in
         // a group could never be co-scheduled).
-        let old_a: Option<(GroupId, Vec<QueryId>)> =
-            ea.group.map(|g| (g, self.groups[&g].clone()));
-        let old_b: Option<(GroupId, Vec<QueryId>)> =
-            eb.group.map(|g| (g, self.groups[&g].clone()));
+        let old_a: Option<(GroupId, Vec<QueryId>)> = ea.group.map(|g| (g, self.groups[&g].clone()));
+        let old_b: Option<(GroupId, Vec<QueryId>)> = eb.group.map(|g| (g, self.groups[&g].clone()));
         let side_a = old_a.as_ref().map_or_else(|| vec![a], |(_, m)| m.clone());
         let side_b = old_b.as_ref().map_or_else(|| vec![b], |(_, m)| m.clone());
         let merged: Vec<QueryId> = side_a.iter().chain(side_b.iter()).copied().collect();
@@ -347,7 +336,10 @@ impl GatingGraph {
     /// WAIT → READY, then fires any group that became fully ready. Returns
     /// the queries newly promoted to QUEUE.
     pub fn query_available(&mut self, q: QueryId, now_ms: f64) -> Vec<QueryId> {
-        let e = self.queries.get_mut(&q).expect("available query is tracked");
+        let e = self
+            .queries
+            .get_mut(&q)
+            .expect("available query is tracked");
         debug_assert_eq!(e.state, QueryState::Wait, "double availability for {q}");
         e.state = QueryState::Ready;
         e.ready_since_ms = now_ms;
@@ -627,7 +619,9 @@ mod tests {
         g.query_done(200);
         g.query_done(100);
         g.query_done(300);
-        let m = g.group_members(101).expect("R3 gated across all three jobs");
+        let m = g
+            .group_members(101)
+            .expect("R3 gated across all three jobs");
         assert_eq!(m.len(), 3, "transitivity merged all three R3 queries");
         // R3 queries become available one by one; only the last arrival fires
         // the whole group.
@@ -697,8 +691,7 @@ mod tests {
         g.add_job(&job(2, &[(0, 1), (1, 1)]));
         for qid in [100u64, 101, 200, 201] {
             if let Some(members) = g.group_members(qid) {
-                let mut jobs: Vec<u64> =
-                    members.iter().map(|m| m / 100).collect();
+                let mut jobs: Vec<u64> = members.iter().map(|m| m / 100).collect();
                 jobs.sort_unstable();
                 jobs.dedup();
                 assert_eq!(jobs.len(), members.len(), "duplicate job in group");
@@ -808,15 +801,13 @@ mod tests {
             let mut jobs = Vec::new();
             for jid in 1..=6u64 {
                 let len = rng.gen_range(1..6);
-                let spec: Vec<(u32, u64)> = (0..len)
-                    .map(|i| (i as u32, rng.gen_range(0..4)))
-                    .collect();
+                let spec: Vec<(u32, u64)> =
+                    (0..len).map(|i| (i as u32, rng.gen_range(0..4))).collect();
                 let j = job(jid, &spec);
                 g.add_job(&j);
                 jobs.push(j);
             }
-            let mut cursor: HashMap<u64, usize> =
-                jobs.iter().map(|j| (j.id, 0usize)).collect();
+            let mut cursor: HashMap<u64, usize> = jobs.iter().map(|j| (j.id, 0usize)).collect();
             for j in &jobs {
                 g.query_available(j.queries[0].id, 0.0);
             }
@@ -859,7 +850,9 @@ impl GatingGraph {
     /// into `dot -Tsvg`.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("graph jaws_gating {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n");
+        let mut out = String::from(
+            "graph jaws_gating {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n",
+        );
         // Precedence chains per job (drawn as directed-looking edges).
         let mut job_ids: Vec<&JobId> = self.jobs.keys().collect();
         job_ids.sort_unstable();

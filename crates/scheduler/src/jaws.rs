@@ -74,6 +74,9 @@ pub struct Jaws {
     alpha_ctl: AlphaController,
     /// Queries available but held by gating, by id, awaiting release.
     held: HashMap<QueryId, Query>,
+    /// Run-boundary counter for the fixed-α ablation, which must not feed
+    /// fabricated response times into the (unused) [`AlphaController`].
+    fixed_completed_in_run: usize,
     run_boundary: bool,
     stats: SchedulerStats,
 }
@@ -88,6 +91,7 @@ impl Jaws {
             gating: GatingGraph::new(cfg.gating),
             alpha_ctl: AlphaController::new(cfg.alpha0, cfg.run_len),
             held: HashMap::new(),
+            fixed_completed_in_run: 0,
             run_boundary: false,
             stats: SchedulerStats::default(),
             cfg,
@@ -155,26 +159,21 @@ impl Scheduler for Jaws {
             return None;
         }
         let alpha = self.alpha();
-        let utilities = self.wm.aged_utilities(now_ms, alpha, residency);
         // Coarse level: the timestep with the highest mean aged utility,
         // where the mean runs over *all* atoms of the timestep (§V) — i.e.
-        // the densest pending timestep wins.
-        let mut ts_sum: HashMap<u32, f64> = HashMap::new();
-        for &(atom, u) in &utilities {
-            *ts_sum.entry(atom.timestep).or_insert(0.0) += u;
-        }
-        let (best_ts, sum) = ts_sum
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
-        let ts_mean = sum / self.cfg.params.atoms_per_timestep.max(1) as f64;
+        // the densest pending timestep wins. Answered from the workload
+        // manager's per-timestep aggregates (O(#timesteps)), not a scan of
+        // every pending atom.
+        let best_ts = self.wm.best_timestep(now_ms, alpha, residency)?;
         // Fine level: up to k atoms of that timestep with utility above the
         // (all-atoms) mean, best first; always at least the maximum. The
         // threshold only bites for very large k, which is why "the impact
         // beyond 50 is marginal" (Fig. 12).
-        let mut in_ts: Vec<(jaws_morton::AtomId, f64)> = utilities
-            .into_iter()
-            .filter(|(a, _)| a.timestep == best_ts)
-            .collect();
+        let mut in_ts = self
+            .wm
+            .timestep_aged_utilities(best_ts, now_ms, alpha, residency);
+        let sum: f64 = in_ts.iter().map(|&(_, u)| u).sum();
+        let ts_mean = sum / self.cfg.params.atoms_per_timestep.max(1) as f64;
         in_ts.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut selected: Vec<jaws_morton::AtomId> = in_ts
             .iter()
@@ -211,8 +210,13 @@ impl Scheduler for Jaws {
                 self.run_boundary = true;
             }
         } else {
-            // Fixed-α ablation still wants run boundaries for the cache.
-            if self.alpha_ctl.on_query_complete(0.0, now_ms) {
+            // Fixed-α ablation still wants run boundaries for the cache, but
+            // must not feed fabricated zero response times into the
+            // controller — that would pollute its run telemetry (and the
+            // alpha_history() report) even though α itself never moves.
+            self.fixed_completed_in_run += 1;
+            if self.fixed_completed_in_run >= self.cfg.run_len {
+                self.fixed_completed_in_run = 0;
                 self.run_boundary = true;
             }
         }
@@ -238,8 +242,8 @@ impl Scheduler for Jaws {
         }
     }
 
-    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot(residency)
+    fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
+        self.wm.utility_snapshot_incremental(residency)
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -412,6 +416,33 @@ mod tests {
             s.on_query_complete(i, 100.0 + i as f64, i as f64 * 10.0);
         }
         assert_eq!(s.alpha(), 0.3);
+    }
+
+    #[test]
+    fn fixed_alpha_keeps_run_boundaries_without_polluting_the_controller() {
+        // Regression: the fixed-α ablation used to drive run boundaries by
+        // feeding response_ms = 0.0 into the AlphaController, fabricating
+        // run feedback for a controller that is supposed to be inert.
+        let mut s = Jaws::new(JawsConfig {
+            adaptive_alpha: false,
+            alpha0: 0.3,
+            run_len: 3,
+            ..JawsConfig::jaws1(params())
+        });
+        let mut boundaries = 0;
+        for i in 0..12 {
+            s.on_query_complete(i, 250.0, i as f64 * 10.0);
+            if s.take_run_boundary() {
+                boundaries += 1;
+                assert_eq!((i + 1) % 3, 0, "boundary fires every run_len");
+            }
+        }
+        assert_eq!(boundaries, 4, "run counting still works for the cache");
+        assert_eq!(s.alpha(), 0.3, "alpha untouched");
+        assert!(
+            s.alpha_history().is_empty(),
+            "no fabricated RunFeedback reaches the controller"
+        );
     }
 
     #[test]

@@ -68,10 +68,10 @@ impl Scheduler for LifeRaft {
     }
 
     fn next_batch(&mut self, now_ms: f64, residency: &dyn Residency) -> Option<Batch> {
-        let utilities = self.wm.aged_utilities(now_ms, self.alpha, residency);
-        let (atom, _) = utilities
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
+        // Argmax over aged utilities (ties to the smaller atom id), served
+        // from the workload manager's incremental state instead of a full
+        // per-dispatch scan.
+        let (atom, _) = self.wm.best_atom(now_ms, self.alpha, residency)?;
         let (group, completing) = self.wm.take_atom(&atom);
         self.stats.batches += 1;
         self.stats.atom_groups += 1;
@@ -102,8 +102,8 @@ impl Scheduler for LifeRaft {
         self.alpha
     }
 
-    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot(residency)
+    fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
+        self.wm.utility_snapshot_incremental(residency)
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -180,7 +180,10 @@ mod tests {
         s.query_available(&q(1, &[(0, 10), (1, 10), (2, 10)]), 0.0);
         let b = s.next_batch(1.0, &none).unwrap();
         assert_eq!(b.atom_count(), 1, "LifeRaft lacks two-level batching");
-        assert!(b.completing_queries.is_empty(), "query still has atoms left");
+        assert!(
+            b.completing_queries.is_empty(),
+            "query still has atoms left"
+        );
         assert!(s.has_pending());
     }
 

@@ -90,7 +90,7 @@ impl Scheduler for NoShare {
         1.0 // arrival order by construction
     }
 
-    fn utility_snapshot(&self, _residency: &dyn Residency) -> UtilitySnapshot {
+    fn utility_snapshot(&mut self, _residency: &dyn Residency) -> UtilitySnapshot {
         UtilitySnapshot::empty()
     }
 

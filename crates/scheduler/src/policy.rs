@@ -8,9 +8,31 @@ use serde::Serialize;
 
 /// Residency information — φ of Eq. 1. Implemented by the execution engine
 /// over the database buffer pool.
+///
+/// The workload manager caches per-atom metric values between scheduling
+/// decisions and only recomputes atoms whose inputs changed. Residency is one
+/// of those inputs, so the trait optionally exposes *change tracking*: an
+/// epoch counter plus a change log. Both have conservative defaults (`None` =
+/// "assume anything may have changed"), so plain `is_resident`-only
+/// implementations stay correct — they just forgo the fast path.
 pub trait Residency {
     /// True if the atom is currently cached in memory.
     fn is_resident(&self, atom: &AtomId) -> bool;
+
+    /// Monotone counter that advances whenever any atom's residency flips.
+    /// `None` means residency is untracked/volatile: consumers must treat
+    /// every atom as potentially changed on every call.
+    fn residency_epoch(&self) -> Option<u64> {
+        None
+    }
+
+    /// The `(atom, now_resident)` flips since epoch `since`, or `None` when
+    /// the log cannot answer (untracked, or truncated past `since`) — the
+    /// consumer must then re-check every atom it cares about.
+    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+        let _ = since;
+        None
+    }
 }
 
 /// Aggregate scheduler statistics for experiment reports.
@@ -67,8 +89,10 @@ pub trait Scheduler {
     /// Current age-bias α (fixed for LifeRaft, adaptive for JAWS).
     fn alpha(&self) -> f64;
 
-    /// URC's ranking oracle: the current workload-queue utilities.
-    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot;
+    /// URC's ranking oracle: the current workload-queue utilities. Takes
+    /// `&mut self` so schedulers can serve it from incrementally maintained
+    /// state (the snapshot is patched in place rather than rebuilt).
+    fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot;
 
     /// Statistics snapshot.
     fn stats(&self) -> SchedulerStats;
@@ -103,6 +127,14 @@ pub mod test_support {
     impl Residency for FixedResidency {
         fn is_resident(&self, atom: &AtomId) -> bool {
             self.resident.contains(atom)
+        }
+
+        fn residency_epoch(&self) -> Option<u64> {
+            Some(0) // the set never changes
+        }
+
+        fn residency_changes_since(&self, _since: u64) -> Option<Vec<(AtomId, bool)>> {
+            Some(Vec::new())
         }
     }
 }

@@ -123,8 +123,8 @@ impl Scheduler for QosScheduler {
         1.0 // deadline order generalizes arrival order
     }
 
-    fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot(residency)
+    fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
+        self.wm.utility_snapshot_incremental(residency)
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -180,8 +180,8 @@ mod tests {
         let mut s = sched(2.0);
         let none = FixedResidency::none();
         s.query_available(&q(1, 2, 100), 0.0); // deadline ≈ 2*(160+5)
-        // A stream of small queries arriving later has later deadlines than
-        // the old large one eventually.
+                                               // A stream of small queries arriving later has later deadlines than
+                                               // the old large one eventually.
         for i in 0..5 {
             s.query_available(&q(10 + i, 1, 10), 400.0 + i as f64);
         }

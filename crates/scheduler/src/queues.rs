@@ -17,6 +17,29 @@
 //!
 //! The manager also produces the [`UtilitySnapshot`] that URC (the
 //! workload-aware cache policy of §V-B) consumes as its ranking oracle.
+//!
+//! # Incremental maintenance
+//!
+//! Schedulers consult these metrics on every dispatch, but each dispatch
+//! changes only a handful of atoms (the batch taken, the residency flips its
+//! reads caused, the sub-queries that arrived). The manager therefore keeps:
+//!
+//! * a cached Eq. 1 value per pending atom ([`WorkloadManager::refresh`]
+//!   recomputes only atoms whose queue or residency changed, driven by the
+//!   [`Residency`] change-tracking protocol);
+//! * per-timestep aggregates (ΣU, max U, Σoldest, min/max oldest) that the
+//!   coarse level of two-level scheduling and the global max-normalizers are
+//!   answered from in O(#timesteps);
+//! * an [`UtilitySnapshot`] patched in place (shared via `Arc`) instead of
+//!   rebuilt per dispatch.
+//!
+//! Floating-point sums are *refolded* per dirty timestep in sorted-atom
+//! order — never drifted with `+=`/`-=` — so every incremental result is
+//! bit-for-bit identical to the full-scan reference methods
+//! ([`WorkloadManager::aged_utilities`], [`WorkloadManager::timestep_means`],
+//! [`WorkloadManager::utility_snapshot`]), which are kept as the oracle the
+//! equivalence property tests compare against. The reference methods iterate
+//! atoms in sorted order for the same reason.
 
 use crate::batch::{AtomBatch, SubQuery};
 use crate::policy::Residency;
@@ -24,7 +47,8 @@ use jaws_cache::{UtilityOracle, UtilityRank};
 use jaws_morton::AtomId;
 use jaws_workload::QueryId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The cost constants of Eq. 1 plus the geometry the per-timestep mean is
 /// taken over.
@@ -52,6 +76,38 @@ impl MetricParams {
     }
 }
 
+/// Eq. 1 for one queue. Shared by the reference and incremental paths so the
+/// two can never diverge.
+fn eq1(params: &MetricParams, positions: u64, resident: bool) -> f64 {
+    let w = positions as f64;
+    let phi = if resident { 0.0 } else { 1.0 };
+    let denom = params.atom_read_ms * phi + params.position_compute_ms * w;
+    if denom > 0.0 {
+        return w / denom;
+    }
+    // Degenerate cost model: a resident atom with zero per-position compute
+    // cost (or an all-zero model). An "infinite" throughput sentinel would
+    // poison max-normalization — every other atom's normalized utility
+    // collapses toward 0 and Eq. 2 degenerates to pure age order. Instead
+    // rank the atom as if it still cost half an atom read: finite, monotone
+    // in ΣW, and on the same scale as disk atoms (exactly twice the utility
+    // of an equally loaded non-resident atom in the T_m → 0 limit).
+    let half_read = 0.5 * params.atom_read_ms;
+    if half_read > 0.0 {
+        w / half_read
+    } else {
+        w
+    }
+}
+
+/// Eq. 2 blend of a max-normalized throughput and age. Shared by the
+/// reference and incremental paths so the two can never diverge.
+fn blend(u: f64, e: f64, max_u: f64, max_e: f64, alpha: f64) -> f64 {
+    let un = if max_u > 0.0 { u / max_u } else { 0.0 };
+    let en = if max_e > 0.0 { e / max_e } else { 0.0 };
+    un * (1.0 - alpha) + en * alpha
+}
+
 /// One atom's workload queue.
 #[derive(Debug, Default, Clone)]
 struct AtomQueue {
@@ -62,6 +118,24 @@ struct AtomQueue {
     oldest_ms: f64,
 }
 
+/// Per-timestep aggregates, refolded (in sorted-atom order) whenever any atom
+/// of the timestep changes. Everything the coarse scheduling level and the
+/// global normalizers need is answerable from these in O(#timesteps).
+#[derive(Debug, Clone, Copy)]
+struct TsAgg {
+    /// Σ of cached Eq. 1 values over pending atoms of the timestep.
+    sum_u: f64,
+    /// max of cached Eq. 1 values.
+    max_u: f64,
+    /// Pending atom count.
+    count: u64,
+    /// Σ of per-atom oldest enqueue times, ms.
+    sum_oldest: f64,
+    /// min/max of per-atom oldest enqueue times, ms.
+    min_oldest: f64,
+    max_oldest: f64,
+}
+
 /// The workload manager: per-atom queues plus per-query bookkeeping.
 #[derive(Debug)]
 pub struct WorkloadManager {
@@ -70,6 +144,20 @@ pub struct WorkloadManager {
     /// Remaining sub-query count per query (for completion detection).
     pending_subs: HashMap<QueryId, usize>,
     total_subs: usize,
+    /// Cached Eq. 1 value per pending atom, as of the last [`Self::refresh`].
+    u_of: HashMap<AtomId, f64>,
+    /// The residency each `u_of` entry was computed with.
+    resident_view: HashMap<AtomId, bool>,
+    /// Pending atoms per timestep in Morton order — the canonical fold order.
+    ts_atoms: BTreeMap<u32, BTreeSet<AtomId>>,
+    /// Per-timestep aggregates (lazily refolded).
+    ts_aggs: BTreeMap<u32, TsAgg>,
+    /// Atoms whose queue changed since the last refresh.
+    dirty_atoms: BTreeSet<AtomId>,
+    /// Residency epoch the view is synced to (`None` = never/volatile).
+    synced_epoch: Option<u64>,
+    /// Arc-backed URC snapshot, patched in place on refresh.
+    snapshot: UtilitySnapshot,
 }
 
 impl WorkloadManager {
@@ -80,6 +168,13 @@ impl WorkloadManager {
             queues: HashMap::new(),
             pending_subs: HashMap::new(),
             total_subs: 0,
+            u_of: HashMap::new(),
+            resident_view: HashMap::new(),
+            ts_atoms: BTreeMap::new(),
+            ts_aggs: BTreeMap::new(),
+            dirty_atoms: BTreeSet::new(),
+            synced_epoch: None,
+            snapshot: UtilitySnapshot::empty(),
         }
     }
 
@@ -102,6 +197,11 @@ impl WorkloadManager {
             q.subs.push(s);
             *self.pending_subs.entry(s.query).or_insert(0) += 1;
             self.total_subs += 1;
+            self.ts_atoms
+                .entry(s.atom.timestep)
+                .or_default()
+                .insert(s.atom);
+            self.dirty_atoms.insert(s.atom);
         }
     }
 
@@ -126,19 +226,14 @@ impl WorkloadManager {
     }
 
     /// Eq. 1 for one atom. `resident` is φ(i) = 0 (cached) / 1 (on disk).
+    ///
+    /// Cost models with `position_compute_ms = 0` make a resident atom's
+    /// denominator vanish; see [`eq1`] for the finite ranking used instead of
+    /// an infinity sentinel.
     pub fn workload_throughput(&self, atom: &AtomId, resident: bool) -> f64 {
-        let Some(q) = self.queues.get(atom) else {
-            return 0.0;
-        };
-        let w = q.positions as f64;
-        let phi = if resident { 0.0 } else { 1.0 };
-        let denom = self.params.atom_read_ms * phi + self.params.position_compute_ms * w;
-        if denom <= 0.0 {
-            // Resident atom with zero compute cost: treat as infinitely cheap;
-            // rank it by raw workload so bigger queues still win.
-            return w * 1e9;
-        }
-        w / denom
+        self.queues
+            .get(atom)
+            .map_or(0.0, |q| eq1(&self.params, q.positions, resident))
     }
 
     /// Age E(i) of the oldest sub-query on one atom, ms.
@@ -148,9 +243,23 @@ impl WorkloadManager {
             .map_or(0.0, |q| (now_ms - q.oldest_ms).max(0.0))
     }
 
+    /// Pending atoms in sorted `(timestep, morton)` order — the canonical
+    /// iteration order of every floating-point fold in this module.
+    fn sorted_pending(&self) -> Vec<AtomId> {
+        let mut ids: Vec<AtomId> = self.queues.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Eq. 2 over every pending atom: `(atom, U_e)` with both terms
     /// max-normalized before blending. `alpha = 0` is pure contention order,
     /// `alpha = 1` pure arrival (age) order.
+    ///
+    /// Reference implementation: full scan over every pending atom, in sorted
+    /// order. Schedulers use [`Self::best_timestep`] /
+    /// [`Self::timestep_aged_utilities`] / [`Self::best_atom`], which answer
+    /// from incrementally maintained state; this method is kept as the oracle
+    /// the equivalence property tests compare against.
     pub fn aged_utilities(
         &self,
         now_ms: f64,
@@ -159,9 +268,9 @@ impl WorkloadManager {
     ) -> Vec<(AtomId, f64)> {
         debug_assert!((0.0..=1.0).contains(&alpha));
         let raw: Vec<(AtomId, f64, f64)> = self
-            .queues
-            .keys()
-            .map(|&a| {
+            .sorted_pending()
+            .into_iter()
+            .map(|a| {
                 (
                     a,
                     self.workload_throughput(&a, residency.is_resident(&a)),
@@ -172,11 +281,7 @@ impl WorkloadManager {
         let max_u = raw.iter().map(|&(_, u, _)| u).fold(0.0f64, f64::max);
         let max_e = raw.iter().map(|&(_, _, e)| e).fold(0.0f64, f64::max);
         raw.into_iter()
-            .map(|(a, u, e)| {
-                let un = if max_u > 0.0 { u / max_u } else { 0.0 };
-                let en = if max_e > 0.0 { e / max_e } else { 0.0 };
-                (a, un * (1.0 - alpha) + en * alpha)
-            })
+            .map(|(a, u, e)| (a, blend(u, e, max_u, max_e, alpha)))
             .collect()
     }
 
@@ -186,9 +291,12 @@ impl WorkloadManager {
     /// URC. Because every timestep has the same atom count, this ranks
     /// timesteps by total pending utility, which "tends to yield higher
     /// workload density".
+    ///
+    /// Reference implementation (full scan, sorted fold); the incremental
+    /// equivalent is [`Self::timestep_means_incremental`].
     pub fn timestep_means(&self, residency: &dyn Residency) -> HashMap<u32, f64> {
         let mut sum: HashMap<u32, f64> = HashMap::new();
-        for &a in self.queues.keys() {
+        for a in self.sorted_pending() {
             let u = self.workload_throughput(&a, residency.is_resident(&a));
             *sum.entry(a.timestep).or_insert(0.0) += u;
         }
@@ -210,6 +318,13 @@ impl WorkloadManager {
             .remove(atom)
             .unwrap_or_else(|| panic!("take_atom on empty queue {atom}"));
         self.total_subs -= q.subs.len();
+        if let Some(set) = self.ts_atoms.get_mut(&atom.timestep) {
+            set.remove(atom);
+            if set.is_empty() {
+                self.ts_atoms.remove(&atom.timestep);
+            }
+        }
+        self.dirty_atoms.insert(*atom);
         let mut completing = Vec::new();
         for s in &q.subs {
             let left = self
@@ -233,36 +348,306 @@ impl WorkloadManager {
 
     /// Pending atoms of one timestep.
     pub fn atoms_in_timestep(&self, timestep: u32) -> Vec<AtomId> {
-        self.queues
-            .keys()
-            .filter(|a| a.timestep == timestep)
-            .copied()
-            .collect()
+        self.ts_atoms
+            .get(&timestep)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Builds the URC oracle snapshot: every pending atom's Eq. 1 value plus
     /// its timestep's mean. Atoms without pending work rank
     /// [`UtilityRank::ZERO`] and are evicted first.
+    ///
+    /// Reference implementation (full rebuild); schedulers use
+    /// [`Self::utility_snapshot_incremental`].
     pub fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
         let means = self.timestep_means(residency);
         let atoms = self
-            .queues
-            .keys()
-            .map(|&a| {
+            .sorted_pending()
+            .into_iter()
+            .map(|a| {
                 let u = self.workload_throughput(&a, residency.is_resident(&a));
                 (a, u)
             })
             .collect();
-        UtilitySnapshot { atoms, means }
+        UtilitySnapshot {
+            atoms: Arc::new(atoms),
+            means: Arc::new(means),
+        }
+    }
+
+    // ---- incremental path -------------------------------------------------
+
+    /// Brings cached per-atom metrics, per-timestep aggregates and the URC
+    /// snapshot up to date, recomputing only what changed: atoms with queue
+    /// changes since the last refresh, plus atoms whose residency flipped
+    /// (discovered through the [`Residency`] change-tracking protocol, or by
+    /// a full residency re-check when the source is untracked/volatile).
+    fn refresh(&mut self, residency: &dyn Residency) {
+        // 1. Residency sync: find pending atoms whose φ changed.
+        let epoch = residency.residency_epoch();
+        let in_sync = matches!((epoch, self.synced_epoch), (Some(e), Some(s)) if e == s);
+        if !in_sync {
+            let deltas = match self.synced_epoch {
+                Some(since) if epoch.is_some() => residency.residency_changes_since(since),
+                _ => None,
+            };
+            match deltas {
+                Some(changes) => {
+                    for (atom, now_res) in changes {
+                        if self.queues.contains_key(&atom)
+                            && self.resident_view.get(&atom) != Some(&now_res)
+                        {
+                            self.dirty_atoms.insert(atom);
+                        }
+                    }
+                }
+                None => {
+                    // Untracked source or truncated log: re-check every
+                    // pending atom (cheap boolean probe, no metric work for
+                    // atoms that did not flip).
+                    for &atom in self.queues.keys() {
+                        if self.resident_view.get(&atom).copied()
+                            != Some(residency.is_resident(&atom))
+                        {
+                            self.dirty_atoms.insert(atom);
+                        }
+                    }
+                }
+            }
+            self.synced_epoch = epoch;
+        }
+        if self.dirty_atoms.is_empty() {
+            return;
+        }
+        // 2. Recompute dirty atoms (and drop taken ones).
+        let params = self.params;
+        let mut dirty_ts: BTreeSet<u32> = BTreeSet::new();
+        let atoms_mut = Arc::make_mut(&mut self.snapshot.atoms);
+        for &atom in &self.dirty_atoms {
+            dirty_ts.insert(atom.timestep);
+            if let Some(q) = self.queues.get(&atom) {
+                let res = residency.is_resident(&atom);
+                let u = eq1(&params, q.positions, res);
+                self.resident_view.insert(atom, res);
+                self.u_of.insert(atom, u);
+                atoms_mut.insert(atom, u);
+            } else {
+                self.resident_view.remove(&atom);
+                self.u_of.remove(&atom);
+                atoms_mut.remove(&atom);
+            }
+        }
+        self.dirty_atoms.clear();
+        // 3. Refold dirty timesteps in sorted-atom order — a full refold, not
+        // a `+=`/`-=` adjustment, so the sums are bitwise identical to the
+        // reference full-scan fold.
+        let means_mut = Arc::make_mut(&mut self.snapshot.means);
+        let n = params.atoms_per_timestep.max(1) as f64;
+        for &ts in &dirty_ts {
+            match self.ts_atoms.get(&ts) {
+                Some(set) => {
+                    let mut agg = TsAgg {
+                        sum_u: 0.0,
+                        max_u: 0.0,
+                        count: 0,
+                        sum_oldest: 0.0,
+                        min_oldest: f64::INFINITY,
+                        max_oldest: f64::NEG_INFINITY,
+                    };
+                    for a in set {
+                        let u = self.u_of[a];
+                        let oldest = self.queues[a].oldest_ms;
+                        agg.sum_u += u;
+                        agg.max_u = agg.max_u.max(u);
+                        agg.count += 1;
+                        agg.sum_oldest += oldest;
+                        agg.min_oldest = agg.min_oldest.min(oldest);
+                        agg.max_oldest = agg.max_oldest.max(oldest);
+                    }
+                    self.ts_aggs.insert(ts, agg);
+                    means_mut.insert(ts, agg.sum_u / n);
+                }
+                None => {
+                    self.ts_aggs.remove(&ts);
+                    means_mut.remove(&ts);
+                }
+            }
+        }
+    }
+
+    /// Global max-normalizers of Eq. 2 — `(max U_t, max E)` over all pending
+    /// atoms — answered from the per-timestep aggregates in O(#timesteps).
+    fn normalizers(&self, now_ms: f64) -> (f64, f64) {
+        let mut max_u = 0.0f64;
+        let mut min_oldest = f64::INFINITY;
+        for agg in self.ts_aggs.values() {
+            max_u = max_u.max(agg.max_u);
+            min_oldest = min_oldest.min(agg.min_oldest);
+        }
+        let max_e = if min_oldest.is_finite() {
+            (now_ms - min_oldest).max(0.0)
+        } else {
+            0.0
+        };
+        (max_u, max_e)
+    }
+
+    /// Coarse level of two-level scheduling: the timestep with the highest
+    /// summed aged utility (equivalently, the highest mean over its fixed
+    /// atom count). Ties prefer the smaller timestep. O(#timesteps) after an
+    /// O(Δ) refresh.
+    pub fn best_timestep(
+        &mut self,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Option<u32> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.refresh(residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let mut best: Option<(u32, f64)> = None;
+        for (&ts, agg) in &self.ts_aggs {
+            let sum_e = if now_ms >= agg.max_oldest {
+                agg.count as f64 * now_ms - agg.sum_oldest
+            } else {
+                // Sub-queries enqueued "after" now_ms would clamp to zero age
+                // per atom; the closed form no longer applies. Exact fold.
+                self.ts_atoms[&ts]
+                    .iter()
+                    .map(|a| (now_ms - self.queues[a].oldest_ms).max(0.0))
+                    .sum()
+            };
+            let su = if max_u > 0.0 { agg.sum_u / max_u } else { 0.0 };
+            let se = if max_e > 0.0 { sum_e / max_e } else { 0.0 };
+            let score = su * (1.0 - alpha) + se * alpha;
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((ts, score));
+            }
+        }
+        best.map(|(ts, _)| ts)
+    }
+
+    /// Fine level of two-level scheduling: Eq. 2 for every pending atom of
+    /// one timestep, in Morton order. Per-atom values are bitwise identical
+    /// to the corresponding [`Self::aged_utilities`] entries.
+    pub fn timestep_aged_utilities(
+        &mut self,
+        timestep: u32,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.refresh(residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let Some(set) = self.ts_atoms.get(&timestep) else {
+            return Vec::new();
+        };
+        set.iter()
+            .map(|a| {
+                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
+                (*a, blend(self.u_of[a], e, max_u, max_e, alpha))
+            })
+            .collect()
+    }
+
+    /// Eq. 2 over every pending atom, from cached state — same contract as
+    /// the reference [`Self::aged_utilities`] (modulo output order, which
+    /// here is always sorted). The output is O(n) by definition; schedulers
+    /// that only need an argmax use [`Self::best_atom`] instead.
+    pub fn aged_utilities_incremental(
+        &mut self,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.refresh(residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let mut out = Vec::with_capacity(self.queues.len());
+        for set in self.ts_atoms.values() {
+            for a in set {
+                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
+                out.push((*a, blend(self.u_of[a], e, max_u, max_e, alpha)));
+            }
+        }
+        out
+    }
+
+    /// The single pending atom with the highest aged utility (ties prefer
+    /// the smaller atom id) — LifeRaft's contention-order pick. Timesteps are
+    /// visited in descending upper-bound order and pruned once no remaining
+    /// timestep can beat the incumbent, so the common case inspects only the
+    /// hottest timestep's atoms.
+    pub fn best_atom(
+        &mut self,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Option<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.refresh(residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        // blend() is monotone in both terms, so a timestep's best atom is
+        // bounded by blending its per-timestep maxima.
+        let mut order: Vec<(f64, u32)> = self
+            .ts_aggs
+            .iter()
+            .map(|(&ts, agg)| {
+                let e_ub = (now_ms - agg.min_oldest).max(0.0);
+                (blend(agg.max_u, e_ub, max_u, max_e, alpha), ts)
+            })
+            .collect();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut best: Option<(AtomId, f64)> = None;
+        for &(ub, ts) in &order {
+            if let Some((_, bs)) = best {
+                // Strict: an exact tie with the bound could still hide an
+                // atom with a smaller id.
+                if bs > ub {
+                    break;
+                }
+            }
+            for a in &self.ts_atoms[&ts] {
+                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
+                let score = blend(self.u_of[a], e, max_u, max_e, alpha);
+                let better = match best {
+                    None => true,
+                    Some((ba, bs)) => score > bs || (score == bs && *a < ba),
+                };
+                if better {
+                    best = Some((*a, score));
+                }
+            }
+        }
+        best
+    }
+
+    /// The URC oracle snapshot from incrementally maintained state: an O(Δ)
+    /// refresh followed by an O(1) `Arc` clone. Bitwise identical to the
+    /// reference [`Self::utility_snapshot`].
+    pub fn utility_snapshot_incremental(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
+        self.refresh(residency);
+        self.snapshot.clone()
+    }
+
+    /// Per-timestep means from incrementally maintained state. Bitwise
+    /// identical to the reference [`Self::timestep_means`].
+    pub fn timestep_means_incremental(&mut self, residency: &dyn Residency) -> HashMap<u32, f64> {
+        self.refresh(residency);
+        self.snapshot.means.as_ref().clone()
     }
 }
 
 /// A point-in-time ranking of pending atoms, consumed by the URC cache policy
-/// through the [`UtilityOracle`] interface.
+/// through the [`UtilityOracle`] interface. Backed by shared maps, so cloning
+/// one is O(1) and the workload manager can patch its own copy in place
+/// between dispatches.
 #[derive(Debug, Clone)]
 pub struct UtilitySnapshot {
-    atoms: HashMap<AtomId, f64>,
-    means: HashMap<u32, f64>,
+    atoms: Arc<HashMap<AtomId, f64>>,
+    means: Arc<HashMap<u32, f64>>,
 }
 
 impl UtilitySnapshot {
@@ -271,8 +656,8 @@ impl UtilitySnapshot {
     /// schedulers that keep no workload queues (NoShare).
     pub fn empty() -> Self {
         UtilitySnapshot {
-            atoms: HashMap::new(),
-            means: HashMap::new(),
+            atoms: Arc::new(HashMap::new()),
+            means: Arc::new(HashMap::new()),
         }
     }
 }
@@ -334,8 +719,54 @@ mod tests {
         let a0 = AtomId::new(0, MortonKey(0));
         let u_disk = wm.workload_throughput(&a0, false);
         let u_mem = wm.workload_throughput(&a0, true);
-        assert!((u_mem - 1.0).abs() < 1e-12, "pure compute: W/(T_m·W) = 1/T_m");
+        assert!(
+            (u_mem - 1.0).abs() < 1e-12,
+            "pure compute: W/(T_m·W) = 1/T_m"
+        );
         assert!(u_mem > u_disk, "cached atoms rank higher (Eq. 1 φ)");
+    }
+
+    #[test]
+    fn zero_compute_cost_keeps_the_metric_finite() {
+        // T_m = 0 makes a resident atom's Eq. 1 denominator vanish. The old
+        // sentinel returned W·1e9, which crushed every other atom's
+        // normalized utility to ~0; the replacement ranks the atom as if it
+        // cost half an atom read.
+        let zero_compute = MetricParams {
+            atom_read_ms: 100.0,
+            position_compute_ms: 0.0,
+            atoms_per_timestep: 64,
+        };
+        let mut wm = WorkloadManager::new(zero_compute);
+        wm.enqueue([sub(1, 0, 0, 10, 0.0), sub(2, 0, 1, 40, 0.0)]);
+        let a0 = AtomId::new(0, MortonKey(0));
+        let a1 = AtomId::new(0, MortonKey(1));
+        let u_res_small = wm.workload_throughput(&a0, true);
+        let u_res_big = wm.workload_throughput(&a1, true);
+        let u_disk_small = wm.workload_throughput(&a0, false);
+        assert!(u_res_small.is_finite());
+        assert!((u_res_small - 10.0 / 50.0).abs() < 1e-12, "W / (T_b / 2)");
+        assert!(u_res_big > u_res_small, "still monotone in pending work");
+        assert_eq!(
+            u_res_small,
+            2.0 * u_disk_small,
+            "resident ranks exactly 2x its on-disk self in the T_m->0 limit"
+        );
+        // Max-normalization stays meaningful: the disk atom's normalized
+        // utility is within an order of magnitude, not ~1e-9.
+        let res = FixedResidency::of([a0]);
+        let aged = wm.aged_utilities(1.0, 0.0, &res);
+        let of = |id: AtomId| aged.iter().find(|&&(a, _)| a == id).unwrap().1;
+        assert!(of(a1) > 0.1, "non-degenerate atom not crushed: {}", of(a1));
+        // All-zero cost model: fall back to raw workload ranking.
+        let all_zero = MetricParams {
+            atom_read_ms: 0.0,
+            position_compute_ms: 0.0,
+            atoms_per_timestep: 64,
+        };
+        let mut wm0 = WorkloadManager::new(all_zero);
+        wm0.enqueue([sub(1, 0, 0, 7, 0.0)]);
+        assert_eq!(wm0.workload_throughput(&a0, true), 7.0);
     }
 
     #[test]
@@ -367,7 +798,11 @@ mod tests {
     fn take_atom_reports_completions() {
         let mut wm = WorkloadManager::new(params());
         // Query 1 spans two atoms; query 2 one atom.
-        wm.enqueue([sub(1, 0, 0, 5, 0.0), sub(1, 0, 1, 5, 0.0), sub(2, 0, 0, 7, 0.0)]);
+        wm.enqueue([
+            sub(1, 0, 0, 5, 0.0),
+            sub(1, 0, 1, 5, 0.0),
+            sub(2, 0, 0, 7, 0.0),
+        ]);
         assert_eq!(wm.pending_subqueries(), 3);
         let (batch, done) = wm.take_atom(&AtomId::new(0, MortonKey(0)));
         assert_eq!(batch.subqueries.len(), 2);
@@ -412,10 +847,7 @@ mod tests {
         assert!(hot.timestep_mean > cold.timestep_mean);
         assert_eq!(absent.atom_utility, 0.0);
         // URC would evict `absent` first, then `cold`, then `hot`.
-        assert_eq!(
-            absent.cmp_for_eviction(&cold),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(absent.cmp_for_eviction(&cold), std::cmp::Ordering::Less);
         assert_eq!(cold.cmp_for_eviction(&hot), std::cmp::Ordering::Less);
     }
 
@@ -427,6 +859,49 @@ mod tests {
         assert_eq!(wm.pending_atoms(), 1);
         assert_eq!(wm.atom_positions(&AtomId::new(0, MortonKey(4))), 30);
     }
+
+    #[test]
+    fn incremental_best_atom_matches_reference_argmax() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([
+            sub(1, 0, 0, 10, 0.0),
+            sub(2, 0, 1, 400, 30.0),
+            sub(3, 2, 5, 80, 10.0),
+            sub(4, 7, 2, 80, 5.0),
+        ]);
+        let none = FixedResidency::none();
+        for &alpha in &[0.0, 0.3, 1.0] {
+            let reference = wm
+                .aged_utilities(1000.0, alpha, &none)
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .unwrap();
+            let fast = wm.best_atom(1000.0, alpha, &none).unwrap();
+            assert_eq!(fast.0, reference.0, "alpha={alpha}");
+            assert_eq!(fast.1.to_bits(), reference.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_snapshot_tracks_takes_and_arrivals() {
+        let mut wm = WorkloadManager::new(params());
+        let none = FixedResidency::none();
+        wm.enqueue([sub(1, 0, 0, 100, 0.0), sub(2, 3, 1, 5, 0.0)]);
+        let s1 = wm.utility_snapshot_incremental(&none);
+        assert!(s1.rank(&AtomId::new(0, MortonKey(0))).atom_utility > 0.0);
+        wm.take_atom(&AtomId::new(0, MortonKey(0)));
+        wm.enqueue([sub(3, 3, 2, 50, 4.0)]);
+        let s2 = wm.utility_snapshot_incremental(&none);
+        assert_eq!(
+            s2.rank(&AtomId::new(0, MortonKey(0))).atom_utility,
+            0.0,
+            "taken atom dropped from the snapshot"
+        );
+        assert!(s2.rank(&AtomId::new(3, MortonKey(2))).atom_utility > 0.0);
+        // The earlier snapshot is a frozen point in time.
+        assert!(s1.rank(&AtomId::new(0, MortonKey(0))).atom_utility > 0.0);
+        assert_eq!(s1.rank(&AtomId::new(3, MortonKey(2))).atom_utility, 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +911,7 @@ mod proptests {
     use crate::policy::test_support::FixedResidency;
     use jaws_morton::MortonKey;
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     proptest! {
         /// Conservation: every enqueued sub-query is returned by exactly one
@@ -514,6 +990,186 @@ mod proptests {
             for (_, u) in wm.aged_utilities(1e5, alpha, &none) {
                 prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utility {u}");
             }
+        }
+    }
+
+    /// A mutable residency source with full change tracking, standing in for
+    /// the buffer pool. `tracked = false` degrades it to the conservative
+    /// protocol (no epoch, no log) so both refresh paths get exercised.
+    struct FlipResidency {
+        resident: HashSet<AtomId>,
+        log: Vec<(AtomId, bool)>,
+        tracked: bool,
+    }
+
+    impl FlipResidency {
+        fn new(tracked: bool) -> Self {
+            FlipResidency {
+                resident: HashSet::new(),
+                log: Vec::new(),
+                tracked,
+            }
+        }
+
+        fn flip(&mut self, atom: AtomId) {
+            let now_resident = if self.resident.remove(&atom) {
+                false
+            } else {
+                self.resident.insert(atom);
+                true
+            };
+            self.log.push((atom, now_resident));
+        }
+    }
+
+    impl Residency for FlipResidency {
+        fn is_resident(&self, atom: &AtomId) -> bool {
+            self.resident.contains(atom)
+        }
+
+        fn residency_epoch(&self) -> Option<u64> {
+            self.tracked.then_some(self.log.len() as u64)
+        }
+
+        fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+            if !self.tracked {
+                return None;
+            }
+            Some(self.log[since as usize..].to_vec())
+        }
+    }
+
+    /// Bitwise comparison of f64 maps/vecs: the incremental path must agree
+    /// with the reference recompute to the last ulp, not approximately.
+    fn assert_equiv(
+        wm: &mut WorkloadManager,
+        res: &dyn Residency,
+        now_ms: f64,
+        alpha: f64,
+        probes: &[AtomId],
+    ) {
+        let mut reference = wm.aged_utilities(now_ms, alpha, res);
+        reference.sort_by_key(|&(a, _)| a);
+        let incremental = wm.aged_utilities_incremental(now_ms, alpha, res);
+        assert_eq!(reference.len(), incremental.len());
+        for (r, i) in reference.iter().zip(&incremental) {
+            assert_eq!(r.0, i.0);
+            assert_eq!(r.1.to_bits(), i.1.to_bits(), "aged utility of {}", r.0);
+        }
+        let ref_means = wm.timestep_means(res);
+        let inc_means = wm.timestep_means_incremental(res);
+        assert_eq!(ref_means.len(), inc_means.len());
+        for (ts, m) in &ref_means {
+            assert_eq!(m.to_bits(), inc_means[ts].to_bits(), "mean of ts {ts}");
+        }
+        let ref_snap = wm.utility_snapshot(res);
+        let inc_snap = wm.utility_snapshot_incremental(res);
+        for a in reference
+            .iter()
+            .map(|&(a, _)| a)
+            .chain(probes.iter().copied())
+        {
+            let r = ref_snap.rank(&a);
+            let i = inc_snap.rank(&a);
+            assert_eq!(r.atom_utility.to_bits(), i.atom_utility.to_bits(), "{a}");
+            assert_eq!(r.timestep_mean.to_bits(), i.timestep_mean.to_bits(), "{a}");
+        }
+    }
+
+    proptest! {
+        /// Interleaved enqueue / take_atom / residency flips: the incremental
+        /// utilities, timestep means and URC snapshot match a reference
+        /// recompute bit for bit after every step — under both the tracked
+        /// (epoch + change log) and the conservative residency protocols.
+        #[test]
+        fn incremental_matches_reference_under_interleaving(
+            tracked in 0u32..2,
+            alpha in 0.0f64..=1.0,
+            ops in proptest::collection::vec(
+                // (kind, ts, morton, positions): kind 0-4 enqueue (biased),
+                // 5-6 take some pending atom, 7-8 flip residency, 9 flip a
+                // pending atom specifically.
+                (0u32..10, 0u32..4, 0u64..12, 1u32..200), 1..60),
+        ) {
+            let mut wm = WorkloadManager::new(MetricParams {
+                atom_read_ms: 100.0,
+                position_compute_ms: 1.0,
+                atoms_per_timestep: 16,
+            });
+            let mut res = FlipResidency::new(tracked == 1);
+            let probes = [AtomId::new(90, MortonKey(0)), AtomId::new(0, MortonKey(999))];
+            let mut next_query: QueryId = 1;
+            for (i, &(kind, ts, m, positions)) in ops.iter().enumerate() {
+                let now_ms = (i as f64 + 1.0) * 50.0;
+                let atom = AtomId::new(ts, MortonKey(m));
+                match kind {
+                    0..=4 => {
+                        wm.enqueue([SubQuery {
+                            query: next_query,
+                            atom,
+                            positions,
+                            enqueued_ms: now_ms - (positions as f64 % 37.0),
+                        }]);
+                        next_query += 1;
+                    }
+                    5 | 6 => {
+                        // Take the current best atom, like a scheduler would.
+                        if let Some((best, _)) = wm.best_atom(now_ms, alpha, &res) {
+                            wm.take_atom(&best);
+                        }
+                    }
+                    7 | 8 => res.flip(atom),
+                    _ => {
+                        if let Some(&a) = wm.atoms_in_timestep(ts).first() {
+                            res.flip(a);
+                        }
+                    }
+                }
+                assert_equiv(&mut wm, &res, now_ms, alpha, &probes);
+            }
+        }
+
+        /// The incremental coarse/fine decomposition agrees with the
+        /// reference: the per-timestep atom lists partition aged_utilities,
+        /// and best_atom is the reference argmax.
+        #[test]
+        fn incremental_two_level_agrees_with_reference(
+            alpha in 0.0f64..=1.0,
+            subs in proptest::collection::vec((0u32..5, 0u64..10, 1u32..300), 1..50),
+        ) {
+            let mut wm = WorkloadManager::new(MetricParams {
+                atom_read_ms: 80.0,
+                position_compute_ms: 0.05,
+                atoms_per_timestep: 16,
+            });
+            for (i, &(ts, m, positions)) in subs.iter().enumerate() {
+                wm.enqueue([SubQuery {
+                    query: i as QueryId + 1,
+                    atom: AtomId::new(ts, MortonKey(m)),
+                    positions,
+                    enqueued_ms: i as f64 * 3.0,
+                }]);
+            }
+            let none = FixedResidency::none();
+            let now_ms = 1e4;
+            let reference = wm.aged_utilities(now_ms, alpha, &none);
+            let by_atom: HashMap<AtomId, u64> =
+                reference.iter().map(|&(a, u)| (a, u.to_bits())).collect();
+            let mut seen = 0usize;
+            for ts in 0..5u32 {
+                for (a, u) in wm.timestep_aged_utilities(ts, now_ms, alpha, &none) {
+                    prop_assert_eq!(by_atom[&a], u.to_bits());
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, by_atom.len(), "timestep lists partition the atoms");
+            let ref_best = reference
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .unwrap();
+            let fast = wm.best_atom(now_ms, alpha, &none).unwrap();
+            prop_assert_eq!(fast.0, ref_best.0);
+            prop_assert_eq!(fast.1.to_bits(), ref_best.1.to_bits());
         }
     }
 }

@@ -83,8 +83,8 @@ impl ClusterReport {
             .iter()
             .map(|n| n.utilization)
             .fold(0.0f64, f64::max);
-        let mean = self.nodes.iter().map(|n| n.utilization).sum::<f64>()
-            / self.nodes.len().max(1) as f64;
+        let mean =
+            self.nodes.iter().map(|n| n.utilization).sum::<f64>() / self.nodes.len().max(1) as f64;
         if mean > 0.0 {
             max / mean
         } else {
@@ -106,6 +106,14 @@ struct NodeResidency<'a>(&'a TurbDb);
 impl Residency for NodeResidency<'_> {
     fn is_resident(&self, atom: &AtomId) -> bool {
         self.0.is_resident(atom)
+    }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        Some(self.0.residency_epoch())
+    }
+
+    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+        self.0.residency_changes_since(since)
     }
 }
 
@@ -180,12 +188,7 @@ impl ClusterExecutor {
                     cfg.cache_atoms_per_node,
                     cfg.cache_policy,
                 ),
-                scheduler: build_scheduler(
-                    cfg.scheduler,
-                    params,
-                    cfg.run_len,
-                    cfg.gate_timeout_ms,
-                ),
+                scheduler: build_scheduler(cfg.scheduler, params, cfg.run_len, cfg.gate_timeout_ms),
                 busy: false,
                 busy_ms: 0.0,
                 parts_completed: 0,
@@ -338,10 +341,7 @@ impl ClusterExecutor {
                             jobs_completed += 1;
                         }
                         if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
-                            self.push(
-                                self.now_ms + job.think_ms,
-                                Event::QuerySubmit(ji, qi + 1),
-                            );
+                            self.push(self.now_ms + job.think_ms, Event::QuerySubmit(ji, qi + 1));
                         }
                     }
                 }
@@ -578,7 +578,10 @@ mod tests {
         let mut four = ClusterExecutor::new(cluster_cfg(4, SchedulerKind::LifeRaft2));
         let r1 = one.run(&trace);
         let r4 = four.run(&trace);
-        assert_eq!(r1.aggregate.queries_completed, r4.aggregate.queries_completed);
+        assert_eq!(
+            r1.aggregate.queries_completed,
+            r4.aggregate.queries_completed
+        );
         assert!(
             r4.aggregate.makespan_ms < r1.aggregate.makespan_ms,
             "4 nodes {:.0} ms vs 1 node {:.0} ms",

@@ -67,6 +67,14 @@ impl Residency for DbResidency<'_> {
     fn is_resident(&self, atom: &AtomId) -> bool {
         self.0.is_resident(atom)
     }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        Some(self.0.residency_epoch())
+    }
+
+    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+        self.0.residency_changes_since(since)
+    }
 }
 
 /// One simulated cluster node: a database plus a scheduler.
@@ -90,9 +98,9 @@ pub struct Executor {
 impl Executor {
     /// Builds an executor over an opened database and a scheduler.
     pub fn new(db: TurbDb, scheduler: Box<dyn Scheduler>, cfg: SimConfig) -> Self {
-        let prefetcher = cfg.prefetch.then(|| {
-            Prefetcher::new(db.config().atoms_per_side(), db.config().timesteps)
-        });
+        let prefetcher = cfg
+            .prefetch
+            .then(|| Prefetcher::new(db.config().atoms_per_side(), db.config().timesteps));
         Executor {
             db,
             scheduler,
@@ -258,10 +266,7 @@ impl Executor {
                             jobs_completed += 1;
                         }
                         if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
-                            self.push(
-                                self.now_ms + job.think_ms,
-                                Event::QuerySubmit(ji, qi + 1),
-                            );
+                            self.push(self.now_ms + job.think_ms, Event::QuerySubmit(ji, qi + 1));
                         }
                     }
                 }
@@ -419,7 +424,8 @@ mod tests {
         for kind in SchedulerKind::evaluation_set() {
             let r = run_kind(kind, 5);
             assert_eq!(
-                r.queries_completed, total,
+                r.queries_completed,
+                total,
                 "{} left queries behind",
                 kind.name()
             );
@@ -516,7 +522,11 @@ mod tests {
         let mut ex = Executor::new(db, sched, SimConfig::default());
         let r = ex.run(&trace);
         // Service: seek 10 + read 100 + compute 100 = 210 ms.
-        assert!((r.mean_response_ms - 210.0).abs() < 1e-6, "{}", r.mean_response_ms);
+        assert!(
+            (r.mean_response_ms - 210.0).abs() < 1e-6,
+            "{}",
+            r.mean_response_ms
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl CachePolicyKind {
 
 /// Instantiates a cache policy. `cache_atoms` sizes SLRU's protected segment
 /// (5% per Table I).
-pub fn build_policy(kind: CachePolicyKind, cache_atoms: usize) -> Box<dyn ReplacementPolicy<AtomId>> {
+pub fn build_policy(
+    kind: CachePolicyKind,
+    cache_atoms: usize,
+) -> Box<dyn ReplacementPolicy<AtomId>> {
     match kind {
         CachePolicyKind::Lru => Box::new(Lru::new()),
         CachePolicyKind::LruK => Box::new(LruK::new()),
@@ -138,9 +141,11 @@ pub fn build_scheduler(
         SchedulerKind::CasJobs { threshold_ms } => {
             Box::new(CasJobs::new(params, threshold_ms as f64, run_len))
         }
-        SchedulerKind::Qos { stretch_x10 } => {
-            Box::new(QosScheduler::new(params, stretch_x10 as f64 / 10.0, run_len))
-        }
+        SchedulerKind::Qos { stretch_x10 } => Box::new(QosScheduler::new(
+            params,
+            stretch_x10 as f64 / 10.0,
+            run_len,
+        )),
     }
 }
 
@@ -152,7 +157,13 @@ pub fn build_db(
     cache_atoms: usize,
     policy: CachePolicyKind,
 ) -> TurbDb {
-    TurbDb::open(db, cost, mode, cache_atoms, build_policy(policy, cache_atoms))
+    TurbDb::open(
+        db,
+        cost,
+        mode,
+        cache_atoms,
+        build_policy(policy, cache_atoms),
+    )
 }
 
 #[cfg(test)]

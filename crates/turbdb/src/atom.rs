@@ -38,11 +38,7 @@ impl AtomData {
         let ghost = cfg.ghost;
         let ext = (side + 2 * ghost) as usize;
         let (ax, ay, az) = id.morton.coords();
-        let base = [
-            (ax * side) as i64,
-            (ay * side) as i64,
-            (az * side) as i64,
-        ];
+        let base = [(ax * side) as i64, (ay * side) as i64, (az * side) as i64];
         let t = id.timestep as f64 * cfg.dt;
         let l = cfg.grid_side as f64;
         let mut velocity = Vec::with_capacity(ext * ext * ext);

@@ -5,9 +5,15 @@ use crate::btree::BPlusTree;
 use crate::config::{CostModel, DbConfig};
 use crate::disk::{DiskExtent, DiskStats, SimulatedDisk};
 use crate::synth::SyntheticField;
-use jaws_cache::{BufferPool, CacheStats, ReplacementPolicy, UtilityOracle};
+use jaws_cache::{AccessOutcome, BufferPool, CacheStats, ReplacementPolicy, UtilityOracle};
 use jaws_morton::{AtomId, MortonKey};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Residency change-log capacity. Consumers that fall more than this many
+/// flips behind get a truncation signal and fall back to a full recheck, so
+/// the bound only caps memory, never correctness.
+const RESIDENCY_LOG_CAP: usize = 1024;
 
 /// Whether atom payloads are materialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +51,12 @@ pub struct TurbDb {
     disk: SimulatedDisk,
     pool: BufferPool<AtomId, Option<Arc<AtomData>>>,
     materializations: u64,
+    /// Ring buffer of `(atom, now_resident)` buffer-pool flips, so schedulers
+    /// can refresh their cached Eq. 1 values without re-probing every atom.
+    res_log: VecDeque<(AtomId, bool)>,
+    /// Epoch of the oldest retained log entry; `res_log_base + res_log.len()`
+    /// is the current epoch.
+    res_log_base: u64,
 }
 
 impl TurbDb {
@@ -86,7 +98,17 @@ impl TurbDb {
             disk: SimulatedDisk::new(cost),
             pool: BufferPool::new(cache_atoms, policy),
             materializations: 0,
+            res_log: VecDeque::new(),
+            res_log_base: 0,
         }
+    }
+
+    fn log_residency(&mut self, atom: AtomId, now_resident: bool) {
+        if self.res_log.len() == RESIDENCY_LOG_CAP {
+            self.res_log.pop_front();
+            self.res_log_base += 1;
+        }
+        self.res_log.push_back((atom, now_resident));
     }
 
     /// The geometry configuration.
@@ -108,6 +130,24 @@ impl TurbDb {
     /// φ from Eq. 1: true if the atom is resident in the buffer pool.
     pub fn is_resident(&self, id: &AtomId) -> bool {
         self.pool.contains(id)
+    }
+
+    /// Monotone counter advanced on every residency flip (insert or evict).
+    /// Pairs with [`Self::residency_changes_since`] so schedulers can update
+    /// cached per-atom metrics in O(flips) instead of re-probing every atom.
+    pub fn residency_epoch(&self) -> u64 {
+        self.res_log_base + self.res_log.len() as u64
+    }
+
+    /// The `(atom, now_resident)` flips since epoch `since`, oldest first, or
+    /// `None` when the ring buffer no longer reaches back that far (the
+    /// caller must then re-check every atom it cares about).
+    pub fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+        if since < self.res_log_base || since > self.residency_epoch() {
+            return None;
+        }
+        let skip = (since - self.res_log_base) as usize;
+        Some(self.res_log.iter().skip(skip).copied().collect())
     }
 
     /// Atoms of one timestep whose grid coordinates fall inside the inclusive
@@ -192,6 +232,12 @@ impl TurbDb {
             },
             oracle,
         );
+        if let AccessOutcome::Miss { evicted } = &outcome {
+            if let Some(victim) = evicted {
+                self.log_residency(*victim, false);
+            }
+            self.log_residency(id, true);
+        }
         let cache_hit = outcome.is_hit();
         let data = if cache_hit {
             self.pool.peek(&id).and_then(|d| d.clone())
@@ -373,11 +419,26 @@ mod tests {
     fn position_to_atom_mapping_wraps() {
         let db = open_tiny(DataMode::Virtual, 4);
         // tiny: grid 16, atom 8 → 2 atoms per side.
-        assert_eq!(db.atom_of_position([0.0, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
-        assert_eq!(db.atom_of_position([7.9, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
-        assert_eq!(db.atom_of_position([8.0, 0.0, 0.0]), MortonKey::from_coords(1, 0, 0));
-        assert_eq!(db.atom_of_position([16.0, 0.0, 0.0]), MortonKey::from_coords(0, 0, 0));
-        assert_eq!(db.atom_of_position([-0.5, 0.0, 0.0]), MortonKey::from_coords(1, 0, 0));
+        assert_eq!(
+            db.atom_of_position([0.0, 0.0, 0.0]),
+            MortonKey::from_coords(0, 0, 0)
+        );
+        assert_eq!(
+            db.atom_of_position([7.9, 0.0, 0.0]),
+            MortonKey::from_coords(0, 0, 0)
+        );
+        assert_eq!(
+            db.atom_of_position([8.0, 0.0, 0.0]),
+            MortonKey::from_coords(1, 0, 0)
+        );
+        assert_eq!(
+            db.atom_of_position([16.0, 0.0, 0.0]),
+            MortonKey::from_coords(0, 0, 0)
+        );
+        assert_eq!(
+            db.atom_of_position([-0.5, 0.0, 0.0]),
+            MortonKey::from_coords(1, 0, 0)
+        );
     }
 
     #[test]
@@ -420,5 +481,59 @@ mod tests {
         }
         assert_eq!(db.cache_stats().evictions, 4);
         assert!(!db.is_resident(&AtomId::new(0, MortonKey(0))));
+    }
+
+    #[test]
+    fn residency_log_tracks_inserts_and_evictions() {
+        let mut db = open_tiny(DataMode::Virtual, 2);
+        let e0 = db.residency_epoch();
+        assert_eq!(e0, 0);
+        db.read_atom(AtomId::new(0, MortonKey(0)), &jaws_cache::NullOracle);
+        db.read_atom(AtomId::new(0, MortonKey(1)), &jaws_cache::NullOracle);
+        // A hit flips nothing.
+        db.read_atom(AtomId::new(0, MortonKey(1)), &jaws_cache::NullOracle);
+        assert_eq!(db.residency_epoch(), 2);
+        // Third distinct atom evicts the LRU victim (atom 0).
+        db.read_atom(AtomId::new(0, MortonKey(2)), &jaws_cache::NullOracle);
+        assert_eq!(db.residency_epoch(), 4);
+        let changes = db.residency_changes_since(e0).unwrap();
+        assert_eq!(
+            changes,
+            vec![
+                (AtomId::new(0, MortonKey(0)), true),
+                (AtomId::new(0, MortonKey(1)), true),
+                (AtomId::new(0, MortonKey(0)), false),
+                (AtomId::new(0, MortonKey(2)), true),
+            ]
+        );
+        assert_eq!(db.residency_changes_since(2).unwrap().len(), 2);
+        assert!(db.residency_changes_since(4).unwrap().is_empty());
+        // The log's net effect agrees with is_resident.
+        assert!(!db.is_resident(&AtomId::new(0, MortonKey(0))));
+        assert!(db.is_resident(&AtomId::new(0, MortonKey(1))));
+        assert!(db.is_resident(&AtomId::new(0, MortonKey(2))));
+    }
+
+    #[test]
+    fn residency_log_truncation_signals_full_recheck() {
+        let mut db = open_tiny(DataMode::Virtual, 2);
+        // Cycling 8 atoms through a 2-atom pool misses every read; each miss
+        // logs 2 flips, so 100 rounds × 8 reads overflow the 1024-entry ring.
+        for round in 0..100u64 {
+            for m in 0..8u64 {
+                let t = (round % 4) as u32;
+                db.read_atom(AtomId::new(t, MortonKey(m)), &jaws_cache::NullOracle);
+            }
+        }
+        assert!(db.residency_epoch() > super::RESIDENCY_LOG_CAP as u64);
+        assert!(
+            db.residency_changes_since(0).is_none(),
+            "epoch 0 predates the ring buffer"
+        );
+        let recent = db.residency_epoch() - 1;
+        assert_eq!(db.residency_changes_since(recent).unwrap().len(), 1);
+        assert!(db
+            .residency_changes_since(db.residency_epoch() + 1)
+            .is_none());
     }
 }

@@ -379,9 +379,9 @@ mod tests {
         };
         let t0 = vec![s([5.0, 5.0, 5.0], 100), s([20.0, 20.0, 20.0], 50)];
         let t1 = vec![
-            s([6.0, 5.0, 5.0], 90),   // moved slightly: matches t0[0]
+            s([6.0, 5.0, 5.0], 90),    // moved slightly: matches t0[0]
             s([28.0, 20.0, 20.0], 40), // moved too far from t0[1]
-            s([1.0, 1.0, 30.0], 10),  // newly formed
+            s([1.0, 1.0, 30.0], 10),   // newly formed
         ];
         let pairs = track_structures(&t0, &t1, 3.0);
         assert_eq!(pairs, vec![(0, 0)]);

@@ -75,7 +75,7 @@ impl SyntheticField {
         for i in 0..n_modes {
             let frac = i as f64 / (n_modes - 1).max(1) as f64;
             let n_mag = n_max.powf(frac); // 1 .. n_max, log-spaced
-            // Random integer wavevector with |n| ≈ n_mag.
+                                          // Random integer wavevector with |n| ≈ n_mag.
             let n_int = loop {
                 let v = [
                     rng.gen_range(-1.0..1.0),
@@ -287,12 +287,7 @@ mod tests {
         let l = 64.0;
         for &p in &[[0.3, 7.7, 50.1], [63.9, 0.0, 1.0]] {
             let u0 = f.velocity(p, 0.02);
-            for shift in [
-                [l, 0.0, 0.0],
-                [0.0, -l, 0.0],
-                [0.0, 0.0, l],
-                [l, l, -l],
-            ] {
+            for shift in [[l, 0.0, 0.0], [0.0, -l, 0.0], [0.0, 0.0, l], [l, l, -l]] {
                 let q = [p[0] + shift[0], p[1] + shift[1], p[2] + shift[2]];
                 let u1 = f.velocity(q, 0.02);
                 for i in 0..3 {

@@ -283,7 +283,10 @@ impl TraceGenerator {
         // tracking.
         let span: u32 = if oneoff || !tracking_burst {
             1
-        } else if self.rng.gen_bool(self.cfg.long_job_frac / (1.0 - self.cfg.single_timestep_frac).max(0.01)) {
+        } else if self
+            .rng
+            .gen_bool(self.cfg.long_job_frac / (1.0 - self.cfg.single_timestep_frac).max(0.01))
+        {
             // Iterate over (almost) all of simulation time.
             self.rng.gen_range((3 * t_count / 4).max(2)..=t_count)
         } else {
@@ -293,7 +296,14 @@ impl TraceGenerator {
         let span = span.min(t_count);
         if span > 1 {
             self.make_ordered_job(
-                id, user, region, ts_center, span, think_ms, burst_drift, arrival_ms,
+                id,
+                user,
+                region,
+                ts_center,
+                span,
+                think_ms,
+                burst_drift,
+                arrival_ms,
             )
         } else {
             let (lo, hi) = self.cfg.batched_pace_range;
@@ -489,7 +499,10 @@ mod tests {
             a.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
             b.jobs.iter().map(|j| j.id).collect::<Vec<_>>()
         );
-        assert_eq!(a.jobs[0].queries[0].footprint, b.jobs[0].queries[0].footprint);
+        assert_eq!(
+            a.jobs[0].queries[0].footprint,
+            b.jobs[0].queries[0].footprint
+        );
         assert_ne!(a.query_count(), c.query_count());
     }
 

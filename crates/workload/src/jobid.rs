@@ -206,7 +206,13 @@ impl JobIdEvaluation {
         let true_pairs: u64 = job_sizes.values().map(|&n| choose2(n)).sum();
         let both_job: u64 = job_cell.values().map(|&n| choose2(n)).sum();
         let both_camp: u64 = camp_cell.values().map(|&n| choose2(n)).sum();
-        let ratio = |num: u64, den: u64| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         let precision = ratio(both_job, pred_pairs);
         let recall = ratio(both_job, true_pairs);
         let campaign_precision = ratio(both_camp, pred_pairs);
@@ -360,8 +366,8 @@ pub fn reconstruct_jobs(
         .into_iter()
         .map(|(pred, mut records)| {
             records.sort_by(|a, b| a.submit_ms.total_cmp(&b.submit_ms));
-            let ordered = records.len() > 1
-                && records.windows(2).all(|w| w[1].timestep > w[0].timestep);
+            let ordered =
+                records.len() > 1 && records.windows(2).all(|w| w[1].timestep > w[0].timestep);
             let think_ms = if records.len() > 1 {
                 let span = records.last().unwrap().submit_ms - records[0].submit_ms;
                 span / (records.len() - 1) as f64
@@ -377,10 +383,7 @@ pub fn reconstruct_jobs(
                     JobKind::Batched
                 },
                 campaign: pred as u64 + 1,
-                queries: records
-                    .iter()
-                    .map(|r| (*by_id[&r.query]).clone())
-                    .collect(),
+                queries: records.iter().map(|r| (*by_id[&r.query]).clone()).collect(),
                 arrival_ms: records[0].submit_ms,
                 think_ms,
             }

@@ -78,11 +78,7 @@ pub fn single_timestep_job_share(trace: &Trace) -> f64 {
     if trace.jobs.is_empty() {
         return 0.0;
     }
-    let single = trace
-        .jobs
-        .iter()
-        .filter(|j| j.timestep_span() == 1)
-        .count();
+    let single = trace.jobs.iter().filter(|j| j.timestep_span() == 1).count();
     single as f64 / trace.jobs.len() as f64
 }
 
@@ -100,7 +96,11 @@ mod tests {
         let t = trace();
         let h = job_duration_histogram(&t, 80.0, 0.05);
         let total: u64 = h.iter().map(|b| b.count).sum();
-        assert_eq!(total, t.jobs.len() as u64, "every job in exactly one bucket");
+        assert_eq!(
+            total,
+            t.jobs.len() as u64,
+            "every job in exactly one bucket"
+        );
         let frac_sum: f64 = h.iter().map(|b| b.fraction).sum();
         assert!((frac_sum - 1.0).abs() < 1e-9);
     }

@@ -70,7 +70,9 @@ impl Trace {
 
     /// Flat iterator over `(job, query)` pairs.
     pub fn queries(&self) -> impl Iterator<Item = (&Job, &Query)> {
-        self.jobs.iter().flat_map(|j| j.queries.iter().map(move |q| (j, q)))
+        self.jobs
+            .iter()
+            .flat_map(|j| j.queries.iter().map(move |q| (j, q)))
     }
 
     /// Number of ordered jobs.

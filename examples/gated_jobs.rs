@@ -7,8 +7,8 @@
 //! cargo run --release --example gated_jobs
 //! ```
 
-use jaws::prelude::*;
 use jaws::morton::MortonKey;
+use jaws::prelude::*;
 
 /// Builds a query touching one "region" (atom) at one timestep.
 fn q(id: u64, user: u32, ts: u32, region: u64) -> Query {

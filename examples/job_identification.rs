@@ -21,7 +21,10 @@ fn main() {
         "submission log: {} queries from {} true jobs by {} users",
         log.len(),
         trace.jobs.len(),
-        log.iter().map(|r| r.user).collect::<std::collections::HashSet<_>>().len()
+        log.iter()
+            .map(|r| r.user)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     );
 
     // Sweep the gap threshold to show the precision/recall trade-off.

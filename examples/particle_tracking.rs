@@ -68,17 +68,28 @@ fn main() {
     println!("tracked {} particles over {} timesteps", particles.len(), 5);
     println!("  rms displacement  {rms:.3} voxels");
     println!("  max displacement  {max_disp:.3} voxels");
-    println!("  first particle    {:?} -> {:?}", fmt3(start[0]), fmt3(particles[0]));
+    println!(
+        "  first particle    {:?} -> {:?}",
+        fmt3(start[0]),
+        fmt3(particles[0])
+    );
     println!("\nI/O accounting (why JAWS exists):");
     println!("  atom fetches      {}", cost.atom_reads);
-    println!("  cache hits        {} ({:.1}%)", cost.cache_hits, 100.0 * cost.cache_hits as f64 / cost.atom_reads.max(1) as f64);
+    println!(
+        "  cache hits        {} ({:.1}%)",
+        cost.cache_hits,
+        100.0 * cost.cache_hits as f64 / cost.atom_reads.max(1) as f64
+    );
     println!("  simulated I/O     {:.1} s", cost.io_ms / 1000.0);
     println!("  atoms materialized {}", db.materializations());
 
     // Sanity: particles must move, stay finite, and the cache must have
     // absorbed most of the stencil traffic.
     assert!(rms > 0.0 && rms.is_finite());
-    assert!(cost.cache_hits * 2 > cost.atom_reads, "cache absorbed stencils");
+    assert!(
+        cost.cache_hits * 2 > cost.atom_reads,
+        "cache absorbed stencils"
+    );
 }
 
 fn fmt3(p: [f64; 3]) -> String {

@@ -53,8 +53,18 @@ fn main() {
     println!("\ndetails:");
     println!("  makespan          {:.1} s", report.makespan_ms / 1000.0);
     println!("  throughput        {:.3} queries/s", report.throughput_qps);
-    println!("  response p50/p95  {:.1} / {:.1} s", report.response.p50 / 1000.0, report.response.p95 / 1000.0);
-    println!("  disk reads        {} ({} seeks)", report.disk.reads, report.disk.seeks);
-    println!("  cache hit ratio   {:.1}%", report.cache.hit_ratio() * 100.0);
+    println!(
+        "  response p50/p95  {:.1} / {:.1} s",
+        report.response.p50 / 1000.0,
+        report.response.p95 / 1000.0
+    );
+    println!(
+        "  disk reads        {} ({} seeks)",
+        report.disk.reads, report.disk.seeks
+    );
+    println!(
+        "  cache hit ratio   {:.1}%",
+        report.cache.hit_ratio() * 100.0
+    );
     println!("  final age bias α  {:.2}", report.alpha_final);
 }

@@ -65,7 +65,11 @@ fn main() {
         threshold,
         25,
     );
-    println!("timestep 0: {} structures;  timestep 1: {}", t0.len(), t1.len());
+    println!(
+        "timestep 0: {} structures;  timestep 1: {}",
+        t0.len(),
+        t1.len()
+    );
     println!("\nlargest structures at t0:");
     for (i, s) in t0.iter().take(5).enumerate() {
         println!(

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b8505d91c0bc384d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b8505d91c0bc384d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

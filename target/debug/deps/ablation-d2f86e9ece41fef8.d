@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d2f86e9ece41fef8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d2f86e9ece41fef8: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_policies-ab9aa9f5f72e4e2d.d: crates/bench/benches/cache_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_policies-ab9aa9f5f72e4e2d.rmeta: crates/bench/benches/cache_policies.rs Cargo.toml
+
+crates/bench/benches/cache_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-dc088fab89f67841.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-dc088fab89f67841: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

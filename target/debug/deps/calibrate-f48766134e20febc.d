@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-f48766134e20febc.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-f48766134e20febc: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_scaling-1fb19587fb3dda79.d: crates/bench/src/bin/cluster_scaling.rs
+
+/root/repo/target/debug/deps/cluster_scaling-1fb19587fb3dda79: crates/bench/src/bin/cluster_scaling.rs
+
+crates/bench/src/bin/cluster_scaling.rs:

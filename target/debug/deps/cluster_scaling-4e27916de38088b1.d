@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_scaling-4e27916de38088b1.d: crates/bench/src/bin/cluster_scaling.rs
+
+/root/repo/target/debug/deps/cluster_scaling-4e27916de38088b1: crates/bench/src/bin/cluster_scaling.rs
+
+crates/bench/src/bin/cluster_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_scaling-980f523e266d5fe0.d: crates/bench/src/bin/cluster_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_scaling-980f523e266d5fe0.rmeta: crates/bench/src/bin/cluster_scaling.rs Cargo.toml
+
+crates/bench/src/bin/cluster_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

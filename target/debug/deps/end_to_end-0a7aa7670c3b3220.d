@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0a7aa7670c3b3220.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0a7aa7670c3b3220: tests/end_to_end.rs
+
+tests/end_to_end.rs:

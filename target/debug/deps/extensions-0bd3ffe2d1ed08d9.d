@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-0bd3ffe2d1ed08d9.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-0bd3ffe2d1ed08d9: tests/extensions.rs
+
+tests/extensions.rs:

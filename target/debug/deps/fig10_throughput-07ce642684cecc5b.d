@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_throughput-07ce642684cecc5b.d: crates/bench/src/bin/fig10_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_throughput-07ce642684cecc5b.rmeta: crates/bench/src/bin/fig10_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig10_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

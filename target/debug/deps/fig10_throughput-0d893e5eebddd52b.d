@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_throughput-0d893e5eebddd52b.d: crates/bench/src/bin/fig10_throughput.rs
+
+/root/repo/target/debug/deps/fig10_throughput-0d893e5eebddd52b: crates/bench/src/bin/fig10_throughput.rs
+
+crates/bench/src/bin/fig10_throughput.rs:

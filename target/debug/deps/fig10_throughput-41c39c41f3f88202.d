@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_throughput-41c39c41f3f88202.d: crates/bench/src/bin/fig10_throughput.rs
+
+/root/repo/target/debug/deps/fig10_throughput-41c39c41f3f88202: crates/bench/src/bin/fig10_throughput.rs
+
+crates/bench/src/bin/fig10_throughput.rs:

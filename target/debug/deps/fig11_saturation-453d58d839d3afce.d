@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_saturation-453d58d839d3afce.d: crates/bench/src/bin/fig11_saturation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_saturation-453d58d839d3afce.rmeta: crates/bench/src/bin/fig11_saturation.rs Cargo.toml
+
+crates/bench/src/bin/fig11_saturation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_saturation-6ec22847043b2779.d: crates/bench/src/bin/fig11_saturation.rs
+
+/root/repo/target/debug/deps/fig11_saturation-6ec22847043b2779: crates/bench/src/bin/fig11_saturation.rs
+
+crates/bench/src/bin/fig11_saturation.rs:

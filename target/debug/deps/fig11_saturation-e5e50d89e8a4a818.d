@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_saturation-e5e50d89e8a4a818.d: crates/bench/src/bin/fig11_saturation.rs
+
+/root/repo/target/debug/deps/fig11_saturation-e5e50d89e8a4a818: crates/bench/src/bin/fig11_saturation.rs
+
+crates/bench/src/bin/fig11_saturation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_batch_size-2a22f11eb05e34d7.d: crates/bench/src/bin/fig12_batch_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_batch_size-2a22f11eb05e34d7.rmeta: crates/bench/src/bin/fig12_batch_size.rs Cargo.toml
+
+crates/bench/src/bin/fig12_batch_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

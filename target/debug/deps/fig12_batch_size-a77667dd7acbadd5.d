@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batch_size-a77667dd7acbadd5.d: crates/bench/src/bin/fig12_batch_size.rs
+
+/root/repo/target/debug/deps/fig12_batch_size-a77667dd7acbadd5: crates/bench/src/bin/fig12_batch_size.rs
+
+crates/bench/src/bin/fig12_batch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batch_size-e70023c7110d4777.d: crates/bench/src/bin/fig12_batch_size.rs
+
+/root/repo/target/debug/deps/fig12_batch_size-e70023c7110d4777: crates/bench/src/bin/fig12_batch_size.rs
+
+crates/bench/src/bin/fig12_batch_size.rs:

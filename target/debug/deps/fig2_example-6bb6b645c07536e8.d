@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_example-6bb6b645c07536e8.d: tests/fig2_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_example-6bb6b645c07536e8.rmeta: tests/fig2_example.rs Cargo.toml
+
+tests/fig2_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_example-9ff67228b7394ea1.d: tests/fig2_example.rs
+
+/root/repo/target/debug/deps/fig2_example-9ff67228b7394ea1: tests/fig2_example.rs
+
+tests/fig2_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_job_dist-6be9646fb49d3f14.d: crates/bench/src/bin/fig8_job_dist.rs
+
+/root/repo/target/debug/deps/fig8_job_dist-6be9646fb49d3f14: crates/bench/src/bin/fig8_job_dist.rs
+
+crates/bench/src/bin/fig8_job_dist.rs:

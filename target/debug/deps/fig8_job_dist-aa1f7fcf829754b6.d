@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_job_dist-aa1f7fcf829754b6.d: crates/bench/src/bin/fig8_job_dist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_job_dist-aa1f7fcf829754b6.rmeta: crates/bench/src/bin/fig8_job_dist.rs Cargo.toml
+
+crates/bench/src/bin/fig8_job_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

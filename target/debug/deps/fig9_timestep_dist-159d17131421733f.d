@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_timestep_dist-159d17131421733f.d: crates/bench/src/bin/fig9_timestep_dist.rs
+
+/root/repo/target/debug/deps/fig9_timestep_dist-159d17131421733f: crates/bench/src/bin/fig9_timestep_dist.rs
+
+crates/bench/src/bin/fig9_timestep_dist.rs:

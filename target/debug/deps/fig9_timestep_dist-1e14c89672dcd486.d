@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_timestep_dist-1e14c89672dcd486.d: crates/bench/src/bin/fig9_timestep_dist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_timestep_dist-1e14c89672dcd486.rmeta: crates/bench/src/bin/fig9_timestep_dist.rs Cargo.toml
+
+crates/bench/src/bin/fig9_timestep_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

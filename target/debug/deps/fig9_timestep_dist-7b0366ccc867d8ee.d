@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_timestep_dist-7b0366ccc867d8ee.d: crates/bench/src/bin/fig9_timestep_dist.rs
+
+/root/repo/target/debug/deps/fig9_timestep_dist-7b0366ccc867d8ee: crates/bench/src/bin/fig9_timestep_dist.rs
+
+crates/bench/src/bin/fig9_timestep_dist.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gating-324b4184eb1c4cf2.d: crates/bench/benches/gating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgating-324b4184eb1c4cf2.rmeta: crates/bench/benches/gating.rs Cargo.toml
+
+crates/bench/benches/gating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

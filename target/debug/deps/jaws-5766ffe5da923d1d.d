@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jaws-5766ffe5da923d1d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws-5766ffe5da923d1d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jaws-ee44f477674ab9bc.d: src/lib.rs
+
+/root/repo/target/debug/deps/jaws-ee44f477674ab9bc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jaws-f2eef352ad26ff74.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjaws-f2eef352ad26ff74.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjaws-f2eef352ad26ff74.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jaws-f4625d0fe4ae20ee.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjaws-f4625d0fe4ae20ee.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjaws-f4625d0fe4ae20ee.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jaws_bench-6efddcfc65ff6f9a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_bench-6efddcfc65ff6f9a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jaws_bench-96b59152a37c3a91.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_bench-96b59152a37c3a91.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

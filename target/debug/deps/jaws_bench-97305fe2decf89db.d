@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jaws_bench-97305fe2decf89db.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjaws_bench-97305fe2decf89db.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjaws_bench-97305fe2decf89db.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jaws_bench-ba278ab0d7bced69.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/jaws_bench-ba278ab0d7bced69: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

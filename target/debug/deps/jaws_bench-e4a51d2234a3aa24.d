@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jaws_bench-e4a51d2234a3aa24.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjaws_bench-e4a51d2234a3aa24.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjaws_bench-e4a51d2234a3aa24.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

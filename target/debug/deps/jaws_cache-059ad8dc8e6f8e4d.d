@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jaws_cache-059ad8dc8e6f8e4d.d: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/debug/deps/libjaws_cache-059ad8dc8e6f8e4d.rlib: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/debug/deps/libjaws_cache-059ad8dc8e6f8e4d.rmeta: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/lru.rs:
+crates/cache/src/lruk.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/pool.rs:
+crates/cache/src/slru.rs:
+crates/cache/src/twoq.rs:
+crates/cache/src/urc.rs:

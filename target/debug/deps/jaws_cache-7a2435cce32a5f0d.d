@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jaws_cache-7a2435cce32a5f0d.d: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs crates/cache/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_cache-7a2435cce32a5f0d.rmeta: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs crates/cache/src/proptests.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/lru.rs:
+crates/cache/src/lruk.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/pool.rs:
+crates/cache/src/slru.rs:
+crates/cache/src/twoq.rs:
+crates/cache/src/urc.rs:
+crates/cache/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jaws_cache-89cde49cb23e9d2c.d: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/debug/deps/libjaws_cache-89cde49cb23e9d2c.rlib: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/debug/deps/libjaws_cache-89cde49cb23e9d2c.rmeta: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/lru.rs:
+crates/cache/src/lruk.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/pool.rs:
+crates/cache/src/slru.rs:
+crates/cache/src/twoq.rs:
+crates/cache/src/urc.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jaws_cache-95924e051eb13f6a.d: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_cache-95924e051eb13f6a.rmeta: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/lru.rs:
+crates/cache/src/lruk.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/pool.rs:
+crates/cache/src/slru.rs:
+crates/cache/src/twoq.rs:
+crates/cache/src/urc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jaws_morton-258effc9de8801f8.d: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_morton-258effc9de8801f8.rmeta: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs Cargo.toml
+
+crates/morton/src/lib.rs:
+crates/morton/src/atom.rs:
+crates/morton/src/bigmin.rs:
+crates/morton/src/encode.rs:
+crates/morton/src/key.rs:
+crates/morton/src/range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

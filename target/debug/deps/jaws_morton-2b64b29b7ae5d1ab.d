@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jaws_morton-2b64b29b7ae5d1ab.d: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs crates/morton/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_morton-2b64b29b7ae5d1ab.rmeta: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs crates/morton/src/proptests.rs Cargo.toml
+
+crates/morton/src/lib.rs:
+crates/morton/src/atom.rs:
+crates/morton/src/bigmin.rs:
+crates/morton/src/encode.rs:
+crates/morton/src/key.rs:
+crates/morton/src/range.rs:
+crates/morton/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jaws_morton-4ba6b50b70a27f27.d: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs crates/morton/src/proptests.rs
+
+/root/repo/target/debug/deps/jaws_morton-4ba6b50b70a27f27: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs crates/morton/src/proptests.rs
+
+crates/morton/src/lib.rs:
+crates/morton/src/atom.rs:
+crates/morton/src/bigmin.rs:
+crates/morton/src/encode.rs:
+crates/morton/src/key.rs:
+crates/morton/src/range.rs:
+crates/morton/src/proptests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jaws_morton-ed5f7c62071d28f9.d: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+/root/repo/target/debug/deps/libjaws_morton-ed5f7c62071d28f9.rlib: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+/root/repo/target/debug/deps/libjaws_morton-ed5f7c62071d28f9.rmeta: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+crates/morton/src/lib.rs:
+crates/morton/src/atom.rs:
+crates/morton/src/bigmin.rs:
+crates/morton/src/encode.rs:
+crates/morton/src/key.rs:
+crates/morton/src/range.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jaws_scheduler-6853d20919a9f83b.d: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs
+
+/root/repo/target/debug/deps/jaws_scheduler-6853d20919a9f83b: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/adaptive.rs:
+crates/scheduler/src/align.rs:
+crates/scheduler/src/batch.rs:
+crates/scheduler/src/casjobs.rs:
+crates/scheduler/src/gating.rs:
+crates/scheduler/src/jaws.rs:
+crates/scheduler/src/liferaft.rs:
+crates/scheduler/src/noshare.rs:
+crates/scheduler/src/policy.rs:
+crates/scheduler/src/prefetch.rs:
+crates/scheduler/src/qos.rs:
+crates/scheduler/src/queues.rs:

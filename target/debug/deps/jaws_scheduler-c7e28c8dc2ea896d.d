@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/jaws_scheduler-c7e28c8dc2ea896d.d: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_scheduler-c7e28c8dc2ea896d.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs Cargo.toml
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/adaptive.rs:
+crates/scheduler/src/align.rs:
+crates/scheduler/src/batch.rs:
+crates/scheduler/src/casjobs.rs:
+crates/scheduler/src/gating.rs:
+crates/scheduler/src/jaws.rs:
+crates/scheduler/src/liferaft.rs:
+crates/scheduler/src/noshare.rs:
+crates/scheduler/src/policy.rs:
+crates/scheduler/src/prefetch.rs:
+crates/scheduler/src/qos.rs:
+crates/scheduler/src/queues.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/jaws_scheduler-cad9674afa7a2997.d: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs
+
+/root/repo/target/debug/deps/libjaws_scheduler-cad9674afa7a2997.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs
+
+/root/repo/target/debug/deps/libjaws_scheduler-cad9674afa7a2997.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/adaptive.rs crates/scheduler/src/align.rs crates/scheduler/src/batch.rs crates/scheduler/src/casjobs.rs crates/scheduler/src/gating.rs crates/scheduler/src/jaws.rs crates/scheduler/src/liferaft.rs crates/scheduler/src/noshare.rs crates/scheduler/src/policy.rs crates/scheduler/src/prefetch.rs crates/scheduler/src/qos.rs crates/scheduler/src/queues.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/adaptive.rs:
+crates/scheduler/src/align.rs:
+crates/scheduler/src/batch.rs:
+crates/scheduler/src/casjobs.rs:
+crates/scheduler/src/gating.rs:
+crates/scheduler/src/jaws.rs:
+crates/scheduler/src/liferaft.rs:
+crates/scheduler/src/noshare.rs:
+crates/scheduler/src/policy.rs:
+crates/scheduler/src/prefetch.rs:
+crates/scheduler/src/qos.rs:
+crates/scheduler/src/queues.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jaws_sim-0674234f49d3b72b.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_sim-0674234f49d3b72b.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/report.rs:
+crates/sim/src/setup.rs:
+crates/sim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jaws_sim-963ed225550df9f3.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/jaws_sim-963ed225550df9f3: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/report.rs:
+crates/sim/src/setup.rs:
+crates/sim/src/sweep.rs:

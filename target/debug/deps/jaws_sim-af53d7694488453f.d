@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jaws_sim-af53d7694488453f.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libjaws_sim-af53d7694488453f.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libjaws_sim-af53d7694488453f.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/report.rs:
+crates/sim/src/setup.rs:
+crates/sim/src/sweep.rs:

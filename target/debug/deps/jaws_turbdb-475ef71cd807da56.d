@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jaws_turbdb-475ef71cd807da56.d: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+/root/repo/target/debug/deps/jaws_turbdb-475ef71cd807da56: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+crates/turbdb/src/lib.rs:
+crates/turbdb/src/atom.rs:
+crates/turbdb/src/btree.rs:
+crates/turbdb/src/config.rs:
+crates/turbdb/src/db.rs:
+crates/turbdb/src/disk.rs:
+crates/turbdb/src/kernels.rs:
+crates/turbdb/src/structures.rs:
+crates/turbdb/src/synth.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jaws_turbdb-a785fea6cfb70350.d: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+/root/repo/target/debug/deps/libjaws_turbdb-a785fea6cfb70350.rlib: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+/root/repo/target/debug/deps/libjaws_turbdb-a785fea6cfb70350.rmeta: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+crates/turbdb/src/lib.rs:
+crates/turbdb/src/atom.rs:
+crates/turbdb/src/btree.rs:
+crates/turbdb/src/config.rs:
+crates/turbdb/src/db.rs:
+crates/turbdb/src/disk.rs:
+crates/turbdb/src/kernels.rs:
+crates/turbdb/src/structures.rs:
+crates/turbdb/src/synth.rs:

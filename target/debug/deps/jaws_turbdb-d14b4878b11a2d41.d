@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jaws_turbdb-d14b4878b11a2d41.d: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_turbdb-d14b4878b11a2d41.rmeta: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs Cargo.toml
+
+crates/turbdb/src/lib.rs:
+crates/turbdb/src/atom.rs:
+crates/turbdb/src/btree.rs:
+crates/turbdb/src/config.rs:
+crates/turbdb/src/db.rs:
+crates/turbdb/src/disk.rs:
+crates/turbdb/src/kernels.rs:
+crates/turbdb/src/structures.rs:
+crates/turbdb/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jaws_workload-0aad0eddd8fb2c31.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+/root/repo/target/debug/deps/libjaws_workload-0aad0eddd8fb2c31.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+/root/repo/target/debug/deps/libjaws_workload-0aad0eddd8fb2c31.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/jobid.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jaws_workload-1b0e8503b403ac93.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjaws_workload-1b0e8503b403ac93.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/jobid.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

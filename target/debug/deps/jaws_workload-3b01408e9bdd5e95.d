@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jaws_workload-3b01408e9bdd5e95.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+/root/repo/target/debug/deps/jaws_workload-3b01408e9bdd5e95: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/jobid.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/types.rs:

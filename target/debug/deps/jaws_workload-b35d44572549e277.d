@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jaws_workload-b35d44572549e277.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+/root/repo/target/debug/deps/libjaws_workload-b35d44572549e277.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+/root/repo/target/debug/deps/libjaws_workload-b35d44572549e277.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/jobid.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/types.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/jobid.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jobid_gating-3af4d5d9905beaeb.d: crates/bench/src/bin/jobid_gating.rs
+
+/root/repo/target/debug/deps/jobid_gating-3af4d5d9905beaeb: crates/bench/src/bin/jobid_gating.rs
+
+crates/bench/src/bin/jobid_gating.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jobid_gating-46cfa22e3bedcbc5.d: crates/bench/src/bin/jobid_gating.rs
+
+/root/repo/target/debug/deps/jobid_gating-46cfa22e3bedcbc5: crates/bench/src/bin/jobid_gating.rs
+
+crates/bench/src/bin/jobid_gating.rs:

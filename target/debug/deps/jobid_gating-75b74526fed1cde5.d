@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jobid_gating-75b74526fed1cde5.d: crates/bench/src/bin/jobid_gating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjobid_gating-75b74526fed1cde5.rmeta: crates/bench/src/bin/jobid_gating.rs Cargo.toml
+
+crates/bench/src/bin/jobid_gating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

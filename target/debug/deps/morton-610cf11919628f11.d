@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton-610cf11919628f11.d: crates/bench/benches/morton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton-610cf11919628f11.rmeta: crates/bench/benches/morton.rs Cargo.toml
+
+crates/bench/benches/morton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton_order-f4a50914b596b281.d: crates/bench/benches/morton_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton_order-f4a50914b596b281.rmeta: crates/bench/benches/morton_order.rs Cargo.toml
+
+crates/bench/benches/morton_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-23f053cfa94b8ecc.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-23f053cfa94b8ecc: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f683abdc434db340.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f683abdc434db340.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f683abdc434db340.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

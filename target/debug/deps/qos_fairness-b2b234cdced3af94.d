@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qos_fairness-b2b234cdced3af94.d: crates/bench/src/bin/qos_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqos_fairness-b2b234cdced3af94.rmeta: crates/bench/src/bin/qos_fairness.rs Cargo.toml
+
+crates/bench/src/bin/qos_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_fairness-ce67f1cfc898a513.d: crates/bench/src/bin/qos_fairness.rs
+
+/root/repo/target/debug/deps/qos_fairness-ce67f1cfc898a513: crates/bench/src/bin/qos_fairness.rs
+
+crates/bench/src/bin/qos_fairness.rs:

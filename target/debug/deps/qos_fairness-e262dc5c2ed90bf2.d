@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_fairness-e262dc5c2ed90bf2.d: crates/bench/src/bin/qos_fairness.rs
+
+/root/repo/target/debug/deps/qos_fairness-e262dc5c2ed90bf2: crates/bench/src/bin/qos_fairness.rs
+
+crates/bench/src/bin/qos_fairness.rs:

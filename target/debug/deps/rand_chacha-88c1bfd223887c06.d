@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-88c1bfd223887c06.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-88c1bfd223887c06: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

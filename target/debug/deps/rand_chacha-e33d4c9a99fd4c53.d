@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-e33d4c9a99fd4c53.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-e33d4c9a99fd4c53.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-e33d4c9a99fd4c53.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

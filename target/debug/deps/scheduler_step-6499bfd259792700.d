@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_step-6499bfd259792700.d: crates/bench/benches/scheduler_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_step-6499bfd259792700.rmeta: crates/bench/benches/scheduler_step.rs Cargo.toml
+
+crates/bench/benches/scheduler_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starvation-2cd252886422ec24.d: crates/bench/src/bin/starvation.rs
+
+/root/repo/target/debug/deps/starvation-2cd252886422ec24: crates/bench/src/bin/starvation.rs
+
+crates/bench/src/bin/starvation.rs:

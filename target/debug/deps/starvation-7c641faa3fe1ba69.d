@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starvation-7c641faa3fe1ba69.d: crates/bench/src/bin/starvation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarvation-7c641faa3fe1ba69.rmeta: crates/bench/src/bin/starvation.rs Cargo.toml
+
+crates/bench/src/bin/starvation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starvation-8906fead0690e9c5.d: crates/bench/src/bin/starvation.rs
+
+/root/repo/target/debug/deps/starvation-8906fead0690e9c5: crates/bench/src/bin/starvation.rs
+
+crates/bench/src/bin/starvation.rs:

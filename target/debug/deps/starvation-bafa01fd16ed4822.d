@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starvation-bafa01fd16ed4822.d: crates/bench/src/bin/starvation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarvation-bafa01fd16ed4822.rmeta: crates/bench/src/bin/starvation.rs Cargo.toml
+
+crates/bench/src/bin/starvation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

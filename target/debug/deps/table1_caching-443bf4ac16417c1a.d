@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_caching-443bf4ac16417c1a.d: crates/bench/src/bin/table1_caching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_caching-443bf4ac16417c1a.rmeta: crates/bench/src/bin/table1_caching.rs Cargo.toml
+
+crates/bench/src/bin/table1_caching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_caching-4e937f1bcedb501f.d: crates/bench/src/bin/table1_caching.rs
+
+/root/repo/target/debug/deps/table1_caching-4e937f1bcedb501f: crates/bench/src/bin/table1_caching.rs
+
+crates/bench/src/bin/table1_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_caching-57634fbb7c0f06ea.d: crates/bench/src/bin/table1_caching.rs
+
+/root/repo/target/debug/deps/table1_caching-57634fbb7c0f06ea: crates/bench/src/bin/table1_caching.rs
+
+crates/bench/src/bin/table1_caching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_caching-b64e2a3e205041a3.d: crates/bench/src/bin/table1_caching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_caching-b64e2a3e205041a3.rmeta: crates/bench/src/bin/table1_caching.rs Cargo.toml
+
+crates/bench/src/bin/table1_caching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tools-006571b8378be99d.d: crates/bench/src/bin/trace_tools.rs
+
+/root/repo/target/debug/deps/trace_tools-006571b8378be99d: crates/bench/src/bin/trace_tools.rs
+
+crates/bench/src/bin/trace_tools.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tools-83e2a3bccf590f63.d: crates/bench/src/bin/trace_tools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tools-83e2a3bccf590f63.rmeta: crates/bench/src/bin/trace_tools.rs Cargo.toml
+
+crates/bench/src/bin/trace_tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tools-9f16e8234f684111.d: crates/bench/src/bin/trace_tools.rs
+
+/root/repo/target/debug/deps/trace_tools-9f16e8234f684111: crates/bench/src/bin/trace_tools.rs
+
+crates/bench/src/bin/trace_tools.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tools-c5845481f36e6639.d: crates/bench/src/bin/trace_tools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tools-c5845481f36e6639.rmeta: crates/bench/src/bin/trace_tools.rs Cargo.toml
+
+crates/bench/src/bin/trace_tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_replay-1cead4d0d0513877.d: examples/cluster_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_replay-1cead4d0d0513877.rmeta: examples/cluster_replay.rs Cargo.toml
+
+examples/cluster_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

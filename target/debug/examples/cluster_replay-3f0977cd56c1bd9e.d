@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_replay-3f0977cd56c1bd9e.d: examples/cluster_replay.rs
+
+/root/repo/target/debug/examples/cluster_replay-3f0977cd56c1bd9e: examples/cluster_replay.rs
+
+examples/cluster_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gated_jobs-89bb3aab05655c4e.d: examples/gated_jobs.rs
+
+/root/repo/target/debug/examples/gated_jobs-89bb3aab05655c4e: examples/gated_jobs.rs
+
+examples/gated_jobs.rs:

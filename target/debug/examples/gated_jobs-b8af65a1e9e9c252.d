@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gated_jobs-b8af65a1e9e9c252.d: examples/gated_jobs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgated_jobs-b8af65a1e9e9c252.rmeta: examples/gated_jobs.rs Cargo.toml
+
+examples/gated_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

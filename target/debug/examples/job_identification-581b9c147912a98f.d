@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/job_identification-581b9c147912a98f.d: examples/job_identification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjob_identification-581b9c147912a98f.rmeta: examples/job_identification.rs Cargo.toml
+
+examples/job_identification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/job_identification-7e13db62d2bfd08a.d: examples/job_identification.rs
+
+/root/repo/target/debug/examples/job_identification-7e13db62d2bfd08a: examples/job_identification.rs
+
+examples/job_identification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/particle_tracking-682fcd84bccc1d5b.d: examples/particle_tracking.rs
+
+/root/repo/target/debug/examples/particle_tracking-682fcd84bccc1d5b: examples/particle_tracking.rs
+
+examples/particle_tracking.rs:

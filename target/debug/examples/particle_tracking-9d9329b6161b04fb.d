@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/particle_tracking-9d9329b6161b04fb.d: examples/particle_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparticle_tracking-9d9329b6161b04fb.rmeta: examples/particle_tracking.rs Cargo.toml
+
+examples/particle_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

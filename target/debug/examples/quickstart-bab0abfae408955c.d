@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bab0abfae408955c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bab0abfae408955c: examples/quickstart.rs
+
+examples/quickstart.rs:

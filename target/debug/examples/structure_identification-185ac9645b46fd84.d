@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/structure_identification-185ac9645b46fd84.d: examples/structure_identification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstructure_identification-185ac9645b46fd84.rmeta: examples/structure_identification.rs Cargo.toml
+
+examples/structure_identification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/structure_identification-b10793f931fa07c7.d: examples/structure_identification.rs
+
+/root/repo/target/debug/examples/structure_identification-b10793f931fa07c7: examples/structure_identification.rs
+
+examples/structure_identification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c54067e335931bdc.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c54067e335931bdc: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-239ab9ef3a56ea09.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-239ab9ef3a56ea09: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_scaling-cb839c041e46d208.d: crates/bench/src/bin/cluster_scaling.rs
+
+/root/repo/target/release/deps/cluster_scaling-cb839c041e46d208: crates/bench/src/bin/cluster_scaling.rs
+
+crates/bench/src/bin/cluster_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_throughput-eca6881846fdcef9.d: crates/bench/src/bin/fig10_throughput.rs
+
+/root/repo/target/release/deps/fig10_throughput-eca6881846fdcef9: crates/bench/src/bin/fig10_throughput.rs
+
+crates/bench/src/bin/fig10_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_saturation-5ccdb127deba5e92.d: crates/bench/src/bin/fig11_saturation.rs
+
+/root/repo/target/release/deps/fig11_saturation-5ccdb127deba5e92: crates/bench/src/bin/fig11_saturation.rs
+
+crates/bench/src/bin/fig11_saturation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batch_size-e082bc05ca7fa23a.d: crates/bench/src/bin/fig12_batch_size.rs
+
+/root/repo/target/release/deps/fig12_batch_size-e082bc05ca7fa23a: crates/bench/src/bin/fig12_batch_size.rs
+
+crates/bench/src/bin/fig12_batch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_job_dist-bc0ad81949f86125.d: crates/bench/src/bin/fig8_job_dist.rs
+
+/root/repo/target/release/deps/fig8_job_dist-bc0ad81949f86125: crates/bench/src/bin/fig8_job_dist.rs
+
+crates/bench/src/bin/fig8_job_dist.rs:

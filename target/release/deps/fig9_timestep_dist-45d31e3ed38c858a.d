@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_timestep_dist-45d31e3ed38c858a.d: crates/bench/src/bin/fig9_timestep_dist.rs
+
+/root/repo/target/release/deps/fig9_timestep_dist-45d31e3ed38c858a: crates/bench/src/bin/fig9_timestep_dist.rs
+
+crates/bench/src/bin/fig9_timestep_dist.rs:

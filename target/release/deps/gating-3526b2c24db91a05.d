@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gating-3526b2c24db91a05.d: crates/bench/benches/gating.rs
+
+/root/repo/target/release/deps/gating-3526b2c24db91a05: crates/bench/benches/gating.rs
+
+crates/bench/benches/gating.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jaws-1156129e8432a6d8.d: src/lib.rs
+
+/root/repo/target/release/deps/jaws-1156129e8432a6d8: src/lib.rs
+
+src/lib.rs:

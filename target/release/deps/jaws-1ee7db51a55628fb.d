@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jaws-1ee7db51a55628fb.d: src/lib.rs
+
+/root/repo/target/release/deps/libjaws-1ee7db51a55628fb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libjaws-1ee7db51a55628fb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jaws_bench-ffb7631ecb2e631d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjaws_bench-ffb7631ecb2e631d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjaws_bench-ffb7631ecb2e631d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

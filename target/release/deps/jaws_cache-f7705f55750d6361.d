@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/jaws_cache-f7705f55750d6361.d: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/release/deps/libjaws_cache-f7705f55750d6361.rlib: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+/root/repo/target/release/deps/libjaws_cache-f7705f55750d6361.rmeta: crates/cache/src/lib.rs crates/cache/src/lru.rs crates/cache/src/lruk.rs crates/cache/src/policy.rs crates/cache/src/pool.rs crates/cache/src/slru.rs crates/cache/src/twoq.rs crates/cache/src/urc.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/lru.rs:
+crates/cache/src/lruk.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/pool.rs:
+crates/cache/src/slru.rs:
+crates/cache/src/twoq.rs:
+crates/cache/src/urc.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jaws_morton-77a1bc6f0d010685.d: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+/root/repo/target/release/deps/libjaws_morton-77a1bc6f0d010685.rlib: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+/root/repo/target/release/deps/libjaws_morton-77a1bc6f0d010685.rmeta: crates/morton/src/lib.rs crates/morton/src/atom.rs crates/morton/src/bigmin.rs crates/morton/src/encode.rs crates/morton/src/key.rs crates/morton/src/range.rs
+
+crates/morton/src/lib.rs:
+crates/morton/src/atom.rs:
+crates/morton/src/bigmin.rs:
+crates/morton/src/encode.rs:
+crates/morton/src/key.rs:
+crates/morton/src/range.rs:

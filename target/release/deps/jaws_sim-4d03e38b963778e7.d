@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jaws_sim-4d03e38b963778e7.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libjaws_sim-4d03e38b963778e7.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libjaws_sim-4d03e38b963778e7.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/executor.rs crates/sim/src/report.rs crates/sim/src/setup.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/report.rs:
+crates/sim/src/setup.rs:
+crates/sim/src/sweep.rs:

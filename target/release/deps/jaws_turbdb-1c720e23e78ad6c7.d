@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/jaws_turbdb-1c720e23e78ad6c7.d: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+/root/repo/target/release/deps/libjaws_turbdb-1c720e23e78ad6c7.rlib: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+/root/repo/target/release/deps/libjaws_turbdb-1c720e23e78ad6c7.rmeta: crates/turbdb/src/lib.rs crates/turbdb/src/atom.rs crates/turbdb/src/btree.rs crates/turbdb/src/config.rs crates/turbdb/src/db.rs crates/turbdb/src/disk.rs crates/turbdb/src/kernels.rs crates/turbdb/src/structures.rs crates/turbdb/src/synth.rs
+
+crates/turbdb/src/lib.rs:
+crates/turbdb/src/atom.rs:
+crates/turbdb/src/btree.rs:
+crates/turbdb/src/config.rs:
+crates/turbdb/src/db.rs:
+crates/turbdb/src/disk.rs:
+crates/turbdb/src/kernels.rs:
+crates/turbdb/src/structures.rs:
+crates/turbdb/src/synth.rs:

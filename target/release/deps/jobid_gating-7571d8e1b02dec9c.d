@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jobid_gating-7571d8e1b02dec9c.d: crates/bench/src/bin/jobid_gating.rs
+
+/root/repo/target/release/deps/jobid_gating-7571d8e1b02dec9c: crates/bench/src/bin/jobid_gating.rs
+
+crates/bench/src/bin/jobid_gating.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/morton_order-e660e5e9840dad3b.d: crates/bench/benches/morton_order.rs
+
+/root/repo/target/release/deps/morton_order-e660e5e9840dad3b: crates/bench/benches/morton_order.rs
+
+crates/bench/benches/morton_order.rs:

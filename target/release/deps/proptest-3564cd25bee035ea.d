@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3564cd25bee035ea.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3564cd25bee035ea.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3564cd25bee035ea.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qos_fairness-a67adbee6c2e76e1.d: crates/bench/src/bin/qos_fairness.rs
+
+/root/repo/target/release/deps/qos_fairness-a67adbee6c2e76e1: crates/bench/src/bin/qos_fairness.rs
+
+crates/bench/src/bin/qos_fairness.rs:

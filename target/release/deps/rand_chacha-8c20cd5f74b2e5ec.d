@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-8c20cd5f74b2e5ec.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-8c20cd5f74b2e5ec.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-8c20cd5f74b2e5ec.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

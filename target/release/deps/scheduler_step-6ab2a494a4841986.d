@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler_step-6ab2a494a4841986.d: crates/bench/benches/scheduler_step.rs
+
+/root/repo/target/release/deps/scheduler_step-6ab2a494a4841986: crates/bench/benches/scheduler_step.rs
+
+crates/bench/benches/scheduler_step.rs:

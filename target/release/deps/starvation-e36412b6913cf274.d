@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/starvation-e36412b6913cf274.d: crates/bench/src/bin/starvation.rs
+
+/root/repo/target/release/deps/starvation-e36412b6913cf274: crates/bench/src/bin/starvation.rs
+
+crates/bench/src/bin/starvation.rs:

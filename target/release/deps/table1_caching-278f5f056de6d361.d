@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_caching-278f5f056de6d361.d: crates/bench/src/bin/table1_caching.rs
+
+/root/repo/target/release/deps/table1_caching-278f5f056de6d361: crates/bench/src/bin/table1_caching.rs
+
+crates/bench/src/bin/table1_caching.rs:

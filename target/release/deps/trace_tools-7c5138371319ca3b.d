@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tools-7c5138371319ca3b.d: crates/bench/src/bin/trace_tools.rs
+
+/root/repo/target/release/deps/trace_tools-7c5138371319ca3b: crates/bench/src/bin/trace_tools.rs
+
+crates/bench/src/bin/trace_tools.rs:

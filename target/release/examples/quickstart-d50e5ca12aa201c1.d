@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d50e5ca12aa201c1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d50e5ca12aa201c1: examples/quickstart.rs
+
+examples/quickstart.rs:

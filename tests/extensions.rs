@@ -68,7 +68,9 @@ fn qos_drains_with_bounded_makespan() {
 fn qos_bounds_the_worst_case_better_than_contention() {
     // The §VII promise: tail response of a saturated replay is tighter under
     // proportional deadlines than under pure contention order.
-    let trace = TraceGenerator::new(GenConfig::small(75)).generate().speedup(10.0);
+    let trace = TraceGenerator::new(GenConfig::small(75))
+        .generate()
+        .speedup(10.0);
     let qos = run(SchedulerKind::Qos { stretch_x10: 30 }, &trace);
     let lr2 = run(SchedulerKind::LifeRaft2, &trace);
     assert!(
@@ -173,7 +175,10 @@ fn one_node_cluster_is_equivalent_to_the_single_executor() {
         gate_timeout_ms: 10_000.0,
     });
     let cluster = ex.run(&trace);
-    assert_eq!(cluster.aggregate.queries_completed, single.queries_completed);
+    assert_eq!(
+        cluster.aggregate.queries_completed,
+        single.queries_completed
+    );
     assert_eq!(cluster.aggregate.disk.reads, single.disk.reads);
     assert!(
         (cluster.aggregate.makespan_ms - single.makespan_ms).abs() < 1e-6,
@@ -181,7 +186,5 @@ fn one_node_cluster_is_equivalent_to_the_single_executor() {
         cluster.aggregate.makespan_ms,
         single.makespan_ms
     );
-    assert!(
-        (cluster.aggregate.mean_response_ms - single.mean_response_ms).abs() < 1e-6
-    );
+    assert!((cluster.aggregate.mean_response_ms - single.mean_response_ms).abs() < 1e-6);
 }

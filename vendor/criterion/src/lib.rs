@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Supports `Criterion::bench_function`, `benchmark_group`, `Bencher::iter`
+//! and `iter_batched`, [`BatchSize`], [`black_box`], and the simple forms of
+//! [`criterion_group!`] / [`criterion_main!`]. Each benchmark runs a short
+//! warm-up, then timed samples, and prints a one-line
+//! `name  time: [min mean max]` report. No statistical analysis, plotting, or
+//! baseline persistence — just honest wall-clock numbers that make relative
+//! comparisons (e.g. incremental vs. full recompute) meaningful.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps the optimizer honest.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How expensive one batch of setup output is; controls batch sizing in
+/// [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input: run moderately sized batches.
+    SmallInput,
+    /// Large per-iteration input: keep few inputs alive at once.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        let fast = std::env::var("CRITERION_FAST").is_ok();
+        Bencher {
+            samples: Vec::new(),
+            warmup: if fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+            sample_count: if fast { 10 } else { 30 },
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates how many calls fit in one sample.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed() / calls.max(1) as u32;
+        let per_sample = (Duration::from_millis(10).as_nanos() / per_call.as_nanos().max(1))
+            .clamp(1, 100_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+
+        // Warm-up with a single batch.
+        let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        for input in inputs {
+            black_box(routine(input));
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, reported as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut b = Bencher::new();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), b.sample_count);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut b = Bencher::new();
+        let mut made = 0u32;
+        b.iter_batched(
+            || {
+                made += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert!(made > 0);
+        assert_eq!(b.samples.len(), b.sample_count);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's [`Value`]-based data model, with no syn/quote
+//! dependency: the item is parsed by walking raw proc-macro tokens. Supported
+//! shapes — which is exactly what this workspace contains:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtype structs delegate to the inner value, wider ones
+//!   serialize as arrays), including `#[serde(transparent)]`;
+//! * enums with unit, newtype, tuple, and struct variants (externally tagged,
+//!   like upstream serde's default).
+//!
+//! Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Consumes leading outer attributes, reporting whether any was
+/// `#[serde(transparent)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut transparent = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let [TokenTree::Ident(id), TokenTree::Group(args)] = &inner[..] {
+                        if id.to_string() == "serde"
+                            && args.stream().into_iter().any(|t| {
+                                matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")
+                            })
+                        {
+                            transparent = true;
+                        }
+                    }
+                }
+            }
+            _ => return transparent,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier if present.
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Skips a field type (or discriminant expression) up to a top-level comma,
+/// tracking angle-bracket depth so `HashMap<K, V>` commas don't terminate.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(name)) => {
+                fields.push(name.to_string());
+                // Consume ':' then the type.
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut toks);
+                // Consume the separating comma if present.
+                if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    toks.next();
+                }
+            }
+            None => return fields,
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            return arity;
+        }
+        arity += 1;
+        skip_type(&mut toks);
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return variants,
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match toks.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match toks.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            skip_type(&mut toks);
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push((name, fields));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let transparent = skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic items are not supported");
+    }
+    let kind = match (kw.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Struct(Fields::Tuple(tuple_arity(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            ItemKind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde_derive: unsupported item `{kw}` body {other:?}"),
+    };
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+            }
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            // Newtype structs (and transparent ones) delegate to the inner
+            // value, mirroring upstream serde.
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!(
+                    "Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+                    f = fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                         format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            if *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                    .collect();
+                format!(
+                    "let a = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                         format!(\"expected array for {name}, found {{}}\", v.kind())))?;\n\
+                     if a.len() != {n} {{\n\
+                         return Err(::serde::DeError::new(format!(\
+                             \"expected {n} elements for {name}, found {{}}\", a.len())));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| \
+                                     ::serde::DeError::new(\"expected object variant body\"))?;\n\
+                                 Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    Fields::Tuple(n) => {
+                        if *n == 1 {
+                            Some(format!(
+                                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                            ))
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{\n\
+                                     let a = inner.as_array().ok_or_else(|| \
+                                         ::serde::DeError::new(\"expected array variant body\"))?;\n\
+                                     if a.len() != {n} {{\n\
+                                         return Err(::serde::DeError::new(\"variant arity mismatch\"));\n\
+                                     }}\n\
+                                     Ok({name}::{v}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {data}\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => Err(::serde::DeError::new(format!(\
+                         \"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
