@@ -27,6 +27,7 @@
 //! voxel payloads (`Arc<AtomData>`) while large scheduling simulations cache
 //! `()` and only model residency.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lru;

@@ -27,15 +27,14 @@ impl UtilityRank {
     };
 
     /// Total order used by URC: lower ranks are evicted first.
+    ///
+    /// `total_cmp` (not `partial_cmp`) so the order stays total even if a
+    /// NaN rank ever slips in — a NaN would otherwise compare `Equal` to
+    /// everything and make victim choice depend on scan order (lint F001).
     pub fn cmp_for_eviction(&self, other: &UtilityRank) -> std::cmp::Ordering {
         self.timestep_mean
-            .partial_cmp(&other.timestep_mean)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                self.atom_utility
-                    .partial_cmp(&other.atom_utility)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .total_cmp(&other.timestep_mean)
+            .then(self.atom_utility.total_cmp(&other.atom_utility))
     }
 }
 

@@ -1,0 +1,890 @@
+//! `jaws-lint` — repo-specific static analysis for determinism and
+//! panic-safety invariants.
+//!
+//! Every figure the workspace reproduces depends on the simulator being
+//! bit-reproducible per seed and on the Eq. 1 utility ranking being a total,
+//! deterministic order.  This crate scans the workspace's Rust sources with a
+//! lightweight line tokenizer (no `syn` — the workspace is vendored/offline)
+//! and enforces the following named rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D001` | no `HashMap`/`HashSet` iteration in `crates/scheduler` / `crates/sim` decision paths (suppress with `// lint: sorted` when a sort/`BTreeMap` re-establishes order nearby) |
+//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`) outside `crates/bench` and the `crates/cache/src/pool.rs` timing shim |
+//! | `F001` | no bare `partial_cmp` in ranking code — use `total_cmp` with an integer tie-break |
+//! | `F002` | no `==`/`!=` against float literals in ranking code |
+//! | `P001` | no `unwrap()`/`expect()`/`panic!`/indexing-by-literal in non-`#[cfg(test)]` scheduler/sim dispatch paths (suppress documented invariants with `// lint: invariant`) |
+//! | `U001` | `#![forbid(unsafe_code)]` present in every non-bench crate root |
+//!
+//! Suppression syntax (trailing comment on the offending line, or a comment on
+//! the line directly above):
+//!
+//! * `// lint: sorted` — D001 only; the analyzer additionally requires a
+//!   `sort`/`BTreeMap`/`BTreeSet` token within 6 lines as evidence.
+//! * `// lint: invariant — <why this cannot fire>` — P001 `expect`/panic
+//!   macros/literal indexing (never bare `unwrap()`).
+//! * `// lint: allow(<RULE>) — <reason>` — unconditional escape hatch.
+//!
+//! The binary (`cargo run -p jaws-lint --release`) prints `file:line [RULE]
+//! message` diagnostics and exits non-zero on any violation; the library is
+//! exercised directly by unit and integration tests, including a self-check
+//! over the real workspace that runs under tier-1 `cargo test`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A single rule violation, keyed by workspace-relative path and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `"D001"`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of scanning a whole workspace tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// One source line after comment/string stripping.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and string/char literal *contents* blanked
+    /// (delimiters are preserved so token boundaries survive).
+    pub code: String,
+    /// Concatenated comment text on this line (line + block comments) —
+    /// searched for `lint:` attestations.
+    pub comment: String,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Strips comments, string literals and char literals, preserving line
+/// structure.  Handles nested block comments, raw strings (`r#"…"#`), byte
+/// strings, escapes, and lifetimes vs. char literals.
+pub fn strip_source(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let n = chars.len();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < n {
+            match mode {
+                Mode::Block(depth) => {
+                    if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                        }
+                        i += 2;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"' {
+                        let h = hashes as usize;
+                        if chars[i + 1..].iter().take(h).filter(|&&c| c == '#').count() == h {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1 + h;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    let prev_is_ident = code
+                        .chars()
+                        .last()
+                        .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_is_ident {
+                        // Raw / byte string starts: r", r#", br", b".
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = c == 'r' || (c == 'b' && j > i + 1);
+                        if chars.get(j) == Some(&'"') && (is_raw || hashes == 0) {
+                            code.push('"');
+                            mode = if is_raw && (hashes > 0 || chars.get(i + 1) != Some(&'"')) {
+                                Mode::RawStr(hashes)
+                            } else if is_raw {
+                                Mode::RawStr(0)
+                            } else {
+                                Mode::Str
+                            };
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' && !prev_is_ident {
+                        // Char literal vs. lifetime.
+                        if next == Some('\\') {
+                            let mut j = i + 2;
+                            while j < n && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push(' ');
+                            i = j + 1;
+                        } else if i + 2 < n && chars[i + 2] == '\'' {
+                            code.push(' ');
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+/// Marks lines that belong to `#[cfg(test)]` / `#[test]` items by brace
+/// counting on stripped code.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_floor: Option<i64> = None;
+    for (ln, l) in lines.iter().enumerate() {
+        if region_floor.is_some() {
+            pending = false; // already inside a test region
+            mask[ln] = true;
+        }
+        if l.code.contains("#[cfg(test)]") || l.code.contains("#[test]") {
+            pending = true;
+        }
+        if pending {
+            mask[ln] = true;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_floor.is_some_and(|f| depth <= f) {
+                        region_floor = None;
+                    }
+                }
+                // `#[cfg(test)] mod tests;` — attribute applies to a
+                // braceless item; stop waiting for `{`.
+                ';' if pending && region_floor.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let mut start = trimmed.len();
+    for (i, c) in trimmed.char_indices().rev() {
+        if c.is_alphanumeric() || c == '_' {
+            start = i;
+        } else {
+            break;
+        }
+    }
+    if start < trimmed.len() && !trimmed.as_bytes()[start].is_ascii_digit() {
+        Some(trimmed[start..].to_string())
+    } else {
+        None
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values in this file:
+/// field/param/let type annotations (`name: HashMap<…>`) and constructor
+/// assignments (`name = HashMap::new()` etc.).
+pub fn hash_collection_names(lines: &[Line]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for l in lines {
+        let code = &l.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0usize;
+            while let Some(pos) = code[from..].find(ty) {
+                let abs = from + pos;
+                from = abs + ty.len();
+                // Word boundary on the right (reject e.g. `HashMapLike`).
+                if code[from..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                let mut before = code[..abs].trim_end();
+                // Strip qualifying path segments: `std::collections::HashMap`.
+                while before.ends_with("::") {
+                    before = &before[..before.len() - 2];
+                    while before
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        before = &before[..before.len() - 1];
+                    }
+                }
+                // `name: HashMap<…>` possibly through `&`/`&mut`.
+                let lhs = before
+                    .trim_end_matches(['&', ' '])
+                    .trim_end_matches("mut")
+                    .trim_end();
+                if let Some(stripped) = lhs.strip_suffix(':') {
+                    if let Some(name) = trailing_ident(stripped) {
+                        names.insert(name);
+                    }
+                }
+                // `name = HashMap::new()` / `with_capacity` / `from(...)`.
+                if let Some(stripped) = before.trim_end().strip_suffix('=') {
+                    if let Some(name) = trailing_ident(stripped.trim_end()) {
+                        names.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain()",
+];
+
+const WALLCLOCK_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `name` as a whole identifier followed directly by one of `ITER_METHODS`.
+fn iterates_collection(code: &str, name: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(name) {
+        let abs = from + pos;
+        from = abs + name.len();
+        let left_ok = abs == 0 || !is_ident_char(code[..abs].chars().next_back().unwrap_or(' '));
+        let rest = &code[abs + name.len()..];
+        if left_ok && ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
+            return true;
+        }
+        // `for x in &name {` / `for (k, v) in name {`
+        if left_ok
+            && code[..abs].contains(" in ")
+            && code.trim_start().starts_with("for ")
+            && rest.trim_start().starts_with('{')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// An attestation counts when the marker appears anywhere on the violation's
+/// *statement* (a method chain may span lines) or in the contiguous comment
+/// block directly above it. Walking upward: a line whose code ends with `;`,
+/// `{` or `}` terminates the previous statement, so the walk stops after the
+/// comment block that follows it; a blank, comment-free line also stops it.
+fn attested(lines: &[Line], ln: usize, marker: &str) -> bool {
+    if lines[ln].comment.contains(marker) {
+        return true;
+    }
+    let mut p = ln;
+    let mut in_comment_block = false;
+    while p > 0 {
+        p -= 1;
+        let l = &lines[p];
+        let code = l.code.trim();
+        if code.is_empty() {
+            if l.comment.trim().is_empty() {
+                return false; // blank line: nothing attaches across it
+            }
+            in_comment_block = true;
+            if l.comment.contains(marker) {
+                return true;
+            }
+            continue;
+        }
+        if in_comment_block {
+            return false; // code above the comment block belongs elsewhere
+        }
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false; // previous statement ended here
+        }
+        // Same-statement continuation (an open method chain, binding, …).
+        if l.comment.contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+fn allow_attested(lines: &[Line], ln: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    attested(lines, ln, &marker)
+}
+
+fn sort_evidence_nearby(lines: &[Line], ln: usize) -> bool {
+    let lo = ln.saturating_sub(6);
+    let hi = (ln + 7).min(lines.len());
+    lines[lo..hi].iter().any(|l| {
+        l.code.contains("sort") || l.code.contains("BTreeMap") || l.code.contains("BTreeSet")
+    })
+}
+
+fn in_dispatch_scope(rel: &str) -> bool {
+    rel.starts_with("crates/scheduler/src/") || rel.starts_with("crates/sim/src/")
+}
+
+fn in_ranking_scope(rel: &str) -> bool {
+    in_dispatch_scope(rel) || rel.starts_with("crates/cache/src/")
+}
+
+fn wallclock_exempt(rel: &str) -> bool {
+    rel.starts_with("crates/bench/") || rel == "crates/cache/src/pool.rs"
+}
+
+/// Scans for `name[<int literal>]` style indexing: `[` preceded by an
+/// identifier char, `)` or `]`, containing only digits/underscores.
+fn literal_index_positions(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if !(is_ident_char(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut digits = 0usize;
+        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            digits += 1;
+            j += 1;
+        }
+        if digits > 0 && chars.get(j) == Some(&']') {
+            return true;
+        }
+    }
+    false
+}
+
+fn float_literal_token(tok: &str) -> bool {
+    let t = tok.trim();
+    if t.starts_with("f64::") || t.starts_with("f32::") {
+        return true;
+    }
+    t.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && t.contains('.')
+        && t.chars().all(|c| {
+            c.is_ascii_digit()
+                || c == '.'
+                || c == '_'
+                || c == 'f'
+                || c == '6'
+                || c == '4'
+                || c == '3'
+                || c == '2'
+        })
+}
+
+/// Detects `==`/`!=` where one operand is a float literal.
+fn float_eq_violation(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        let is_eq = two == "=="
+            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'='))
+            && bytes.get(i + 2) != Some(&b'=');
+        let is_ne = two == "!=" && bytes.get(i + 2) != Some(&b'=');
+        if is_eq || is_ne {
+            let left = code[..i]
+                .trim_end()
+                .rsplit(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+                .next()
+                .unwrap_or("");
+            let right = code[i + 2..]
+                .trim_start()
+                .split(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+                .next()
+                .unwrap_or("");
+            if float_literal_token(left) || float_literal_token(right) {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Runs all line-level rules over one file. `rel` is the workspace-relative
+/// path with `/` separators.
+pub fn check_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let lines = strip_source(src);
+    let mask = test_mask(&lines);
+    let hash_names = hash_collection_names(&lines);
+    let mut out = Vec::new();
+    let mut push = |ln: usize, rule: &'static str, message: String| {
+        out.push(Diagnostic {
+            file: rel.to_string(),
+            line: ln + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (ln, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        if code.trim().is_empty() {
+            continue;
+        }
+        let in_test = mask[ln];
+
+        // D002 — wall-clock / entropy sources (applies to tests too: a timed
+        // test is a flaky test).
+        if !wallclock_exempt(rel) {
+            for tok in WALLCLOCK_TOKENS {
+                if code.contains(tok) && !allow_attested(&lines, ln, "D002") {
+                    push(
+                        ln,
+                        "D002",
+                        format!(
+                            "wall-clock/entropy source `{tok}` outside crates/bench and the \
+                             cache pool timing shim breaks replayability; thread a seeded RNG \
+                             or simulated clock instead"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+
+        // D001 — HashMap/HashSet iteration in dispatch paths.
+        if in_dispatch_scope(rel) {
+            for name in &hash_names {
+                if iterates_collection(code, name) {
+                    let sorted_ok =
+                        attested(&lines, ln, "lint: sorted") && sort_evidence_nearby(&lines, ln);
+                    if !sorted_ok && !allow_attested(&lines, ln, "D001") {
+                        push(
+                            ln,
+                            "D001",
+                            format!(
+                                "iteration over unordered hash collection `{name}` can reorder \
+                                 scheduling decisions; use BTreeMap/BTreeSet or sort and attest \
+                                 with `// lint: sorted`"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // F001/F002 — float ordering in ranking code.
+        if in_ranking_scope(rel) {
+            if code.contains(".partial_cmp(")
+                && !code.contains("fn partial_cmp")
+                && !allow_attested(&lines, ln, "F001")
+            {
+                push(
+                    ln,
+                    "F001",
+                    "bare `partial_cmp` is not a total order over f64 (NaN); use `total_cmp` \
+                     with an integer tie-break"
+                        .to_string(),
+                );
+            }
+            if float_eq_violation(code) && !allow_attested(&lines, ln, "F002") {
+                push(
+                    ln,
+                    "F002",
+                    "`==`/`!=` against a float literal is fragile ranking logic; compare via \
+                     `total_cmp` or an explicit tolerance"
+                        .to_string(),
+                );
+            }
+        }
+
+        // P001 — panic-safety in dispatch paths.
+        if in_dispatch_scope(rel) {
+            if code.contains(".unwrap()") && !allow_attested(&lines, ln, "P001") {
+                push(
+                    ln,
+                    "P001",
+                    "`unwrap()` in a dispatch path; return a Result or convert to an \
+                     invariant `expect` with a `// lint: invariant` attestation"
+                        .to_string(),
+                );
+            }
+            if code.contains(".expect(")
+                && !attested(&lines, ln, "lint: invariant")
+                && !allow_attested(&lines, ln, "P001")
+            {
+                push(
+                    ln,
+                    "P001",
+                    "`expect()` without a documented invariant; add `// lint: invariant — why` \
+                     or handle the None/Err case"
+                        .to_string(),
+                );
+            }
+            for mac in PANIC_MACROS {
+                if code.contains(mac)
+                    && !attested(&lines, ln, "lint: invariant")
+                    && !allow_attested(&lines, ln, "P001")
+                {
+                    push(
+                        ln,
+                        "P001",
+                        format!(
+                            "`{}` in a dispatch path without a `// lint: invariant` attestation",
+                            mac.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+            if literal_index_positions(code)
+                && !attested(&lines, ln, "lint: invariant")
+                && !allow_attested(&lines, ln, "P001")
+            {
+                push(
+                    ln,
+                    "P001",
+                    "indexing by integer literal can panic; use `.first()`/`.get()` or attest \
+                     the bound with `// lint: invariant`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | "vendor" | ".git" | "fixtures" | "node_modules"
+            ) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate roots (relative to the workspace root) that must carry
+/// `#![forbid(unsafe_code)]` — every crate except `crates/bench`, whose
+/// harness shims are exempt.
+fn forbid_unsafe_roots(root: &Path) -> Vec<String> {
+    let mut roots = Vec::new();
+    if root.join("src/lib.rs").is_file() {
+        roots.push("src/lib.rs".to_string());
+    }
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d.file_name().map(|n| n.to_string_lossy().to_string());
+            if name.as_deref() == Some("bench") {
+                continue;
+            }
+            if d.join("src/lib.rs").is_file() {
+                roots.push(format!("crates/{}/src/lib.rs", name.unwrap_or_default()));
+            }
+        }
+    }
+    roots
+}
+
+/// Scans a workspace tree rooted at `root`. Returns all diagnostics sorted by
+/// `(file, line, rule)` plus the number of files scanned.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)?;
+        report.files_scanned += 1;
+        report.diagnostics.extend(check_file(&rel, &src));
+    }
+    for rel in forbid_unsafe_roots(root) {
+        let src = fs::read_to_string(root.join(&rel))?;
+        if !src.contains("#![forbid(unsafe_code)]") {
+            report.diagnostics.push(Diagnostic {
+                file: rel,
+                line: 1,
+                rule: "U001",
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHED: &str = "crates/scheduler/src/foo.rs";
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn stripper_removes_comments_and_strings() {
+        let lines = strip_source("let x = \"a // not a comment\"; // real\nlet y = 1; /* block\nstill block */ let z = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = \"\";");
+        assert!(lines[0].comment.contains("real"));
+        assert_eq!(lines[1].code.trim(), "let y = 1;");
+        assert_eq!(lines[2].code.trim(), "let z = 2;");
+    }
+
+    #[test]
+    fn stripper_handles_char_literals_and_lifetimes() {
+        let lines =
+            strip_source("fn f<'a>(c: char) -> &'a str { if c == '\"' { \"x\" } else { \"y\" } }");
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings() {
+        let lines = strip_source("let s = r#\"unwrap() inside\"#; s.len();");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\nfn live2() {}\n";
+        let lines = strip_source(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn d001_fires_on_hashmap_iteration_and_respects_attestation() {
+        let bad = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { for _ in self.m.keys() {} } }\n";
+        assert_eq!(codes(SCHED, bad), vec!["D001"]);
+        let attested = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) -> Vec<u32> {\n    let mut v: Vec<u32> = self.m.keys().copied().collect(); // lint: sorted\n    v.sort();\n    v\n} }\n";
+        assert!(codes(SCHED, attested).is_empty());
+        // Attestation without sort evidence still fires.
+        let lying = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) -> u32 { self.m.values().sum() // lint: some\n} }\n";
+        let lying = lying.replace("lint: some", "lint: sorted");
+        assert_eq!(codes(SCHED, &lying), vec!["D001"]);
+    }
+
+    #[test]
+    fn d001_ignores_out_of_scope_and_test_code() {
+        let bad = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) { for _ in self.m.keys() {} } }\n";
+        assert!(codes("crates/workload/src/gen.rs", bad).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{bad}\n}}\n");
+        assert!(codes(SCHED, &in_test).is_empty());
+    }
+
+    #[test]
+    fn d002_fires_everywhere_but_exempt_paths() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(codes("crates/workload/src/gen.rs", src), vec!["D002"]);
+        assert!(codes("crates/cache/src/pool.rs", src).is_empty());
+        assert!(codes("crates/bench/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f001_fires_on_partial_cmp_call_not_definition() {
+        assert_eq!(
+            codes(SCHED, "fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n"),
+            vec!["F001"]
+        );
+        assert!(codes(
+            SCHED,
+            "impl PartialOrd for K { fn partial_cmp(&self, o: &K) -> Option<Ordering> { Some(self.cmp(o)) } }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn f002_fires_on_float_literal_equality() {
+        assert_eq!(
+            codes(SCHED, "fn f(x: f64) -> bool { x == 0.0 }\n"),
+            vec!["F002"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(x: f64) -> bool { 1.5 != x }\n"),
+            vec!["F002"]
+        );
+        assert!(codes(SCHED, "fn f(x: u32) -> bool { x == 3 }\n").is_empty());
+        assert!(codes(SCHED, "fn f(a: (u32,), b: (u32,)) -> bool { a.0 == b.0 }\n").is_empty());
+        assert!(codes(SCHED, "fn f(x: f64) -> bool { x <= 1.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn p001_fires_on_panic_paths_and_respects_invariant_attestation() {
+        assert_eq!(
+            codes(
+                SCHED,
+                "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap() }\n"
+            ),
+            vec!["P001"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(v: &[u32]) -> u32 { v[0] }\n"),
+            vec!["P001"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(o: Option<u32>) -> u32 { o.expect(\"x\") }\n"),
+            vec!["P001"]
+        );
+        assert_eq!(codes(SCHED, "fn f() { panic!(\"boom\") }\n"), vec!["P001"]);
+        let ok = "fn f(o: Option<u32>) -> u32 {\n    // lint: invariant — o is always Some here\n    o.expect(\"tracked\")\n}\n";
+        assert!(codes(SCHED, ok).is_empty());
+        // unwrap() is never excusable via `lint: invariant`.
+        let still_bad =
+            "fn f(o: Option<u32>) -> u32 {\n    // lint: invariant — nope\n    o.unwrap()\n}\n";
+        assert_eq!(codes(SCHED, still_bad), vec!["P001"]);
+        // ...but the explicit allow() escape hatch works.
+        let allowed = "fn f(o: Option<u32>) -> u32 { o.unwrap() // lint: allow(P001) — demo\n}\n";
+        assert!(codes(SCHED, allowed).is_empty());
+    }
+
+    #[test]
+    fn p001_ignores_array_type_and_literal_expressions() {
+        assert!(codes(SCHED, "fn f() -> [u8; 4] { [0, 1, 2, 3] }\n").is_empty());
+        assert!(codes(
+            SCHED,
+            "fn f(v: &[u32]) -> Option<u32> { v.get(0).copied() }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn diagnostics_format_is_file_line_rule() {
+        let d = check_file(SCHED, "fn f() { panic!(\"x\") }\n").remove(0);
+        assert_eq!(format!("{d}"), format!("{SCHED}:1 [P001] {}", d.message));
+    }
+}

@@ -1,0 +1,73 @@
+//! Command-line entry point for `jaws-lint`.
+//!
+//! Usage: `cargo run -p jaws-lint --release [-- --root <path>]`
+//!
+//! Scans the workspace tree (default: the workspace this binary was built
+//! from), prints one `file:line [RULE] message` diagnostic per violation and
+//! exits with status 1 if any were found, 2 on I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("jaws-lint: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("jaws-lint — workspace determinism & panic-safety checks");
+                println!("usage: jaws-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                // Bare positional path is accepted as the root too.
+                root = PathBuf::from(other);
+            }
+        }
+    }
+
+    let report = match jaws_lint::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jaws-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "jaws-lint: OK — {} files scanned, 0 violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "jaws-lint: {} violation(s) across {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `jaws-lint` binary: the workspace self-check that
+//! gates CI, the seeded-violation fixture, and report determinism.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jaws-lint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("jaws-lint binary runs")
+}
+
+/// Tier-1 gate: the real workspace must be violation-free.
+#[test]
+fn workspace_self_check_passes() {
+    let out = run_lint(&workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "jaws-lint failed on the workspace:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("jaws-lint: OK"),
+        "unexpected output: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_violations_fail_with_file_line_and_rule_ids() {
+    let out = run_lint(&fixture("violations"));
+    assert_eq!(out.status.code(), Some(1), "planted violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["D001", "D002", "F001", "F002", "P001", "U001"] {
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "rule {rule} not reported:\n{stdout}"
+        );
+    }
+    // Diagnostics carry file:line anchors.
+    assert!(
+        stdout.contains("crates/scheduler/src/lib.rs:"),
+        "no file:line diagnostics:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_lint(&fixture("clean"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean fixture flagged:\n{stdout}");
+}
+
+/// The report itself must be deterministic: two runs over the same tree
+/// produce byte-identical output (diagnostics are sorted, the walk is
+/// sorted, nothing depends on hash order or clocks).
+#[test]
+fn report_is_byte_identical_across_runs() {
+    for root in [workspace_root(), fixture("violations")] {
+        let a = run_lint(&root);
+        let b = run_lint(&root);
+        assert_eq!(a.status.code(), b.status.code());
+        assert_eq!(
+            a.stdout,
+            b.stdout,
+            "non-deterministic report for {}",
+            root.display()
+        );
+    }
+}

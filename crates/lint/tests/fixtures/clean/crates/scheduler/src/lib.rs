@@ -1,0 +1,9 @@
+//! Clean fixture: a minimal scheduler crate root that satisfies every rule.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn ordered_sum(m: &BTreeMap<u32, u32>) -> u32 {
+    m.values().sum()
+}

@@ -1,0 +1,30 @@
+//! Seeded-violation fixture for the jaws-lint integration tests.
+//!
+//! Never compiled — the `fixtures` directory is excluded from workspace
+//! scans and from cargo targets. Each function plants exactly one rule
+//! violation; `tests/cli.rs` asserts the binary reports all of them and
+//! exits non-zero. The crate root also deliberately omits the
+//! forbid-unsafe attribute, so U001 fires too.
+
+use std::collections::HashMap;
+
+pub fn planted_d001() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.keys().copied().collect()
+}
+
+pub fn planted_d002() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn planted_f001(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn planted_f002(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn planted_p001(o: Option<u32>) -> u32 {
+    o.unwrap()
+}

@@ -19,6 +19,7 @@
 //! far beyond the 16 atoms/side (1024³ grid / 64³ atoms) of the production
 //! database.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atom;

@@ -138,7 +138,9 @@ impl AlphaController {
                 if self.flat_runs >= 2 {
                     let step = Self::EXPLORE_STEP * self.explore_sign;
                     let next = (self.alpha + step).clamp(0.0, 1.0);
-                    if next == self.alpha {
+                    // total_cmp, not `==`: "the clamp absorbed the whole
+                    // step" must be an exact, total comparison (lint F002).
+                    if next.total_cmp(&self.alpha).is_eq() {
                         self.explore_sign = -self.explore_sign;
                     } else {
                         self.alpha = next;

@@ -32,11 +32,28 @@
 //! and becomes schedulable alone, trading the missed sharing for bounded
 //! delay. (The paper relies on alignment feasibility alone; the timeout is an
 //! engineering addition documented in DESIGN.md.)
+//!
+//! ## Total order (determinism)
+//!
+//! Every decision in this module is made in a documented total order so runs
+//! are bit-reproducible per seed (lint rule D001):
+//!
+//! * **Edge admission** (merge phase of [`GatingGraph::add_job`]): candidate
+//!   alignments are processed in decreasing alignment size, ties broken by
+//!   ascending partner `JobId`, and pairs within one alignment in job
+//!   sequence order.
+//! * **Force release** ([`GatingGraph::release_stale`]): stale queries are
+//!   released in ascending `QueryId` order.
+//! * **Group firing**: promoted queries come out in group-membership order,
+//!   which is itself the deterministic admission order above.
+//!
+//! All graph state lives in `BTreeMap`/`BTreeSet` keyed by `JobId`/`QueryId`/
+//! group id, so every iteration is ordered by construction.
 
 use crate::align::align_jobs;
 use jaws_workload::{Job, JobId, JobKind, Query, QueryId};
 use serde::Serialize;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Gating behaviour knobs.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -96,11 +113,11 @@ struct JobEntry {
 #[derive(Debug)]
 pub struct GatingGraph {
     cfg: GatingConfig,
-    jobs: HashMap<JobId, JobEntry>,
+    jobs: BTreeMap<JobId, JobEntry>,
     /// Arrival order of ordered jobs, for alignment candidate selection.
     job_order: Vec<JobId>,
-    queries: HashMap<QueryId, QueryEntry>,
-    groups: HashMap<GroupId, Vec<QueryId>>,
+    queries: BTreeMap<QueryId, QueryEntry>,
+    groups: BTreeMap<GroupId, Vec<QueryId>>,
     next_group: GroupId,
     admitted_edges: u64,
     refused_edges: u64,
@@ -112,10 +129,10 @@ impl GatingGraph {
     pub fn new(cfg: GatingConfig) -> Self {
         GatingGraph {
             cfg,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             job_order: Vec::new(),
-            queries: HashMap::new(),
-            groups: HashMap::new(),
+            queries: BTreeMap::new(),
+            groups: BTreeMap::new(),
             next_group: 0,
             admitted_edges: 0,
             refused_edges: 0,
@@ -239,7 +256,7 @@ impl GatingGraph {
         let side_a = old_a.as_ref().map_or_else(|| vec![a], |(_, m)| m.clone());
         let side_b = old_b.as_ref().map_or_else(|| vec![b], |(_, m)| m.clone());
         let merged: Vec<QueryId> = side_a.iter().chain(side_b.iter()).copied().collect();
-        let mut jobs_seen = HashSet::new();
+        let mut jobs_seen = BTreeSet::new();
         for q in &merged {
             if !jobs_seen.insert(self.queries[q].job) {
                 self.refused_edges += 1;
@@ -250,6 +267,7 @@ impl GatingGraph {
         let gid = self.next_group;
         self.next_group += 1;
         for q in &merged {
+            // lint: invariant — merged only holds ids from self.queries
             self.queries.get_mut(q).expect("tracked").group = Some(gid);
         }
         if let Some((g, _)) = &old_a {
@@ -268,10 +286,12 @@ impl GatingGraph {
             for (old, lone) in [(old_a, a), (old_b, b)] {
                 match old {
                     None => {
+                        // lint: invariant — `lone` was looked up at entry
                         self.queries.get_mut(&lone).expect("tracked").group = None;
                     }
                     Some((g, members)) => {
                         for m in &members {
+                            // lint: invariant — members came from self.queries
                             self.queries.get_mut(m).expect("tracked").group = Some(g);
                         }
                         self.groups.insert(g, members);
@@ -286,7 +306,7 @@ impl GatingGraph {
     /// Cycle check over the gating-group precedence DAG.
     fn group_dag_is_acyclic(&self) -> bool {
         // Edges: for each job, consecutive gated queries g_prev -> g_next.
-        let mut edges: HashMap<GroupId, HashSet<GroupId>> = HashMap::new();
+        let mut edges: BTreeMap<GroupId, BTreeSet<GroupId>> = BTreeMap::new();
         for job in self.jobs.values() {
             let mut prev: Option<GroupId> = None;
             for q in &job.queries[job.first_pending..] {
@@ -303,7 +323,7 @@ impl GatingGraph {
             }
         }
         // Kahn's algorithm over the groups that participate in edges.
-        let mut indeg: HashMap<GroupId, usize> = HashMap::new();
+        let mut indeg: BTreeMap<GroupId, usize> = BTreeMap::new();
         for (&from, tos) in &edges {
             indeg.entry(from).or_insert(0);
             for &to in tos {
@@ -321,6 +341,7 @@ impl GatingGraph {
             seen += 1;
             if let Some(tos) = edges.get(&g) {
                 for &to in tos {
+                    // lint: invariant — every edge target got an indeg entry above
                     let d = indeg.get_mut(&to).expect("counted");
                     *d -= 1;
                     if *d == 0 {
@@ -336,6 +357,7 @@ impl GatingGraph {
     /// WAIT → READY, then fires any group that became fully ready. Returns
     /// the queries newly promoted to QUEUE.
     pub fn query_available(&mut self, q: QueryId, now_ms: f64) -> Vec<QueryId> {
+        // lint: invariant — callers only pass ids registered via add_job
         let e = self
             .queries
             .get_mut(&q)
@@ -376,6 +398,7 @@ impl GatingGraph {
                 if remaining.len() <= 1 {
                     self.groups.remove(&g);
                     for m in remaining {
+                        // lint: invariant — group members are tracked queries
                         self.queries.get_mut(&m).expect("tracked").group = None;
                         if self.queries[&m].state == QueryState::Ready {
                             promoted.extend(self.promote(m));
@@ -401,6 +424,7 @@ impl GatingGraph {
         match e.group {
             None => self.promote(q),
             Some(g) => {
+                // lint: invariant — a query's group id always names a live group
                 let members = self.groups.get(&g).expect("member's group exists");
                 let all_ready = members.iter().all(|m| {
                     matches!(
@@ -426,6 +450,7 @@ impl GatingGraph {
     }
 
     fn promote(&mut self, q: QueryId) -> Vec<QueryId> {
+        // lint: invariant — promote is only called with tracked READY queries
         let e = self.queries.get_mut(&q).expect("tracked");
         debug_assert_eq!(e.state, QueryState::Ready);
         e.state = QueryState::Queue;
@@ -435,6 +460,9 @@ impl GatingGraph {
     /// Force-releases READY queries gated for longer than the timeout.
     /// Returns the queries promoted to QUEUE (the released query itself plus
     /// any group mates its departure unblocked).
+    ///
+    /// Releases happen in ascending `QueryId` order (see the module docs on
+    /// determinism) — `self.queries` is a `BTreeMap`.
     pub fn release_stale(&mut self, now_ms: f64) -> Vec<QueryId> {
         let stale: Vec<QueryId> = self
             .queries
@@ -452,6 +480,7 @@ impl GatingGraph {
                 continue; // already promoted by an earlier release this round
             }
             self.forced_releases += 1;
+            // lint: invariant — `stale` ids were collected from self.queries
             let g = self.queries.get_mut(&q).expect("tracked").group.take();
             if let Some(g) = g {
                 if let Some(members) = self.groups.get_mut(&g) {
@@ -460,6 +489,7 @@ impl GatingGraph {
                     if rest.len() <= 1 {
                         self.groups.remove(&g);
                         for m in &rest {
+                            // lint: invariant — group members are tracked queries
                             self.queries.get_mut(m).expect("tracked").group = None;
                         }
                     }
@@ -481,7 +511,7 @@ impl GatingGraph {
             return 0;
         };
         let job = &self.jobs[&e.job];
-        let mut blocking: HashSet<GroupId> = HashSet::new();
+        let mut blocking: BTreeSet<GroupId> = BTreeSet::new();
         for pq in &job.queries[job.first_pending..] {
             let pe = &self.queries[&pq.id];
             if pe.index >= e.index {
@@ -494,7 +524,7 @@ impl GatingGraph {
         // Expand to DAG ancestors of the query's own group.
         if let Some(g) = e.group {
             let mut frontier = vec![g];
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             while let Some(cur) = frontier.pop() {
                 for job in self.jobs.values() {
                     let mut prev: Option<GroupId> = None;
@@ -525,6 +555,7 @@ mod tests {
     use super::*;
     use jaws_morton::MortonKey;
     use jaws_workload::{Footprint, QueryOp};
+    use std::collections::HashMap;
 
     /// Builds a query with id `id` touching region `r` at timestep `ts`.
     fn q(id: u64, ts: u32, r: u64) -> Query {
@@ -853,11 +884,8 @@ impl GatingGraph {
         let mut out = String::from(
             "graph jaws_gating {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n",
         );
-        // Precedence chains per job (drawn as directed-looking edges).
-        let mut job_ids: Vec<&JobId> = self.jobs.keys().collect();
-        job_ids.sort_unstable();
-        for jid in job_ids {
-            let job = &self.jobs[jid];
+        // Precedence chains per job (BTreeMap iteration: ascending JobId).
+        for (jid, job) in &self.jobs {
             let _ = writeln!(out, "  subgraph cluster_job_{jid} {{ label=\"job {jid}\";");
             for q in &job.queries {
                 if let Some(e) = self.queries.get(&q.id) {
@@ -875,21 +903,21 @@ impl GatingGraph {
                 }
             }
             for w in job.queries.windows(2) {
-                let _ = writeln!(out, "    q{} -- q{} [dir=forward];", w[0].id, w[1].id);
+                if let [a, b] = w {
+                    let _ = writeln!(out, "    q{} -- q{} [dir=forward];", a.id, b.id);
+                }
             }
             let _ = writeln!(out, "  }}");
         }
-        // Gating groups as dashed cliques (draw the path through the group).
-        let mut group_ids: Vec<&GroupId> = self.groups.keys().collect();
-        group_ids.sort_unstable();
-        for g in group_ids {
-            let members = &self.groups[g];
+        // Gating groups as dashed cliques (BTreeMap iteration: ascending id).
+        for members in self.groups.values() {
             for w in members.windows(2) {
-                let _ = writeln!(
-                    out,
-                    "  q{} -- q{} [style=dashed color=red constraint=false];",
-                    w[0], w[1]
-                );
+                if let [a, b] = w {
+                    let _ = writeln!(
+                        out,
+                        "  q{a} -- q{b} [style=dashed color=red constraint=false];"
+                    );
+                }
             }
         }
         out.push_str("}\n");

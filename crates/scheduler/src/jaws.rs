@@ -182,7 +182,11 @@ impl Scheduler for Jaws {
             .map(|&(a, _)| a)
             .collect();
         if selected.is_empty() {
-            selected.push(in_ts[0].0);
+            // lint: invariant — best_timestep returned Some, so the chosen
+            // timestep holds at least one pending atom (and the sort put the
+            // highest-utility one first).
+            let &(first, _) = in_ts.first().expect("best timestep has a pending atom");
+            selected.push(first);
         }
         // Execute in Morton order: "the k atoms are sorted in Morton order
         // and the corresponding sub-queries from each atom are evaluated in

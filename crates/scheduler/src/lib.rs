@@ -17,6 +17,7 @@
 //! produces [`Batch`]es; the `jaws-sim` crate owns the clock, the database and
 //! the job think-time loop.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;

@@ -31,16 +31,17 @@ struct Trajectory {
 
 /// Footprint centroid in (fractional) atom coordinates.
 fn centroid(q: &Query) -> [f64; 3] {
-    let mut c = [0.0f64; 3];
+    let (mut cx, mut cy, mut cz) = (0.0f64, 0.0f64, 0.0f64);
     let mut w = 0.0;
     for &(m, count) in &q.footprint.atoms {
         let (x, y, z) = m.coords();
         let cw = count as f64;
-        c[0] += x as f64 * cw;
-        c[1] += y as f64 * cw;
-        c[2] += z as f64 * cw;
+        cx += x as f64 * cw;
+        cy += y as f64 * cw;
+        cz += z as f64 * cw;
         w += cw;
     }
+    let mut c = [cx, cy, cz];
     if w > 0.0 {
         for v in &mut c {
             *v /= w;
@@ -81,29 +82,30 @@ impl Prefetcher {
     pub fn observe(&mut self, job: JobId, q: &Query) {
         let c = centroid(q);
         let atoms: Vec<MortonKey> = q.footprint.atoms.iter().map(|&(m, _)| m).collect();
-        let entry = self.jobs.entry(job).or_insert_with(|| Trajectory {
-            prev_centroid: c,
-            prev_timestep: q.timestep,
-            last_atoms: atoms.clone(),
-            last_centroid: c,
-            last_timestep: q.timestep,
-            observations: 0,
-        });
-        if entry.observations > 0 {
-            entry.prev_centroid = entry.last_centroid;
-            entry.prev_timestep = entry.last_timestep;
-            entry.last_centroid = c;
-            entry.last_timestep = q.timestep;
-            entry.last_atoms = atoms;
-            self.predict(job);
-        } else {
-            entry.last_centroid = c;
-            entry.last_timestep = q.timestep;
-            entry.last_atoms = atoms;
-            entry.observations = 1;
-            return;
+        match self.jobs.get_mut(&job) {
+            None => {
+                self.jobs.insert(
+                    job,
+                    Trajectory {
+                        prev_centroid: c,
+                        prev_timestep: q.timestep,
+                        last_atoms: atoms,
+                        last_centroid: c,
+                        last_timestep: q.timestep,
+                        observations: 1,
+                    },
+                );
+            }
+            Some(entry) => {
+                entry.prev_centroid = entry.last_centroid;
+                entry.prev_timestep = entry.last_timestep;
+                entry.last_centroid = c;
+                entry.last_timestep = q.timestep;
+                entry.last_atoms = atoms;
+                entry.observations += 1;
+                self.predict(job);
+            }
         }
-        self.jobs.get_mut(&job).expect("just inserted").observations += 1;
     }
 
     /// Predicts job `job`'s next footprint and enqueues it.
@@ -118,20 +120,18 @@ impl Prefetcher {
             return; // stationary (batched) or falling off the archive
         }
         // Bounding-box velocity: centroid drift per query.
-        let drift = [
-            t.last_centroid[0] - t.prev_centroid[0],
-            t.last_centroid[1] - t.prev_centroid[1],
-            t.last_centroid[2] - t.prev_centroid[2],
-        ];
+        let [lx, ly, lz] = t.last_centroid;
+        let [px, py, pz] = t.prev_centroid;
+        let (dx, dy, dz) = (lx - px, ly - py, lz - pz);
         let side = self.atoms_per_side as i64;
         let predictions: Vec<AtomId> = t
             .last_atoms
             .iter()
             .map(|m| {
                 let (x, y, z) = m.coords();
-                let nx = (x as f64 + drift[0]).round() as i64;
-                let ny = (y as f64 + drift[1]).round() as i64;
-                let nz = (z as f64 + drift[2]).round() as i64;
+                let nx = (x as f64 + dx).round() as i64;
+                let ny = (y as f64 + dy).round() as i64;
+                let nz = (z as f64 + dz).round() as i64;
                 AtomId::from_coords(
                     next_ts as u32,
                     nx.rem_euclid(side) as u32,

@@ -15,13 +15,22 @@
 //! paper anticipates. The *stretch* of a completed query (response time ÷
 //! estimated service time) is the fairness measure: a proportional scheduler
 //! keeps the stretch distribution tight across query sizes.
+//!
+//! ## Total order (determinism)
+//!
+//! Atom selection is a total order (lint rule D001/F002): earliest deadline
+//! first via `f64::total_cmp`, ties broken by ascending `AtomId`. Deadline
+//! state lives in `BTreeMap`s, so the `min_by` scan visits candidates in
+//! ascending `AtomId` order and the result is independent of insertion
+//! history. Within an atom pass, queries complete in workload-queue
+//! (enqueue) order, which the executor produced deterministically.
 
 use crate::batch::{preprocess, Batch};
 use crate::policy::{Residency, Scheduler, SchedulerStats};
 use crate::queues::{MetricParams, UtilitySnapshot, WorkloadManager};
 use jaws_morton::AtomId;
 use jaws_workload::{Job, Query, QueryId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Earliest-deadline-first batch scheduler with proportional deadlines.
 #[derive(Debug)]
@@ -31,9 +40,9 @@ pub struct QosScheduler {
     /// estimated service time before its deadline passes.
     stretch: f64,
     /// Per-query absolute deadline, ms.
-    deadline: HashMap<QueryId, f64>,
+    deadline: BTreeMap<QueryId, f64>,
     /// Per-atom earliest deadline among pending sub-queries.
-    atom_deadline: HashMap<AtomId, f64>,
+    atom_deadline: BTreeMap<AtomId, f64>,
     run_len: usize,
     completed_in_run: usize,
     run_boundary: bool,
@@ -48,8 +57,8 @@ impl QosScheduler {
         QosScheduler {
             wm: WorkloadManager::new(params),
             stretch,
-            deadline: HashMap::new(),
-            atom_deadline: HashMap::new(),
+            deadline: BTreeMap::new(),
+            atom_deadline: BTreeMap::new(),
             run_len,
             completed_in_run: 0,
             run_boundary: false,
@@ -85,6 +94,7 @@ impl Scheduler for QosScheduler {
     fn next_batch(&mut self, _now_ms: f64, _residency: &dyn Residency) -> Option<Batch> {
         // Earliest deadline first over atoms; the whole workload queue of the
         // chosen atom rides along (data sharing within the deadline slack).
+        // Total order: (deadline via total_cmp, AtomId) — see module docs.
         let (&atom, _) = self
             .atom_deadline
             .iter()

@@ -40,6 +40,17 @@
 //! [`WorkloadManager::utility_snapshot`]), which are kept as the oracle the
 //! equivalence property tests compare against. The reference methods iterate
 //! atoms in sorted order for the same reason.
+//!
+//! # Total order (determinism)
+//!
+//! Selection is a total order (lint rules D001/F002): scores compare via
+//! `f64::total_cmp` and exact ties fall back to ascending `AtomId`
+//! (`(timestep, morton)`), so the chosen atom is a function of queue *state*
+//! only — never of enqueue order or map iteration order. Queues live in a
+//! `BTreeMap`, which also makes the canonical sorted fold order free.
+//! Non-finite metric inputs are debug-asserted and clamped to zero
+//! ([`finite_or_zero`]) so a poisoned cost model cannot make the
+//! normalization folds — and with them every comparison — NaN.
 
 use crate::batch::{AtomBatch, SubQuery};
 use crate::policy::Residency;
@@ -49,6 +60,18 @@ use jaws_workload::QueryId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Clamps a non-finite metric term to zero. A NaN utility or age would
+/// propagate through the max-normalizers into *every* atom's Eq. 2 blend and
+/// make the ranking incomparable; clamping keeps the order total while the
+/// paired `debug_assert` surfaces the broken cost model in tests.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
 
 /// The cost constants of Eq. 1 plus the geometry the per-timestep mean is
 /// taken over.
@@ -79,11 +102,17 @@ impl MetricParams {
 /// Eq. 1 for one queue. Shared by the reference and incremental paths so the
 /// two can never diverge.
 fn eq1(params: &MetricParams, positions: u64, resident: bool) -> f64 {
+    debug_assert!(
+        params.atom_read_ms.is_finite() && params.position_compute_ms.is_finite(),
+        "non-finite cost model: T_b={} T_m={}",
+        params.atom_read_ms,
+        params.position_compute_ms
+    );
     let w = positions as f64;
     let phi = if resident { 0.0 } else { 1.0 };
     let denom = params.atom_read_ms * phi + params.position_compute_ms * w;
     if denom > 0.0 {
-        return w / denom;
+        return finite_or_zero(w / denom);
     }
     // Degenerate cost model: a resident atom with zero per-position compute
     // cost (or an all-zero model). An "infinite" throughput sentinel would
@@ -94,7 +123,7 @@ fn eq1(params: &MetricParams, positions: u64, resident: bool) -> f64 {
     // of an equally loaded non-resident atom in the T_m → 0 limit).
     let half_read = 0.5 * params.atom_read_ms;
     if half_read > 0.0 {
-        w / half_read
+        finite_or_zero(w / half_read)
     } else {
         w
     }
@@ -140,7 +169,8 @@ struct TsAgg {
 #[derive(Debug)]
 pub struct WorkloadManager {
     params: MetricParams,
-    queues: HashMap<AtomId, AtomQueue>,
+    /// Ordered so `keys()` *is* the canonical `(timestep, morton)` fold order.
+    queues: BTreeMap<AtomId, AtomQueue>,
     /// Remaining sub-query count per query (for completion detection).
     pending_subs: HashMap<QueryId, usize>,
     total_subs: usize,
@@ -165,7 +195,7 @@ impl WorkloadManager {
     pub fn new(params: MetricParams) -> Self {
         WorkloadManager {
             params,
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             pending_subs: HashMap::new(),
             total_subs: 0,
             u_of: HashMap::new(),
@@ -187,6 +217,7 @@ impl WorkloadManager {
     pub fn enqueue(&mut self, subs: impl IntoIterator<Item = SubQuery>) {
         for s in subs {
             debug_assert!(s.positions > 0, "empty sub-query");
+            debug_assert!(s.enqueued_ms.is_finite(), "non-finite enqueue time");
             let q = self.queues.entry(s.atom).or_insert_with(|| AtomQueue {
                 subs: Vec::new(),
                 positions: 0,
@@ -244,11 +275,10 @@ impl WorkloadManager {
     }
 
     /// Pending atoms in sorted `(timestep, morton)` order — the canonical
-    /// iteration order of every floating-point fold in this module.
+    /// iteration order of every floating-point fold in this module. Free:
+    /// `queues` is a `BTreeMap`, so its keys already iterate in that order.
     fn sorted_pending(&self) -> Vec<AtomId> {
-        let mut ids: Vec<AtomId> = self.queues.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.queues.keys().copied().collect()
     }
 
     /// Eq. 2 over every pending atom: `(atom, U_e)` with both terms
@@ -278,8 +308,18 @@ impl WorkloadManager {
                 )
             })
             .collect();
-        let max_u = raw.iter().map(|&(_, u, _)| u).fold(0.0f64, f64::max);
-        let max_e = raw.iter().map(|&(_, _, e)| e).fold(0.0f64, f64::max);
+        debug_assert!(
+            raw.iter().all(|&(_, u, e)| u.is_finite() && e.is_finite()),
+            "non-finite utility/age reached the Eq. 2 normalization fold"
+        );
+        let max_u = raw
+            .iter()
+            .map(|&(_, u, _)| finite_or_zero(u))
+            .fold(0.0f64, f64::max);
+        let max_e = raw
+            .iter()
+            .map(|&(_, _, e)| finite_or_zero(e))
+            .fold(0.0f64, f64::max);
         raw.into_iter()
             .map(|(a, u, e)| (a, blend(u, e, max_u, max_e, alpha)))
             .collect()
@@ -294,8 +334,8 @@ impl WorkloadManager {
     ///
     /// Reference implementation (full scan, sorted fold); the incremental
     /// equivalent is [`Self::timestep_means_incremental`].
-    pub fn timestep_means(&self, residency: &dyn Residency) -> HashMap<u32, f64> {
-        let mut sum: HashMap<u32, f64> = HashMap::new();
+    pub fn timestep_means(&self, residency: &dyn Residency) -> BTreeMap<u32, f64> {
+        let mut sum: BTreeMap<u32, f64> = BTreeMap::new();
         for a in self.sorted_pending() {
             let u = self.workload_throughput(&a, residency.is_resident(&a));
             *sum.entry(a.timestep).or_insert(0.0) += u;
@@ -313,6 +353,7 @@ impl WorkloadManager {
     /// Panics if the atom has no queue — schedulers must only take atoms they
     /// observed as pending.
     pub fn take_atom(&mut self, atom: &AtomId) -> (AtomBatch, Vec<QueryId>) {
+        // lint: invariant — documented public contract (see # Panics above)
         let q = self
             .queues
             .remove(atom)
@@ -327,6 +368,7 @@ impl WorkloadManager {
         self.dirty_atoms.insert(*atom);
         let mut completing = Vec::new();
         for s in &q.subs {
+            // lint: invariant — enqueue() registered every sub-query's query id
             let left = self
                 .pending_subs
                 .get_mut(&s.query)
@@ -361,7 +403,7 @@ impl WorkloadManager {
     /// Reference implementation (full rebuild); schedulers use
     /// [`Self::utility_snapshot_incremental`].
     pub fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
-        let means = self.timestep_means(residency);
+        let means: HashMap<u32, f64> = self.timestep_means(residency).into_iter().collect();
         let atoms = self
             .sorted_pending()
             .into_iter()
@@ -612,9 +654,14 @@ impl WorkloadManager {
             for a in &self.ts_atoms[&ts] {
                 let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
                 let score = blend(self.u_of[a], e, max_u, max_e, alpha);
+                // Total order: (score via total_cmp, then smaller AtomId).
                 let better = match best {
                     None => true,
-                    Some((ba, bs)) => score > bs || (score == bs && *a < ba),
+                    Some((ba, bs)) => match score.total_cmp(&bs) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => *a < ba,
+                        std::cmp::Ordering::Less => false,
+                    },
                 };
                 if better {
                     best = Some((*a, score));
@@ -634,9 +681,15 @@ impl WorkloadManager {
 
     /// Per-timestep means from incrementally maintained state. Bitwise
     /// identical to the reference [`Self::timestep_means`].
-    pub fn timestep_means_incremental(&mut self, residency: &dyn Residency) -> HashMap<u32, f64> {
+    pub fn timestep_means_incremental(&mut self, residency: &dyn Residency) -> BTreeMap<u32, f64> {
         self.refresh(residency);
-        self.snapshot.means.as_ref().clone()
+        // The snapshot map is keyed storage (never iterated for decisions);
+        // collecting into a BTreeMap re-establishes sorted order for callers.
+        self.snapshot
+            .means
+            .iter() // lint: sorted — collected into a BTreeMap below
+            .map(|(&t, &m)| (t, m))
+            .collect::<BTreeMap<u32, f64>>()
     }
 }
 
@@ -713,6 +766,52 @@ mod tests {
     }
 
     #[test]
+    fn finite_or_zero_clamps_only_non_finite_values() {
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), 0.0);
+        // Identity on finite values, bit-exactly — the clamp must never
+        // perturb the incremental/reference bitwise-equivalence invariant.
+        for v in [0.0, -0.0, 1.5e-300, 42.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(finite_or_zero(v).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite cost model")]
+    fn eq1_rejects_nan_cost_model_in_debug() {
+        let poisoned = MetricParams {
+            atom_read_ms: f64::NAN,
+            position_compute_ms: 0.05,
+            atoms_per_timestep: 64,
+        };
+        let _ = eq1(&poisoned, 10, false);
+    }
+
+    #[test]
+    fn eq2_fold_survives_clamped_non_finite_utility() {
+        // Release-build behaviour of the Eq. 2 guard: even if a non-finite
+        // utility slipped past the debug assertion, the max-normalizer clamps
+        // it to zero and every blend stays finite and comparable.
+        let raw: Vec<(AtomId, f64, f64)> = vec![
+            (AtomId::new(0, MortonKey(0)), f64::NAN, 5.0),
+            (AtomId::new(0, MortonKey(1)), 2.0, f64::INFINITY),
+            (AtomId::new(0, MortonKey(2)), 1.0, 3.0),
+        ];
+        let max_u = raw
+            .iter()
+            .map(|&(_, u, _)| finite_or_zero(u))
+            .fold(0.0f64, f64::max);
+        let max_e = raw
+            .iter()
+            .map(|&(_, _, e)| finite_or_zero(e))
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_u, 2.0);
+        assert_eq!(max_e, 5.0);
+    }
+
+    #[test]
     fn eq1_phi_zero_for_resident_atoms() {
         let mut wm = WorkloadManager::new(params());
         wm.enqueue([sub(1, 0, 0, 10, 0.0)]);
@@ -755,9 +854,12 @@ mod tests {
         // Max-normalization stays meaningful: the disk atom's normalized
         // utility is within an order of magnitude, not ~1e-9.
         let res = FixedResidency::of([a0]);
-        let aged = wm.aged_utilities(1.0, 0.0, &res);
-        let of = |id: AtomId| aged.iter().find(|&&(a, _)| a == id).unwrap().1;
-        assert!(of(a1) > 0.1, "non-degenerate atom not crushed: {}", of(a1));
+        let aged: BTreeMap<AtomId, f64> = wm.aged_utilities(1.0, 0.0, &res).into_iter().collect();
+        assert!(
+            aged[&a1] > 0.1,
+            "non-degenerate atom not crushed: {}",
+            aged[&a1]
+        );
         // All-zero cost model: fall back to raw workload ranking.
         let all_zero = MetricParams {
             atom_read_ms: 0.0,
@@ -969,6 +1071,55 @@ mod proptests {
             prop_assert!(
                 a.workload_throughput(&atom, true) >= a.workload_throughput(&atom, false)
             );
+        }
+
+        /// Satellite of lint rule D001: when every pending atom ties on
+        /// utility and age, atom selection must not depend on enqueue order —
+        /// only on the documented tie-break (ascending AtomId). Draining two
+        /// managers fed the same atoms in different orders must visit atoms
+        /// in the identical (sorted) sequence.
+        #[test]
+        fn equal_utility_selection_is_enqueue_order_invariant(
+            set in proptest::collection::btree_set((0u32..3, 0u64..12), 2..10),
+            shuffle_seed in 0u64..1_000_000,
+        ) {
+            // Distinct atoms with identical positions and enqueue times tie
+            // exactly on both Eq. 2 terms. Shuffle with a seeded, replayable
+            // Fisher–Yates (the proptest shim has no prop_shuffle).
+            use rand::{RngCore, SeedableRng};
+            let base: Vec<(u32, u64)> = set.into_iter().collect();
+            let mut shuffled = base.clone();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(shuffle_seed);
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let none = FixedResidency::none();
+            let drain = |order: &[(u32, u64)]| {
+                let mut wm = WorkloadManager::new(MetricParams::paper_testbed());
+                for (i, &(t, m)) in order.iter().enumerate() {
+                    wm.enqueue([SubQuery {
+                        query: i as u64 + 1,
+                        atom: AtomId::new(t, MortonKey(m)),
+                        positions: 40,
+                        enqueued_ms: 0.0,
+                    }]);
+                }
+                let mut visited = Vec::new();
+                while let Some((atom, _)) = wm.best_atom(1000.0, 0.5, &none) {
+                    visited.push(atom);
+                    wm.take_atom(&atom);
+                }
+                visited
+            };
+            let a = drain(&base);
+            let b = drain(&shuffled);
+            prop_assert_eq!(&a, &b, "drain order depended on enqueue order");
+            // With a global score tie, the documented total order degenerates
+            // to plain ascending AtomId.
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(a, sorted, "tie-break is not ascending AtomId");
         }
 
         /// Aged utilities stay within [0, 1] after normalization for any α.

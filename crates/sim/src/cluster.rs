@@ -25,7 +25,7 @@ use jaws_turbdb::{CostModel, DbConfig, DiskStats, TurbDb};
 use jaws_workload::{Footprint, JobKind, Query, QueryId, Trace};
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -219,10 +219,11 @@ impl ClusterExecutor {
         self.heap.push(Reverse((Key(at_ms, id), id)));
     }
 
-    /// Splits a query into per-node part queries. Part ids pack the node into
-    /// the high bits so they stay unique across nodes.
+    /// Splits a query into per-node part queries, in ascending node order.
+    /// Part ids pack the node into the high bits so they stay unique across
+    /// nodes.
     fn split(&self, q: &Query) -> Vec<(u32, Query)> {
-        let mut per_node: HashMap<u32, Vec<(MortonKey, u32)>> = HashMap::new();
+        let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
         for &(m, c) in &q.footprint.atoms {
             per_node.entry(self.node_of(m)).or_default().push((m, c));
         }
@@ -270,6 +271,7 @@ impl ClusterExecutor {
 
         while let Some(Reverse((Key(at, _), id))) = self.heap.pop() {
             self.now_ms = self.now_ms.max(at);
+            // lint: invariant — push() stores a payload under every heap id
             let ev = self.events.remove(&id).expect("event payload");
             match ev {
                 Event::JobArrival(ji) => {
@@ -322,6 +324,8 @@ impl ClusterExecutor {
                             }
                         }
                         let qid = orig_id(pid);
+                        // lint: invariant — every part was registered in
+                        // `outstanding` when its query was split
                         let left = outstanding
                             .get_mut(&qid)
                             .expect("completed part of a tracked query");
@@ -387,9 +391,11 @@ impl ClusterExecutor {
                 a.forced_releases += s.forced_releases;
                 a
             });
+        // lint: invariant — ClusterExecutor::new asserts nodes >= 1
+        let first_node = self.nodes.first().expect("cluster has at least one node");
         let aggregate = RunReport {
-            scheduler: format!("{}x{}", self.cfg.nodes, self.nodes[0].scheduler.name()),
-            cache_policy: self.nodes[0].db.cache_policy_name().to_string(),
+            scheduler: format!("{}x{}", self.cfg.nodes, first_node.scheduler.name()),
+            cache_policy: first_node.db.cache_policy_name().to_string(),
             queries_completed: completed,
             jobs_completed,
             makespan_ms,
@@ -409,7 +415,7 @@ impl ClusterExecutor {
             } else {
                 makespan_ms / 1000.0 / completed as f64
             },
-            alpha_final: self.nodes[0].scheduler.alpha(),
+            alpha_final: first_node.scheduler.alpha(),
             truncated: completed < trace.query_count() as u64,
         };
         let nodes = self

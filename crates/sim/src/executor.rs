@@ -209,6 +209,7 @@ impl Executor {
                 break;
             }
             self.now_ms = self.now_ms.max(at);
+            // lint: invariant — push() stores a payload under every heap id
             let ev = self.events.remove(&id).expect("event payload");
             match ev {
                 Event::JobArrival(ji) => {
@@ -228,7 +229,9 @@ impl Executor {
                             }
                         }
                         JobKind::Ordered => {
-                            let q = &job.queries[0];
+                            // lint: invariant — trace generators never emit a
+                            // job with zero queries
+                            let q = job.queries.first().expect("ordered job has a first query");
                             submit_ms.insert(q.id, self.now_ms);
                             self.scheduler.query_available(q, self.now_ms);
                         }
@@ -247,6 +250,8 @@ impl Executor {
                 Event::BatchDone(batch) => {
                     self.busy = false;
                     for &qid in &batch.completing_queries {
+                        // lint: invariant — schedulers only complete queries
+                        // previously handed to query_available
                         let submitted = submit_ms
                             .get(&qid)
                             .copied()

@@ -20,6 +20,7 @@
 //! [`sweep`] runs many configurations in parallel threads for the saturation
 //! and batch-size sweeps of Figs. 11–12.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

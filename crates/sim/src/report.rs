@@ -34,7 +34,9 @@ impl Percentiles {
             p50: at(0.50),
             p95: at(0.95),
             p99: at(0.99),
-            max: *samples.last().expect("non-empty"),
+            // Sorted ascending, so quantile 1.0 is the maximum — no direct
+            // `last().expect` on a slice the empty-check above already guards.
+            max: at(1.0),
         }
     }
 }

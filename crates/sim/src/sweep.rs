@@ -79,6 +79,8 @@ pub fn run_parallel(specs: &[RunSpec], trace: &Trace) -> Vec<(RunSpec, RunReport
                     break;
                 }
                 let report = specs[i].execute(trace);
+                // lint: invariant — workers propagate panics via scope join,
+                // so the mutex is never poisoned here
                 results.lock().expect("no panics hold the lock")[i] =
                     Some((specs[i].clone(), report));
             });
@@ -86,8 +88,10 @@ pub fn run_parallel(specs: &[RunSpec], trace: &Trace) -> Vec<(RunSpec, RunReport
     });
     results
         .into_inner()
+        // lint: invariant — thread::scope returned, so no worker panicked
         .expect("scope joined all workers")
         .into_iter()
+        // lint: invariant — the fetch_add work queue covers every index once
         .map(|r| r.expect("every index filled"))
         .collect()
 }

@@ -29,6 +29,7 @@
 //!   (vorticity / Q-criterion thresholding + connected components), the
 //!   third production workload class.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atom;

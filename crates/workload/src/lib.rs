@@ -27,6 +27,7 @@
 //!   evaluation against generator ground truth.
 //! * [`stats`] — workload characterization (Figs. 8 and 9).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

@@ -50,6 +50,8 @@
 //! println!("{}", report.summary());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use jaws_cache as cache;
 pub use jaws_morton as morton;
 pub use jaws_scheduler as scheduler;
