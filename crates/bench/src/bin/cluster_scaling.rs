@@ -2,55 +2,95 @@
 //!
 //! The production Turbulence cluster partitions the 27 TB archive spatially
 //! across nodes, "each running a separate JAWS instance". This experiment
-//! replays the evaluation trace on 1–8 such nodes and reports aggregate
-//! throughput, per-query latency and load imbalance — the scalability story
-//! behind the deployment choice.
+//! replays the evaluation trace on 1–8 such nodes — with trajectory
+//! prefetching off and on, now that the unified engine drives the cluster —
+//! and reports aggregate throughput, per-query latency, prefetch volume and
+//! load imbalance: the scalability story behind the deployment choice.
+//!
+//! Flags:
+//! * `--quick`  — smaller trace, full geometry;
+//! * `--smoke`  — tiny geometry and trace (CI exercise of the multi-node
+//!   path), 1/2/4 nodes only;
+//! * `--cap-ms=<float>` — simulated-time cap per run (`max_sim_ms`),
+//!   demonstrating cluster truncation.
 
 use jaws_bench::exp;
-use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind};
+use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind, SimConfig};
+
+fn cap_ms() -> f64 {
+    std::env::args()
+        .find_map(|a| a.strip_prefix("--cap-ms=").map(str::to_string))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1e10)
+}
 
 fn main() {
-    let trace = exp::select_trace();
+    let smoke = exp::smoke_mode();
+    let (trace, db, node_counts): (_, _, &[u32]) = if smoke {
+        eprintln!("# --smoke: tiny geometry, 1/2/4 nodes");
+        (exp::smoke_trace(), exp::smoke_db(), &[1, 2, 4])
+    } else {
+        (exp::select_trace(), exp::paper_db(), &[1, 2, 4, 8])
+    };
+    let max_sim_ms = cap_ms();
     println!("\nCluster scale-out — JAWS_2 per node, Morton-slab partitioning");
     exp::rule();
     println!(
-        "{:<7} {:>9} {:>12} {:>10} {:>10} {:>11} {:>10}",
-        "nodes", "qps", "mean rt (s)", "reads", "cache hit", "imbalance", "speedup"
+        "{:<7} {:<9} {:>9} {:>12} {:>10} {:>10} {:>10} {:>11} {:>9}",
+        "nodes",
+        "prefetch",
+        "qps",
+        "mean rt (s)",
+        "reads",
+        "prefetches",
+        "cache hit",
+        "imbalance",
+        "speedup"
     );
     exp::rule();
     let mut base_qps = None;
-    for nodes in [1u32, 2, 4, 8] {
-        let mut ex = ClusterExecutor::new(ClusterConfig {
-            nodes,
-            db: exp::paper_db(),
-            cost: exp::paper_cost(),
-            scheduler: SchedulerKind::Jaws2 { batch_k: 15 },
-            cache_policy: CachePolicyKind::LruK,
-            cache_atoms_per_node: (exp::CACHE_ATOMS as u32 / nodes).max(16) as usize,
-            run_len: exp::RUN_LEN,
-            gate_timeout_ms: exp::GATE_TIMEOUT_MS,
-        });
-        let r = ex.run(&trace);
-        let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
-        println!(
-            "{:<7} {:>9.3} {:>12.1} {:>10} {:>9.1}% {:>10.2}x {:>9.2}x{}",
-            nodes,
-            r.aggregate.throughput_qps,
-            r.aggregate.mean_response_ms / 1000.0,
-            r.aggregate.disk.reads,
-            r.aggregate.cache.hit_ratio() * 100.0,
-            r.imbalance(),
-            r.aggregate.throughput_qps / base,
-            if r.aggregate.truncated {
-                "  [TRUNCATED]"
-            } else {
-                ""
-            }
-        );
+    for &nodes in node_counts {
+        for prefetch in [false, true] {
+            let mut ex = ClusterExecutor::new(ClusterConfig {
+                nodes,
+                db,
+                cost: exp::paper_cost(),
+                scheduler: SchedulerKind::Jaws2 { batch_k: 15 },
+                cache_policy: CachePolicyKind::LruK,
+                cache_atoms_per_node: (exp::CACHE_ATOMS as u32 / nodes).max(16) as usize,
+                run_len: exp::RUN_LEN,
+                gate_timeout_ms: exp::GATE_TIMEOUT_MS,
+                sim: SimConfig {
+                    prefetch,
+                    max_sim_ms,
+                    ..SimConfig::default()
+                },
+            });
+            let r = ex.run(&trace);
+            let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
+            println!(
+                "{:<7} {:<9} {:>9.3} {:>12.1} {:>10} {:>10} {:>9.1}% {:>10.2}x {:>8.2}x{}",
+                nodes,
+                if prefetch { "on" } else { "off" },
+                r.aggregate.throughput_qps,
+                r.aggregate.mean_response_ms / 1000.0,
+                r.aggregate.disk.reads,
+                r.prefetch_reads(),
+                r.aggregate.cache.hit_ratio() * 100.0,
+                r.imbalance(),
+                r.aggregate.throughput_qps / base,
+                if r.aggregate.truncated {
+                    "  [TRUNCATED]"
+                } else {
+                    ""
+                }
+            );
+        }
     }
     exp::rule();
     println!(
-        "cache is split across nodes (total stays at {} atoms ≙ 2 GB).",
+        "cache is split across nodes (total stays at {} atoms ≙ 2 GB); speedup is vs the \
+         1-node prefetch-off row.",
         exp::CACHE_ATOMS
     );
 }

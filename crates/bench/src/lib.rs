@@ -70,6 +70,30 @@ pub mod exp {
         std::env::args().any(|a| a == "--quick")
     }
 
+    /// True if the process was invoked with `--smoke`: a reduced-size run for
+    /// CI, exercising the same code paths on a tiny geometry and trace.
+    pub fn smoke_mode() -> bool {
+        std::env::args().any(|a| a == "--smoke")
+    }
+
+    /// The tiny database geometry used by `--smoke` runs (64 atoms per
+    /// timestep — still divisible across 1/2/4 nodes).
+    pub fn smoke_db() -> DbConfig {
+        DbConfig {
+            grid_side: 32,
+            atom_side: 8,
+            ghost: 2,
+            timesteps: 8,
+            dt: 0.002,
+            seed: TRACE_SEED,
+        }
+    }
+
+    /// The tiny trace used by `--smoke` runs.
+    pub fn smoke_trace() -> Trace {
+        TraceGenerator::new(GenConfig::small(TRACE_SEED)).generate()
+    }
+
     /// Picks the trace per the `--quick` flag and announces it.
     pub fn select_trace() -> Trace {
         let quick = quick_mode();

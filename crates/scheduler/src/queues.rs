@@ -24,7 +24,7 @@
 //! changes only a handful of atoms (the batch taken, the residency flips its
 //! reads caused, the sub-queries that arrived). The manager therefore keeps:
 //!
-//! * a cached Eq. 1 value per pending atom ([`WorkloadManager::refresh`]
+//! * a cached Eq. 1 value per pending atom (`WorkloadManager::refresh`
 //!   recomputes only atoms whose queue or residency changed, driven by the
 //!   [`Residency`] change-tracking protocol);
 //! * per-timestep aggregates (ΣU, max U, Σoldest, min/max oldest) that the
@@ -49,7 +49,7 @@
 //! only — never of enqueue order or map iteration order. Queues live in a
 //! `BTreeMap`, which also makes the canonical sorted fold order free.
 //! Non-finite metric inputs are debug-asserted and clamped to zero
-//! ([`finite_or_zero`]) so a poisoned cost model cannot make the
+//! (`finite_or_zero`) so a poisoned cost model cannot make the
 //! normalization folds — and with them every comparison — NaN.
 
 use crate::batch::{AtomBatch, SubQuery};
@@ -259,7 +259,7 @@ impl WorkloadManager {
     /// Eq. 1 for one atom. `resident` is φ(i) = 0 (cached) / 1 (on disk).
     ///
     /// Cost models with `position_compute_ms = 0` make a resident atom's
-    /// denominator vanish; see [`eq1`] for the finite ranking used instead of
+    /// denominator vanish; see `eq1` for the finite ranking used instead of
     /// an infinity sentinel.
     pub fn workload_throughput(&self, atom: &AtomId, resident: bool) -> f64 {
         self.queues

@@ -5,27 +5,32 @@
 //! queries are first evaluated by the Query Pre-Processor … the positions are
 //! then assigned to the workload queues of the corresponding atoms."
 //!
-//! This module reproduces that deployment: the atom grid is split into `n`
+//! This module reproduces that deployment as an N-node instantiation of the
+//! shared engine ([`crate::engine`]): the atom grid is split into `n`
 //! contiguous Morton slabs (contiguous in Morton order ⇒ compact in space),
-//! every node owns one slab across all timesteps and runs its own scheduler,
-//! buffer pool and simulated disk. A query fans out into per-node parts; it
-//! completes — and, for ordered jobs, unblocks its successor — only when
-//! every part has finished (the paper's "JAWS combines and buffers the
-//! sub-query results before delivering the final result to the user").
-//!
-//! One shared discrete-event clock drives all nodes, so cross-node barriers
-//! and job think-time loops stay exact.
+//! every node owns one slab across all timesteps and runs its own
+//! [`NodePipeline`] — scheduler, buffer pool, simulated disk, and (since the
+//! engine unification) its own trajectory prefetcher. A query fans out into
+//! per-node parts and completes — and, for ordered jobs, unblocks its
+//! successor — only when every part has finished (the paper's "JAWS combines
+//! and buffers the sub-query results before delivering the final result to
+//! the user"). The only cluster-specific code left here is the Morton-slab
+//! fan-out ([`crate::engine::Routing::MortonSlabs`]) and the per-node report
+//! breakdown; arrivals, pacing, think-time chains, prefetching, `max_sim_ms`
+//! truncation and idle re-checks are the engine's, shared with
+//! [`crate::Executor`].
 
-use crate::report::{Percentiles, RunReport};
+use crate::engine::{self, Routing};
+use crate::node::NodePipeline;
+use crate::report::{self, RunReport};
 use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
+use crate::SimConfig;
 use jaws_cache::CacheStats;
-use jaws_morton::{AtomId, MortonKey};
-use jaws_scheduler::{MetricParams, Residency, Scheduler, SchedulerStats};
-use jaws_turbdb::{CostModel, DbConfig, DiskStats, TurbDb};
-use jaws_workload::{Footprint, JobKind, Query, QueryId, Trace};
+use jaws_morton::MortonKey;
+use jaws_scheduler::{MetricParams, SchedulerStats};
+use jaws_turbdb::{CostModel, DbConfig, DiskStats};
+use jaws_workload::{QueryId, Trace};
 use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +52,10 @@ pub struct ClusterConfig {
     pub run_len: usize,
     /// Gate timeout per node, ms.
     pub gate_timeout_ms: f64,
+    /// Engine knobs shared with the single-node executor: per-node
+    /// trajectory prefetching, the simulated-time cap, and the idle re-poll
+    /// interval.
+    pub sim: SimConfig,
 }
 
 /// Per-node measurements.
@@ -56,6 +65,8 @@ pub struct NodeReport {
     pub node: u32,
     /// Sub-query parts executed.
     pub parts_completed: u64,
+    /// Speculative atom reads issued by this node's prefetcher.
+    pub prefetch_reads: u64,
     /// Disk statistics.
     pub disk: DiskStats,
     /// Cache statistics.
@@ -91,68 +102,19 @@ impl ClusterReport {
             1.0
         }
     }
-}
 
-struct Node {
-    db: TurbDb,
-    scheduler: Box<dyn Scheduler>,
-    busy: bool,
-    busy_ms: f64,
-    parts_completed: u64,
-}
-
-struct NodeResidency<'a>(&'a TurbDb);
-
-impl Residency for NodeResidency<'_> {
-    fn is_resident(&self, atom: &AtomId) -> bool {
-        self.0.is_resident(atom)
-    }
-
-    fn residency_epoch(&self) -> Option<u64> {
-        Some(self.0.residency_epoch())
-    }
-
-    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
-        self.0.residency_changes_since(since)
-    }
-}
-
-#[derive(Debug)]
-enum Event {
-    JobArrival(usize),
-    QuerySubmit(usize, usize),
-    /// A node finished a batch: (node, completed per-node part ids).
-    BatchDone(u32, Vec<QueryId>),
-    IdleCheck(u32),
-}
-
-#[derive(Debug, PartialEq)]
-struct Key(f64, u64);
-
-impl Eq for Key {}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    /// Speculative atom reads issued across all nodes.
+    pub fn prefetch_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.prefetch_reads).sum()
     }
 }
 
 /// The shared-clock multi-node executor.
 pub struct ClusterExecutor {
     cfg: ClusterConfig,
-    nodes: Vec<Node>,
-    slab_size: u64,
-    heap: BinaryHeap<Reverse<(Key, u64)>>,
-    events: HashMap<u64, Event>,
-    next_event: u64,
-    now_ms: f64,
-    idle_pending: Vec<bool>,
+    pipelines: Vec<NodePipeline>,
+    routing: Routing,
+    response_log: Vec<(QueryId, f64)>,
 }
 
 impl ClusterExecutor {
@@ -160,11 +122,18 @@ impl ClusterExecutor {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` does not divide the atoms per timestep.
+    /// Panics if `nodes` does not divide the atoms per timestep, or exceeds
+    /// the part-id packing budget ([`engine::MAX_NODE_INDEX`]).
     pub fn new(cfg: ClusterConfig) -> Self {
         cfg.db.validate();
         let per_ts = cfg.db.atoms_per_timestep();
         assert!(cfg.nodes >= 1, "need at least one node");
+        assert!(
+            cfg.nodes - 1 <= engine::MAX_NODE_INDEX,
+            "nodes ({}) exceed the part-id packing budget ({} max)",
+            cfg.nodes,
+            engine::MAX_NODE_INDEX + 1
+        );
         assert_eq!(
             per_ts % cfg.nodes as u64,
             0,
@@ -176,70 +145,42 @@ impl ClusterExecutor {
             position_compute_ms: cfg.cost.position_compute_ms,
             atoms_per_timestep: per_ts / cfg.nodes as u64,
         };
-        let nodes = (0..cfg.nodes)
-            .map(|_| Node {
+        let pipelines = (0..cfg.nodes)
+            .map(|_| {
                 // Every node opens the full geometry but only ever reads its
-                // slab; its cache and disk stats therefore reflect slab
-                // traffic only.
-                db: build_db(
-                    cfg.db,
-                    cfg.cost,
-                    jaws_turbdb::DataMode::Virtual,
-                    cfg.cache_atoms_per_node,
-                    cfg.cache_policy,
-                ),
-                scheduler: build_scheduler(cfg.scheduler, params, cfg.run_len, cfg.gate_timeout_ms),
-                busy: false,
-                busy_ms: 0.0,
-                parts_completed: 0,
+                // slab (plus stencil/prefetch spill-over); its cache and disk
+                // stats therefore reflect its own traffic only.
+                NodePipeline::new(
+                    build_db(
+                        cfg.db,
+                        cfg.cost,
+                        jaws_turbdb::DataMode::Virtual,
+                        cfg.cache_atoms_per_node,
+                        cfg.cache_policy,
+                    ),
+                    build_scheduler(cfg.scheduler, params, cfg.run_len, cfg.gate_timeout_ms),
+                    cfg.sim.prefetch,
+                )
             })
             .collect();
         let slab_size = per_ts / cfg.nodes as u64;
         ClusterExecutor {
-            idle_pending: vec![false; cfg.nodes as usize],
             cfg,
-            nodes,
-            slab_size,
-            heap: BinaryHeap::new(),
-            events: HashMap::new(),
-            next_event: 0,
-            now_ms: 0.0,
+            pipelines,
+            routing: Routing::MortonSlabs { slab_size },
+            response_log: Vec::new(),
         }
     }
 
     /// The node owning a Morton key: contiguous Morton slabs of equal size.
     pub fn node_of(&self, m: MortonKey) -> u32 {
-        (m.raw() / self.slab_size) as u32
+        self.routing.node_of(m)
     }
 
-    fn push(&mut self, at_ms: f64, ev: Event) {
-        let id = self.next_event;
-        self.next_event += 1;
-        self.events.insert(id, ev);
-        self.heap.push(Reverse((Key(at_ms, id), id)));
-    }
-
-    /// Splits a query into per-node part queries, in ascending node order.
-    /// Part ids pack the node into the high bits so they stay unique across
-    /// nodes.
-    fn split(&self, q: &Query) -> Vec<(u32, Query)> {
-        let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
-        for &(m, c) in &q.footprint.atoms {
-            per_node.entry(self.node_of(m)).or_default().push((m, c));
-        }
-        per_node
-            .into_iter()
-            .map(|(node, atoms)| {
-                let part = Query {
-                    id: part_id(q.id, node),
-                    user: q.user,
-                    op: q.op,
-                    timestep: q.timestep,
-                    footprint: Footprint::from_pairs(atoms),
-                };
-                (node, part)
-            })
-            .collect()
+    /// Per-query response times of the last run, in completion order, under
+    /// the original trace query ids (parts are folded into their query).
+    pub fn response_log(&self) -> &[(QueryId, f64)] {
+        &self.response_log
     }
 
     /// Replays `trace` on the cluster.
@@ -249,142 +190,41 @@ impl ClusterExecutor {
             self.cfg.db.atoms_per_side(),
             "trace grid mismatch"
         );
-        let mut locate: HashMap<QueryId, (usize, usize)> = HashMap::new();
-        for (ji, job) in trace.jobs.iter().enumerate() {
-            for (qi, q) in job.queries.iter().enumerate() {
-                locate.insert(q.id, (ji, qi));
-            }
-        }
-        // Per-query barrier: outstanding part count.
-        let mut outstanding: HashMap<QueryId, u32> = HashMap::new();
-        let mut submit_ms: HashMap<QueryId, f64> = HashMap::new();
-        let mut responses: Vec<f64> = Vec::new();
-        let mut remaining_per_job: Vec<usize> =
-            trace.jobs.iter().map(|j| j.queries.len()).collect();
-        let mut jobs_completed = 0u64;
-        let first_arrival = trace.jobs.first().map_or(0.0, |j| j.arrival_ms);
-        let mut last_completion = first_arrival;
+        let outcome = engine::run_trace(
+            &mut self.pipelines,
+            &self.routing,
+            &self.cfg.sim,
+            trace,
+            true,
+        );
+        self.response_log.extend(outcome.response_log);
 
-        for (ji, job) in trace.jobs.iter().enumerate() {
-            self.push(job.arrival_ms, Event::JobArrival(ji));
-        }
-
-        while let Some(Reverse((Key(at, _), id))) = self.heap.pop() {
-            self.now_ms = self.now_ms.max(at);
-            // lint: invariant — push() stores a payload under every heap id
-            let ev = self.events.remove(&id).expect("event payload");
-            match ev {
-                Event::JobArrival(ji) => {
-                    let job = &trace.jobs[ji];
-                    // Declare per-node part jobs to job-aware schedulers: the
-                    // slab projection preserves the precedence structure.
-                    for node in 0..self.cfg.nodes {
-                        let part_job = project_job(job, node, self);
-                        if !part_job.queries.is_empty() {
-                            self.nodes[node as usize]
-                                .scheduler
-                                .job_declared(&part_job, self.now_ms);
-                        }
-                    }
-                    match job.kind {
-                        JobKind::Batched => {
-                            for (qi, _) in job.queries.iter().enumerate() {
-                                self.push(
-                                    self.now_ms + qi as f64 * job.think_ms,
-                                    Event::QuerySubmit(ji, qi),
-                                );
-                            }
-                        }
-                        JobKind::Ordered => {
-                            self.push(self.now_ms, Event::QuerySubmit(ji, 0));
-                        }
-                    }
-                }
-                Event::QuerySubmit(ji, qi) => {
-                    let q = &trace.jobs[ji].queries[qi];
-                    submit_ms.insert(q.id, self.now_ms);
-                    let parts = self.split(q);
-                    outstanding.insert(q.id, parts.len() as u32);
-                    for (node, part) in parts {
-                        self.nodes[node as usize]
-                            .scheduler
-                            .query_available(&part, self.now_ms);
-                    }
-                }
-                Event::BatchDone(node, completed_parts) => {
-                    self.nodes[node as usize].busy = false;
-                    for pid in completed_parts {
-                        {
-                            let n = &mut self.nodes[node as usize];
-                            n.parts_completed += 1;
-                            let rt_part = self.now_ms - submit_ms[&orig_id(pid)];
-                            n.scheduler.on_query_complete(pid, rt_part, self.now_ms);
-                            if n.scheduler.take_run_boundary() {
-                                n.db.end_run();
-                            }
-                        }
-                        let qid = orig_id(pid);
-                        // lint: invariant — every part was registered in
-                        // `outstanding` when its query was split
-                        let left = outstanding
-                            .get_mut(&qid)
-                            .expect("completed part of a tracked query");
-                        *left -= 1;
-                        if *left > 0 {
-                            continue;
-                        }
-                        outstanding.remove(&qid);
-                        // The whole query is done: record and advance the job.
-                        let rt = self.now_ms - submit_ms[&qid];
-                        responses.push(rt);
-                        last_completion = self.now_ms;
-                        let (ji, qi) = locate[&qid];
-                        let job = &trace.jobs[ji];
-                        remaining_per_job[ji] -= 1;
-                        if remaining_per_job[ji] == 0 {
-                            jobs_completed += 1;
-                        }
-                        if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
-                            self.push(self.now_ms + job.think_ms, Event::QuerySubmit(ji, qi + 1));
-                        }
-                    }
-                }
-                Event::IdleCheck(node) => {
-                    self.idle_pending[node as usize] = false;
-                }
-            }
-            for node in 0..self.cfg.nodes {
-                self.dispatch(node);
-            }
-        }
-
-        let completed = responses.len() as u64;
-        let makespan_ms = (last_completion - first_arrival).max(1e-9);
-        let mean_response_ms = if responses.is_empty() {
-            0.0
-        } else {
-            responses.iter().sum::<f64>() / responses.len() as f64
-        };
-        let total_disk = self.nodes.iter().fold(DiskStats::default(), |mut a, n| {
-            let d = n.db.disk_stats();
-            a.reads += d.reads;
-            a.seeks += d.seeks;
-            a.io_ms += d.io_ms;
-            a
-        });
-        let total_cache = self.nodes.iter().fold(CacheStats::default(), |mut a, n| {
-            let c = n.db.cache_stats();
-            a.hits += c.hits;
-            a.misses += c.misses;
-            a.evictions += c.evictions;
-            a.policy_overhead_ns += c.policy_overhead_ns;
-            a
-        });
-        let total_sched = self
-            .nodes
+        let total_disk = self
+            .pipelines
             .iter()
-            .fold(SchedulerStats::default(), |mut a, n| {
-                let s = n.scheduler.stats();
+            .fold(DiskStats::default(), |mut a, p| {
+                let d = p.db().disk_stats();
+                a.reads += d.reads;
+                a.seeks += d.seeks;
+                a.io_ms += d.io_ms;
+                a
+            });
+        let total_cache = self
+            .pipelines
+            .iter()
+            .fold(CacheStats::default(), |mut a, p| {
+                let c = p.db().cache_stats();
+                a.hits += c.hits;
+                a.misses += c.misses;
+                a.evictions += c.evictions;
+                a.policy_overhead_ns += c.policy_overhead_ns;
+                a
+            });
+        let total_sched = self
+            .pipelines
+            .iter()
+            .fold(SchedulerStats::default(), |mut a, p| {
+                let s = p.scheduler().stats();
                 a.batches += s.batches;
                 a.atom_groups += s.atom_groups;
                 a.subqueries += s.subqueries;
@@ -392,146 +232,43 @@ impl ClusterExecutor {
                 a
             });
         // lint: invariant — ClusterExecutor::new asserts nodes >= 1
-        let first_node = self.nodes.first().expect("cluster has at least one node");
-        let aggregate = RunReport {
-            scheduler: format!("{}x{}", self.cfg.nodes, first_node.scheduler.name()),
-            cache_policy: first_node.db.cache_policy_name().to_string(),
-            queries_completed: completed,
-            jobs_completed,
-            makespan_ms,
-            throughput_qps: completed as f64 / (makespan_ms / 1000.0),
-            mean_response_ms,
-            response: Percentiles::from_samples(&mut responses),
-            cache: total_cache,
-            disk: total_disk,
-            scheduler_stats: total_sched,
-            cache_overhead_ms_per_query: if completed == 0 {
-                0.0
-            } else {
-                total_cache.policy_overhead_ns as f64 / completed as f64 / 1e6
-            },
-            seconds_per_query: if completed == 0 {
-                0.0
-            } else {
-                makespan_ms / 1000.0 / completed as f64
-            },
-            alpha_final: first_node.scheduler.alpha(),
-            truncated: completed < trace.query_count() as u64,
-        };
+        let first_node = self
+            .pipelines
+            .first()
+            .expect("cluster has at least one node");
+        let aggregate = report::assemble(
+            format!("{}x{}", self.cfg.nodes, first_node.scheduler().name()),
+            first_node.db().cache_policy_name().to_string(),
+            outcome.totals,
+            total_cache,
+            total_disk,
+            total_sched,
+            first_node.scheduler().alpha(),
+        );
+        let makespan_ms = aggregate.makespan_ms;
         let nodes = self
-            .nodes
+            .pipelines
             .iter()
             .enumerate()
-            .map(|(i, n)| NodeReport {
+            .map(|(i, p)| NodeReport {
                 node: i as u32,
-                parts_completed: n.parts_completed,
-                disk: n.db.disk_stats(),
-                cache: n.db.cache_stats(),
-                scheduler: n.scheduler.stats(),
-                utilization: n.busy_ms / makespan_ms,
+                parts_completed: p.parts_completed(),
+                prefetch_reads: p.prefetch_reads(),
+                disk: p.db().disk_stats(),
+                cache: p.db().cache_stats(),
+                scheduler: p.scheduler().stats(),
+                utilization: p.busy_ms() / makespan_ms,
             })
             .collect();
         ClusterReport { aggregate, nodes }
-    }
-
-    fn dispatch(&mut self, node: u32) {
-        let ni = node as usize;
-        if self.nodes[ni].busy {
-            return;
-        }
-        let batch = {
-            let n = &mut self.nodes[ni];
-            let res = NodeResidency(&n.db);
-            n.scheduler.next_batch(self.now_ms, &res)
-        };
-        match batch {
-            Some(batch) => {
-                let (service_ms, completing) = {
-                    let n = &mut self.nodes[ni];
-                    let snapshot = {
-                        let res = NodeResidency(&n.db);
-                        n.scheduler.utility_snapshot(&res)
-                    };
-                    let mut service_ms = n.db.batch_dispatch_ms();
-                    for group in &batch.atoms {
-                        let r = n.db.read_atom(group.atom, &snapshot);
-                        service_ms += r.io_ms;
-                        service_ms += n.db.compute_cost_ms(group.positions());
-                    }
-                    for group in &batch.atoms {
-                        for nb in n.db.stencil_neighbor_ids(group.atom) {
-                            let r = n.db.read_atom(nb, &snapshot);
-                            service_ms += r.io_ms;
-                        }
-                    }
-                    n.busy = true;
-                    n.busy_ms += service_ms;
-                    (service_ms, batch.completing_queries)
-                };
-                self.push(self.now_ms + service_ms, Event::BatchDone(node, completing));
-            }
-            None => {
-                if self.nodes[ni].scheduler.has_pending() && !self.idle_pending[ni] {
-                    self.idle_pending[ni] = true;
-                    self.push(self.now_ms + 500.0, Event::IdleCheck(node));
-                }
-            }
-        }
-    }
-}
-
-/// Packs a node index into the high bits of a part id.
-fn part_id(query: QueryId, node: u32) -> QueryId {
-    debug_assert!(query < 1 << 48, "query id too large for part packing");
-    ((node as u64 + 1) << 48) | query
-}
-
-/// Recovers the original query id from a part id.
-fn orig_id(part: QueryId) -> QueryId {
-    part & ((1 << 48) - 1)
-}
-
-/// Projects a job onto one node: each query keeps only the footprint atoms
-/// the node owns; empty projections are dropped, preserving order.
-fn project_job(job: &jaws_workload::Job, node: u32, ex: &ClusterExecutor) -> jaws_workload::Job {
-    let queries = job
-        .queries
-        .iter()
-        .filter_map(|q| {
-            let atoms: Vec<(MortonKey, u32)> = q
-                .footprint
-                .atoms
-                .iter()
-                .copied()
-                .filter(|&(m, _)| ex.node_of(m) == node)
-                .collect();
-            if atoms.is_empty() {
-                return None;
-            }
-            Some(Query {
-                id: part_id(q.id, node),
-                user: q.user,
-                op: q.op,
-                timestep: q.timestep,
-                footprint: Footprint::from_pairs(atoms),
-            })
-        })
-        .collect();
-    jaws_workload::Job {
-        id: job.id,
-        user: job.user,
-        kind: job.kind,
-        campaign: job.campaign,
-        queries,
-        arrival_ms: job.arrival_ms,
-        think_ms: job.think_ms,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jaws_workload::{GenConfig, TraceGenerator};
+    use jaws_workload::{Footprint, GenConfig, TraceGenerator};
+    use proptest::prelude::*;
 
     fn cluster_cfg(nodes: u32, scheduler: SchedulerKind) -> ClusterConfig {
         ClusterConfig {
@@ -550,6 +287,7 @@ mod tests {
             cache_atoms_per_node: 8,
             run_len: 25,
             gate_timeout_ms: 10_000.0,
+            sim: SimConfig::default(),
         }
     }
 
@@ -607,19 +345,60 @@ mod tests {
     }
 
     #[test]
-    fn part_ids_round_trip() {
-        for q in [1u64, 42, 1 << 40] {
-            for node in [0u32, 3, 15] {
-                assert_eq!(orig_id(part_id(q, node)), q);
-            }
-        }
-        assert_ne!(part_id(7, 0), part_id(7, 1), "parts distinct across nodes");
-    }
-
-    #[test]
     #[should_panic(expected = "must divide")]
     fn uneven_split_rejected() {
         let _ = ClusterExecutor::new(cluster_cfg(3, SchedulerKind::NoShare));
+    }
+
+    #[test]
+    fn cluster_runs_support_truncation() {
+        let trace = TraceGenerator::new(GenConfig::small(57)).generate();
+        let mut cfg = cluster_cfg(2, SchedulerKind::NoShare);
+        cfg.sim.max_sim_ms = 10_000.0;
+        let mut ex = ClusterExecutor::new(cfg);
+        let r = ex.run(&trace);
+        assert!(r.aggregate.truncated);
+        assert!(r.aggregate.queries_completed < trace.query_count() as u64);
+    }
+
+    #[test]
+    fn cluster_prefetching_issues_reads_on_ordered_chains() {
+        use jaws_morton::MortonKey as MK;
+        use jaws_workload::{Job, JobKind, Query, QueryOp, Trace};
+        // A slow tracking chain drifting +1 in Morton-adjacent x: plenty of
+        // idle time for every node's predictor.
+        let q = |id: u64, ts: u32, x: u32| Query {
+            id,
+            user: 0,
+            op: QueryOp::ParticleTrack,
+            timestep: ts,
+            footprint: Footprint::from_pairs([(MK::from_coords(x, 1, 1), 200u32)]),
+        };
+        let trace = Trace::new(
+            8,
+            4,
+            vec![Job {
+                id: 1,
+                user: 0,
+                kind: JobKind::Ordered,
+                campaign: 1,
+                queries: (0..6).map(|i| q(i + 1, i as u32, (i as u32) % 4)).collect(),
+                arrival_ms: 0.0,
+                think_ms: 5_000.0,
+            }],
+        );
+        let mut base_cfg = cluster_cfg(2, SchedulerKind::Jaws2 { batch_k: 8 });
+        base_cfg.cache_atoms_per_node = 16;
+        let mut pf_cfg = base_cfg.clone();
+        pf_cfg.sim.prefetch = true;
+        let base = ClusterExecutor::new(base_cfg).run(&trace);
+        let pf = ClusterExecutor::new(pf_cfg).run(&trace);
+        assert_eq!(base.prefetch_reads(), 0);
+        assert!(pf.prefetch_reads() > 0, "no node's predictor fired");
+        assert_eq!(
+            pf.aggregate.queries_completed,
+            base.aggregate.queries_completed
+        );
     }
 
     #[test]
@@ -656,5 +435,21 @@ mod tests {
         assert_eq!(r.nodes[0].parts_completed, 3);
         assert_eq!(r.nodes[3].parts_completed, 3);
         assert_eq!(r.nodes[1].parts_completed, 0);
+    }
+
+    proptest! {
+        /// `(query, node)` round-trips through part-id packing over the full
+        /// supported range of both fields.
+        #[test]
+        fn part_id_packing_round_trips(
+            query in 0u64..=engine::PART_QUERY_MASK,
+            node in 0u32..=engine::MAX_NODE_INDEX,
+        ) {
+            let pid = engine::part_id(query, node);
+            prop_assert_eq!(engine::orig_id(pid), query);
+            prop_assert_eq!(engine::part_node(pid), node);
+            prop_assert!(pid > engine::PART_QUERY_MASK,
+                "part ids must never collide with raw trace query ids");
+        }
     }
 }

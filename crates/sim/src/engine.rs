@@ -1,0 +1,495 @@
+//! The shared discrete-event core behind [`crate::Executor`] and
+//! [`crate::ClusterExecutor`].
+//!
+//! Both public executors used to carry their own event heap, arrival pacing,
+//! ordered-job think-time chains and completion bookkeeping — and had drifted
+//! (the cluster path lacked prefetching, `max_sim_ms` truncation and the idle
+//! re-check). This module owns all of it exactly once:
+//!
+//! * [`Routing`] decides how a submitted query reaches the node pipelines —
+//!   the identity route of a single node, or the Morton-slab fan-out of the
+//!   §V-C cluster with packed per-node part ids;
+//! * `run_trace` (crate-internal) is the one client model: it replays job
+//!   arrivals, paces batched queries, drives ordered think-time chains,
+//!   enforces the cross-node completion barrier (outstanding-part counts),
+//!   charges batch service times, spends idle capacity on trajectory
+//!   prefetches, and truncates at the simulated-time cap — against N ≥ 1
+//!   [`NodePipeline`]s.
+//!
+//! The engine owns the clock: pipelines never see time except through the
+//! `now_ms` arguments the engine passes in. All engine-side state is kept in
+//! `BTreeMap`s so iteration order can never leak hash randomness into
+//! scheduling decisions (lint rule D001 needs no carve-outs here).
+
+use crate::node::NodePipeline;
+use crate::report::RunTotals;
+use crate::SimConfig;
+use jaws_morton::MortonKey;
+use jaws_workload::{Footprint, Job, JobKind, Query, QueryId, Trace};
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Bits of a packed part id that carry the original query id. The remaining
+/// high bits hold `node + 1`, so part ids from different nodes never collide
+/// with each other or with raw trace query ids.
+pub const PART_QUERY_BITS: u32 = 48;
+
+/// Mask selecting the original-query-id bits of a packed part id.
+pub const PART_QUERY_MASK: u64 = (1 << PART_QUERY_BITS) - 1;
+
+/// Highest node index a part id can encode: `node + 1` must fit in the
+/// `64 − PART_QUERY_BITS` tag bits.
+pub const MAX_NODE_INDEX: u32 = (1 << (64 - PART_QUERY_BITS)) - 2;
+
+/// Packs a node index into the high bits of a part id.
+pub fn part_id(query: QueryId, node: u32) -> QueryId {
+    debug_assert!(
+        query <= PART_QUERY_MASK,
+        "query id {query} exceeds the {PART_QUERY_BITS}-bit part budget"
+    );
+    debug_assert!(
+        node <= MAX_NODE_INDEX,
+        "node {node} exceeds the packed-field maximum {MAX_NODE_INDEX}"
+    );
+    ((node as u64 + 1) << PART_QUERY_BITS) | query
+}
+
+/// Recovers the original query id from a part id.
+pub fn orig_id(part: QueryId) -> QueryId {
+    part & PART_QUERY_MASK
+}
+
+/// Recovers the node index from a part id.
+pub fn part_node(part: QueryId) -> u32 {
+    ((part >> PART_QUERY_BITS) - 1) as u32
+}
+
+/// How submitted queries reach the node pipelines.
+#[derive(Debug, Clone, Copy)]
+pub enum Routing {
+    /// One pipeline; queries are delivered whole, under their trace ids.
+    Single,
+    /// The §V-C cluster: the atom grid is split into contiguous Morton slabs
+    /// of `slab_size` atoms, one per node; each query fans out into per-node
+    /// part queries (packed ids) and completes only when every part has.
+    MortonSlabs {
+        /// Atoms per node slab (atoms-per-timestep ÷ nodes).
+        slab_size: u64,
+    },
+}
+
+impl Routing {
+    /// The node owning a Morton key.
+    pub fn node_of(&self, m: MortonKey) -> u32 {
+        match self {
+            Routing::Single => 0,
+            Routing::MortonSlabs { slab_size } => (m.raw() / slab_size) as u32,
+        }
+    }
+
+    /// Maps a completed part id back to the trace query id.
+    pub fn original_id(&self, part: QueryId) -> QueryId {
+        match self {
+            Routing::Single => part,
+            Routing::MortonSlabs { .. } => orig_id(part),
+        }
+    }
+
+    /// Splits a query into per-node parts, in ascending node order. The
+    /// single route borrows the query unchanged; the slab route builds part
+    /// queries whose ids pack the node index ([`part_id`]).
+    fn fan_out<'q>(&self, q: &'q Query) -> Vec<(u32, Cow<'q, Query>)> {
+        match self {
+            Routing::Single => vec![(0, Cow::Borrowed(q))],
+            Routing::MortonSlabs { .. } => {
+                let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
+                for &(m, c) in &q.footprint.atoms {
+                    per_node.entry(self.node_of(m)).or_default().push((m, c));
+                }
+                per_node
+                    .into_iter()
+                    .map(|(node, atoms)| {
+                        let part = Query {
+                            id: part_id(q.id, node),
+                            user: q.user,
+                            op: q.op,
+                            timestep: q.timestep,
+                            footprint: Footprint::from_pairs(atoms),
+                        };
+                        (node, Cow::Owned(part))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Projects a job onto one node for declaration: each query keeps only
+    /// the footprint atoms the node owns (under its part id); queries with
+    /// empty projections are dropped, preserving order. `None` when the node
+    /// owns nothing of the job. The single route borrows the job whole.
+    fn project_job<'j>(&self, job: &'j Job, node: u32) -> Option<Cow<'j, Job>> {
+        match self {
+            Routing::Single => Some(Cow::Borrowed(job)),
+            Routing::MortonSlabs { .. } => {
+                let queries: Vec<Query> = job
+                    .queries
+                    .iter()
+                    .filter_map(|q| {
+                        let atoms: Vec<(MortonKey, u32)> = q
+                            .footprint
+                            .atoms
+                            .iter()
+                            .copied()
+                            .filter(|&(m, _)| self.node_of(m) == node)
+                            .collect();
+                        if atoms.is_empty() {
+                            return None;
+                        }
+                        Some(Query {
+                            id: part_id(q.id, node),
+                            user: q.user,
+                            op: q.op,
+                            timestep: q.timestep,
+                            footprint: Footprint::from_pairs(atoms),
+                        })
+                    })
+                    .collect();
+                if queries.is_empty() {
+                    return None;
+                }
+                Some(Cow::Owned(Job {
+                    id: job.id,
+                    user: job.user,
+                    kind: job.kind,
+                    campaign: job.campaign,
+                    queries,
+                    arrival_ms: job.arrival_ms,
+                    think_ms: job.think_ms,
+                }))
+            }
+        }
+    }
+}
+
+/// Typed engine events.
+#[derive(Debug)]
+enum Event {
+    /// A trace job reached its arrival time.
+    JobArrival(usize),
+    /// Query `(job index, query index)` is submitted by the client model.
+    QuerySubmit(usize, usize),
+    /// A node finished a batch: (node, completed part ids).
+    BatchDone(u32, Vec<QueryId>),
+    /// A node's speculative read finished.
+    PrefetchDone(u32),
+    /// A node's idle re-poll fired (starvation-valve wake-up).
+    IdleCheck(u32),
+}
+
+/// Wrapper giving f64 event times a total order in the heap.
+#[derive(Debug, PartialEq)]
+struct Key(f64, u64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// The event queue: a min-heap of (time, insertion id) keys over a payload
+/// map. Insertion ids break time ties first-pushed-first-popped, keeping the
+/// replay deterministic.
+#[derive(Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    events: BTreeMap<u64, Event>,
+    next_event: u64,
+}
+
+impl EventQueue {
+    fn push(&mut self, at_ms: f64, ev: Event) {
+        let id = self.next_event;
+        self.next_event += 1;
+        self.events.insert(id, ev);
+        self.heap.push(Reverse((Key(at_ms, id), id)));
+    }
+
+    fn pop(&mut self) -> Option<(f64, Event)> {
+        let Reverse((Key(at, _), id)) = self.heap.pop()?;
+        // lint: invariant — push() stores a payload under every heap id
+        let ev = self.events.remove(&id).expect("event payload");
+        Some((at, ev))
+    }
+}
+
+/// Everything a run produced that the report layer needs, plus the per-query
+/// completion log in completion order.
+pub(crate) struct EngineOutcome {
+    /// Totals feeding [`crate::report`] assembly.
+    pub totals: RunTotals,
+    /// `(trace query id, response ms)` in completion order.
+    pub response_log: Vec<(QueryId, f64)>,
+}
+
+/// Replays `trace` against `pipelines` under `routing` until the trace drains
+/// or the simulated-time cap fires.
+///
+/// `declare_on_arrival` controls whether each trace job is declared to the
+/// schedulers at its arrival (the normal path); the single-node executor
+/// passes `false` after an up-front ground-truth declaration override
+/// ([`crate::Executor::declare_jobs`]).
+pub(crate) fn run_trace(
+    pipelines: &mut [NodePipeline],
+    routing: &Routing,
+    cfg: &SimConfig,
+    trace: &Trace,
+    declare_on_arrival: bool,
+) -> EngineOutcome {
+    // Query → (job index, query index) for completion routing.
+    let mut locate: BTreeMap<QueryId, (usize, usize)> = BTreeMap::new();
+    for (ji, job) in trace.jobs.iter().enumerate() {
+        for (qi, q) in job.queries.iter().enumerate() {
+            locate.insert(q.id, (ji, qi));
+        }
+    }
+    let total_queries: usize = trace.query_count();
+    let mut submit_ms: BTreeMap<QueryId, f64> = BTreeMap::new();
+    // Per-query completion barrier: outstanding part count (always 1 on the
+    // single route; one per owning node under Morton slabs).
+    let mut outstanding: BTreeMap<QueryId, u32> = BTreeMap::new();
+    let mut responses: Vec<f64> = Vec::with_capacity(total_queries);
+    let mut response_log: Vec<(QueryId, f64)> = Vec::new();
+    let mut jobs_completed = 0u64;
+    let mut remaining_per_job: Vec<usize> = trace.jobs.iter().map(|j| j.queries.len()).collect();
+    let first_arrival = trace.jobs.first().map_or(0.0, |j| j.arrival_ms);
+    let mut last_completion = first_arrival;
+    let mut truncated = false;
+    let mut now_ms = 0.0f64;
+    let mut queue = EventQueue::default();
+
+    // Submits query (ji, qi): records the submission time, fans the query
+    // out to its owning pipelines, and (for ordered follow-ups) feeds the
+    // trajectory predictors.
+    let submit = |ji: usize,
+                  qi: usize,
+                  observe: bool,
+                  now_ms: f64,
+                  submit_ms: &mut BTreeMap<QueryId, f64>,
+                  outstanding: &mut BTreeMap<QueryId, u32>,
+                  pipelines: &mut [NodePipeline]| {
+        let job = &trace.jobs[ji];
+        let q = &job.queries[qi];
+        submit_ms.insert(q.id, now_ms);
+        let parts = routing.fan_out(q);
+        outstanding.insert(q.id, parts.len() as u32);
+        for (node, part) in parts {
+            let p = &mut pipelines[node as usize];
+            if observe {
+                p.observe(job.id, part.as_ref());
+            }
+            p.query_available(part.as_ref(), now_ms);
+        }
+    };
+
+    for (ji, job) in trace.jobs.iter().enumerate() {
+        queue.push(job.arrival_ms, Event::JobArrival(ji));
+    }
+
+    while let Some((at, ev)) = queue.pop() {
+        if at > cfg.max_sim_ms {
+            truncated = true;
+            break;
+        }
+        now_ms = now_ms.max(at);
+        match ev {
+            Event::JobArrival(ji) => {
+                let job = &trace.jobs[ji];
+                if declare_on_arrival {
+                    for node in 0..pipelines.len() as u32 {
+                        if let Some(pj) = routing.project_job(job, node) {
+                            pipelines[node as usize].job_declared(pj.as_ref(), now_ms);
+                        }
+                    }
+                }
+                match job.kind {
+                    JobKind::Batched => {
+                        // The client loop streams order-independent queries
+                        // at its pacing cadence.
+                        for (qi, _) in job.queries.iter().enumerate() {
+                            queue.push(
+                                now_ms + qi as f64 * job.think_ms,
+                                Event::QuerySubmit(ji, qi),
+                            );
+                        }
+                    }
+                    JobKind::Ordered => {
+                        // The chain head is submitted in place (the predictor
+                        // only observes from the second query on).
+                        submit(
+                            ji,
+                            0,
+                            false,
+                            now_ms,
+                            &mut submit_ms,
+                            &mut outstanding,
+                            &mut *pipelines,
+                        );
+                    }
+                }
+            }
+            Event::QuerySubmit(ji, qi) => {
+                let observe = trace.jobs[ji].kind == JobKind::Ordered;
+                submit(
+                    ji,
+                    qi,
+                    observe,
+                    now_ms,
+                    &mut submit_ms,
+                    &mut outstanding,
+                    &mut *pipelines,
+                );
+            }
+            Event::BatchDone(node, completed_parts) => {
+                pipelines[node as usize].set_idle();
+                for pid in completed_parts {
+                    let qid = routing.original_id(pid);
+                    // lint: invariant — schedulers only complete queries
+                    // previously handed to query_available
+                    let submitted = submit_ms
+                        .get(&qid)
+                        .copied()
+                        .expect("completed query was submitted");
+                    let rt = now_ms - submitted;
+                    pipelines[node as usize].complete_part(pid, rt, now_ms);
+                    // lint: invariant — every part was registered in
+                    // `outstanding` when its query was submitted
+                    let left = outstanding
+                        .get_mut(&qid)
+                        .expect("completed part of a tracked query");
+                    *left -= 1;
+                    if *left > 0 {
+                        continue;
+                    }
+                    outstanding.remove(&qid);
+                    // The whole query is done: record and advance the job.
+                    responses.push(rt);
+                    response_log.push((qid, rt));
+                    last_completion = now_ms;
+                    let (ji, qi) = locate[&qid];
+                    let job = &trace.jobs[ji];
+                    remaining_per_job[ji] -= 1;
+                    if remaining_per_job[ji] == 0 {
+                        jobs_completed += 1;
+                    }
+                    if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
+                        queue.push(now_ms + job.think_ms, Event::QuerySubmit(ji, qi + 1));
+                    }
+                }
+            }
+            Event::PrefetchDone(node) => {
+                pipelines[node as usize].set_idle();
+            }
+            Event::IdleCheck(node) => {
+                pipelines[node as usize].clear_idle_check();
+            }
+        }
+        for node in 0..pipelines.len() as u32 {
+            dispatch(&mut pipelines[node as usize], node, now_ms, cfg, &mut queue);
+        }
+    }
+
+    if responses.len() < total_queries {
+        truncated = true;
+    }
+    EngineOutcome {
+        totals: RunTotals {
+            responses,
+            jobs_completed,
+            first_arrival,
+            last_completion,
+            truncated,
+        },
+        response_log,
+    }
+}
+
+/// Starts the next batch on `pipeline` if it is free and work is schedulable;
+/// otherwise spends the idle capacity on a speculative read, or arranges an
+/// idle re-poll if gated work exists.
+fn dispatch(
+    pipeline: &mut NodePipeline,
+    node: u32,
+    now_ms: f64,
+    cfg: &SimConfig,
+    queue: &mut EventQueue,
+) {
+    if pipeline.is_busy() {
+        return;
+    }
+    match pipeline.next_batch(now_ms) {
+        Some(batch) => {
+            debug_assert!(!batch.is_empty(), "scheduler produced an empty batch");
+            let service_ms = pipeline.charge_batch(&batch);
+            queue.push(
+                now_ms + service_ms,
+                Event::BatchDone(node, batch.completing_queries),
+            );
+        }
+        None => {
+            // Nothing schedulable: spend the idle capacity on a speculative
+            // read, if the trajectory predictor has one.
+            if let Some(io_ms) = pipeline.try_prefetch() {
+                queue.push(now_ms + io_ms, Event::PrefetchDone(node));
+                return;
+            }
+            // If gated work exists, poll again soon so the starvation valve
+            // can fire even with no other events.
+            if pipeline.wants_idle_check() {
+                queue.push(now_ms + cfg.idle_recheck_ms, Event::IdleCheck(node));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_ids_round_trip() {
+        for q in [1u64, 42, 1 << 40, PART_QUERY_MASK] {
+            for node in [0u32, 3, 15, MAX_NODE_INDEX] {
+                let pid = part_id(q, node);
+                assert_eq!(orig_id(pid), q);
+                assert_eq!(part_node(pid), node);
+            }
+        }
+        assert_ne!(part_id(7, 0), part_id(7, 1), "parts distinct across nodes");
+        assert_ne!(part_id(7, 0), 7, "part ids never collide with trace ids");
+    }
+
+    #[test]
+    fn single_routing_is_the_identity() {
+        let r = Routing::Single;
+        assert_eq!(r.node_of(MortonKey(63)), 0);
+        assert_eq!(r.original_id(42), 42);
+    }
+
+    #[test]
+    fn slab_routing_assigns_contiguous_ranges() {
+        let r = Routing::MortonSlabs { slab_size: 16 };
+        assert_eq!(r.node_of(MortonKey(0)), 0);
+        assert_eq!(r.node_of(MortonKey(15)), 0);
+        assert_eq!(r.node_of(MortonKey(16)), 1);
+        assert_eq!(r.node_of(MortonKey(63)), 3);
+    }
+}

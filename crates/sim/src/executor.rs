@@ -1,13 +1,17 @@
-//! The discrete-event executor.
+//! The single-node discrete-event executor.
+//!
+//! A thin instantiation of the shared engine ([`crate::engine`]): one
+//! [`NodePipeline`] driven by the identity route. All event-loop mechanics —
+//! arrivals, pacing, think-time chains, prefetching, truncation — live in the
+//! engine and are shared with [`crate::ClusterExecutor`].
 
-use crate::report::{Percentiles, RunReport};
-use jaws_morton::AtomId;
-use jaws_scheduler::{Batch, Prefetcher, Residency, Scheduler};
+use crate::engine::{self, Routing};
+use crate::node::NodePipeline;
+use crate::report::{self, RunReport};
+use jaws_scheduler::Scheduler;
 use jaws_turbdb::TurbDb;
-use jaws_workload::{JobKind, QueryId, Trace};
+use jaws_workload::{QueryId, Trace};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Executor knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -32,64 +36,10 @@ impl Default for SimConfig {
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    JobArrival(usize),
-    QuerySubmit(usize, usize),
-    BatchDone(Batch),
-    /// A speculative read issued during idle time finished.
-    PrefetchDone,
-    IdleCheck,
-}
-
-/// Wrapper giving f64 event times a total order in the heap.
-#[derive(Debug, PartialEq)]
-struct Key(f64, u64);
-
-impl Eq for Key {}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
-}
-
-/// Adapter exposing buffer-pool residency (φ of Eq. 1) to the scheduler.
-struct DbResidency<'a>(&'a TurbDb);
-
-impl Residency for DbResidency<'_> {
-    fn is_resident(&self, atom: &AtomId) -> bool {
-        self.0.is_resident(atom)
-    }
-
-    fn residency_epoch(&self) -> Option<u64> {
-        Some(self.0.residency_epoch())
-    }
-
-    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
-        self.0.residency_changes_since(since)
-    }
-}
-
 /// One simulated cluster node: a database plus a scheduler.
 pub struct Executor {
-    db: TurbDb,
-    scheduler: Box<dyn Scheduler>,
+    pipeline: NodePipeline,
     cfg: SimConfig,
-    heap: BinaryHeap<Reverse<(Key, u64)>>,
-    events: HashMap<u64, Event>,
-    next_event: u64,
-    now_ms: f64,
-    busy: bool,
-    idle_check_pending: bool,
-    prefetcher: Option<Prefetcher>,
-    prefetch_reads: u64,
     declared_jobs: Option<Vec<jaws_workload::Job>>,
     declarations_overridden: bool,
     response_log: Vec<(QueryId, f64)>,
@@ -98,21 +48,9 @@ pub struct Executor {
 impl Executor {
     /// Builds an executor over an opened database and a scheduler.
     pub fn new(db: TurbDb, scheduler: Box<dyn Scheduler>, cfg: SimConfig) -> Self {
-        let prefetcher = cfg
-            .prefetch
-            .then(|| Prefetcher::new(db.config().atoms_per_side(), db.config().timesteps));
         Executor {
-            db,
-            scheduler,
+            pipeline: NodePipeline::new(db, scheduler, cfg.prefetch),
             cfg,
-            heap: BinaryHeap::new(),
-            events: HashMap::new(),
-            next_event: 0,
-            now_ms: 0.0,
-            busy: false,
-            idle_check_pending: false,
-            prefetcher,
-            prefetch_reads: 0,
             declared_jobs: None,
             declarations_overridden: false,
             response_log: Vec::new(),
@@ -128,7 +66,7 @@ impl Executor {
 
     /// Speculative atom reads issued by the prefetcher.
     pub fn prefetch_reads(&self) -> u64 {
-        self.prefetch_reads
+        self.pipeline.prefetch_reads()
     }
 
     /// Overrides the job declarations the scheduler sees: instead of each
@@ -142,19 +80,12 @@ impl Executor {
 
     /// Access to the database (post-run inspection).
     pub fn db(&self) -> &TurbDb {
-        &self.db
+        self.pipeline.db()
     }
 
     /// Access to the scheduler (post-run inspection).
     pub fn scheduler(&self) -> &dyn Scheduler {
-        self.scheduler.as_ref()
-    }
-
-    fn push(&mut self, at_ms: f64, ev: Event) {
-        let id = self.next_event;
-        self.next_event += 1;
-        self.events.insert(id, ev);
-        self.heap.push(Reverse((Key(at_ms, id), id)));
+        self.pipeline.scheduler()
     }
 
     /// Replays `trace` to completion (or the simulated-time cap) and reports.
@@ -164,7 +95,7 @@ impl Executor {
     /// Panics if the trace geometry does not match the database (timesteps or
     /// atom grid).
     pub fn run(&mut self, trace: &Trace) -> RunReport {
-        let cfg = self.db.config();
+        let cfg = self.pipeline.db().config();
         assert!(
             trace.timesteps <= cfg.timesteps,
             "trace addresses timestep {} beyond the database's {}",
@@ -176,216 +107,29 @@ impl Executor {
             cfg.atoms_per_side(),
             "trace atom grid does not match the database"
         );
-        // Query → (job index, query index) for completion routing.
-        let mut locate: HashMap<QueryId, (usize, usize)> = HashMap::new();
-        for (ji, job) in trace.jobs.iter().enumerate() {
-            for (qi, q) in job.queries.iter().enumerate() {
-                locate.insert(q.id, (ji, qi));
-            }
-        }
-        let total_queries: usize = trace.query_count();
-        let mut submit_ms: HashMap<QueryId, f64> = HashMap::new();
-        let mut responses: Vec<f64> = Vec::with_capacity(total_queries);
-        let mut jobs_completed = 0u64;
-        let mut remaining_per_job: Vec<usize> =
-            trace.jobs.iter().map(|j| j.queries.len()).collect();
-        let first_arrival = trace.jobs.first().map_or(0.0, |j| j.arrival_ms);
-        let mut last_completion = first_arrival;
-        let mut truncated = false;
-
         if let Some(decls) = self.declared_jobs.take() {
             self.declarations_overridden = true;
             for d in &decls {
-                self.scheduler.job_declared(d, 0.0);
+                self.pipeline.job_declared(d, 0.0);
             }
         }
-        for (ji, job) in trace.jobs.iter().enumerate() {
-            self.push(job.arrival_ms, Event::JobArrival(ji));
-        }
-
-        while let Some(Reverse((Key(at, _), id))) = self.heap.pop() {
-            if at > self.cfg.max_sim_ms {
-                truncated = true;
-                break;
-            }
-            self.now_ms = self.now_ms.max(at);
-            // lint: invariant — push() stores a payload under every heap id
-            let ev = self.events.remove(&id).expect("event payload");
-            match ev {
-                Event::JobArrival(ji) => {
-                    let job = &trace.jobs[ji];
-                    if !self.declarations_overridden {
-                        self.scheduler.job_declared(job, self.now_ms);
-                    }
-                    match job.kind {
-                        JobKind::Batched => {
-                            // The client loop streams order-independent
-                            // queries at its pacing cadence.
-                            for (qi, _) in job.queries.iter().enumerate() {
-                                self.push(
-                                    self.now_ms + qi as f64 * job.think_ms,
-                                    Event::QuerySubmit(ji, qi),
-                                );
-                            }
-                        }
-                        JobKind::Ordered => {
-                            // lint: invariant — trace generators never emit a
-                            // job with zero queries
-                            let q = job.queries.first().expect("ordered job has a first query");
-                            submit_ms.insert(q.id, self.now_ms);
-                            self.scheduler.query_available(q, self.now_ms);
-                        }
-                    }
-                }
-                Event::QuerySubmit(ji, qi) => {
-                    let q = &trace.jobs[ji].queries[qi];
-                    submit_ms.insert(q.id, self.now_ms);
-                    if let Some(p) = &mut self.prefetcher {
-                        if trace.jobs[ji].kind == JobKind::Ordered {
-                            p.observe(trace.jobs[ji].id, q);
-                        }
-                    }
-                    self.scheduler.query_available(q, self.now_ms);
-                }
-                Event::BatchDone(batch) => {
-                    self.busy = false;
-                    for &qid in &batch.completing_queries {
-                        // lint: invariant — schedulers only complete queries
-                        // previously handed to query_available
-                        let submitted = submit_ms
-                            .get(&qid)
-                            .copied()
-                            .expect("completed query was submitted");
-                        let rt = self.now_ms - submitted;
-                        responses.push(rt);
-                        self.response_log.push((qid, rt));
-                        last_completion = self.now_ms;
-                        self.scheduler.on_query_complete(qid, rt, self.now_ms);
-                        if self.scheduler.take_run_boundary() {
-                            self.db.end_run();
-                        }
-                        let (ji, qi) = locate[&qid];
-                        let job = &trace.jobs[ji];
-                        remaining_per_job[ji] -= 1;
-                        if remaining_per_job[ji] == 0 {
-                            jobs_completed += 1;
-                        }
-                        if job.kind == JobKind::Ordered && qi + 1 < job.queries.len() {
-                            self.push(self.now_ms + job.think_ms, Event::QuerySubmit(ji, qi + 1));
-                        }
-                    }
-                }
-                Event::PrefetchDone => {
-                    self.busy = false;
-                }
-                Event::IdleCheck => {
-                    self.idle_check_pending = false;
-                }
-            }
-            self.dispatch();
-        }
-
-        let completed = responses.len() as u64;
-        if completed < total_queries as u64 {
-            truncated = true;
-        }
-        let makespan_ms = (last_completion - first_arrival).max(1e-9);
-        let mean_response_ms = if responses.is_empty() {
-            0.0
-        } else {
-            responses.iter().sum::<f64>() / responses.len() as f64
-        };
-        let cache = self.db.cache_stats();
-        RunReport {
-            scheduler: self.scheduler.name().to_string(),
-            cache_policy: self.db.cache_policy_name().to_string(),
-            queries_completed: completed,
-            jobs_completed,
-            makespan_ms,
-            throughput_qps: completed as f64 / (makespan_ms / 1000.0),
-            mean_response_ms,
-            response: Percentiles::from_samples(&mut responses),
-            cache,
-            disk: self.db.disk_stats(),
-            scheduler_stats: self.scheduler.stats(),
-            cache_overhead_ms_per_query: if completed == 0 {
-                0.0
-            } else {
-                cache.policy_overhead_ns as f64 / completed as f64 / 1e6
-            },
-            seconds_per_query: if completed == 0 {
-                0.0
-            } else {
-                makespan_ms / 1000.0 / completed as f64
-            },
-            alpha_final: self.scheduler.alpha(),
-            truncated,
-        }
-    }
-
-    /// Starts the next batch if the pipeline is free and work is schedulable;
-    /// otherwise arranges a wake-up if gated work exists.
-    fn dispatch(&mut self) {
-        if self.busy {
-            return;
-        }
-        let batch = {
-            let res = DbResidency(&self.db);
-            self.scheduler.next_batch(self.now_ms, &res)
-        };
-        match batch {
-            Some(batch) => {
-                debug_assert!(!batch.is_empty(), "scheduler produced an empty batch");
-                let snapshot = {
-                    let res = DbResidency(&self.db);
-                    self.scheduler.utility_snapshot(&res)
-                };
-                let mut service_ms = self.db.batch_dispatch_ms();
-                // First pass: the batch atoms themselves, in Morton order
-                // (sequential on disk when contiguous).
-                for group in &batch.atoms {
-                    let r = self.db.read_atom(group.atom, &snapshot);
-                    service_ms += r.io_ms;
-                    service_ms += self.db.compute_cost_ms(group.positions());
-                }
-                // Second pass: stencil spill-over into neighboring atoms
-                // (§V locality of reference). Neighbors co-scheduled in this
-                // batch, or still cached, cost nothing extra.
-                for group in &batch.atoms {
-                    for n in self.db.stencil_neighbor_ids(group.atom) {
-                        let r = self.db.read_atom(n, &snapshot);
-                        service_ms += r.io_ms;
-                    }
-                }
-                self.busy = true;
-                self.push(self.now_ms + service_ms, Event::BatchDone(batch));
-            }
-            None => {
-                // Nothing schedulable: spend the idle capacity on a
-                // speculative read, if the trajectory predictor has one.
-                if let Some(p) = &mut self.prefetcher {
-                    let candidate = p.next_prefetch(|a| self.db.is_resident(a));
-                    if let Some(atom) = candidate {
-                        let snapshot = {
-                            let res = DbResidency(&self.db);
-                            self.scheduler.utility_snapshot(&res)
-                        };
-                        let r = self.db.read_atom(atom, &snapshot);
-                        self.prefetch_reads += 1;
-                        self.busy = true;
-                        self.push(self.now_ms + r.io_ms, Event::PrefetchDone);
-                        return;
-                    }
-                }
-                // If gated work exists, poll again soon so the starvation
-                // valve can fire even with no other events.
-                if self.scheduler.has_pending() && !self.idle_check_pending {
-                    self.idle_check_pending = true;
-                    let at = self.now_ms + self.cfg.idle_recheck_ms;
-                    self.push(at, Event::IdleCheck);
-                }
-            }
-        }
+        let outcome = engine::run_trace(
+            std::slice::from_mut(&mut self.pipeline),
+            &Routing::Single,
+            &self.cfg,
+            trace,
+            !self.declarations_overridden,
+        );
+        self.response_log.extend(outcome.response_log);
+        report::assemble(
+            self.pipeline.scheduler().name().to_string(),
+            self.pipeline.db().cache_policy_name().to_string(),
+            outcome.totals,
+            self.pipeline.db().cache_stats(),
+            self.pipeline.db().disk_stats(),
+            self.pipeline.scheduler().stats(),
+            self.pipeline.scheduler().alpha(),
+        )
     }
 }
 
@@ -395,7 +139,7 @@ mod tests {
     use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
     use jaws_scheduler::MetricParams;
     use jaws_turbdb::{CostModel, DataMode, DbConfig};
-    use jaws_workload::{GenConfig, TraceGenerator};
+    use jaws_workload::{GenConfig, JobKind, TraceGenerator};
 
     fn small_db_config() -> DbConfig {
         DbConfig {
@@ -594,7 +338,7 @@ mod prefetch_tests {
     use jaws_morton::MortonKey;
     use jaws_scheduler::MetricParams;
     use jaws_turbdb::{CostModel, DataMode, DbConfig};
-    use jaws_workload::{Footprint, Job, Query, QueryOp, Trace};
+    use jaws_workload::{Footprint, Job, JobKind, Query, QueryOp, Trace};
 
     /// A slow single tracking chain: plenty of idle time for the prefetcher.
     fn chain_trace() -> Trace {

@@ -10,12 +10,18 @@
 //!   `i+1` one think-time after query `i` completes (the paper's users
 //!   "collect results from a time step, calculate new positions outside the
 //!   database, and then submit a new query");
-//! * a single execution pipeline (one cluster node) repeatedly asks the
+//! * each execution pipeline (one cluster node) repeatedly asks its
 //!   scheduler for the next batch, charges its I/O + compute cost, and
 //!   advances the clock;
 //! * cache residency feeds φ back into Eq. 1, and the scheduler's workload
 //!   knowledge feeds the URC cache policy, closing both coordination loops of
 //!   §V-B.
+//!
+//! One discrete-event core ([`engine`]) drives both deployment shapes:
+//! [`Executor`] is its single-node instantiation and [`ClusterExecutor`] its
+//! N-node Morton-slab instantiation (§V-C) — same event loop, same client
+//! model, same [`SimConfig`] knobs (prefetching, `max_sim_ms` truncation,
+//! idle re-check). Per-node state lives in [`node::NodePipeline`].
 //!
 //! [`sweep`] runs many configurations in parallel threads for the saturation
 //! and batch-size sweeps of Figs. 11–12.
@@ -24,13 +30,17 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod engine;
 pub mod executor;
+pub mod node;
 pub mod report;
 pub mod setup;
 pub mod sweep;
 
 pub use cluster::{ClusterConfig, ClusterExecutor, ClusterReport, NodeReport};
+pub use engine::Routing;
 pub use executor::{Executor, SimConfig};
+pub use node::NodePipeline;
 pub use report::{Percentiles, RunReport};
 pub use setup::{build_db, build_policy, build_scheduler, CachePolicyKind, SchedulerKind};
 pub use sweep::run_parallel;

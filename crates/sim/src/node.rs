@@ -1,0 +1,193 @@
+//! One simulated execution pipeline — the per-node half of the engine.
+//!
+//! A [`NodePipeline`] owns everything a cluster node owns in the §V-C
+//! deployment: a [`TurbDb`] (buffer pool + simulated disk), a scheduler, the
+//! residency adapter feeding φ of Eq. 1 back into the metric, an optional
+//! trajectory [`Prefetcher`] (§VII), and busy/idle accounting. The engine
+//! ([`crate::engine`]) owns the clock and the event queue; the pipeline only
+//! answers "what would you run next and what does it cost".
+
+use jaws_morton::AtomId;
+use jaws_scheduler::{Batch, Prefetcher, Residency, Scheduler};
+use jaws_turbdb::TurbDb;
+use jaws_workload::{Job, JobId, Query, QueryId};
+
+/// Adapter exposing buffer-pool residency (φ of Eq. 1) to the scheduler.
+struct DbResidency<'a>(&'a TurbDb);
+
+impl Residency for DbResidency<'_> {
+    fn is_resident(&self, atom: &AtomId) -> bool {
+        self.0.is_resident(atom)
+    }
+
+    fn residency_epoch(&self) -> Option<u64> {
+        Some(self.0.residency_epoch())
+    }
+
+    fn residency_changes_since(&self, since: u64) -> Option<Vec<(AtomId, bool)>> {
+        self.0.residency_changes_since(since)
+    }
+}
+
+/// One simulated execution pipeline: a database plus a scheduler plus the
+/// per-node bookkeeping the engine needs.
+pub struct NodePipeline {
+    db: TurbDb,
+    scheduler: Box<dyn Scheduler>,
+    prefetcher: Option<Prefetcher>,
+    busy: bool,
+    idle_check_pending: bool,
+    busy_ms: f64,
+    parts_completed: u64,
+    prefetch_reads: u64,
+}
+
+impl NodePipeline {
+    /// Builds a pipeline over an opened database and a scheduler. When
+    /// `prefetch` is set, idle capacity is spent on trajectory-predicted
+    /// speculative reads (§VII).
+    pub fn new(db: TurbDb, scheduler: Box<dyn Scheduler>, prefetch: bool) -> Self {
+        let prefetcher =
+            prefetch.then(|| Prefetcher::new(db.config().atoms_per_side(), db.config().timesteps));
+        NodePipeline {
+            db,
+            scheduler,
+            prefetcher,
+            busy: false,
+            idle_check_pending: false,
+            busy_ms: 0.0,
+            parts_completed: 0,
+            prefetch_reads: 0,
+        }
+    }
+
+    /// Access to the database (post-run inspection).
+    pub fn db(&self) -> &TurbDb {
+        &self.db
+    }
+
+    /// Access to the scheduler (post-run inspection).
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    /// Speculative atom reads issued by the prefetcher so far.
+    pub fn prefetch_reads(&self) -> u64 {
+        self.prefetch_reads
+    }
+
+    /// Sub-query parts completed on this pipeline so far.
+    pub fn parts_completed(&self) -> u64 {
+        self.parts_completed
+    }
+
+    /// Total simulated time this pipeline spent servicing batches.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// True while a batch or speculative read is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Declares a job (or a node-local projection of one) to the scheduler.
+    pub fn job_declared(&mut self, job: &Job, now_ms: f64) {
+        self.scheduler.job_declared(job, now_ms);
+    }
+
+    /// Hands a submitted query (or part) to the scheduler.
+    pub fn query_available(&mut self, q: &Query, now_ms: f64) {
+        self.scheduler.query_available(q, now_ms);
+    }
+
+    /// Feeds an ordered-job observation to the trajectory predictor, if
+    /// prefetching is enabled.
+    pub fn observe(&mut self, job: JobId, q: &Query) {
+        if let Some(p) = &mut self.prefetcher {
+            p.observe(job, q);
+        }
+    }
+
+    /// Asks the scheduler for the next batch under current residency.
+    pub fn next_batch(&mut self, now_ms: f64) -> Option<Batch> {
+        let res = DbResidency(&self.db);
+        self.scheduler.next_batch(now_ms, &res)
+    }
+
+    /// Charges a batch against the database — atom reads in Morton order,
+    /// position compute, then the stencil spill-over pass (§V locality of
+    /// reference) — marks the pipeline busy, and returns the service time.
+    pub fn charge_batch(&mut self, batch: &Batch) -> f64 {
+        let snapshot = {
+            let res = DbResidency(&self.db);
+            self.scheduler.utility_snapshot(&res)
+        };
+        let mut service_ms = self.db.batch_dispatch_ms();
+        // First pass: the batch atoms themselves, in Morton order
+        // (sequential on disk when contiguous).
+        for group in &batch.atoms {
+            let r = self.db.read_atom(group.atom, &snapshot);
+            service_ms += r.io_ms;
+            service_ms += self.db.compute_cost_ms(group.positions());
+        }
+        // Second pass: stencil spill-over into neighboring atoms. Neighbors
+        // co-scheduled in this batch, or still cached, cost nothing extra.
+        for group in &batch.atoms {
+            for n in self.db.stencil_neighbor_ids(group.atom) {
+                let r = self.db.read_atom(n, &snapshot);
+                service_ms += r.io_ms;
+            }
+        }
+        self.busy = true;
+        self.busy_ms += service_ms;
+        service_ms
+    }
+
+    /// Issues one speculative read if the trajectory predictor has a
+    /// non-resident candidate: marks the pipeline busy and returns the I/O
+    /// time, or `None` when there is nothing to prefetch.
+    pub fn try_prefetch(&mut self) -> Option<f64> {
+        let p = self.prefetcher.as_mut()?;
+        let atom = p.next_prefetch(|a| self.db.is_resident(a))?;
+        let snapshot = {
+            let res = DbResidency(&self.db);
+            self.scheduler.utility_snapshot(&res)
+        };
+        let r = self.db.read_atom(atom, &snapshot);
+        self.prefetch_reads += 1;
+        self.busy = true;
+        Some(r.io_ms)
+    }
+
+    /// Records one completed part: scheduler notification, run-boundary
+    /// bookkeeping (§V-A cache runs), and the part counter.
+    pub fn complete_part(&mut self, part: QueryId, response_ms: f64, now_ms: f64) {
+        self.parts_completed += 1;
+        self.scheduler.on_query_complete(part, response_ms, now_ms);
+        if self.scheduler.take_run_boundary() {
+            self.db.end_run();
+        }
+    }
+
+    /// Marks the pipeline idle (a batch or speculative read finished).
+    pub fn set_idle(&mut self) {
+        self.busy = false;
+    }
+
+    /// True when the engine should schedule an idle re-poll: the scheduler
+    /// holds gated work and no re-poll is pending yet. Marks the re-poll
+    /// pending as a side effect.
+    pub fn wants_idle_check(&mut self) -> bool {
+        if self.scheduler.has_pending() && !self.idle_check_pending {
+            self.idle_check_pending = true;
+            return true;
+        }
+        false
+    }
+
+    /// Clears the pending idle re-poll (its event fired).
+    pub fn clear_idle_check(&mut self) {
+        self.idle_check_pending = false;
+    }
+}

@@ -41,6 +41,67 @@ impl Percentiles {
     }
 }
 
+/// Raw per-run totals the engine hands to report assembly.
+pub(crate) struct RunTotals {
+    /// Per-query response times in completion order.
+    pub responses: Vec<f64>,
+    /// Jobs whose every query completed.
+    pub jobs_completed: u64,
+    /// Arrival time of the first trace job, ms.
+    pub first_arrival: f64,
+    /// Completion time of the last query, ms.
+    pub last_completion: f64,
+    /// True if the run hit its simulated-time cap or left queries behind.
+    pub truncated: bool,
+}
+
+/// Assembles a [`RunReport`] from engine totals plus the (possibly
+/// aggregated) database, cache and scheduler statistics — the one place the
+/// derived metrics (makespan, throughput, percentiles, per-query overheads)
+/// are computed, shared by the single-node and cluster executors.
+pub(crate) fn assemble(
+    scheduler: String,
+    cache_policy: String,
+    mut totals: RunTotals,
+    cache: CacheStats,
+    disk: DiskStats,
+    scheduler_stats: SchedulerStats,
+    alpha_final: f64,
+) -> RunReport {
+    let completed = totals.responses.len() as u64;
+    let makespan_ms = (totals.last_completion - totals.first_arrival).max(1e-9);
+    let mean_response_ms = if totals.responses.is_empty() {
+        0.0
+    } else {
+        totals.responses.iter().sum::<f64>() / totals.responses.len() as f64
+    };
+    RunReport {
+        scheduler,
+        cache_policy,
+        queries_completed: completed,
+        jobs_completed: totals.jobs_completed,
+        makespan_ms,
+        throughput_qps: completed as f64 / (makespan_ms / 1000.0),
+        mean_response_ms,
+        response: Percentiles::from_samples(&mut totals.responses),
+        cache,
+        disk,
+        scheduler_stats,
+        cache_overhead_ms_per_query: if completed == 0 {
+            0.0
+        } else {
+            cache.policy_overhead_ns as f64 / completed as f64 / 1e6
+        },
+        seconds_per_query: if completed == 0 {
+            0.0
+        } else {
+            makespan_ms / 1000.0 / completed as f64
+        },
+        alpha_final,
+        truncated: totals.truncated,
+    }
+}
+
 /// The outcome of one simulated run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {

@@ -133,7 +133,7 @@ mod tests {
         let par = run_parallel(&specs, &trace);
         assert_eq!(par.len(), 3);
         assert_eq!(par[0].0.label, "a");
-        assert_eq!(par[2].0.label, "b".replace('b', "c"));
+        assert_eq!(par[2].0.label, "c");
         for (s, r) in &par {
             let serial = s.execute(&trace);
             assert_eq!(r.queries_completed, serial.queries_completed, "{}", s.label);

@@ -1,13 +1,17 @@
 //! Double-run determinism (lint rules D001/D002 end to end): replaying the
 //! same seeded trace twice must produce *byte-identical* serialized reports —
 //! including the per-query response log, which captures dispatch order — for
-//! every scheduling policy. Any hash-order iteration, wall-clock read, or
+//! every scheduling policy, on both the single-node executor and the
+//! Morton-slab cluster. Any hash-order iteration, wall-clock read, or
 //! unseeded RNG on a decision path shows up here as a diff.
 
 #![forbid(unsafe_code)]
 
 use jaws_scheduler::MetricParams;
-use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
+use jaws_sim::{
+    build_db, build_scheduler, CachePolicyKind, ClusterConfig, ClusterExecutor, Executor,
+    SchedulerKind, SimConfig,
+};
 use jaws_turbdb::{CostModel, DataMode, DbConfig};
 use jaws_workload::{GenConfig, TraceGenerator};
 
@@ -42,27 +46,62 @@ fn serialized_run(kind: SchedulerKind, seed: u64) -> String {
     let sched = build_scheduler(kind, MetricParams::paper_testbed(), 25, 10_000.0);
     let mut ex = Executor::new(db, sched, SimConfig::default());
     let report = ex.run(&trace);
-    let mut report_json = serde_json::to_string(&report).expect("report serializes");
-    for key in ["policy_overhead_ns", "cache_overhead_ms_per_query"] {
-        report_json = zero_numeric_field(&report_json, key);
-    }
+    let report_json =
+        mask_wallclock_fields(&serde_json::to_string(&report).expect("report serializes"));
     let log_json = serde_json::to_string(ex.response_log()).expect("log serializes");
     format!("{report_json}\n{log_json}")
 }
 
-/// Replaces the numeric value of `"key":<number>` with `0` in serialized
-/// JSON (sufficient for the two flat telemetry fields masked above).
-fn zero_numeric_field(json: &str, key: &str) -> String {
-    let pat = format!("\"{key}\":");
-    let Some(i) = json.find(&pat) else {
-        panic!("field {key} absent from report JSON");
-    };
-    let start = i + pat.len();
-    let end = start
-        + json[start..]
-            .find([',', '}'])
-            .expect("number is followed by a delimiter");
-    format!("{}0{}", &json[..start], &json[end..])
+fn cluster_config(kind: SchedulerKind, nodes: u32) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        db: db_config(),
+        cost: CostModel::paper_testbed(),
+        scheduler: kind,
+        cache_policy: CachePolicyKind::Urc,
+        cache_atoms_per_node: 16,
+        run_len: 25,
+        gate_timeout_ms: 10_000.0,
+        sim: SimConfig::default(),
+    }
+}
+
+/// Cluster analogue of [`serialized_run`]: the full `ClusterReport` (aggregate
+/// plus every per-node breakdown) and the completion log, with every
+/// wall-clock telemetry occurrence masked (one per node plus the aggregate).
+fn serialized_cluster_run(kind: SchedulerKind, nodes: u32, seed: u64) -> String {
+    let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
+    let mut ex = ClusterExecutor::new(cluster_config(kind, nodes));
+    let report = ex.run(&trace);
+    let report_json =
+        mask_wallclock_fields(&serde_json::to_string(&report).expect("report serializes"));
+    let log_json = serde_json::to_string(ex.response_log()).expect("log serializes");
+    format!("{report_json}\n{log_json}")
+}
+
+/// Replaces the numeric value of *every* `"key":<number>` occurrence of the
+/// two wall-clock telemetry fields with `0` in serialized JSON.
+fn mask_wallclock_fields(json: &str) -> String {
+    let mut out = json.to_string();
+    for key in ["policy_overhead_ns", "cache_overhead_ms_per_query"] {
+        let pat = format!("\"{key}\":");
+        assert!(out.contains(&pat), "field {key} absent from report JSON");
+        let mut masked = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(i) = rest.find(&pat) {
+            let start = i + pat.len();
+            let end = start
+                + rest[start..]
+                    .find([',', '}'])
+                    .expect("number is followed by a delimiter");
+            masked.push_str(&rest[..start]);
+            masked.push('0');
+            rest = &rest[end..];
+        }
+        masked.push_str(rest);
+        out = masked;
+    }
+    out
 }
 
 fn assert_deterministic(kind: SchedulerKind) {
@@ -75,6 +114,22 @@ fn assert_deterministic(kind: SchedulerKind) {
             "{} produced different reports across identical seeded runs (seed {seed})",
             kind.name()
         );
+    }
+}
+
+fn assert_cluster_deterministic(kind: SchedulerKind) {
+    for nodes in [2u32, 4] {
+        for seed in [3u64, 11] {
+            let a = serialized_cluster_run(kind, nodes, seed);
+            let b = serialized_cluster_run(kind, nodes, seed);
+            assert_eq!(
+                a,
+                b,
+                "{} on {nodes} nodes produced different cluster reports across identical \
+                 seeded runs (seed {seed})",
+                kind.name()
+            );
+        }
     }
 }
 
@@ -91,4 +146,66 @@ fn liferaft_runs_are_byte_identical() {
 #[test]
 fn fcfs_runs_are_byte_identical() {
     assert_deterministic(SchedulerKind::NoShare);
+}
+
+#[test]
+fn jaws_cluster_runs_are_byte_identical() {
+    assert_cluster_deterministic(SchedulerKind::Jaws2 { batch_k: 15 });
+}
+
+#[test]
+fn liferaft_cluster_runs_are_byte_identical() {
+    assert_cluster_deterministic(SchedulerKind::LifeRaft2);
+}
+
+/// With one node the cluster is the plain executor plus the part-id packing
+/// layer: same engine, same event sequencing. Totals — and the completion
+/// log under original query ids — must match the single executor exactly.
+/// The single run derives its `MetricParams` the same way the cluster does
+/// (from the cost model and the whole-grid atom count), so both schedulers
+/// see identical Eq. 1 inputs.
+#[test]
+fn one_node_cluster_matches_single_executor_exactly() {
+    for (kind, seed) in [
+        (SchedulerKind::Jaws2 { batch_k: 15 }, 3u64),
+        (SchedulerKind::LifeRaft2, 11),
+    ] {
+        let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
+        let cfg = cluster_config(kind, 1);
+        let params = MetricParams {
+            atom_read_ms: cfg.cost.atom_read_ms,
+            position_compute_ms: cfg.cost.position_compute_ms,
+            atoms_per_timestep: cfg.db.atoms_per_timestep(),
+        };
+        let db = build_db(
+            cfg.db,
+            cfg.cost,
+            DataMode::Virtual,
+            cfg.cache_atoms_per_node,
+            cfg.cache_policy,
+        );
+        let sched = build_scheduler(kind, params, cfg.run_len, cfg.gate_timeout_ms);
+        let mut single = Executor::new(db, sched, cfg.sim);
+        let s = single.run(&trace);
+
+        let mut cluster = ClusterExecutor::new(cfg);
+        let c = cluster.run(&trace);
+
+        assert_eq!(c.aggregate.queries_completed, s.queries_completed);
+        assert_eq!(c.aggregate.jobs_completed, s.jobs_completed);
+        assert_eq!(c.aggregate.disk.reads, s.disk.reads);
+        assert_eq!(c.aggregate.disk.seeks, s.disk.seeks);
+        assert_eq!(c.aggregate.cache.hits, s.cache.hits);
+        assert_eq!(c.aggregate.cache.misses, s.cache.misses);
+        assert_eq!(c.aggregate.makespan_ms.to_bits(), s.makespan_ms.to_bits());
+        assert_eq!(
+            c.aggregate.mean_response_ms.to_bits(),
+            s.mean_response_ms.to_bits()
+        );
+        assert_eq!(
+            c.aggregate.scheduler_stats.batches,
+            s.scheduler_stats.batches
+        );
+        assert_eq!(cluster.response_log(), single.response_log());
+    }
 }

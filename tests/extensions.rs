@@ -98,6 +98,7 @@ fn cluster_with_jaws_qos_and_casjobs_nodes() {
             cache_atoms_per_node: 8,
             run_len: 25,
             gate_timeout_ms: 10_000.0,
+            sim: SimConfig::default(),
         });
         let r = ex.run(&trace);
         assert_eq!(
@@ -173,6 +174,7 @@ fn one_node_cluster_is_equivalent_to_the_single_executor() {
         cache_atoms_per_node: 16,
         run_len: 25,
         gate_timeout_ms: 10_000.0,
+        sim: SimConfig::default(),
     });
     let cluster = ex.run(&trace);
     assert_eq!(
