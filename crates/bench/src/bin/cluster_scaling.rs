@@ -12,16 +12,26 @@
 //! * `--smoke`  — tiny geometry and trace (CI exercise of the multi-node
 //!   path), 1/2/4 nodes only;
 //! * `--cap-ms=<float>` — simulated-time cap per run (`max_sim_ms`),
-//!   demonstrating cluster truncation.
+//!   demonstrating cluster truncation;
+//! * `--trace-out=<path>` — record the last configuration's run through a
+//!   [`jaws_obs::JsonlRecorder`] and write the JSONL trace there (feed it to
+//!   `trace_explain`).
 
 use jaws_bench::exp;
+use jaws_obs::{JsonlRecorder, ObsSink};
 use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind, SimConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn cap_ms() -> f64 {
     std::env::args()
         .find_map(|a| a.strip_prefix("--cap-ms=").map(str::to_string))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1e10)
+}
+
+fn trace_out() -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix("--trace-out=").map(str::to_string))
 }
 
 fn main() {
@@ -48,6 +58,8 @@ fn main() {
         "speedup"
     );
     exp::rule();
+    let trace_path = trace_out();
+    let mut last_trace: Option<String> = None;
     let mut base_qps = None;
     for &nodes in node_counts {
         for prefetch in [false, true] {
@@ -66,7 +78,15 @@ fn main() {
                     ..SimConfig::default()
                 },
             });
+            let recorder = trace_path.as_ref().map(|_| {
+                let rc = Rc::new(RefCell::new(JsonlRecorder::new()));
+                ex.set_recorder(ObsSink::new(rc.clone()));
+                rc
+            });
             let r = ex.run(&trace);
+            if let Some(rc) = recorder {
+                last_trace = Some(rc.borrow_mut().take());
+            }
             let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
             println!(
                 "{:<7} {:<9} {:>9.3} {:>12.1} {:>10} {:>10} {:>9.1}% {:>10.2}x {:>8.2}x{}",
@@ -93,4 +113,8 @@ fn main() {
          1-node prefetch-off row.",
         exp::CACHE_ATOMS
     );
+    if let (Some(path), Some(jsonl)) = (trace_path, last_trace) {
+        std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote observability trace of the last run to {path}");
+    }
 }

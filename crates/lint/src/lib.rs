@@ -10,7 +10,7 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | `D001` | no `HashMap`/`HashSet` iteration in `crates/scheduler` / `crates/sim` decision paths (suppress with `// lint: sorted` when a sort/`BTreeMap` re-establishes order nearby) |
-//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`) outside `crates/bench` and the `crates/cache/src/pool.rs` timing shim |
+//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`) outside `crates/bench`, the `crates/cache/src/pool.rs` timing shim, and the `crates/obs/tests/overhead_smoke.rs` overhead-ceiling test shim |
 //! | `F001` | no bare `partial_cmp` in ranking code — use `total_cmp` with an integer tie-break |
 //! | `F002` | no `==`/`!=` against float literals in ranking code |
 //! | `P001` | no `unwrap()`/`expect()`/`panic!`/indexing-by-literal in non-`#[cfg(test)]` scheduler/sim dispatch paths (suppress documented invariants with `// lint: invariant`) |
@@ -441,7 +441,9 @@ fn in_ranking_scope(rel: &str) -> bool {
 }
 
 fn wallclock_exempt(rel: &str) -> bool {
-    rel.starts_with("crates/bench/") || rel == "crates/cache/src/pool.rs"
+    rel.starts_with("crates/bench/")
+        || rel == "crates/cache/src/pool.rs"
+        || rel == "crates/obs/tests/overhead_smoke.rs"
 }
 
 /// Scans for `name[<int literal>]` style indexing: `[` preceded by an
@@ -811,8 +813,10 @@ mod tests {
     fn d002_fires_everywhere_but_exempt_paths() {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         assert_eq!(codes("crates/workload/src/gen.rs", src), vec!["D002"]);
+        assert_eq!(codes("crates/obs/src/lib.rs", src), vec!["D002"]);
         assert!(codes("crates/cache/src/pool.rs", src).is_empty());
         assert!(codes("crates/bench/benches/b.rs", src).is_empty());
+        assert!(codes("crates/obs/tests/overhead_smoke.rs", src).is_empty());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct AlphaController {
     run_len: usize,
     completed_in_run: usize,
     run_started_ms: f64,
+    /// Whether `run_started_ms` was pinned by an observed arrival (the
+    /// correct anchor for the first run's throughput window).
+    anchored: bool,
     response_sum_ms: f64,
     /// Smoothed rt′/tp′ of the previous run.
     prev: Option<RunFeedback>,
@@ -64,6 +67,7 @@ impl AlphaController {
             run_len,
             completed_in_run: 0,
             run_started_ms: 0.0,
+            anchored: false,
             response_sum_ms: 0.0,
             prev: None,
             flat_runs: 0,
@@ -82,13 +86,29 @@ impl AlphaController {
         &self.history
     }
 
+    /// Notes that a query became available at `now_ms`. The first arrival
+    /// anchors the first run's throughput window; without it the window was
+    /// back-dated to `now − response` of the first *completion*, which (when
+    /// several queries queue before the first finishes) starts the clock far
+    /// too late and inflates the first `throughput_qps` sample that α
+    /// adaptation feeds on.
+    pub fn note_arrival(&mut self, now_ms: f64) {
+        if !self.anchored {
+            self.run_started_ms = now_ms.max(0.0);
+            self.anchored = true;
+        }
+    }
+
     /// Records a query completion. Returns `true` when this completion closed
     /// a run (the caller should propagate the boundary to the cache for
     /// SLRU's batch promotion).
     pub fn on_query_complete(&mut self, response_ms: f64, now_ms: f64) -> bool {
-        if self.completed_in_run == 0 && self.history.is_empty() && self.prev.is_none() {
-            // First query overall: anchor the first run's start.
+        if !self.anchored && self.completed_in_run == 0 && self.history.is_empty() {
+            // No arrival was ever noted (a caller driving completions
+            // directly): fall back to back-dating the first run's start by
+            // the first response time.
             self.run_started_ms = (now_ms - response_ms).max(0.0);
+            self.anchored = true;
         }
         self.response_sum_ms += response_ms;
         self.completed_in_run += 1;
@@ -258,6 +278,48 @@ mod tests {
         let t = push_run(&mut c, 0.0, 50.0, 2.0);
         push_run(&mut c, t, 60.0, 2.0);
         assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn first_run_is_anchored_at_first_arrival_not_first_completion() {
+        // Four queries all arrive at t=0 and drain serially, 1 s each. The
+        // run really spans 4 s → 1 q/s. Without the arrival anchor the run
+        // start was back-dated to (1000 − 1000) = 0 only for the *first*
+        // completion's response; with queueing, later completions have larger
+        // responses, and the old anchor `now − response` of completion #1
+        // understated the window whenever the first query was also the
+        // fastest. Make the distortion visible: first response small.
+        let mut c = AlphaController::new(0.5, 4);
+        c.note_arrival(0.0);
+        c.note_arrival(0.0); // only the first arrival anchors
+        c.on_query_complete(500.0, 3_500.0); // fast first query
+        c.on_query_complete(1_000.0, 3_600.0);
+        c.on_query_complete(2_000.0, 3_800.0);
+        assert!(c.on_query_complete(3_000.0, 4_000.0));
+        let (_, fb) = c.history().last().unwrap();
+        // Anchored at the first arrival (t = 0): 4 queries / 4 s = 1 q/s.
+        // The old code anchored at 3500 − 500 = 3000 ms → 8 q/s.
+        assert!(
+            (fb.throughput_qps - 1.0).abs() < 1e-9,
+            "throughput {} should be 1 q/s",
+            fb.throughput_qps
+        );
+    }
+
+    #[test]
+    fn completion_only_callers_still_get_a_backdated_anchor() {
+        // Drivers that never call note_arrival (unit tests, ablations) keep
+        // the old fallback: first run starts at now − response of the first
+        // completion.
+        let mut c = AlphaController::new(0.5, 2);
+        c.on_query_complete(1_000.0, 1_000.0);
+        assert!(c.on_query_complete(1_000.0, 2_000.0));
+        let (_, fb) = c.history().last().unwrap();
+        assert!(
+            (fb.throughput_qps - 1.0).abs() < 1e-9,
+            "{}",
+            fb.throughput_qps
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@ use crate::batch::{preprocess, Batch};
 use crate::gating::{GatingConfig, GatingGraph};
 use crate::policy::{Residency, Scheduler, SchedulerStats};
 use crate::queues::{MetricParams, UtilitySnapshot, WorkloadManager};
+use jaws_cache::UtilityOracle;
+use jaws_obs::{Event, GateAction, ObsSink};
 use jaws_workload::{Job, Query, QueryId};
 use std::collections::HashMap;
 
@@ -79,6 +81,7 @@ pub struct Jaws {
     fixed_completed_in_run: usize,
     run_boundary: bool,
     stats: SchedulerStats,
+    sink: ObsSink,
 }
 
 impl Jaws {
@@ -94,6 +97,7 @@ impl Jaws {
             fixed_completed_in_run: 0,
             run_boundary: false,
             stats: SchedulerStats::default(),
+            sink: ObsSink::null(),
             cfg,
         }
     }
@@ -137,9 +141,33 @@ impl Scheduler for Jaws {
     }
 
     fn query_available(&mut self, query: &Query, now_ms: f64) {
+        if self.cfg.adaptive_alpha {
+            // The first arrival anchors the first α run's throughput window.
+            self.alpha_ctl.note_arrival(now_ms);
+        }
         if self.cfg.job_aware {
             self.held.insert(query.id, query.clone());
             let fired = self.gating.query_available(query.id, now_ms);
+            if self.sink.enabled() {
+                if !fired.contains(&query.id) {
+                    self.sink.emit(
+                        now_ms,
+                        Event::GateDecision {
+                            query: query.id,
+                            action: GateAction::Held,
+                        },
+                    );
+                }
+                for &qid in &fired {
+                    self.sink.emit(
+                        now_ms,
+                        Event::GateDecision {
+                            query: qid,
+                            action: GateAction::Released,
+                        },
+                    );
+                }
+            }
             self.release(fired, now_ms);
         } else {
             self.enqueue_query(query, now_ms);
@@ -152,6 +180,17 @@ impl Scheduler for Jaws {
             let released = self.gating.release_stale(now_ms);
             if !released.is_empty() {
                 self.stats.forced_releases += released.len() as u64;
+                if self.sink.enabled() {
+                    for &qid in &released {
+                        self.sink.emit(
+                            now_ms,
+                            Event::GateDecision {
+                                query: qid,
+                                action: GateAction::ForceReleased,
+                            },
+                        );
+                    }
+                }
                 self.release(released, now_ms);
             }
         }
@@ -192,6 +231,33 @@ impl Scheduler for Jaws {
         // and the corresponding sub-queries from each atom are evaluated in
         // that order".
         selected.sort_unstable();
+        if self.sink.enabled() {
+            // Capture the utility terms before take_atom drains the queues:
+            // Eq. 1 from the residency-aware snapshot (its refresh is
+            // bitwise-idempotent, so reading it here changes nothing), Eq. 2
+            // from the aged ranking the selection actually sorted on.
+            let snapshot = self.wm.utility_snapshot_incremental(residency);
+            let choices = selected
+                .iter()
+                .map(|a| jaws_obs::AtomChoice {
+                    morton: a.morton.raw(),
+                    eq1: snapshot.rank(a).atom_utility,
+                    aged: in_ts
+                        .iter()
+                        .find(|&&(id, _)| id == *a)
+                        .map_or(0.0, |&(_, u)| u),
+                })
+                .collect();
+            self.sink.emit(
+                now_ms,
+                Event::BatchSelected {
+                    timestep: best_ts,
+                    alpha,
+                    threshold: ts_mean,
+                    atoms: choices,
+                },
+            );
+        }
         let mut atoms = Vec::with_capacity(selected.len());
         let mut completing = Vec::new();
         for atom in selected {
@@ -212,6 +278,18 @@ impl Scheduler for Jaws {
         if self.cfg.adaptive_alpha {
             if self.alpha_ctl.on_query_complete(response_ms, now_ms) {
                 self.run_boundary = true;
+                if self.sink.enabled() {
+                    if let Some(&(alpha, fb)) = self.alpha_ctl.history().last() {
+                        self.sink.emit(
+                            now_ms,
+                            Event::AlphaAdjusted {
+                                alpha,
+                                mean_response_ms: fb.mean_response_ms,
+                                throughput_qps: fb.throughput_qps,
+                            },
+                        );
+                    }
+                }
             }
         } else {
             // Fixed-α ablation still wants run boundaries for the cache, but
@@ -248,6 +326,10 @@ impl Scheduler for Jaws {
 
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
         self.wm.utility_snapshot_incremental(residency)
+    }
+
+    fn set_recorder(&mut self, sink: ObsSink) {
+        self.sink = sink;
     }
 
     fn stats(&self) -> SchedulerStats {

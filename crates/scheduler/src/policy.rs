@@ -94,6 +94,13 @@ pub trait Scheduler {
     /// state (the snapshot is patched in place rather than rebuilt).
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot;
 
+    /// Wires an observability sink for per-decision events (gating rulings,
+    /// batch selections with their Eq. 1/Eq. 2 terms, α adjustments).
+    /// Schedulers that emit nothing keep this default and ignore the sink.
+    fn set_recorder(&mut self, sink: jaws_obs::ObsSink) {
+        let _ = sink;
+    }
+
     /// Statistics snapshot.
     fn stats(&self) -> SchedulerStats;
 }

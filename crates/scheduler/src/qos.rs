@@ -29,6 +29,7 @@ use crate::batch::{preprocess, Batch};
 use crate::policy::{Residency, Scheduler, SchedulerStats};
 use crate::queues::{MetricParams, UtilitySnapshot, WorkloadManager};
 use jaws_morton::AtomId;
+use jaws_obs::ObsSink;
 use jaws_workload::{Job, Query, QueryId};
 use std::collections::BTreeMap;
 
@@ -47,6 +48,7 @@ pub struct QosScheduler {
     completed_in_run: usize,
     run_boundary: bool,
     stats: SchedulerStats,
+    sink: ObsSink,
 }
 
 impl QosScheduler {
@@ -63,6 +65,7 @@ impl QosScheduler {
             completed_in_run: 0,
             run_boundary: false,
             stats: SchedulerStats::default(),
+            sink: ObsSink::null(),
         }
     }
 
@@ -83,6 +86,16 @@ impl Scheduler for QosScheduler {
 
     fn query_available(&mut self, query: &Query, now_ms: f64) {
         let d = now_ms + self.stretch * self.estimate_ms(query);
+        if self.sink.enabled() {
+            self.sink.emit(
+                now_ms,
+                jaws_obs::Event::DeadlineAssigned {
+                    query: query.id,
+                    estimate_ms: self.estimate_ms(query),
+                    deadline_ms: d,
+                },
+            );
+        }
         self.deadline.insert(query.id, d);
         for sub in preprocess(query, now_ms) {
             let e = self.atom_deadline.entry(sub.atom).or_insert(f64::INFINITY);
@@ -135,6 +148,10 @@ impl Scheduler for QosScheduler {
 
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
         self.wm.utility_snapshot_incremental(residency)
+    }
+
+    fn set_recorder(&mut self, sink: ObsSink) {
+        self.sink = sink;
     }
 
     fn stats(&self) -> SchedulerStats {

@@ -27,6 +27,7 @@ use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
 use crate::SimConfig;
 use jaws_cache::CacheStats;
 use jaws_morton::MortonKey;
+use jaws_obs::ObsSink;
 use jaws_scheduler::{MetricParams, SchedulerStats};
 use jaws_turbdb::{CostModel, DbConfig, DiskStats};
 use jaws_workload::{QueryId, Trace};
@@ -35,8 +36,9 @@ use serde::Serialize;
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of nodes; the atom grid is split into this many Morton slabs.
-    /// Must divide the atoms per timestep.
+    /// Number of nodes; the atom grid is split into this many contiguous
+    /// Morton slabs of ⌈atoms/nodes⌉ keys each (the last slab absorbs the
+    /// remainder, so node counts need not divide the grid).
     pub nodes: u32,
     /// Geometry of the *whole* database (each node stores one slab of it).
     pub db: DbConfig,
@@ -115,6 +117,7 @@ pub struct ClusterExecutor {
     pipelines: Vec<NodePipeline>,
     routing: Routing,
     response_log: Vec<(QueryId, f64)>,
+    sink: ObsSink,
 }
 
 impl ClusterExecutor {
@@ -122,8 +125,8 @@ impl ClusterExecutor {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` does not divide the atoms per timestep, or exceeds
-    /// the part-id packing budget ([`engine::MAX_NODE_INDEX`]).
+    /// Panics if `nodes` is zero or exceeds the part-id packing budget
+    /// ([`engine::MAX_NODE_INDEX`]).
     pub fn new(cfg: ClusterConfig) -> Self {
         cfg.db.validate();
         let per_ts = cfg.db.atoms_per_timestep();
@@ -134,16 +137,17 @@ impl ClusterExecutor {
             cfg.nodes,
             engine::MAX_NODE_INDEX + 1
         );
-        assert_eq!(
-            per_ts % cfg.nodes as u64,
-            0,
-            "nodes ({}) must divide atoms per timestep ({per_ts})",
-            cfg.nodes
-        );
+        // Ceil-sized slabs: every node owns ⌈per_ts/nodes⌉ contiguous Morton
+        // keys except the last, which owns whatever remains (routing clamps
+        // onto it). `atoms_per_timestep` feeds Eq. 2's per-timestep
+        // normalization; the slab size is the right per-node figure — the
+        // short last slab is over-normalized by at most one slab's worth,
+        // which only dampens its aged-utility term slightly.
+        let slab_size = per_ts.div_ceil(cfg.nodes as u64);
         let params = MetricParams {
             atom_read_ms: cfg.cost.atom_read_ms,
             position_compute_ms: cfg.cost.position_compute_ms,
-            atoms_per_timestep: per_ts / cfg.nodes as u64,
+            atoms_per_timestep: slab_size,
         };
         let pipelines = (0..cfg.nodes)
             .map(|_| {
@@ -163,13 +167,25 @@ impl ClusterExecutor {
                 )
             })
             .collect();
-        let slab_size = per_ts / cfg.nodes as u64;
+        let nodes = cfg.nodes;
         ClusterExecutor {
             cfg,
             pipelines,
-            routing: Routing::MortonSlabs { slab_size },
+            routing: Routing::MortonSlabs { slab_size, nodes },
             response_log: Vec::new(),
+            sink: ObsSink::null(),
         }
+    }
+
+    /// Wires an observability sink through every node's pipeline (tagged with
+    /// its node index) and the shared engine loop. With a
+    /// [`jaws_obs::NullRecorder`] every emission site short-circuits and the
+    /// run is bit-identical to an unwired build.
+    pub fn set_recorder(&mut self, sink: ObsSink) {
+        for (i, p) in self.pipelines.iter_mut().enumerate() {
+            p.set_recorder(sink.with_node(i as u32));
+        }
+        self.sink = sink;
     }
 
     /// The node owning a Morton key: contiguous Morton slabs of equal size.
@@ -196,6 +212,7 @@ impl ClusterExecutor {
             &self.cfg.sim,
             trace,
             true,
+            &self.sink,
         );
         self.response_log.extend(outcome.response_log);
 
@@ -345,9 +362,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn uneven_split_rejected() {
-        let _ = ClusterExecutor::new(cluster_cfg(3, SchedulerKind::NoShare));
+    fn uneven_split_routes_every_atom_and_drains() {
+        // 3 nodes over 64 atoms/ts: ceil slabs of 22 — keys 0..=21, 22..=43,
+        // and the short remainder 44..=63 clamped onto node 2.
+        let ex = ClusterExecutor::new(cluster_cfg(3, SchedulerKind::NoShare));
+        let mut counts = [0u64; 3];
+        for m in 0..64u64 {
+            counts[ex.node_of(MortonKey(m)) as usize] += 1;
+        }
+        assert_eq!(counts, [22, 22, 20]);
+
+        let trace = TraceGenerator::new(GenConfig::small(59)).generate();
+        let mut ex = ClusterExecutor::new(cluster_cfg(3, SchedulerKind::Jaws2 { batch_k: 8 }));
+        let r = ex.run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        assert_eq!(r.aggregate.jobs_completed, trace.jobs.len() as u64);
+        let routed: u64 = r.nodes.iter().map(|n| n.parts_completed).sum();
+        assert!(routed >= trace.query_count() as u64);
     }
 
     #[test]
@@ -438,6 +469,33 @@ mod tests {
     }
 
     proptest! {
+        /// Ceil-sized Morton slabs partition the grid for *any* node count,
+        /// including ones that do not divide the atoms per timestep: every
+        /// key maps to a valid node, slab assignment is monotone (contiguous
+        /// slabs), and every node below the clamp point owns exactly
+        /// ⌈per_ts/nodes⌉ keys.
+        #[test]
+        fn uneven_node_counts_partition_the_grid(nodes in 1u32..=16) {
+            let ex = ClusterExecutor::new(cluster_cfg(nodes, SchedulerKind::NoShare));
+            let per_ts = 64u64; // 32³ grid of 8³ atoms = 4³ atoms/ts
+            let slab = per_ts.div_ceil(nodes as u64);
+            let mut prev = 0u32;
+            let mut counts = vec![0u64; nodes as usize];
+            for m in 0..per_ts {
+                let n = ex.node_of(MortonKey(m));
+                prop_assert!(n < nodes, "key {m} routed to node {n} of {nodes}");
+                prop_assert!(n >= prev, "slab assignment must be monotone in Morton order");
+                prev = n;
+                counts[n as usize] += 1;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                if (i as u64) < per_ts.div_ceil(slab) - 1 {
+                    prop_assert_eq!(c, slab, "node {} owns a full slab", i);
+                }
+            }
+            prop_assert_eq!(counts.iter().sum::<u64>(), per_ts);
+        }
+
         /// `(query, node)` round-trips through part-id packing over the full
         /// supported range of both fields.
         #[test]

@@ -25,6 +25,7 @@ use crate::node::NodePipeline;
 use crate::report::RunTotals;
 use crate::SimConfig;
 use jaws_morton::MortonKey;
+use jaws_obs::ObsSink;
 use jaws_workload::{Footprint, Job, JobKind, Query, QueryId, Trace};
 use std::borrow::Cow;
 use std::cmp::Reverse;
@@ -74,8 +75,13 @@ pub enum Routing {
     /// of `slab_size` atoms, one per node; each query fans out into per-node
     /// part queries (packed ids) and completes only when every part has.
     MortonSlabs {
-        /// Atoms per node slab (atoms-per-timestep ÷ nodes).
+        /// Atoms per node slab (`ceil(atoms-per-timestep / nodes)`). When the
+        /// node count does not divide the atoms per timestep, every node but
+        /// the last owns a full slab and the last owns the short remainder.
         slab_size: u64,
+        /// Number of nodes; keys past the last full slab are clamped onto the
+        /// final node so the short remainder slab is still owned.
+        nodes: u32,
     },
 }
 
@@ -84,7 +90,9 @@ impl Routing {
     pub fn node_of(&self, m: MortonKey) -> u32 {
         match self {
             Routing::Single => 0,
-            Routing::MortonSlabs { slab_size } => (m.raw() / slab_size) as u32,
+            Routing::MortonSlabs { slab_size, nodes } => {
+                ((m.raw() / slab_size) as u32).min(nodes - 1)
+            }
         }
     }
 
@@ -247,12 +255,17 @@ pub(crate) struct EngineOutcome {
 /// schedulers at its arrival (the normal path); the single-node executor
 /// passes `false` after an up-front ground-truth declaration override
 /// ([`crate::Executor::declare_jobs`]).
+///
+/// `sink` receives the engine-level lifecycle events (job arrival, query
+/// submission, part routing, completion, end-of-run counters); per-node
+/// events are emitted by the pipelines through their own (node-tagged) sinks.
 pub(crate) fn run_trace(
     pipelines: &mut [NodePipeline],
     routing: &Routing,
     cfg: &SimConfig,
     trace: &Trace,
     declare_on_arrival: bool,
+    sink: &ObsSink,
 ) -> EngineOutcome {
     // Query → (job index, query index) for completion routing.
     let mut locate: BTreeMap<QueryId, (usize, usize)> = BTreeMap::new();
@@ -291,7 +304,30 @@ pub(crate) fn run_trace(
         submit_ms.insert(q.id, now_ms);
         let parts = routing.fan_out(q);
         outstanding.insert(q.id, parts.len() as u32);
+        if sink.enabled() {
+            sink.emit(
+                now_ms,
+                jaws_obs::Event::QuerySubmit {
+                    query: q.id,
+                    job: job.id,
+                    timestep: q.timestep,
+                    atoms: q.footprint.atoms.len() as u32,
+                    positions: q.positions(),
+                },
+            );
+        }
         for (node, part) in parts {
+            if sink.enabled() {
+                sink.emit(
+                    now_ms,
+                    jaws_obs::Event::PartRouted {
+                        query: q.id,
+                        part: part.id,
+                        node,
+                        atoms: part.footprint.atoms.len() as u32,
+                    },
+                );
+            }
             let p = &mut pipelines[node as usize];
             if observe {
                 p.observe(job.id, part.as_ref());
@@ -313,6 +349,19 @@ pub(crate) fn run_trace(
         match ev {
             Event::JobArrival(ji) => {
                 let job = &trace.jobs[ji];
+                if sink.enabled() {
+                    sink.emit(
+                        now_ms,
+                        jaws_obs::Event::JobArrival {
+                            job: job.id,
+                            kind: match job.kind {
+                                JobKind::Ordered => "ordered".to_string(),
+                                JobKind::Batched => "batched".to_string(),
+                            },
+                            queries: job.queries.len() as u32,
+                        },
+                    );
+                }
                 if declare_on_arrival {
                     for node in 0..pipelines.len() as u32 {
                         if let Some(pj) = routing.project_job(job, node) {
@@ -381,6 +430,22 @@ pub(crate) fn run_trace(
                     }
                     outstanding.remove(&qid);
                     // The whole query is done: record and advance the job.
+                    if sink.enabled() {
+                        sink.emit(
+                            now_ms,
+                            jaws_obs::Event::QueryComplete {
+                                query: qid,
+                                response_ms: rt,
+                            },
+                        );
+                        sink.emit(
+                            now_ms,
+                            jaws_obs::Event::Histogram {
+                                name: "engine.response_ms".to_string(),
+                                sample: rt,
+                            },
+                        );
+                    }
                     responses.push(rt);
                     response_log.push((qid, rt));
                     last_completion = now_ms;
@@ -410,6 +475,22 @@ pub(crate) fn run_trace(
     if responses.len() < total_queries {
         truncated = true;
     }
+    if sink.enabled() {
+        sink.emit(
+            now_ms,
+            jaws_obs::Event::Counter {
+                name: "engine.queries_completed".to_string(),
+                value: responses.len() as u64,
+            },
+        );
+        sink.emit(
+            now_ms,
+            jaws_obs::Event::Counter {
+                name: "engine.jobs_completed".to_string(),
+                value: jobs_completed,
+            },
+        );
+    }
     EngineOutcome {
         totals: RunTotals {
             responses,
@@ -438,7 +519,7 @@ fn dispatch(
     match pipeline.next_batch(now_ms) {
         Some(batch) => {
             debug_assert!(!batch.is_empty(), "scheduler produced an empty batch");
-            let service_ms = pipeline.charge_batch(&batch);
+            let service_ms = pipeline.charge_batch(&batch, now_ms);
             queue.push(
                 now_ms + service_ms,
                 Event::BatchDone(node, batch.completing_queries),
@@ -447,7 +528,7 @@ fn dispatch(
         None => {
             // Nothing schedulable: spend the idle capacity on a speculative
             // read, if the trajectory predictor has one.
-            if let Some(io_ms) = pipeline.try_prefetch() {
+            if let Some(io_ms) = pipeline.try_prefetch(now_ms) {
                 queue.push(now_ms + io_ms, Event::PrefetchDone(node));
                 return;
             }
@@ -486,10 +567,33 @@ mod tests {
 
     #[test]
     fn slab_routing_assigns_contiguous_ranges() {
-        let r = Routing::MortonSlabs { slab_size: 16 };
+        let r = Routing::MortonSlabs {
+            slab_size: 16,
+            nodes: 4,
+        };
         assert_eq!(r.node_of(MortonKey(0)), 0);
         assert_eq!(r.node_of(MortonKey(15)), 0);
         assert_eq!(r.node_of(MortonKey(16)), 1);
         assert_eq!(r.node_of(MortonKey(63)), 3);
+    }
+
+    #[test]
+    fn slab_routing_clamps_the_short_remainder_onto_the_last_node() {
+        // 64 atoms over 3 nodes: ceil slabs of 22 → nodes own 22/22/20.
+        let r = Routing::MortonSlabs {
+            slab_size: 22,
+            nodes: 3,
+        };
+        assert_eq!(r.node_of(MortonKey(21)), 0);
+        assert_eq!(r.node_of(MortonKey(22)), 1);
+        assert_eq!(r.node_of(MortonKey(43)), 1);
+        assert_eq!(r.node_of(MortonKey(44)), 2);
+        assert_eq!(r.node_of(MortonKey(63)), 2);
+        // More nodes than slabs ever fill: everything clamps in range.
+        let r = Routing::MortonSlabs {
+            slab_size: 1,
+            nodes: 2,
+        };
+        assert_eq!(r.node_of(MortonKey(500)), 1);
     }
 }

@@ -8,6 +8,7 @@
 use crate::engine::{self, Routing};
 use crate::node::NodePipeline;
 use crate::report::{self, RunReport};
+use jaws_obs::ObsSink;
 use jaws_scheduler::Scheduler;
 use jaws_turbdb::TurbDb;
 use jaws_workload::{QueryId, Trace};
@@ -43,6 +44,7 @@ pub struct Executor {
     declared_jobs: Option<Vec<jaws_workload::Job>>,
     declarations_overridden: bool,
     response_log: Vec<(QueryId, f64)>,
+    sink: ObsSink,
 }
 
 impl Executor {
@@ -54,7 +56,16 @@ impl Executor {
             declared_jobs: None,
             declarations_overridden: false,
             response_log: Vec::new(),
+            sink: ObsSink::null(),
         }
+    }
+
+    /// Wires an observability sink through the engine, pipeline, scheduler
+    /// and database. The default (no call) is the null sink: emission sites
+    /// cost one branch and reports are bit-identical to an unwired build.
+    pub fn set_recorder(&mut self, sink: ObsSink) {
+        self.pipeline.set_recorder(sink.clone());
+        self.sink = sink;
     }
 
     /// Per-query response times of the last run, in completion order — used
@@ -119,6 +130,7 @@ impl Executor {
             &self.cfg,
             trace,
             !self.declarations_overridden,
+            &self.sink,
         );
         self.response_log.extend(outcome.response_log);
         report::assemble(

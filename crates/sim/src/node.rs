@@ -8,6 +8,7 @@
 //! answers "what would you run next and what does it cost".
 
 use jaws_morton::AtomId;
+use jaws_obs::ObsSink;
 use jaws_scheduler::{Batch, Prefetcher, Residency, Scheduler};
 use jaws_turbdb::TurbDb;
 use jaws_workload::{Job, JobId, Query, QueryId};
@@ -40,6 +41,7 @@ pub struct NodePipeline {
     busy_ms: f64,
     parts_completed: u64,
     prefetch_reads: u64,
+    sink: ObsSink,
 }
 
 impl NodePipeline {
@@ -58,7 +60,17 @@ impl NodePipeline {
             busy_ms: 0.0,
             parts_completed: 0,
             prefetch_reads: 0,
+            sink: ObsSink::null(),
         }
+    }
+
+    /// Wires a (node-tagged) observability sink into the pipeline and
+    /// forwards it to the database and the scheduler. The default sink is
+    /// null, so an unwired pipeline pays one branch per emission site.
+    pub fn set_recorder(&mut self, sink: ObsSink) {
+        self.db.set_recorder(sink.clone());
+        self.scheduler.set_recorder(sink.clone());
+        self.sink = sink;
     }
 
     /// Access to the database (post-run inspection).
@@ -118,26 +130,42 @@ impl NodePipeline {
     /// Charges a batch against the database — atom reads in Morton order,
     /// position compute, then the stencil spill-over pass (§V locality of
     /// reference) — marks the pipeline busy, and returns the service time.
-    pub fn charge_batch(&mut self, batch: &Batch) -> f64 {
+    /// `now_ms` is the dispatch time, used only to stamp observability
+    /// events (the engine owns the clock).
+    pub fn charge_batch(&mut self, batch: &Batch, now_ms: f64) -> f64 {
         let snapshot = {
             let res = DbResidency(&self.db);
             self.scheduler.utility_snapshot(&res)
         };
         let mut service_ms = self.db.batch_dispatch_ms();
+        let mut io_ms = 0.0;
         // First pass: the batch atoms themselves, in Morton order
         // (sequential on disk when contiguous).
         for group in &batch.atoms {
-            let r = self.db.read_atom(group.atom, &snapshot);
+            let r = self.db.read_atom_at(group.atom, &snapshot, now_ms);
             service_ms += r.io_ms;
+            io_ms += r.io_ms;
             service_ms += self.db.compute_cost_ms(group.positions());
         }
         // Second pass: stencil spill-over into neighboring atoms. Neighbors
         // co-scheduled in this batch, or still cached, cost nothing extra.
         for group in &batch.atoms {
             for n in self.db.stencil_neighbor_ids(group.atom) {
-                let r = self.db.read_atom(n, &snapshot);
+                let r = self.db.read_atom_at(n, &snapshot, now_ms);
                 service_ms += r.io_ms;
+                io_ms += r.io_ms;
             }
+        }
+        if self.sink.enabled() {
+            self.sink.emit(
+                now_ms,
+                jaws_obs::Event::BatchExecuted {
+                    parts: batch.completing_queries.clone(),
+                    atom_groups: batch.atoms.len() as u32,
+                    service_ms,
+                    io_ms,
+                },
+            );
         }
         self.busy = true;
         self.busy_ms += service_ms;
@@ -146,15 +174,25 @@ impl NodePipeline {
 
     /// Issues one speculative read if the trajectory predictor has a
     /// non-resident candidate: marks the pipeline busy and returns the I/O
-    /// time, or `None` when there is nothing to prefetch.
-    pub fn try_prefetch(&mut self) -> Option<f64> {
+    /// time, or `None` when there is nothing to prefetch. `now_ms` stamps the
+    /// [`jaws_obs::Event::PrefetchIssued`] record.
+    pub fn try_prefetch(&mut self, now_ms: f64) -> Option<f64> {
         let p = self.prefetcher.as_mut()?;
         let atom = p.next_prefetch(|a| self.db.is_resident(a))?;
         let snapshot = {
             let res = DbResidency(&self.db);
             self.scheduler.utility_snapshot(&res)
         };
-        let r = self.db.read_atom(atom, &snapshot);
+        if self.sink.enabled() {
+            self.sink.emit(
+                now_ms,
+                jaws_obs::Event::PrefetchIssued {
+                    timestep: atom.timestep,
+                    morton: atom.morton.raw(),
+                },
+            );
+        }
+        let r = self.db.read_atom_at(atom, &snapshot, now_ms);
         self.prefetch_reads += 1;
         self.busy = true;
         Some(r.io_ms)

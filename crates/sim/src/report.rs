@@ -20,15 +20,22 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Computes percentiles from unsorted samples (empty → zeros), using the
-    /// nearest-rank convention on index `round((n−1)·q)`.
+    /// standard nearest-rank convention: the q-th percentile of n sorted
+    /// samples is the one at 1-based rank `⌈q·n⌉`. The previous
+    /// `round((n−1)·q)` index rounded half away from zero, which returned the
+    /// *larger* of two samples as the median and saturated p95 to the max for
+    /// small n.
     pub fn from_samples(samples: &mut [f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
         samples.sort_by(f64::total_cmp);
         let at = |q: f64| {
-            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
-            samples[idx]
+            // The epsilon guards exact-product cases against float error:
+            // 0.95 * 100.0 is 95.000000000000014, whose bare ceil would be
+            // rank 96 instead of the intended 95.
+            let rank = ((q * samples.len() as f64) - 1e-9).ceil().max(1.0) as usize;
+            samples[rank.min(samples.len()) - 1]
         };
         Percentiles {
             p50: at(0.50),
@@ -165,11 +172,25 @@ mod tests {
     fn percentiles_of_known_samples() {
         let mut s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
         let p = Percentiles::from_samples(&mut s);
-        // Nearest-rank on index round((n−1)·q): 1-based values are index + 1.
-        assert_eq!(p.p50, 51.0);
+        // Nearest-rank ⌈q·n⌉: the value at 1-based rank q·n for n = 100.
+        assert_eq!(p.p50, 50.0);
         assert_eq!(p.p95, 95.0);
         assert_eq!(p.p99, 99.0);
         assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn percentile_of_two_samples_is_the_smaller() {
+        // Regression: round((n−1)·q) rounded 0.5 away from zero and returned
+        // the larger sample as p50 of two; ⌈0.5·2⌉ = rank 1 is the smaller.
+        let p = Percentiles::from_samples(&mut [10.0, 20.0]);
+        assert_eq!(p.p50, 10.0);
+        // And p95 of a small sample set must not saturate to the max:
+        // ⌈0.95·2⌉ = rank 2 here, but with n = 10, rank 10 only at q ≥ 0.9.
+        let mut ten: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let p = Percentiles::from_samples(&mut ten);
+        assert_eq!(p.p50, 5.0);
+        assert_eq!(p.p95, 10.0);
     }
 
     #[test]

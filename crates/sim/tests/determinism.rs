@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+use jaws_obs::{JsonlRecorder, NullRecorder, ObsSink};
 use jaws_scheduler::MetricParams;
 use jaws_sim::{
     build_db, build_scheduler, CachePolicyKind, ClusterConfig, ClusterExecutor, Executor,
@@ -14,6 +15,8 @@ use jaws_sim::{
 };
 use jaws_turbdb::{CostModel, DataMode, DbConfig};
 use jaws_workload::{GenConfig, TraceGenerator};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn db_config() -> DbConfig {
     DbConfig {
@@ -35,6 +38,12 @@ fn db_config() -> DbConfig {
 /// `Instant::now` site, `crates/cache/src/pool.rs` — the same exemption lint
 /// rule D002 carves out. Every simulated quantity must still match exactly.
 fn serialized_run(kind: SchedulerKind, seed: u64) -> String {
+    serialized_run_wired(kind, seed, None)
+}
+
+/// [`serialized_run`] with an optional observability sink wired before the
+/// run, so tests can compare instrumented and uninstrumented replays.
+fn serialized_run_wired(kind: SchedulerKind, seed: u64, sink: Option<ObsSink>) -> String {
     let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
     let db = build_db(
         db_config(),
@@ -45,11 +54,33 @@ fn serialized_run(kind: SchedulerKind, seed: u64) -> String {
     );
     let sched = build_scheduler(kind, MetricParams::paper_testbed(), 25, 10_000.0);
     let mut ex = Executor::new(db, sched, SimConfig::default());
+    if let Some(s) = sink {
+        ex.set_recorder(s);
+    }
     let report = ex.run(&trace);
     let report_json =
         mask_wallclock_fields(&serde_json::to_string(&report).expect("report serializes"));
     let log_json = serde_json::to_string(ex.response_log()).expect("log serializes");
     format!("{report_json}\n{log_json}")
+}
+
+/// One instrumented single-node replay; returns the JSONL trace it emitted.
+fn jsonl_trace_of_run(kind: SchedulerKind, seed: u64) -> String {
+    let rec = Rc::new(RefCell::new(JsonlRecorder::new()));
+    let _ = serialized_run_wired(kind, seed, Some(ObsSink::new(rec.clone())));
+    let trace = rec.borrow_mut().take();
+    trace
+}
+
+/// One instrumented cluster replay; returns the JSONL trace it emitted.
+fn jsonl_trace_of_cluster_run(kind: SchedulerKind, nodes: u32, seed: u64) -> String {
+    let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
+    let rec = Rc::new(RefCell::new(JsonlRecorder::new()));
+    let mut ex = ClusterExecutor::new(cluster_config(kind, nodes));
+    ex.set_recorder(ObsSink::new(rec.clone()));
+    let _ = ex.run(&trace);
+    let out = rec.borrow_mut().take();
+    out
 }
 
 fn cluster_config(kind: SchedulerKind, nodes: u32) -> ClusterConfig {
@@ -156,6 +187,80 @@ fn jaws_cluster_runs_are_byte_identical() {
 #[test]
 fn liferaft_cluster_runs_are_byte_identical() {
     assert_cluster_deterministic(SchedulerKind::LifeRaft2);
+}
+
+/// The JSONL observability trace — every scheduling decision, gate ruling,
+/// atom read and completion, timestamped from the simulated clock — must be
+/// *byte-identical* across double runs for every policy. This is the
+/// strictest determinism check in the suite: it covers event *order* at full
+/// resolution, not just aggregate totals.
+#[test]
+fn jsonl_traces_are_byte_identical_across_runs() {
+    for kind in [
+        SchedulerKind::NoShare,
+        SchedulerKind::LifeRaft2,
+        SchedulerKind::Jaws2 { batch_k: 15 },
+    ] {
+        for seed in [3u64, 11] {
+            let a = jsonl_trace_of_run(kind, seed);
+            let b = jsonl_trace_of_run(kind, seed);
+            assert!(
+                !a.is_empty(),
+                "{} emitted no trace records (seed {seed})",
+                kind.name()
+            );
+            assert_eq!(
+                a,
+                b,
+                "{} emitted different JSONL traces across identical seeded runs (seed {seed})",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Cluster analogue: per-node event interleaving (node-tagged records) must
+/// also replay byte-for-byte.
+#[test]
+fn cluster_jsonl_traces_are_byte_identical_and_node_tagged() {
+    let kind = SchedulerKind::Jaws2 { batch_k: 15 };
+    let a = jsonl_trace_of_cluster_run(kind, 2, 3);
+    let b = jsonl_trace_of_cluster_run(kind, 2, 3);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "cluster JSONL traces differ across identical runs");
+    assert!(
+        a.contains("\"node\":1"),
+        "trace never tagged an event with the second node"
+    );
+    assert!(
+        a.contains("\"node\":null"),
+        "engine-level events should carry no node tag"
+    );
+}
+
+/// Wiring a [`NullRecorder`] must leave the simulation bit-identical to an
+/// unwired run: every emission site short-circuits on `ObsSink::enabled`, so
+/// a disabled sink costs one branch and perturbs nothing (the "zero
+/// paid-when-disabled overhead" invariant of `jaws-obs`).
+#[test]
+fn null_recorder_leaves_reports_bit_identical() {
+    for (kind, seed) in [
+        (SchedulerKind::Jaws2 { batch_k: 15 }, 3u64),
+        (SchedulerKind::LifeRaft2, 11),
+    ] {
+        let unwired = serialized_run(kind, seed);
+        let nulled = serialized_run_wired(
+            kind,
+            seed,
+            Some(ObsSink::new(Rc::new(RefCell::new(NullRecorder)))),
+        );
+        assert_eq!(
+            unwired,
+            nulled,
+            "{} report changed when a NullRecorder was wired (seed {seed})",
+            kind.name()
+        );
+    }
 }
 
 /// With one node the cluster is the plain executor plus the part-id packing

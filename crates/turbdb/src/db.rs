@@ -7,6 +7,7 @@ use crate::disk::{DiskExtent, DiskStats, SimulatedDisk};
 use crate::synth::SyntheticField;
 use jaws_cache::{AccessOutcome, BufferPool, CacheStats, ReplacementPolicy, UtilityOracle};
 use jaws_morton::{AtomId, MortonKey};
+use jaws_obs::ObsSink;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -57,6 +58,13 @@ pub struct TurbDb {
     /// Epoch of the oldest retained log entry; `res_log_base + res_log.len()`
     /// is the current epoch.
     res_log_base: u64,
+    /// Observability sink (null unless wired): atom reads and cache
+    /// evictions. The eviction event is emitted here rather than inside
+    /// `jaws-cache` because the pool is generic over keys, holds no clock,
+    /// and its policies must stay `Send`; the database has the concrete
+    /// `AtomId` pool, the oracle to score the victim, and the engine's
+    /// `now_ms`.
+    sink: ObsSink,
 }
 
 impl TurbDb {
@@ -100,7 +108,14 @@ impl TurbDb {
             materializations: 0,
             res_log: VecDeque::new(),
             res_log_base: 0,
+            sink: ObsSink::null(),
         }
+    }
+
+    /// Wires an observability sink; the default is null (no overhead beyond
+    /// one branch per read).
+    pub fn set_recorder(&mut self, sink: ObsSink) {
+        self.sink = sink;
     }
 
     fn log_residency(&mut self, atom: AtomId, now_resident: bool) {
@@ -201,11 +216,34 @@ impl TurbDb {
 
     /// Reads one atom through the cache; charges simulated I/O on a miss.
     ///
+    /// Convenience wrapper over [`Self::read_atom_at`] for callers outside
+    /// the discrete-event engine (physics kernels, tests, benches), which
+    /// have no simulated clock: observability records from such reads are
+    /// stamped `t_ms = 0`.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is outside the stored geometry (an index corruption in
     /// the real system).
     pub fn read_atom(&mut self, id: AtomId, oracle: &dyn UtilityOracle<AtomId>) -> ReadResult {
+        self.read_atom_at(id, oracle, 0.0)
+    }
+
+    /// Reads one atom through the cache at simulated engine time `now_ms`;
+    /// charges simulated I/O on a miss and stamps the
+    /// [`jaws_obs::Event::AtomRead`] / [`jaws_obs::Event::CacheEvict`]
+    /// records with `now_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the stored geometry (an index corruption in
+    /// the real system).
+    pub fn read_atom_at(
+        &mut self,
+        id: AtomId,
+        oracle: &dyn UtilityOracle<AtomId>,
+        now_ms: f64,
+    ) -> ReadResult {
         let extent = self
             .index
             .get(&id)
@@ -235,10 +273,33 @@ impl TurbDb {
         if let AccessOutcome::Miss { evicted } = &outcome {
             if let Some(victim) = evicted {
                 self.log_residency(*victim, false);
+                if self.sink.enabled() {
+                    let rank = oracle.rank(victim);
+                    self.sink.emit(
+                        now_ms,
+                        jaws_obs::Event::CacheEvict {
+                            timestep: victim.timestep,
+                            morton: victim.morton.raw(),
+                            timestep_mean: rank.timestep_mean,
+                            atom_utility: rank.atom_utility,
+                        },
+                    );
+                }
             }
             self.log_residency(id, true);
         }
         let cache_hit = outcome.is_hit();
+        if self.sink.enabled() {
+            self.sink.emit(
+                now_ms,
+                jaws_obs::Event::AtomRead {
+                    timestep: id.timestep,
+                    morton: id.morton.raw(),
+                    hit: cache_hit,
+                    io_ms,
+                },
+            );
+        }
         let data = if cache_hit {
             self.pool.peek(&id).and_then(|d| d.clone())
         } else {

@@ -17,7 +17,8 @@
 //! * [`cache`] — buffer cache with LRU / LRU-K / SLRU / URC replacement;
 //! * [`workload`] — calibrated trace generation and job identification;
 //! * [`scheduler`] — NoShare, LifeRaft and JAWS;
-//! * [`sim`] — the discrete-event execution engine and sweep drivers.
+//! * [`sim`] — the discrete-event execution engine and sweep drivers;
+//! * [`obs`] — deterministic, simulated-time structured tracing/metrics.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 
 pub use jaws_cache as cache;
 pub use jaws_morton as morton;
+pub use jaws_obs as obs;
 pub use jaws_scheduler as scheduler;
 pub use jaws_sim as sim;
 pub use jaws_turbdb as turbdb;
@@ -63,6 +65,7 @@ pub use jaws_workload as workload;
 pub mod prelude {
     pub use jaws_cache::{BufferPool, CacheStats, Lru, LruK, Slru, Urc};
     pub use jaws_morton::{AtomId, MortonKey};
+    pub use jaws_obs::{Event, JsonlRecorder, NullRecorder, ObsSink, Record, Recorder};
     pub use jaws_scheduler::{
         AlphaController, Batch, GatingConfig, GatingGraph, Jaws, JawsConfig, LifeRaft,
         MetricParams, NoShare, Residency, Scheduler,
