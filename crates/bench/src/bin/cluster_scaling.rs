@@ -20,8 +20,7 @@
 use jaws_bench::exp;
 use jaws_obs::{JsonlRecorder, ObsSink};
 use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind, SimConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn cap_ms() -> f64 {
     std::env::args()
@@ -79,13 +78,13 @@ fn main() {
                 },
             });
             let recorder = trace_path.as_ref().map(|_| {
-                let rc = Rc::new(RefCell::new(JsonlRecorder::new()));
+                let rc = Arc::new(Mutex::new(JsonlRecorder::new()));
                 ex.set_recorder(ObsSink::new(rc.clone()));
                 rc
             });
             let r = ex.run(&trace);
             if let Some(rc) = recorder {
-                last_trace = Some(rc.borrow_mut().take());
+                last_trace = Some(rc.lock().unwrap().take());
             }
             let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
             println!(

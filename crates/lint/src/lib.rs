@@ -10,7 +10,7 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | `D001` | no `HashMap`/`HashSet` iteration in `crates/scheduler` / `crates/sim` decision paths (suppress with `// lint: sorted` when a sort/`BTreeMap` re-establishes order nearby) |
-//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`) outside `crates/bench`, the `crates/cache/src/pool.rs` timing shim, and the `crates/obs/tests/overhead_smoke.rs` overhead-ceiling test shim |
+//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`, `available_parallelism`) outside `crates/bench`, the `crates/cache/src/pool.rs` timing shim, and the `crates/obs/tests/overhead_smoke.rs` overhead-ceiling test shim; `available_parallelism` alone is additionally allowed inside `crates/par`, whose ordered-map contract keeps results thread-count-independent |
 //! | `F001` | no bare `partial_cmp` in ranking code — use `total_cmp` with an integer tie-break |
 //! | `F002` | no `==`/`!=` against float literals in ranking code |
 //! | `P001` | no `unwrap()`/`expect()`/`panic!`/indexing-by-literal in non-`#[cfg(test)]` scheduler/sim dispatch paths (suppress documented invariants with `// lint: invariant`) |
@@ -349,7 +349,17 @@ const WALLCLOCK_TOKENS: &[&str] = &[
     "thread_rng",
     "from_entropy",
     "rand::random",
+    "available_parallelism",
 ];
+
+/// The one environment probe with a sanctioned home: `available_parallelism`
+/// sizes the `jaws-par` worker pool, whose ordered-map contract guarantees
+/// results independent of the thread count — so the probe cannot leak into
+/// simulated results. Everywhere else it is a D002 violation like any other
+/// ambient-environment read.
+fn token_exempt(tok: &str, rel: &str) -> bool {
+    tok == "available_parallelism" && rel.starts_with("crates/par/")
+}
 
 const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
 
@@ -549,6 +559,9 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Diagnostic> {
         // test is a flaky test).
         if !wallclock_exempt(rel) {
             for tok in WALLCLOCK_TOKENS {
+                if token_exempt(tok, rel) {
+                    continue;
+                }
                 if code.contains(tok) && !allow_attested(&lines, ln, "D002") {
                     push(
                         ln,
@@ -817,6 +830,18 @@ mod tests {
         assert!(codes("crates/cache/src/pool.rs", src).is_empty());
         assert!(codes("crates/bench/benches/b.rs", src).is_empty());
         assert!(codes("crates/obs/tests/overhead_smoke.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_parallelism_probe_allowed_only_in_jaws_par() {
+        let probe =
+            "fn n() -> usize { std::thread::available_parallelism().map_or(1, |c| c.get()) }\n";
+        assert!(codes("crates/par/src/lib.rs", probe).is_empty());
+        assert_eq!(codes("crates/sim/src/engine.rs", probe), vec!["D002"]);
+        assert_eq!(codes("crates/scheduler/src/jaws.rs", probe), vec!["D002"]);
+        // The carve-out is per-token: a wall clock in crates/par still fires.
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(codes("crates/par/src/lib.rs", clock), vec!["D002"]);
     }
 
     #[test]

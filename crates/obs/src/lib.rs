@@ -14,10 +14,14 @@
 //!    [`ObsSink::enabled`] check is an `Option` test, and every emission site
 //!    in the stack guards event *construction* behind it, so a run with no
 //!    recorder wired does no allocation and produces bit-identical reports.
-//! 3. **Single writer, single thread.** Recorders are `Rc<RefCell<_>>`-shared
-//!    within one executor; they never cross threads (the sweep driver builds
-//!    executors inside each worker thread), so no locking is needed and event
-//!    order is the deterministic engine dispatch order.
+//! 3. **Deterministic event order under parallelism.** Recorders are
+//!    `Arc<Mutex<_>>`-shared (`Recorder: Send`) so sinks may cross the
+//!    `jaws-par` worker threads, but the engine never lets workers race on a
+//!    shared recorder: parallel sections write into per-node [`VecRecorder`]
+//!    buffers that are drained into the shared recorder (via
+//!    [`ObsSink::forward`]) in a fixed node order on the coordinating thread.
+//!    Event order is therefore the serial engine dispatch order at any
+//!    thread count — byte-identical JSONL, not merely equivalent.
 //!
 //! The schema (serialized as one JSON object per line, events externally
 //! tagged by variant name) is documented on [`Event`]; `trace_explain` in `crates/bench`
@@ -27,10 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -214,8 +217,10 @@ pub struct Record {
 
 /// Consumes [`Record`]s. Implementations must not read wall clocks or any
 /// other nondeterministic source — a recorder is part of the simulation's
-/// deterministic closure.
-pub trait Recorder {
+/// deterministic closure. `Send` is required so sinks can be carried across
+/// the `jaws-par` worker threads (invariant 3 of the module docs governs how
+/// they are used there).
+pub trait Recorder: Send {
     /// Whether this recorder wants events at all. Emission sites skip event
     /// construction entirely when this is false, so a disabled recorder costs
     /// one branch per site.
@@ -319,6 +324,43 @@ impl Recorder for JsonlRecorder {
     }
 }
 
+/// Buffers records verbatim in arrival order. The engine gives each node a
+/// private `VecRecorder` while a parallel section runs, then drains the
+/// buffers into the real recorder in node order via [`ObsSink::forward`] —
+/// reproducing the serial emission order exactly (module docs, invariant 3).
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    records: Vec<Record>,
+}
+
+impl VecRecorder {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the buffered records (oldest first), leaving the buffer empty.
+    pub fn take(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&mut self, rec: &Record) {
+        self.records.push(rec.clone());
+    }
+}
+
 /// A cheap, cloneable handle to a shared [`Recorder`], tagged with an
 /// optional node index. This is what gets threaded through the stack:
 /// components store an `ObsSink` (null by default) and call
@@ -326,7 +368,7 @@ impl Recorder for JsonlRecorder {
 /// construction behind [`ObsSink::enabled`].
 #[derive(Clone, Default)]
 pub struct ObsSink {
-    inner: Option<Rc<RefCell<dyn Recorder>>>,
+    inner: Option<Arc<Mutex<dyn Recorder>>>,
     node: Option<u32>,
 }
 
@@ -346,7 +388,7 @@ impl ObsSink {
     }
 
     /// Wraps a shared recorder.
-    pub fn new(recorder: Rc<RefCell<dyn Recorder>>) -> Self {
+    pub fn new(recorder: Arc<Mutex<dyn Recorder>>) -> Self {
         Self {
             inner: Some(recorder),
             node: None,
@@ -366,7 +408,7 @@ impl ObsSink {
     /// constructing events (cloning part lists, ranking snapshots) entirely.
     pub fn enabled(&self) -> bool {
         match &self.inner {
-            Some(r) => r.borrow().enabled(),
+            Some(r) => r.lock().expect("recorder lock poisoned").enabled(),
             None => false,
         }
     }
@@ -375,13 +417,26 @@ impl ObsSink {
     /// enabled.
     pub fn emit(&self, t_ms: f64, event: Event) {
         if let Some(r) = &self.inner {
-            let mut r = r.borrow_mut();
+            let mut r = r.lock().expect("recorder lock poisoned");
             if r.enabled() {
                 r.record(&Record {
                     t_ms,
                     node: self.node,
                     event,
                 });
+            }
+        }
+    }
+
+    /// Re-records an already-stamped [`Record`] verbatim — timestamp and node
+    /// tag untouched. This is the drain half of the buffered-parallelism
+    /// protocol: per-node [`VecRecorder`] buffers are forwarded into the
+    /// shared recorder in node order after a parallel section.
+    pub fn forward(&self, rec: &Record) {
+        if let Some(r) = &self.inner {
+            let mut r = r.lock().expect("recorder lock poisoned");
+            if r.enabled() {
+                r.record(rec);
             }
         }
     }
@@ -409,20 +464,20 @@ mod tests {
 
     #[test]
     fn null_recorder_reports_disabled_through_sink() {
-        let sink = ObsSink::new(Rc::new(RefCell::new(NullRecorder)));
+        let sink = ObsSink::new(Arc::new(Mutex::new(NullRecorder)));
         assert!(!sink.enabled());
         sink.emit(1.0, sample(1.0));
     }
 
     #[test]
     fn ring_recorder_keeps_last_capacity_records() {
-        let ring = Rc::new(RefCell::new(RingRecorder::new(2)));
+        let ring = Arc::new(Mutex::new(RingRecorder::new(2)));
         let sink = ObsSink::new(ring.clone());
         assert!(sink.enabled());
         for t in 0..5 {
             sink.emit(t as f64, sample(t as f64));
         }
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         assert_eq!(ring.len(), 2);
         let kept: Vec<f64> = ring.records().map(|r| r.t_ms).collect();
         assert_eq!(kept, vec![3.0, 4.0]);
@@ -430,10 +485,10 @@ mod tests {
 
     #[test]
     fn jsonl_recorder_emits_tagged_lines_with_node() {
-        let rec = Rc::new(RefCell::new(JsonlRecorder::new()));
+        let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
         let sink = ObsSink::new(rec.clone()).with_node(7);
         sink.emit(12.5, sample(12.5));
-        let out = rec.borrow().contents().to_string();
+        let out = rec.lock().unwrap().contents().to_string();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("\"AtomRead\""), "{out}");
         assert!(out.contains("\"node\":7"), "{out}");
@@ -464,13 +519,52 @@ mod tests {
 
     #[test]
     fn with_node_does_not_tag_the_original() {
-        let rec = Rc::new(RefCell::new(RingRecorder::new(8)));
+        let rec = Arc::new(Mutex::new(RingRecorder::new(8)));
         let base = ObsSink::new(rec.clone());
         let tagged = base.with_node(3);
         base.emit(0.0, sample(0.0));
         tagged.emit(1.0, sample(1.0));
-        let rec = rec.borrow();
+        let rec = rec.lock().unwrap();
         let nodes: Vec<Option<u32>> = rec.records().map(|r| r.node).collect();
         assert_eq!(nodes, vec![None, Some(3)]);
+    }
+
+    #[test]
+    fn forward_replays_buffered_records_verbatim() {
+        // The buffered-parallelism protocol: emit into a per-node VecRecorder
+        // through a node-tagged sink, then forward into the real recorder
+        // through an *untagged* sink — stamps and node tags must survive.
+        let buf = Arc::new(Mutex::new(VecRecorder::new()));
+        let node_sink = ObsSink::new(buf.clone()).with_node(2);
+        node_sink.emit(5.0, sample(5.0));
+        node_sink.emit(6.0, sample(6.0));
+        let records = buf.lock().unwrap().take();
+        assert_eq!(records.len(), 2);
+        assert!(buf.lock().unwrap().is_empty());
+
+        let shared = Arc::new(Mutex::new(JsonlRecorder::new()));
+        let drain = ObsSink::new(shared.clone());
+        for r in &records {
+            drain.forward(r);
+        }
+        let direct = {
+            let shared2 = Arc::new(Mutex::new(JsonlRecorder::new()));
+            let sink2 = ObsSink::new(shared2.clone()).with_node(2);
+            sink2.emit(5.0, sample(5.0));
+            sink2.emit(6.0, sample(6.0));
+            let out = shared2.lock().unwrap().take();
+            out
+        };
+        assert_eq!(shared.lock().unwrap().contents(), direct);
+    }
+
+    #[test]
+    fn recorders_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ObsSink>();
+        assert_send::<VecRecorder>();
+        assert_send::<JsonlRecorder>();
+        assert_send::<RingRecorder>();
+        assert_send::<NullRecorder>();
     }
 }

@@ -1,0 +1,276 @@
+//! Deterministic ordered parallel map on `std::thread::scope`.
+//!
+//! The repo's determinism contract (DESIGN.md, lint rules D001/D002) demands
+//! that every simulated quantity be a function of the seeded inputs only —
+//! never of thread count, scheduling jitter, or completion order. This crate
+//! provides the one sanctioned way to use multiple cores under that contract:
+//!
+//! * **Fixed worker count.** [`thread_count`] resolves, in order: a
+//!   thread-local [`override_threads`] guard (for in-process tests), the
+//!   `JAWS_THREADS` environment variable, and finally
+//!   [`std::thread::available_parallelism`]. The count only affects *wall
+//!   clock*, never results.
+//! * **Index-sharded work queue.** Workers claim input indices from a shared
+//!   atomic counter ([`map`]/[`map_indexed`]) or a static round-robin shard
+//!   ([`map_mut`]); which worker computes which index is racy and irrelevant.
+//! * **Ordered results.** Every map returns its outputs in *input order*, so
+//!   for a pure `f` the output vector is byte-identical at any thread count —
+//!   including the inline serial path taken when one worker (or one item)
+//!   makes spawning pointless.
+//!
+//! Callers are responsible for `f` being pure with respect to shared state
+//! (the `Fn + Sync` bounds make mutation of captured state a compile error,
+//! not a runtime race). A panicking `f` propagates to the caller after all
+//! workers have been joined.
+//!
+//! The crate is dependency-free and `forbid(unsafe_code)`: `map_mut` hands
+//! out disjoint `&mut` borrows via `iter_mut`, not pointer arithmetic.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+thread_local! {
+    /// Thread-local worker-count override (see [`override_threads`]).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// RAII guard restoring the previous thread-count override on drop.
+///
+/// Returned by [`override_threads`]; hold it for the scope of the runs whose
+/// parallelism you are pinning.
+#[must_use = "the override is reverted when the guard drops"]
+#[derive(Debug)]
+pub struct ThreadGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Pins [`thread_count`] to `n` (clamped to ≥ 1) for the current thread until
+/// the returned guard drops. Nestable; each guard restores its predecessor.
+///
+/// This is the in-process equivalent of setting `JAWS_THREADS`, usable from
+/// tests without the unsafety of `std::env::set_var`.
+pub fn override_threads(n: usize) -> ThreadGuard {
+    let prev = OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    ThreadGuard { prev }
+}
+
+/// The fixed worker count: thread-local override, then the `JAWS_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`]
+/// (minimum 1). Purely a throughput knob — results never depend on it.
+pub fn thread_count() -> usize {
+    if let Some(n) = OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("JAWS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Scatters per-worker `(index, result)` runs back into input order.
+fn reassemble<R>(n: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every input index produced exactly one result"))
+        .collect()
+}
+
+/// Evaluates `f(0..n)` on the worker pool and returns the results in index
+/// order. Inline (no threads) when `n <= 1` or one worker is configured.
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = thread_count().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let parts: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("jaws-par worker panicked"))
+            .collect()
+    });
+    reassemble(n, parts)
+}
+
+/// Ordered parallel map over a shared slice: `map(items, f)[i] == f(&items[i])`
+/// bitwise, at any thread count.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Ordered parallel map with *mutable* access to each item:
+/// `map_mut(items, f)[i] == f(i, &mut items[i])`.
+///
+/// Items are dealt round-robin to workers up front (static sharding), so the
+/// borrow checker can prove the `&mut` borrows disjoint without unsafe code.
+pub fn map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread_count().min(n.max(1));
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut shards: Vec<Vec<(usize, &mut T)>> = Vec::with_capacity(workers);
+    shards.resize_with(workers, Vec::new);
+    for (i, t) in items.iter_mut().enumerate() {
+        shards[i % workers].push((i, t));
+    }
+    let f = &f;
+    let parts: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                s.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("jaws-par worker panicked"))
+            .collect()
+    });
+    reassemble(n, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 8, 32] {
+            let _g = override_threads(threads);
+            assert_eq!(map(&items, |&x| x * x + 1), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        let _g = override_threads(4);
+        assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_exactly_once() {
+        for threads in [1usize, 2, 5] {
+            let _g = override_threads(threads);
+            let mut items: Vec<u32> = (0..100).collect();
+            let seen = map_mut(&mut items, |i, t| {
+                *t += 1;
+                (i, *t)
+            });
+            assert_eq!(items, (1..=100).collect::<Vec<u32>>(), "threads={threads}");
+            let idx: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+            assert_eq!(idx, (0..100).collect::<Vec<usize>>());
+            for (i, v) in seen {
+                assert_eq!(v, i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn float_fold_is_bitwise_identical_across_thread_counts() {
+        // The property the whole repo leans on: chunked reductions reassembled
+        // in order are *bit-for-bit* equal to the serial result.
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let chunks: Vec<&[f64]> = xs.chunks(64).collect();
+        let serial: Vec<u64> = chunks
+            .iter()
+            .map(|c| c.iter().sum::<f64>().to_bits())
+            .collect();
+        for threads in [2usize, 7, 16] {
+            let _g = override_threads(threads);
+            let par: Vec<u64> = map(&chunks, |c| c.iter().sum::<f64>().to_bits());
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn override_guard_nests_and_restores() {
+        let outer = override_threads(3);
+        assert_eq!(thread_count(), 3);
+        {
+            let _inner = override_threads(1);
+            assert_eq!(thread_count(), 1);
+        }
+        assert_eq!(thread_count(), 3);
+        drop(outer);
+        // Whatever the environment default is, it is at least 1.
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn zero_override_clamps_to_one() {
+        let _g = override_threads(0);
+        assert_eq!(thread_count(), 1);
+        assert_eq!(map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jaws-par worker panicked")]
+    fn worker_panic_propagates() {
+        let _g = override_threads(4);
+        let _ = map_indexed(16, |i| {
+            assert!(i != 11, "boom");
+            i
+        });
+    }
+}

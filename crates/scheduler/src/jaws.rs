@@ -20,9 +20,47 @@ use crate::gating::{GatingConfig, GatingGraph};
 use crate::policy::{Residency, Scheduler, SchedulerStats};
 use crate::queues::{MetricParams, UtilitySnapshot, WorkloadManager};
 use jaws_cache::UtilityOracle;
+use jaws_morton::AtomId;
 use jaws_obs::{Event, GateAction, ObsSink};
 use jaws_workload::{Job, Query, QueryId};
+use std::cmp::Ordering;
 use std::collections::HashMap;
+
+/// Orders pending atoms best-first: descending aged utility, ascending
+/// [`AtomId`] tie-break. `total_cmp` plus the id makes this a *strict* total
+/// order (no two entries compare equal), which is what lets the bounded
+/// top-k selection reproduce the full sort's k-prefix exactly even through
+/// an unstable partition.
+fn rank_order(a: &(AtomId, f64), b: &(AtomId, f64)) -> Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Bounded top-k selection: partition the k best-ranked entries to the front
+/// with `select_nth_unstable_by` (O(m)), then sort only those k — O(m +
+/// k·log k) against the full sort's O(m·log m), the dispatch-hot-path win at
+/// large pending timesteps. Because [`rank_order`] is a strict total order,
+/// the result is bitwise identical to [`top_k_full_sort`].
+fn top_k(mut in_ts: Vec<(AtomId, f64)>, k: usize) -> Vec<(AtomId, f64)> {
+    if k == 0 {
+        in_ts.clear();
+        return in_ts;
+    }
+    if k < in_ts.len() {
+        in_ts.select_nth_unstable_by(k - 1, rank_order);
+        in_ts.truncate(k);
+    }
+    in_ts.sort_by(rank_order);
+    in_ts
+}
+
+/// Reference selection — full sort, then the k-prefix. Retained as the
+/// property-test oracle for [`top_k`].
+#[cfg(test)]
+fn top_k_full_sort(mut in_ts: Vec<(AtomId, f64)>, k: usize) -> Vec<(AtomId, f64)> {
+    in_ts.sort_by(rank_order);
+    in_ts.truncate(k);
+    in_ts
+}
 
 /// JAWS configuration.
 #[derive(Debug, Clone)]
@@ -208,21 +246,23 @@ impl Scheduler for Jaws {
         // (all-atoms) mean, best first; always at least the maximum. The
         // threshold only bites for very large k, which is why "the impact
         // beyond 50 is marginal" (Fig. 12).
-        let mut in_ts = self
+        let in_ts = self
             .wm
             .timestep_aged_utilities(best_ts, now_ms, alpha, residency);
         let sum: f64 = in_ts.iter().map(|&(_, u)| u).sum();
         let ts_mean = sum / self.cfg.params.atoms_per_timestep.max(1) as f64;
-        in_ts.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let mut selected: Vec<jaws_morton::AtomId> = in_ts
+        // Bounded top-k instead of a full sort of the pending timestep: the
+        // k survivors (and their order) are bitwise identical to the sorted
+        // prefix because the ranking is a strict total order.
+        let in_ts = top_k(in_ts, self.cfg.batch_k);
+        let mut selected: Vec<AtomId> = in_ts
             .iter()
-            .take(self.cfg.batch_k)
             .filter(|&&(_, u)| u >= ts_mean)
             .map(|&(a, _)| a)
             .collect();
         if selected.is_empty() {
             // lint: invariant — best_timestep returned Some, so the chosen
-            // timestep holds at least one pending atom (and the sort put the
+            // timestep holds at least one pending atom (and top_k put the
             // highest-utility one first).
             let &(first, _) = in_ts.first().expect("best timestep has a pending atom");
             selected.push(first);
@@ -237,15 +277,16 @@ impl Scheduler for Jaws {
             // bitwise-idempotent, so reading it here changes nothing), Eq. 2
             // from the aged ranking the selection actually sorted on.
             let snapshot = self.wm.utility_snapshot_incremental(residency);
+            // One lookup table over the k finalists, not a linear scan per
+            // selected atom (every selected atom is a finalist by
+            // construction, including the below-mean fallback).
+            let aged_of: HashMap<AtomId, f64> = in_ts.iter().copied().collect();
             let choices = selected
                 .iter()
                 .map(|a| jaws_obs::AtomChoice {
                     morton: a.morton.raw(),
                     eq1: snapshot.rank(a).atom_utility,
-                    aged: in_ts
-                        .iter()
-                        .find(|&&(id, _)| id == *a)
-                        .map_or(0.0, |&(_, u)| u),
+                    aged: aged_of.get(a).copied().unwrap_or(0.0),
                 })
                 .collect();
             self.sink.emit(
@@ -555,5 +596,58 @@ mod tests {
     fn names_distinguish_variants() {
         assert_eq!(Jaws::new(JawsConfig::jaws2(params())).name(), "JAWS_2");
         assert_eq!(Jaws::new(JawsConfig::jaws1(params())).name(), "JAWS_1");
+    }
+
+    #[test]
+    fn top_k_handles_exact_utility_ties_deterministically() {
+        let mk = |m: u64, u: f64| (AtomId::new(0, MortonKey(m)), u);
+        let v = vec![
+            mk(5, 1.0),
+            mk(1, 2.0),
+            mk(9, 1.0),
+            mk(3, 1.0),
+            mk(7, 2.0),
+            mk(2, 0.5),
+        ];
+        for k in [1usize, 2, 3, 4, 6, 10] {
+            assert_eq!(top_k(v.clone(), k), top_k_full_sort(v.clone(), k), "k={k}");
+        }
+        assert!(top_k(v, 0).is_empty());
+    }
+
+    mod top_k_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The bounded selection must pick the *bitwise identical* atom
+            /// set — same ids, same utility bits, same order — as the
+            /// retained full-sort reference, across random workloads, age
+            /// bias, and the paper's k range. Small morton/count ranges force
+            /// heavy overlap (merged queues) and exact utility ties, so the
+            /// AtomId tie-break is genuinely exercised.
+            #[test]
+            fn bounded_top_k_matches_full_sort_reference(
+                atoms in proptest::collection::vec((0u64..16, 1u32..6), 1..48),
+                alpha in 0.0f64..=1.0,
+                k_idx in 0usize..3,
+                now in 1.0f64..10_000.0,
+            ) {
+                let k = [1usize, 15, 50][k_idx];
+                let mut wm = WorkloadManager::new(params());
+                for (i, &(m, c)) in atoms.iter().enumerate() {
+                    wm.enqueue(preprocess(&q(i as u64 + 1, 0, &[(m, c)]), (i % 7) as f64));
+                }
+                let none = FixedResidency::none();
+                let ranked = wm.timestep_aged_utilities(0, now, alpha, &none);
+                let reference = top_k_full_sort(ranked.clone(), k);
+                let fast = top_k(ranked, k);
+                prop_assert_eq!(reference.len(), fast.len());
+                for (r, f) in reference.iter().zip(&fast) {
+                    prop_assert_eq!(r.0, f.0);
+                    prop_assert_eq!(r.1.to_bits(), f.1.to_bits());
+                }
+            }
+        }
     }
 }

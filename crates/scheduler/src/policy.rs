@@ -58,7 +58,11 @@ pub struct SchedulerStats {
 /// 3. [`Scheduler::next_batch`] whenever the engine is idle;
 /// 4. [`Scheduler::on_query_complete`] when every sub-query of a query has
 ///    been executed.
-pub trait Scheduler {
+///
+/// `Send` is required so a node pipeline (which owns its scheduler) can be
+/// stepped on a `jaws-par` worker thread; schedulers still run strictly
+/// single-threaded — one node, one scheduler, one worker at a time.
+pub trait Scheduler: Send {
     /// Scheduler name for reports (e.g. `"JAWS_2"`).
     fn name(&self) -> &'static str;
 

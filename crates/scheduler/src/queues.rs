@@ -163,6 +163,23 @@ struct TsAgg {
     /// min/max of per-atom oldest enqueue times, ms.
     min_oldest: f64,
     max_oldest: f64,
+    /// Refold generation stamp, for invalidating derived lazy indexes.
+    epoch: u64,
+}
+
+/// Lazily built per-timestep index for the clamped-age case of
+/// [`WorkloadManager::best_timestep`]: oldest enqueue times sorted ascending
+/// with their running prefix sums. Lets Σ (now − oldest)⁺ be answered in
+/// O(log n) — atoms enqueued at or before `now` contribute through the
+/// prefix closed form, later ones contribute exactly zero.
+#[derive(Debug, Clone)]
+struct AgeIndex {
+    /// The [`TsAgg::epoch`] this index was built against.
+    epoch: u64,
+    /// Per-atom oldest enqueue times, ascending (`total_cmp` order).
+    oldest: Vec<f64>,
+    /// `prefix[i]` = Σ `oldest[..=i]`, folded in ascending order.
+    prefix: Vec<f64>,
 }
 
 /// The workload manager: per-atom queues plus per-query bookkeeping.
@@ -182,6 +199,10 @@ pub struct WorkloadManager {
     ts_atoms: BTreeMap<u32, BTreeSet<AtomId>>,
     /// Per-timestep aggregates (lazily refolded).
     ts_aggs: BTreeMap<u32, TsAgg>,
+    /// Clamped-age indexes, built on demand (lookup-only, never iterated).
+    age_index: HashMap<u32, AgeIndex>,
+    /// Refold generation counter feeding [`TsAgg::epoch`].
+    refold_epoch: u64,
     /// Atoms whose queue changed since the last refresh.
     dirty_atoms: BTreeSet<AtomId>,
     /// Residency epoch the view is synced to (`None` = never/volatile).
@@ -202,6 +223,8 @@ impl WorkloadManager {
             resident_view: HashMap::new(),
             ts_atoms: BTreeMap::new(),
             ts_aggs: BTreeMap::new(),
+            age_index: HashMap::new(),
+            refold_epoch: 0,
             dirty_atoms: BTreeSet::new(),
             synced_epoch: None,
             snapshot: UtilitySnapshot::empty(),
@@ -486,6 +509,7 @@ impl WorkloadManager {
         // reference full-scan fold.
         let means_mut = Arc::make_mut(&mut self.snapshot.means);
         let n = params.atoms_per_timestep.max(1) as f64;
+        self.refold_epoch += 1;
         for &ts in &dirty_ts {
             match self.ts_atoms.get(&ts) {
                 Some(set) => {
@@ -496,6 +520,7 @@ impl WorkloadManager {
                         sum_oldest: 0.0,
                         min_oldest: f64::INFINITY,
                         max_oldest: f64::NEG_INFINITY,
+                        epoch: self.refold_epoch,
                     };
                     for a in set {
                         let u = self.u_of[a];
@@ -512,6 +537,7 @@ impl WorkloadManager {
                 }
                 None => {
                     self.ts_aggs.remove(&ts);
+                    self.age_index.remove(&ts);
                     means_mut.remove(&ts);
                 }
             }
@@ -535,6 +561,58 @@ impl WorkloadManager {
         (max_u, max_e)
     }
 
+    /// Lazily (re)builds the clamped-age index for one timestep. Only
+    /// degenerate timesteps — some atom enqueued "after" the query's
+    /// `now_ms` — ever pay for the O(n log n) build; the index is reused
+    /// across calls until the timestep's aggregate refolds.
+    fn ensure_age_index(&mut self, ts: u32) {
+        let Some(agg) = self.ts_aggs.get(&ts) else {
+            self.age_index.remove(&ts);
+            return;
+        };
+        if self
+            .age_index
+            .get(&ts)
+            .is_some_and(|ix| ix.epoch == agg.epoch)
+        {
+            return;
+        }
+        // A timestep with an aggregate always has pending atoms.
+        let mut oldest: Vec<f64> = self.ts_atoms[&ts]
+            .iter()
+            .map(|a| self.queues[a].oldest_ms)
+            .collect();
+        oldest.sort_by(|a, b| a.total_cmp(b));
+        let mut prefix = Vec::with_capacity(oldest.len());
+        let mut s = 0.0f64;
+        for &o in &oldest {
+            s += o;
+            prefix.push(s);
+        }
+        self.age_index.insert(
+            ts,
+            AgeIndex {
+                epoch: agg.epoch,
+                oldest,
+                prefix,
+            },
+        );
+    }
+
+    /// Σ (now − oldest)⁺ over one timestep's pending atoms, answered from the
+    /// [`AgeIndex`] in O(log n): atoms enqueued at or before `now_ms`
+    /// contribute through the prefix closed form, later ones exactly zero.
+    /// Requires [`Self::ensure_age_index`] to have run for `ts`.
+    fn clamped_age_sum(&self, ts: u32, now_ms: f64) -> f64 {
+        let ix = &self.age_index[&ts];
+        let cut = ix.oldest.partition_point(|&o| o <= now_ms);
+        if cut == 0 {
+            0.0
+        } else {
+            cut as f64 * now_ms - ix.prefix[cut - 1]
+        }
+    }
+
     /// Coarse level of two-level scheduling: the timestep with the highest
     /// summed aged utility (equivalently, the highest mean over its fixed
     /// atom count). Ties prefer the smaller timestep. O(#timesteps) after an
@@ -547,18 +625,25 @@ impl WorkloadManager {
     ) -> Option<u32> {
         debug_assert!((0.0..=1.0).contains(&alpha));
         self.refresh(residency);
+        // Degenerate timesteps (some atom enqueued "after" now_ms, so ages
+        // clamp) answer from a lazily built sorted-prefix index instead of
+        // an O(n) exact fold on every call.
+        let degenerate: Vec<u32> = self
+            .ts_aggs
+            .iter()
+            .filter(|&(_, agg)| now_ms < agg.max_oldest)
+            .map(|(&ts, _)| ts)
+            .collect();
+        for ts in degenerate {
+            self.ensure_age_index(ts);
+        }
         let (max_u, max_e) = self.normalizers(now_ms);
         let mut best: Option<(u32, f64)> = None;
         for (&ts, agg) in &self.ts_aggs {
             let sum_e = if now_ms >= agg.max_oldest {
                 agg.count as f64 * now_ms - agg.sum_oldest
             } else {
-                // Sub-queries enqueued "after" now_ms would clamp to zero age
-                // per atom; the closed form no longer applies. Exact fold.
-                self.ts_atoms[&ts]
-                    .iter()
-                    .map(|a| (now_ms - self.queues[a].oldest_ms).max(0.0))
-                    .sum()
+                self.clamped_age_sum(ts, now_ms)
             };
             let su = if max_u > 0.0 { agg.sum_u / max_u } else { 0.0 };
             let se = if max_e > 0.0 { sum_e / max_e } else { 0.0 };
@@ -1004,6 +1089,38 @@ mod tests {
         assert!(s1.rank(&AtomId::new(0, MortonKey(0))).atom_utility > 0.0);
         assert_eq!(s1.rank(&AtomId::new(3, MortonKey(2))).atom_utility, 0.0);
     }
+
+    #[test]
+    fn best_timestep_clamped_age_fallback_is_exact() {
+        let mut wm = WorkloadManager::new(params());
+        // Timestep 0 holds an atom enqueued "after" now (its age clamps to
+        // zero), forcing the degenerate branch; timestep 1 is all past.
+        wm.enqueue([
+            sub(1, 0, 0, 10, 0.0),
+            sub(2, 0, 1, 10, 5_000.0),
+            sub(3, 1, 0, 10, 100.0),
+        ]);
+        let none = FixedResidency::none();
+        let now = 1_000.0;
+        // Pure age order: ts 0 sums age 1000 (+ 0 clamped), ts 1 sums 900.
+        assert_eq!(wm.best_timestep(now, 1.0, &none), Some(0));
+        // The sorted-prefix index agrees with the exact per-atom fold.
+        wm.ensure_age_index(0);
+        let exact: f64 = wm.atoms_in_timestep(0).iter().map(|a| wm.age(a, now)).sum();
+        let fast = wm.clamped_age_sum(0, now);
+        assert!((fast - exact).abs() <= 1e-9 * exact.max(1.0));
+        // A queue change refolds the aggregate and invalidates the index.
+        wm.enqueue([sub(4, 0, 2, 10, 7_000.0)]);
+        assert_eq!(wm.best_timestep(now, 1.0, &none), Some(0));
+        let exact2: f64 = wm.atoms_in_timestep(0).iter().map(|a| wm.age(a, now)).sum();
+        let fast2 = wm.clamped_age_sum(0, now);
+        assert_eq!(
+            exact2.to_bits(),
+            exact.to_bits(),
+            "new atom's age clamps to 0"
+        );
+        assert!((fast2 - exact2).abs() <= 1e-9 * exact2.max(1.0));
+    }
 }
 
 #[cfg(test)]
@@ -1224,6 +1341,47 @@ mod proptests {
             let i = inc_snap.rank(&a);
             assert_eq!(r.atom_utility.to_bits(), i.atom_utility.to_bits(), "{a}");
             assert_eq!(r.timestep_mean.to_bits(), i.timestep_mean.to_bits(), "{a}");
+        }
+    }
+
+    proptest! {
+        /// The clamped-age sorted-prefix index agrees with the exact
+        /// per-atom fold (within float re-association error), and
+        /// best_timestep stays idempotent, for workloads whose enqueue times
+        /// straddle `now` — the degenerate case that used to pay an O(n)
+        /// fold on every call.
+        #[test]
+        fn clamped_age_index_matches_exact_fold(
+            subs in proptest::collection::vec(
+                (0u32..4, 0u64..8, 1u32..100, 0u32..2_000), 1..40),
+            now in 0.0f64..1_500.0,
+            alpha in 0.0f64..=1.0,
+        ) {
+            let mut wm = WorkloadManager::new(MetricParams::paper_testbed());
+            for (i, &(t, m, c, at)) in subs.iter().enumerate() {
+                wm.enqueue([SubQuery {
+                    query: i as QueryId + 1,
+                    atom: AtomId::new(t, MortonKey(m)),
+                    positions: c,
+                    enqueued_ms: at as f64,
+                }]);
+            }
+            let none = FixedResidency::none();
+            let first = wm.best_timestep(now, alpha, &none);
+            prop_assert_eq!(first, wm.best_timestep(now, alpha, &none));
+            for t in 0..4u32 {
+                let atoms = wm.atoms_in_timestep(t);
+                if atoms.is_empty() {
+                    continue;
+                }
+                wm.ensure_age_index(t);
+                let exact: f64 = atoms.iter().map(|a| wm.age(a, now)).sum();
+                let fast = wm.clamped_age_sum(t, now);
+                prop_assert!(
+                    (fast - exact).abs() <= 1e-9 * exact.abs().max(1.0),
+                    "ts {}: fast {} vs exact {}", t, fast, exact
+                );
+            }
         }
     }
 

@@ -25,11 +25,12 @@ use crate::node::NodePipeline;
 use crate::report::RunTotals;
 use crate::SimConfig;
 use jaws_morton::MortonKey;
-use jaws_obs::ObsSink;
+use jaws_obs::{ObsSink, VecRecorder};
 use jaws_workload::{Footprint, Job, JobKind, Query, QueryId, Trace};
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::{Arc, Mutex};
 
 /// Bits of a packed part id that carry the original query id. The remaining
 /// high bits hold `node + 1`, so part ids from different nodes never collide
@@ -239,6 +240,60 @@ impl EventQueue {
     }
 }
 
+/// Per-node observability buffers, active only while a traced multi-node run
+/// is in flight. Pipelines may step on `jaws-par` worker threads, so letting
+/// them write the shared recorder directly would make trace order depend on
+/// thread interleaving. Instead each pipeline is rewired to a private
+/// [`VecRecorder`]; the engine drains the buffers — in node order, at the
+/// exact points where the serial engine would have called into each pipeline
+/// — through [`ObsSink::forward`], which re-records verbatim. The resulting
+/// JSONL is byte-identical to a serial run at any thread count (jaws-obs
+/// module docs, invariant 3).
+struct TraceBuffers<'a> {
+    bufs: Vec<Arc<Mutex<VecRecorder>>>,
+    out: &'a ObsSink,
+}
+
+impl TraceBuffers<'_> {
+    /// Forwards everything `node` buffered since the last drain.
+    fn drain(&self, node: usize) {
+        // lint: invariant — a poisoned buffer lock means a worker already
+        // panicked, and that panic is re-raised by jaws_par::map_mut
+        let mut buf = self.bufs[node].lock().expect("trace buffer lock");
+        for r in buf.take() {
+            self.out.forward(&r);
+        }
+    }
+
+    /// Drains every node's buffer in ascending node order.
+    fn drain_all(&self) {
+        for node in 0..self.bufs.len() {
+            self.drain(node);
+        }
+    }
+}
+
+/// Installs per-node trace buffers when a traced run has more than one
+/// pipeline (the only case where pipelines may emit from worker threads).
+fn buffer_node_sinks<'a>(
+    pipelines: &mut [NodePipeline],
+    sink: &'a ObsSink,
+) -> Option<TraceBuffers<'a>> {
+    if pipelines.len() < 2 || !sink.enabled() {
+        return None;
+    }
+    let bufs: Vec<Arc<Mutex<VecRecorder>>> = pipelines
+        .iter_mut()
+        .enumerate()
+        .map(|(node, p)| {
+            let buf = Arc::new(Mutex::new(VecRecorder::new()));
+            p.set_recorder(ObsSink::new(buf.clone()).with_node(node as u32));
+            buf
+        })
+        .collect();
+    Some(TraceBuffers { bufs, out: sink })
+}
+
 /// Everything a run produced that the report layer needs, plus the per-query
 /// completion log in completion order.
 pub(crate) struct EngineOutcome {
@@ -288,6 +343,9 @@ pub(crate) fn run_trace(
     let mut truncated = false;
     let mut now_ms = 0.0f64;
     let mut queue = EventQueue::default();
+    // Traced multi-node runs: buffer per-node emissions so worker threads
+    // never interleave on the shared recorder (see [`TraceBuffers`]).
+    let buffers = buffer_node_sinks(pipelines, sink);
 
     // Submits query (ji, qi): records the submission time, fans the query
     // out to its owning pipelines, and (for ordered follow-ups) feeds the
@@ -333,6 +391,9 @@ pub(crate) fn run_trace(
                 p.observe(job.id, part.as_ref());
             }
             p.query_available(part.as_ref(), now_ms);
+            if let Some(b) = &buffers {
+                b.drain(node as usize);
+            }
         }
     };
 
@@ -366,6 +427,9 @@ pub(crate) fn run_trace(
                     for node in 0..pipelines.len() as u32 {
                         if let Some(pj) = routing.project_job(job, node) {
                             pipelines[node as usize].job_declared(pj.as_ref(), now_ms);
+                            if let Some(b) = &buffers {
+                                b.drain(node as usize);
+                            }
                         }
                     }
                 }
@@ -419,6 +483,9 @@ pub(crate) fn run_trace(
                         .expect("completed query was submitted");
                     let rt = now_ms - submitted;
                     pipelines[node as usize].complete_part(pid, rt, now_ms);
+                    if let Some(b) = &buffers {
+                        b.drain(node as usize);
+                    }
                     // lint: invariant — every part was registered in
                     // `outstanding` when its query was submitted
                     let left = outstanding
@@ -467,8 +534,17 @@ pub(crate) fn run_trace(
                 pipelines[node as usize].clear_idle_check();
             }
         }
-        for node in 0..pipelines.len() as u32 {
-            dispatch(&mut pipelines[node as usize], node, now_ms, cfg, &mut queue);
+        dispatch_round(pipelines, now_ms, cfg, &mut queue, &buffers);
+    }
+
+    if let Some(b) = &buffers {
+        // Nothing should be left (every interaction drains eagerly), but a
+        // truncation break mid-iteration must not lose records.
+        b.drain_all();
+        // Re-wire the pipelines to the shared recorder, exactly as the
+        // cluster executor had them before the run.
+        for (node, p) in pipelines.iter_mut().enumerate() {
+            p.set_recorder(sink.with_node(node as u32));
         }
     }
 
@@ -503,40 +579,95 @@ pub(crate) fn run_trace(
     }
 }
 
+/// What one node decided in a dispatch round. Planning is node-local (it
+/// touches only that node's pipeline), so plans can be computed on `jaws-par`
+/// worker threads; the follow-up events are then pushed in ascending node
+/// order by [`dispatch_round`], reproducing the serial engine's insertion-id
+/// sequence exactly.
+enum DispatchPlan {
+    /// The node started a batch: (completed part ids, service time).
+    Batch(Vec<QueryId>, f64),
+    /// The node started a speculative read costing `io_ms`.
+    Prefetch(f64),
+    /// Gated work exists; re-poll after `idle_recheck_ms`.
+    IdleCheck,
+    /// Busy, or nothing to do.
+    Nothing,
+}
+
 /// Starts the next batch on `pipeline` if it is free and work is schedulable;
-/// otherwise spends the idle capacity on a speculative read, or arranges an
-/// idle re-poll if gated work exists.
-fn dispatch(
-    pipeline: &mut NodePipeline,
-    node: u32,
-    now_ms: f64,
-    cfg: &SimConfig,
-    queue: &mut EventQueue,
-) {
+/// otherwise spends the idle capacity on a speculative read, or asks for an
+/// idle re-poll if gated work exists. Mutates only `pipeline` — the decision
+/// is returned as a [`DispatchPlan`] instead of pushed, so planning can run
+/// off-thread.
+fn dispatch_plan(pipeline: &mut NodePipeline, now_ms: f64) -> DispatchPlan {
     if pipeline.is_busy() {
-        return;
+        return DispatchPlan::Nothing;
     }
     match pipeline.next_batch(now_ms) {
         Some(batch) => {
             debug_assert!(!batch.is_empty(), "scheduler produced an empty batch");
             let service_ms = pipeline.charge_batch(&batch, now_ms);
-            queue.push(
-                now_ms + service_ms,
-                Event::BatchDone(node, batch.completing_queries),
-            );
+            DispatchPlan::Batch(batch.completing_queries, service_ms)
         }
         None => {
             // Nothing schedulable: spend the idle capacity on a speculative
             // read, if the trajectory predictor has one.
             if let Some(io_ms) = pipeline.try_prefetch(now_ms) {
-                queue.push(now_ms + io_ms, Event::PrefetchDone(node));
-                return;
+                DispatchPlan::Prefetch(io_ms)
+            } else if pipeline.wants_idle_check() {
+                // If gated work exists, poll again soon so the starvation
+                // valve can fire even with no other events.
+                DispatchPlan::IdleCheck
+            } else {
+                DispatchPlan::Nothing
             }
-            // If gated work exists, poll again soon so the starvation valve
-            // can fire even with no other events.
-            if pipeline.wants_idle_check() {
-                queue.push(now_ms + cfg.idle_recheck_ms, Event::IdleCheck(node));
+        }
+    }
+}
+
+/// One per-event dispatch round over all pipelines.
+///
+/// Nodes share no state between events (each owns its database, cache and
+/// scheduler), so when several are free their planning steps run concurrently
+/// via [`jaws_par::map_mut`]; with one free node (the common saturated case)
+/// the round stays inline and spawns nothing. Plans are applied — and any
+/// buffered trace records drained — in ascending node order, so event ids,
+/// reports and JSONL traces are byte-identical at any thread count.
+fn dispatch_round(
+    pipelines: &mut [NodePipeline],
+    now_ms: f64,
+    cfg: &SimConfig,
+    queue: &mut EventQueue,
+    buffers: &Option<TraceBuffers<'_>>,
+) {
+    let free = pipelines.iter().filter(|p| !p.is_busy()).count();
+    let plans: Vec<DispatchPlan> = if free > 1 {
+        jaws_par::map_mut(pipelines, |_, p| dispatch_plan(p, now_ms))
+    } else {
+        pipelines
+            .iter_mut()
+            .map(|p| dispatch_plan(p, now_ms))
+            .collect()
+    };
+    for (node, plan) in plans.into_iter().enumerate() {
+        if let Some(b) = buffers {
+            b.drain(node);
+        }
+        match plan {
+            DispatchPlan::Batch(completed, service_ms) => {
+                queue.push(
+                    now_ms + service_ms,
+                    Event::BatchDone(node as u32, completed),
+                );
             }
+            DispatchPlan::Prefetch(io_ms) => {
+                queue.push(now_ms + io_ms, Event::PrefetchDone(node as u32));
+            }
+            DispatchPlan::IdleCheck => {
+                queue.push(now_ms + cfg.idle_recheck_ms, Event::IdleCheck(node as u32));
+            }
+            DispatchPlan::Nothing => {}
         }
     }
 }

@@ -179,9 +179,16 @@ impl NodePipeline {
     pub fn try_prefetch(&mut self, now_ms: f64) -> Option<f64> {
         let p = self.prefetcher.as_mut()?;
         let atom = p.next_prefetch(|a| self.db.is_resident(a))?;
-        let snapshot = {
+        // The candidate is non-resident, so the read below always misses —
+        // but the miss consults the utility oracle only if it must *evict*.
+        // While the pool is still filling, skip the snapshot refresh (it
+        // clones the ranking maps); an empty snapshot is bit-equivalent
+        // because it is never read.
+        let snapshot = if self.db.cache_at_capacity() {
             let res = DbResidency(&self.db);
             self.scheduler.utility_snapshot(&res)
+        } else {
+            jaws_scheduler::UtilitySnapshot::empty()
         };
         if self.sink.enabled() {
             self.sink.emit(

@@ -7,8 +7,6 @@ use jaws_scheduler::MetricParams;
 use jaws_turbdb::{CostModel, DataMode, DbConfig};
 use jaws_workload::Trace;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One point of a sweep: a fully specified run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,39 +59,13 @@ impl RunSpec {
     }
 }
 
-/// Runs every spec against `trace`, in parallel across up to
-/// `available_parallelism` threads, preserving input order in the output.
+/// Runs every spec against `trace` on the [`jaws_par`] worker pool
+/// (`JAWS_THREADS` workers, default `available_parallelism`), preserving
+/// input order in the output. Each run is fully independent — its own
+/// database, cache and scheduler — so the reports are identical to serial
+/// execution at any thread count.
 pub fn run_parallel(specs: &[RunSpec], trace: &Trace) -> Vec<(RunSpec, RunReport)> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(specs.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(RunSpec, RunReport)>>> =
-        Mutex::new((0..specs.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let report = specs[i].execute(trace);
-                // lint: invariant — workers propagate panics via scope join,
-                // so the mutex is never poisoned here
-                results.lock().expect("no panics hold the lock")[i] =
-                    Some((specs[i].clone(), report));
-            });
-        }
-    });
-    results
-        .into_inner()
-        // lint: invariant — thread::scope returned, so no worker panicked
-        .expect("scope joined all workers")
-        .into_iter()
-        // lint: invariant — the fetch_add work queue covers every index once
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    jaws_par::map(specs, |s| (s.clone(), s.execute(trace)))
 }
 
 #[cfg(test)]

@@ -15,8 +15,7 @@ use jaws_sim::{
 };
 use jaws_turbdb::{CostModel, DataMode, DbConfig};
 use jaws_workload::{GenConfig, TraceGenerator};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn db_config() -> DbConfig {
     DbConfig {
@@ -66,20 +65,20 @@ fn serialized_run_wired(kind: SchedulerKind, seed: u64, sink: Option<ObsSink>) -
 
 /// One instrumented single-node replay; returns the JSONL trace it emitted.
 fn jsonl_trace_of_run(kind: SchedulerKind, seed: u64) -> String {
-    let rec = Rc::new(RefCell::new(JsonlRecorder::new()));
+    let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
     let _ = serialized_run_wired(kind, seed, Some(ObsSink::new(rec.clone())));
-    let trace = rec.borrow_mut().take();
+    let trace = rec.lock().expect("recorder mutex unpoisoned").take();
     trace
 }
 
 /// One instrumented cluster replay; returns the JSONL trace it emitted.
 fn jsonl_trace_of_cluster_run(kind: SchedulerKind, nodes: u32, seed: u64) -> String {
     let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
-    let rec = Rc::new(RefCell::new(JsonlRecorder::new()));
+    let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
     let mut ex = ClusterExecutor::new(cluster_config(kind, nodes));
     ex.set_recorder(ObsSink::new(rec.clone()));
     let _ = ex.run(&trace);
-    let out = rec.borrow_mut().take();
+    let out = rec.lock().expect("recorder mutex unpoisoned").take();
     out
 }
 
@@ -252,7 +251,7 @@ fn null_recorder_leaves_reports_bit_identical() {
         let nulled = serialized_run_wired(
             kind,
             seed,
-            Some(ObsSink::new(Rc::new(RefCell::new(NullRecorder)))),
+            Some(ObsSink::new(Arc::new(Mutex::new(NullRecorder)))),
         );
         assert_eq!(
             unwired,
@@ -312,5 +311,44 @@ fn one_node_cluster_matches_single_executor_exactly() {
             s.scheduler_stats.batches
         );
         assert_eq!(cluster.response_log(), single.response_log());
+    }
+}
+
+/// Deterministic intra-run parallelism: the `jaws-par` worker count must be
+/// invisible in results. Serialized reports, completion logs and the full
+/// JSONL traces must be byte-identical at 1, 2 and 8 workers — single-node
+/// and cluster — for every policy family. This is the contract that makes
+/// `JAWS_THREADS` a pure wall-clock knob.
+#[test]
+fn reports_and_traces_are_byte_identical_at_any_thread_count() {
+    for kind in [
+        SchedulerKind::NoShare,
+        SchedulerKind::LifeRaft2,
+        SchedulerKind::Jaws2 { batch_k: 15 },
+    ] {
+        let mut runs = Vec::new();
+        let mut traces = Vec::new();
+        let mut cluster_runs = Vec::new();
+        let mut cluster_traces = Vec::new();
+        for threads in [1usize, 2, 8] {
+            // The override is thread-local, so it governs every jaws-par
+            // call made by the runs below (worker counts are decided on the
+            // calling thread, never inside worker threads).
+            let _guard = jaws_par::override_threads(threads);
+            runs.push(serialized_run(kind, 3));
+            traces.push(jsonl_trace_of_run(kind, 3));
+            cluster_runs.push(serialized_cluster_run(kind, 3, 3));
+            cluster_traces.push(jsonl_trace_of_cluster_run(kind, 3, 3));
+        }
+        for (what, v) in [
+            ("report", &runs),
+            ("trace", &traces),
+            ("cluster report", &cluster_runs),
+            ("cluster trace", &cluster_traces),
+        ] {
+            assert!(!v[0].is_empty(), "{}: empty {what}", kind.name());
+            assert_eq!(v[0], v[1], "{}: {what} differs at 2 workers", kind.name());
+            assert_eq!(v[0], v[2], "{}: {what} differs at 8 workers", kind.name());
+        }
     }
 }

@@ -33,6 +33,12 @@ impl AtomData {
     /// simulation time. Fills the full `(side + 2·ghost)³` block including the
     /// replicated shell; the field is periodic so the shell is well defined
     /// even at the domain boundary.
+    ///
+    /// Each voxel is a pure function of `(seed, atom, voxel)`, so the fill is
+    /// sharded across `jaws-par` workers by z-slice. Slices are concatenated
+    /// in z order, making the payload *bitwise* identical to the serial fill
+    /// at any thread count (the synthesis hot path the `hotpath` bench
+    /// measures).
     pub fn materialize(cfg: &DbConfig, field: &SyntheticField, id: AtomId) -> Self {
         let side = cfg.atom_side;
         let ghost = cfg.ghost;
@@ -41,9 +47,9 @@ impl AtomData {
         let base = [(ax * side) as i64, (ay * side) as i64, (az * side) as i64];
         let t = id.timestep as f64 * cfg.dt;
         let l = cfg.grid_side as f64;
-        let mut velocity = Vec::with_capacity(ext * ext * ext);
-        let mut pressure = Vec::with_capacity(ext * ext * ext);
-        for lz in 0..ext {
+        let slices = jaws_par::map_indexed(ext, |lz| {
+            let mut velocity = Vec::with_capacity(ext * ext);
+            let mut pressure = Vec::with_capacity(ext * ext);
             for ly in 0..ext {
                 for lx in 0..ext {
                     // Global voxel coordinate, wrapped periodically.
@@ -55,6 +61,13 @@ impl AtomData {
                     pressure.push(field.pressure([gx, gy, gz], t) as f32);
                 }
             }
+            (velocity, pressure)
+        });
+        let mut velocity = Vec::with_capacity(ext * ext * ext);
+        let mut pressure = Vec::with_capacity(ext * ext * ext);
+        for (v, p) in slices {
+            velocity.extend_from_slice(&v);
+            pressure.extend_from_slice(&p);
         }
         AtomData {
             id,

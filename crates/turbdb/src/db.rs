@@ -147,6 +147,14 @@ impl TurbDb {
         self.pool.contains(id)
     }
 
+    /// True if the buffer pool is full, i.e. the next *miss* must evict a
+    /// victim (and will therefore consult the utility oracle passed to
+    /// [`Self::read_atom_at`]). While the pool is still filling, the oracle is
+    /// never read, so callers may skip building a real snapshot.
+    pub fn cache_at_capacity(&self) -> bool {
+        self.pool.len() >= self.pool.capacity()
+    }
+
     /// Monotone counter advanced on every residency flip (insert or evict).
     /// Pairs with [`Self::residency_changes_since`] so schedulers can update
     /// cached per-atom metrics in O(flips) instead of re-probing every atom.

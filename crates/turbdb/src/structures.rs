@@ -9,7 +9,7 @@
 //! a union–find pass. Structures can be matched across timesteps by centroid
 //! proximity to track their evolution.
 
-use crate::kernels::{velocity_gradient_fd4, Sampler};
+use crate::kernels::Sampler;
 
 /// The pointwise indicator thresholded to define a structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,9 +64,8 @@ impl Dsu {
     }
 }
 
-/// Evaluates the indicator at one voxel.
-fn indicator(s: &mut Sampler<'_>, v: [i64; 3], timestep: u32, c: StructureCriterion) -> f64 {
-    let g = velocity_gradient_fd4(s, v, timestep);
+/// Evaluates the indicator from a velocity-gradient tensor.
+fn indicator_from_gradient(g: [[f64; 3]; 3], c: StructureCriterion) -> f64 {
     match c {
         StructureCriterion::VorticityMagnitude => {
             let wx = g[2][1] - g[1][2];
@@ -112,20 +111,68 @@ pub fn identify_structures(
     let ny = (max[1] - min[1] + 1) as usize;
     let nz = (max[2] - min[2] + 1) as usize;
     let idx = |x: usize, y: usize, z: usize| z * ny * nx + y * nx + x;
-    // Pass 1: evaluate the indicator everywhere (atom-major order keeps the
-    // sampler's pinned atom hot).
-    let mut field = vec![0.0f64; nx * ny * nz];
-    for z in 0..nz {
-        for y in 0..ny {
-            for x in 0..nx {
-                field[idx(x, y, z)] = indicator(
-                    sampler,
-                    [min[0] + x as i64, min[1] + y as i64, min[2] + z as i64],
+    // Pass 1a: gather the dense velocity grid over the box plus the FD4
+    // stencil halo (±2 voxels), serially through the sampler in z→y→x order
+    // (the pinned-atom locality the sampler exploits). Voxel values are pure
+    // in (seed, voxel, timestep), so the grid does not depend on gather
+    // order even though the cache-hit accounting does.
+    const HALO: usize = 2;
+    let hx = nx + 2 * HALO;
+    let hy = ny + 2 * HALO;
+    let hz = nz + 2 * HALO;
+    let hidx = move |x: usize, y: usize, z: usize| z * hy * hx + y * hx + x;
+    let mut vel = vec![[0.0f64; 3]; hx * hy * hz];
+    for z in 0..hz {
+        for y in 0..hy {
+            for x in 0..hx {
+                vel[hidx(x, y, z)] = sampler.velocity_voxel(
+                    [
+                        min[0] + x as i64 - HALO as i64,
+                        min[1] + y as i64 - HALO as i64,
+                        min[2] + z as i64 - HALO as i64,
+                    ],
                     timestep,
-                    criterion,
                 );
             }
         }
+    }
+    // Pass 1b: FD4 gradient + indicator from the dense grid — pure
+    // arithmetic, sharded across jaws-par workers by z-slice. The difference
+    // quotients are written exactly as in `velocity_gradient_fd4`, so the
+    // field is bitwise identical to the serial sampler-backed evaluation at
+    // any thread count.
+    let vel_ref = &vel;
+    let slabs = jaws_par::map_indexed(nz, |z| {
+        let mut slab = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut g = [[0.0f64; 3]; 3];
+                for (j, gcol) in (0..3).zip([[1usize, 0, 0], [0, 1, 0], [0, 0, 1]]) {
+                    let c = [x + HALO, y + HALO, z + HALO];
+                    let at = |d: usize, sign_neg: bool| {
+                        let p = if sign_neg {
+                            [c[0] - d * gcol[0], c[1] - d * gcol[1], c[2] - d * gcol[2]]
+                        } else {
+                            [c[0] + d * gcol[0], c[1] + d * gcol[1], c[2] + d * gcol[2]]
+                        };
+                        vel_ref[hidx(p[0], p[1], p[2])]
+                    };
+                    let up2 = at(2, false);
+                    let up1 = at(1, false);
+                    let um1 = at(1, true);
+                    let um2 = at(2, true);
+                    for i in 0..3 {
+                        g[i][j] = (-up2[i] + 8.0 * up1[i] - 8.0 * um1[i] + um2[i]) / 12.0;
+                    }
+                }
+                slab.push(indicator_from_gradient(g, criterion));
+            }
+        }
+        slab
+    });
+    let mut field = Vec::with_capacity(nx * ny * nz);
+    for s in slabs {
+        field.extend_from_slice(&s);
     }
     // Pass 2: union 6-connected super-threshold neighbours.
     let mut dsu = Dsu::new(nx * ny * nz);
