@@ -19,7 +19,9 @@
 
 use jaws_bench::exp;
 use jaws_obs::{JsonlRecorder, ObsSink};
-use jaws_sim::{CachePolicyKind, ClusterConfig, ClusterExecutor, SchedulerKind, SimConfig};
+use jaws_sim::{
+    CachePolicyKind, ClusterConfig, ClusterExecutor, FailurePlan, SchedulerKind, SimConfig,
+};
 use std::sync::{Arc, Mutex};
 
 fn cap_ms() -> f64 {
@@ -76,6 +78,7 @@ fn main() {
                     max_sim_ms,
                     ..SimConfig::default()
                 },
+                failures: FailurePlan::none(),
             });
             let recorder = trace_path.as_ref().map(|_| {
                 let rc = Arc::new(Mutex::new(JsonlRecorder::new()));

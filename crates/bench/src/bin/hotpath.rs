@@ -143,31 +143,6 @@ fn atom_checksum(atom: &AtomData) -> u64 {
     h
 }
 
-/// Same masking as the determinism suite: the only two report fields measured
-/// in host wall-clock time are zeroed before byte comparison.
-fn mask_wallclock_fields(json: &str) -> String {
-    let mut out = json.to_string();
-    for key in ["policy_overhead_ns", "cache_overhead_ms_per_query"] {
-        let pat = format!("\"{key}\":");
-        assert!(out.contains(&pat), "field {key} absent from report JSON");
-        let mut masked = String::with_capacity(out.len());
-        let mut rest = out.as_str();
-        while let Some(i) = rest.find(&pat) {
-            let start = i + pat.len();
-            let end = start
-                + rest[start..]
-                    .find([',', '}'])
-                    .expect("number is followed by a delimiter");
-            masked.push_str(&rest[..start]);
-            masked.push('0');
-            rest = &rest[end..];
-        }
-        masked.push_str(rest);
-        out = masked;
-    }
-    out
-}
-
 fn bench_materialize(cfg: DbConfig, threads: &[usize]) -> Vec<MatRow> {
     let field = SyntheticField::new(cfg.seed, cfg.grid_side);
     let per_side = cfg.atoms_per_side();
@@ -230,7 +205,7 @@ fn e2e_report(cfg: DbConfig) -> (String, u64, f64) {
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let json = serde_json::to_string(&report).expect("report serializes");
     (
-        mask_wallclock_fields(&json),
+        exp::mask_wallclock_fields(&json),
         report.queries_completed,
         wall_ms,
     )

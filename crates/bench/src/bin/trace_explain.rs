@@ -10,7 +10,11 @@
 //! * "why chosen" explanations for a sample of `BatchSelected` records: the
 //!   timestep, the α/threshold in force, and each chosen atom's Eq. 1
 //!   (workload throughput) and Eq. 2 (aged utility) terms;
-//! * aggregate means plus cache/prefetch counters.
+//! * aggregate means plus cache/prefetch counters;
+//! * a failure-recovery section when the run carried a scripted
+//!   [`jaws_sim::FailurePlan`]: each crash with its survivor and re-dispatch
+//!   volume, each straggler with its factor, and how many distinct queries
+//!   had a part moved.
 //!
 //! Batch-level costs are split evenly over the parts completing in the batch
 //! and folded onto the original trace query id via
@@ -29,6 +33,19 @@ struct QueryStat {
     service_ms: f64,
     io_ms: f64,
     response_ms: Option<f64>,
+}
+
+struct Crash {
+    t_ms: f64,
+    node: u32,
+    survivor: u32,
+    redispatched: u64,
+}
+
+struct Slowdown {
+    t_ms: f64,
+    node: u32,
+    factor: f64,
 }
 
 struct Selection {
@@ -64,6 +81,10 @@ fn main() {
     let mut prefetches = 0u64;
     let mut evictions = 0u64;
     let mut records = 0u64;
+    let mut crashes: Vec<Crash> = Vec::new();
+    let mut slowdowns: Vec<Slowdown> = Vec::new();
+    let mut moved_parts = 0u64;
+    let mut moved_queries: std::collections::BTreeSet<u64> = Default::default();
 
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let rec: Record = serde_json::from_str(line)
@@ -112,6 +133,25 @@ fn main() {
             }
             Event::PrefetchIssued { .. } => prefetches += 1,
             Event::CacheEvict { .. } => evictions += 1,
+            Event::NodeFailed {
+                node,
+                survivor,
+                redispatched,
+            } => crashes.push(Crash {
+                t_ms: rec.t_ms,
+                node,
+                survivor,
+                redispatched,
+            }),
+            Event::PartRedispatched { part, .. } => {
+                moved_parts += 1;
+                moved_queries.insert(engine::orig_id(part));
+            }
+            Event::NodeSlowdown { node, factor } => slowdowns.push(Slowdown {
+                t_ms: rec.t_ms,
+                node,
+                factor,
+            }),
             _ => {}
         }
     }
@@ -196,5 +236,30 @@ fn main() {
             "  atom reads {reads} (cache hit {:.1}%), prefetches {prefetches}, evictions {evictions}",
             100.0 * hits as f64 / reads as f64
         );
+    }
+
+    if !crashes.is_empty() || !slowdowns.is_empty() {
+        println!("\nFailure recovery");
+        for c in &crashes {
+            println!(
+                "  t={:.1}: node {} crashed; node {} inherited its slab and {} queued/in-flight \
+                 part(s)",
+                c.t_ms, c.node, c.survivor, c.redispatched
+            );
+        }
+        for s in &slowdowns {
+            println!(
+                "  t={:.1}: node {} degraded to a {:.1}x straggler",
+                s.t_ms, s.node, s.factor
+            );
+        }
+        if moved_parts > 0 {
+            println!(
+                "  {} part(s) across {} distinct quer{} were re-dispatched through survivors",
+                moved_parts,
+                moved_queries.len(),
+                if moved_queries.len() == 1 { "y" } else { "ies" }
+            );
+        }
     }
 }

@@ -112,4 +112,30 @@ pub mod exp {
     pub fn rule() {
         println!("{}", "-".repeat(100));
     }
+
+    /// Same masking as the determinism suite: the only report fields measured
+    /// in host wall-clock time are zeroed before byte comparison, so two runs
+    /// of the same seeded scenario can be compared for bit-identity.
+    pub fn mask_wallclock_fields(json: &str) -> String {
+        let mut out = json.to_string();
+        for key in ["policy_overhead_ns", "cache_overhead_ms_per_query"] {
+            let pat = format!("\"{key}\":");
+            assert!(out.contains(&pat), "field {key} absent from report JSON");
+            let mut masked = String::with_capacity(out.len());
+            let mut rest = out.as_str();
+            while let Some(i) = rest.find(&pat) {
+                let start = i + pat.len();
+                let end = start
+                    + rest[start..]
+                        .find([',', '}'])
+                        .expect("number is followed by a delimiter");
+                masked.push_str(&rest[..start]);
+                masked.push('0');
+                rest = &rest[end..];
+            }
+            masked.push_str(rest);
+            out = masked;
+        }
+        out
+    }
 }

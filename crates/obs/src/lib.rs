@@ -171,6 +171,36 @@ pub enum Event {
         /// The atom's own Eq. 1 utility at eviction (URC minor key).
         atom_utility: f64,
     },
+    /// A cluster node died under a scripted `jaws_sim::FailurePlan` crash;
+    /// its slab was re-routed and its pending parts re-dispatched.
+    NodeFailed {
+        /// The node that died.
+        node: u32,
+        /// The node that inherited its Morton slab.
+        survivor: u32,
+        /// Number of in-flight/queued parts re-dispatched off the dead node.
+        redispatched: u64,
+    },
+    /// One sub-query part was re-enqueued through a survivor's scheduler
+    /// after its owner crashed. `trace_explain` uses these to attribute
+    /// recovery latency: the part's service restarts from scratch on `to`.
+    PartRedispatched {
+        /// The packed part id (unchanged across the re-dispatch, so its
+        /// original query id still folds out via `engine::orig_id`).
+        part: u64,
+        /// The node that died holding the part.
+        from: u32,
+        /// The survivor now scheduling it.
+        to: u32,
+    },
+    /// A node's charged service times are multiplied from this point on (a
+    /// scripted straggler).
+    NodeSlowdown {
+        /// The straggling node.
+        node: u32,
+        /// The service-time multiplier now in force.
+        factor: f64,
+    },
     /// The adaptive controller closed a run and (possibly) moved α.
     AlphaAdjusted {
         /// α after the adjustment.

@@ -44,4 +44,4 @@ pub use noshare::NoShare;
 pub use policy::{Residency, Scheduler, SchedulerStats};
 pub use prefetch::Prefetcher;
 pub use qos::QosScheduler;
-pub use queues::{MetricParams, UtilitySnapshot, WorkloadManager};
+pub use queues::{finite_or_zero, MetricParams, UtilitySnapshot, WorkloadManager};

@@ -64,8 +64,10 @@ use std::sync::Arc;
 /// Clamps a non-finite metric term to zero. A NaN utility or age would
 /// propagate through the max-normalizers into *every* atom's Eq. 2 blend and
 /// make the ranking incomparable; clamping keeps the order total while the
-/// paired `debug_assert` surfaces the broken cost model in tests.
-fn finite_or_zero(x: f64) -> f64 {
+/// paired `debug_assert` surfaces the broken cost model in tests. Public
+/// because report assembly guards derived ratios (e.g. per-node utilization
+/// over a zero makespan) with the same rule.
+pub fn finite_or_zero(x: f64) -> f64 {
     if x.is_finite() {
         x
     } else {

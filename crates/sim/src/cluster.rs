@@ -21,6 +21,7 @@
 //! [`crate::Executor`].
 
 use crate::engine::{self, Routing};
+use crate::failure::FailurePlan;
 use crate::node::NodePipeline;
 use crate::report::{self, RunReport};
 use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
@@ -28,7 +29,7 @@ use crate::SimConfig;
 use jaws_cache::CacheStats;
 use jaws_morton::MortonKey;
 use jaws_obs::ObsSink;
-use jaws_scheduler::{MetricParams, SchedulerStats};
+use jaws_scheduler::{finite_or_zero, MetricParams, SchedulerStats};
 use jaws_turbdb::{CostModel, DbConfig, DiskStats};
 use jaws_workload::{QueryId, Trace};
 use serde::Serialize;
@@ -58,6 +59,10 @@ pub struct ClusterConfig {
     /// trajectory prefetching, the simulated-time cap, and the idle re-poll
     /// interval.
     pub sim: SimConfig,
+    /// Seeded failure scenario injected into the replay
+    /// ([`FailurePlan::none`] for a healthy run). Validated against the node
+    /// count at construction.
+    pub failures: FailurePlan,
 }
 
 /// Per-node measurements.
@@ -75,8 +80,34 @@ pub struct NodeReport {
     pub cache: CacheStats,
     /// Scheduler statistics.
     pub scheduler: SchedulerStats,
-    /// Fraction of the makespan this node's pipeline was busy.
+    /// Fraction of the makespan this node's pipeline was busy (0 when the
+    /// run completed nothing — never NaN).
     pub utilization: f64,
+    /// Final adaptive α of this node's controller (per-node controllers
+    /// diverge under skewed slabs).
+    pub alpha_final: f64,
+    /// True when a scripted [`FailurePlan`] crash killed this node.
+    pub failed: bool,
+    /// Parts re-dispatched off this node when it crashed.
+    pub redispatched_parts: u64,
+    /// Straggler service-time multiplier in force at end of run (1.0 =
+    /// never degraded).
+    pub slowdown: f64,
+}
+
+/// Degraded-mode summary of a run under a non-empty [`FailurePlan`].
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedReport {
+    /// The plan's explicit seed (replay handle).
+    pub plan_seed: u64,
+    /// Time the first scripted failure fired, if any fired before the cap.
+    pub first_failure_ms: Option<f64>,
+    /// Nodes killed by scripted crashes, ascending.
+    pub failed_nodes: Vec<u32>,
+    /// Total parts re-enqueued through survivors across all crashes.
+    pub redispatched_parts: u64,
+    /// `(node, factor)` for nodes degraded into stragglers, ascending.
+    pub slowed_nodes: Vec<(u32, f64)>,
 }
 
 /// Cluster-level outcome: the aggregate [`RunReport`] plus per-node detail.
@@ -86,6 +117,10 @@ pub struct ClusterReport {
     pub aggregate: RunReport,
     /// Per-node breakdown.
     pub nodes: Vec<NodeReport>,
+    /// Degraded-mode summary; `None` when the run's [`FailurePlan`] was
+    /// empty (the serialized report is then byte-identical to a pre-failure
+    /// one modulo the per-node status fields).
+    pub degraded: Option<DegradedReport>,
 }
 
 impl ClusterReport {
@@ -109,6 +144,21 @@ impl ClusterReport {
     pub fn prefetch_reads(&self) -> u64 {
         self.nodes.iter().map(|n| n.prefetch_reads).sum()
     }
+}
+
+/// Morton keys node `node` actually owns under ceil-sized slabs with the
+/// short remainder clamped onto the last node: full interior slabs own
+/// `slab_size`, the last node owns whatever remains past its slab start, and
+/// trailing nodes beyond the key range own nothing. Clamped below at 1 so a
+/// workless node's Eq. 2 normalizer stays well-defined.
+fn owned_atoms(per_ts: u64, slab_size: u64, nodes: u32, node: u32) -> u64 {
+    let start = node as u64 * slab_size;
+    let owned = if node == nodes - 1 {
+        per_ts.saturating_sub(start)
+    } else {
+        slab_size.min(per_ts.saturating_sub(start))
+    };
+    owned.max(1)
 }
 
 /// The shared-clock multi-node executor.
@@ -137,20 +187,21 @@ impl ClusterExecutor {
             cfg.nodes,
             engine::MAX_NODE_INDEX + 1
         );
+        cfg.failures.validate(cfg.nodes);
         // Ceil-sized slabs: every node owns ⌈per_ts/nodes⌉ contiguous Morton
         // keys except the last, which owns whatever remains (routing clamps
         // onto it). `atoms_per_timestep` feeds Eq. 2's per-timestep
-        // normalization; the slab size is the right per-node figure — the
-        // short last slab is over-normalized by at most one slab's worth,
-        // which only dampens its aged-utility term slightly.
+        // normalization, so each node must be told the key count it
+        // *actually* owns — handing everyone the ceil slab size would
+        // over-normalize (dampen) the short last slab's aged-utility term.
         let slab_size = per_ts.div_ceil(cfg.nodes as u64);
-        let params = MetricParams {
-            atom_read_ms: cfg.cost.atom_read_ms,
-            position_compute_ms: cfg.cost.position_compute_ms,
-            atoms_per_timestep: slab_size,
-        };
         let pipelines = (0..cfg.nodes)
-            .map(|_| {
+            .map(|node| {
+                let params = MetricParams {
+                    atom_read_ms: cfg.cost.atom_read_ms,
+                    position_compute_ms: cfg.cost.position_compute_ms,
+                    atoms_per_timestep: owned_atoms(per_ts, slab_size, cfg.nodes, node),
+                };
                 // Every node opens the full geometry but only ever reads its
                 // slab (plus stencil/prefetch spill-over); its cache and disk
                 // stats therefore reflect its own traffic only.
@@ -212,6 +263,7 @@ impl ClusterExecutor {
             &self.cfg.sim,
             trace,
             true,
+            &self.cfg.failures,
             &self.sink,
         );
         self.response_log.extend(outcome.response_log);
@@ -253,6 +305,15 @@ impl ClusterExecutor {
             .pipelines
             .first()
             .expect("cluster has at least one node");
+        // Per-node adaptive controllers diverge (skewed slabs see different
+        // workloads), so the aggregate α is the node-count-weighted mean —
+        // equal weight per controller — not node 0's final value.
+        let alpha_mean = self
+            .pipelines
+            .iter()
+            .map(|p| p.scheduler().alpha())
+            .sum::<f64>()
+            / self.pipelines.len() as f64;
         let aggregate = report::assemble(
             format!("{}x{}", self.cfg.nodes, first_node.scheduler().name()),
             first_node.db().cache_policy_name().to_string(),
@@ -260,24 +321,63 @@ impl ClusterExecutor {
             total_cache,
             total_disk,
             total_sched,
-            first_node.scheduler().alpha(),
+            alpha_mean,
         );
         let makespan_ms = aggregate.makespan_ms;
         let nodes = self
             .pipelines
             .iter()
             .enumerate()
-            .map(|(i, p)| NodeReport {
-                node: i as u32,
-                parts_completed: p.parts_completed(),
-                prefetch_reads: p.prefetch_reads(),
-                disk: p.db().disk_stats(),
-                cache: p.db().cache_stats(),
-                scheduler: p.scheduler().stats(),
-                utilization: p.busy_ms() / makespan_ms,
+            .map(|(i, p)| {
+                let status = outcome.node_status[i];
+                NodeReport {
+                    node: i as u32,
+                    parts_completed: p.parts_completed(),
+                    prefetch_reads: p.prefetch_reads(),
+                    disk: p.db().disk_stats(),
+                    cache: p.db().cache_stats(),
+                    scheduler: p.scheduler().stats(),
+                    // A zero-completion run has a zero makespan; the guard
+                    // keeps the ratio (and imbalance()) NaN-free.
+                    utilization: finite_or_zero(p.busy_ms() / makespan_ms),
+                    alpha_final: p.scheduler().alpha(),
+                    failed: status.failed,
+                    redispatched_parts: status.redispatched_parts,
+                    slowdown: status.slowdown,
+                }
             })
             .collect();
-        ClusterReport { aggregate, nodes }
+        let degraded = (!self.cfg.failures.is_empty()).then(|| DegradedReport {
+            plan_seed: self.cfg.failures.seed(),
+            first_failure_ms: outcome.first_failure_ms,
+            failed_nodes: outcome
+                .node_status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.failed)
+                .map(|(i, _)| i as u32)
+                .collect(),
+            redispatched_parts: outcome
+                .node_status
+                .iter()
+                .map(|s| s.redispatched_parts)
+                .sum(),
+            slowed_nodes: outcome
+                .node_status
+                .iter()
+                .enumerate()
+                // lint: allow(F002) — exact sentinel, not ranking logic: 1.0
+                // is the never-degraded default and factors are copied
+                // verbatim from the plan, so bitwise inequality is the test
+                .filter(|(_, s)| s.slowdown != 1.0)
+                .map(|(i, s)| (i as u32, s.slowdown))
+                .collect(),
+        });
+        ClusterReport {
+            aggregate,
+            nodes,
+            degraded,
+        }
     }
 }
 
@@ -305,6 +405,7 @@ mod tests {
             run_len: 25,
             gate_timeout_ms: 10_000.0,
             sim: SimConfig::default(),
+            failures: FailurePlan::none(),
         }
     }
 
@@ -466,6 +567,174 @@ mod tests {
         assert_eq!(r.nodes[0].parts_completed, 3);
         assert_eq!(r.nodes[3].parts_completed, 3);
         assert_eq!(r.nodes[1].parts_completed, 0);
+    }
+
+    #[test]
+    fn owned_atoms_reflect_the_clamped_partition() {
+        // 3 nodes over 64 atoms/ts: ceil slabs of 22 → the last node owns the
+        // short remainder of 20 keys, and Eq. 2 normalization must use it.
+        assert_eq!(owned_atoms(64, 22, 3, 0), 22);
+        assert_eq!(owned_atoms(64, 22, 3, 1), 22);
+        assert_eq!(owned_atoms(64, 22, 3, 2), 20);
+        // 9 nodes over 64: slabs of 8 fill nodes 0..=7; node 8 owns nothing
+        // and is clamped to 1 so its normalizer stays well-defined.
+        assert_eq!(owned_atoms(64, 8, 9, 7), 8);
+        assert_eq!(owned_atoms(64, 8, 9, 8), 1);
+        // Even splits are unchanged.
+        for n in 0..4 {
+            assert_eq!(owned_atoms(64, 16, 4, n), 16);
+        }
+    }
+
+    #[test]
+    fn aggregate_alpha_is_the_mean_of_divergent_node_controllers() {
+        use jaws_morton::MortonKey as MK;
+        use jaws_workload::{Job, JobKind, Query, QueryOp, Trace};
+        // Concentrate every footprint on node 0's slab with a short run
+        // length: node 0's adaptive controller steps through many run
+        // boundaries while the starved nodes keep α₀, forcing divergence.
+        let q = |id: u64, ts: u32| Query {
+            id,
+            user: 0,
+            op: QueryOp::Velocity,
+            timestep: ts % 8,
+            footprint: Footprint::from_pairs([(MK(id % 4), 60u32)]),
+        };
+        let jobs = (0..4u64)
+            .map(|j| Job {
+                id: j + 1,
+                user: j as u32,
+                kind: JobKind::Batched,
+                campaign: 1,
+                queries: (0..30u64).map(|i| q(j * 30 + i + 1, i as u32)).collect(),
+                arrival_ms: 0.0,
+                think_ms: 10.0,
+            })
+            .collect();
+        let trace = Trace::new(8, 4, jobs);
+        let mut cfg = cluster_cfg(3, SchedulerKind::Jaws2 { batch_k: 8 });
+        cfg.run_len = 10;
+        let r = ClusterExecutor::new(cfg).run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        let alphas: Vec<f64> = r.nodes.iter().map(|n| n.alpha_final).collect();
+        assert!(
+            (alphas[0] - alphas[2]).abs() > 1e-9,
+            "controllers never diverged: {alphas:?}"
+        );
+        let mean = alphas.iter().sum::<f64>() / alphas.len() as f64;
+        assert_eq!(
+            r.aggregate.alpha_final.to_bits(),
+            mean.to_bits(),
+            "aggregate α must be the node-count-weighted mean"
+        );
+        assert_ne!(
+            r.aggregate.alpha_final.to_bits(),
+            alphas[0].to_bits(),
+            "aggregate α must not be node 0's value alone"
+        );
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_utilization_not_nan() {
+        use jaws_workload::Trace;
+        let trace = Trace::new(8, 4, vec![]);
+        let r = ClusterExecutor::new(cluster_cfg(2, SchedulerKind::NoShare)).run(&trace);
+        assert_eq!(r.aggregate.queries_completed, 0);
+        for n in &r.nodes {
+            assert_eq!(
+                n.utilization.to_bits(),
+                0.0f64.to_bits(),
+                "node {} utilization must be exactly 0, got {}",
+                n.node,
+                n.utilization
+            );
+        }
+        let imb = r.imbalance();
+        assert!(imb.is_finite(), "imbalance poisoned: {imb}");
+    }
+
+    #[test]
+    fn truncated_runs_fold_part_ids_in_the_response_log() {
+        use std::collections::BTreeSet;
+        let trace = TraceGenerator::new(GenConfig::small(57)).generate();
+        let mut cfg = cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 });
+        cfg.sim.max_sim_ms = 10_000.0;
+        let mut ex = ClusterExecutor::new(cfg);
+        let r = ex.run(&trace);
+        assert!(r.aggregate.truncated, "cap did not cut the replay");
+        assert!(!ex.response_log().is_empty());
+        let trace_ids: BTreeSet<u64> = trace
+            .jobs
+            .iter()
+            .flat_map(|j| j.queries.iter().map(|q| q.id))
+            .collect();
+        for &(qid, rt) in ex.response_log() {
+            assert!(
+                qid <= engine::PART_QUERY_MASK,
+                "raw part id {qid:#x} leaked into the response log"
+            );
+            assert!(trace_ids.contains(&qid), "log id {qid} not a trace query");
+            assert!(rt.is_finite() && rt >= 0.0);
+        }
+    }
+
+    #[test]
+    fn crashed_node_work_is_redispatched_and_the_trace_drains() {
+        let trace = TraceGenerator::new(GenConfig::small(53)).generate();
+        // Compress arrivals so node 1 holds queued work when it dies.
+        let trace = trace.speedup(20.0);
+        let mut cfg = cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 });
+        let healthy = ClusterExecutor::new(cfg.clone()).run(&trace);
+        assert!(healthy.degraded.is_none(), "healthy run must not degrade");
+        cfg.failures =
+            FailurePlan::new(17).crash_with_survivor(0.5 * healthy.aggregate.makespan_ms, 1, 2);
+        let mut ex = ClusterExecutor::new(cfg);
+        let r = ex.run(&trace);
+        assert_eq!(
+            r.aggregate.queries_completed,
+            trace.query_count() as u64,
+            "re-dispatch failed to drain the dead node's slab"
+        );
+        assert!(!r.aggregate.truncated);
+        assert!(r.nodes[1].failed, "crashed node not marked failed");
+        assert!(!r.nodes[2].failed);
+        let d = r.degraded.expect("degraded section for a failure run");
+        assert_eq!(d.failed_nodes, vec![1]);
+        assert_eq!(d.redispatched_parts, r.nodes[1].redispatched_parts);
+        assert!(
+            d.redispatched_parts > 0,
+            "node 1 held no work at the crash — the scenario tests nothing"
+        );
+        assert!(d.first_failure_ms.is_some());
+        // The log still folds to trace query ids only.
+        for &(qid, _) in ex.response_log() {
+            assert!(qid <= engine::PART_QUERY_MASK);
+        }
+    }
+
+    #[test]
+    fn straggler_slowdown_stretches_the_replay() {
+        let trace = TraceGenerator::new(GenConfig::small(55))
+            .generate()
+            .speedup(20.0);
+        let mut cfg = cluster_cfg(2, SchedulerKind::LifeRaft2);
+        let healthy = ClusterExecutor::new(cfg.clone()).run(&trace);
+        cfg.failures = FailurePlan::new(5).slowdown_at(0.0, 0, 8.0);
+        let r = ClusterExecutor::new(cfg).run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        assert!(
+            r.aggregate.makespan_ms > healthy.aggregate.makespan_ms,
+            "8x straggler did not stretch the makespan ({:.0} vs {:.0})",
+            r.aggregate.makespan_ms,
+            healthy.aggregate.makespan_ms
+        );
+        assert_eq!(r.nodes[0].slowdown.to_bits(), 8.0f64.to_bits());
+        assert!(!r.nodes[0].failed);
+        let d = r.degraded.expect("degraded section");
+        assert!(d.failed_nodes.is_empty());
+        assert_eq!(d.slowed_nodes.len(), 1);
+        assert_eq!(d.slowed_nodes[0].0, 0);
+        assert_eq!(d.slowed_nodes[0].1.to_bits(), 8.0f64.to_bits());
     }
 
     proptest! {

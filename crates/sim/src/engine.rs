@@ -9,18 +9,38 @@
 //! * [`Routing`] decides how a submitted query reaches the node pipelines —
 //!   the identity route of a single node, or the Morton-slab fan-out of the
 //!   §V-C cluster with packed per-node part ids;
+//! * `LiveRouting` (crate-internal) overlays the static route with node
+//!   liveness: a scripted
+//!   crash ([`crate::FailurePlan`]) marks a node dead and re-routes its slab
+//!   to a survivor (clamped, chained across repeated failures);
 //! * `run_trace` (crate-internal) is the one client model: it replays job
 //!   arrivals, paces batched queries, drives ordered think-time chains,
 //!   enforces the cross-node completion barrier (outstanding-part counts),
 //!   charges batch service times, spends idle capacity on trajectory
-//!   prefetches, and truncates at the simulated-time cap — against N ≥ 1
+//!   prefetches, injects scripted node failures (crash re-dispatch, straggler
+//!   slowdowns), and truncates at the simulated-time cap — against N ≥ 1
 //!   [`NodePipeline`]s.
 //!
 //! The engine owns the clock: pipelines never see time except through the
 //! `now_ms` arguments the engine passes in. All engine-side state is kept in
 //! `BTreeMap`s so iteration order can never leak hash randomness into
 //! scheduling decisions (lint rule D001 needs no carve-outs here).
+//!
+//! ## Failure semantics
+//!
+//! A crash at time `T` is one deterministic transaction inside the event
+//! loop: the node is marked dead, every later event addressed to it (stale
+//! `BatchDone`, `PrefetchDone`, `IdleCheck`) is dropped on pop, its slab
+//! redirects to the survivor, and every part it held — queued in its
+//! scheduler *or* in its in-flight batch — is re-enqueued through the
+//! survivor's scheduler under its original packed part id (so the
+//! completion barrier and the response log stay keyed by trace query ids).
+//! Re-dispatched and newly-routed work is first *declared* to the survivor
+//! as a remnant job projection so job-aware gating knows the incoming ids;
+//! the work then competes in the survivor's utility ranking like any other
+//! arrival — recovery never jumps the queue.
 
+use crate::failure::{FailureEvent, FailurePlan};
 use crate::node::NodePipeline;
 use crate::report::RunTotals;
 use crate::SimConfig;
@@ -29,7 +49,7 @@ use jaws_obs::{ObsSink, VecRecorder};
 use jaws_workload::{Footprint, Job, JobKind, Query, QueryId, Trace};
 use std::borrow::Cow;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::{Arc, Mutex};
 
 /// Bits of a packed part id that carry the original query id. The remaining
@@ -67,6 +87,12 @@ pub fn part_node(part: QueryId) -> u32 {
     ((part >> PART_QUERY_BITS) - 1) as u32
 }
 
+/// Remnant job declarations (crash re-dispatch) tag the synthetic job id with
+/// the 1-based crash ordinal in these high bits, so a job whose parts are
+/// re-dispatched by several successive crashes gets a distinct declaration id
+/// each time and never collides with trace job ids.
+const REMNANT_JOB_BITS: u32 = 48;
+
 /// How submitted queries reach the node pipelines.
 #[derive(Debug, Clone, Copy)]
 pub enum Routing {
@@ -87,7 +113,9 @@ pub enum Routing {
 }
 
 impl Routing {
-    /// The node owning a Morton key.
+    /// The node owning a Morton key under the *static* partition (no failure
+    /// redirects applied — the engine's `LiveRouting` overlay holds its
+    /// own failure-aware view).
     pub fn node_of(&self, m: MortonKey) -> u32 {
         match self {
             Routing::Single => 0,
@@ -104,12 +132,77 @@ impl Routing {
             Routing::MortonSlabs { .. } => orig_id(part),
         }
     }
+}
 
-    /// Splits a query into per-node parts, in ascending node order. The
+/// The engine's routing view: the static [`Routing`] plus node liveness. A
+/// crash redirects the dead node's slab onto its survivor (and compresses any
+/// chain of earlier redirects that pointed at the dead node), so `node_of`
+/// always answers with a live node.
+struct LiveRouting<'r> {
+    base: &'r Routing,
+    /// Per static owner: the live node currently responsible for its slab.
+    redirect: Vec<u32>,
+    /// Per node: false once a scripted crash killed it.
+    alive: Vec<bool>,
+}
+
+impl<'r> LiveRouting<'r> {
+    fn new(base: &'r Routing, nodes: usize) -> Self {
+        LiveRouting {
+            base,
+            redirect: (0..nodes as u32).collect(),
+            alive: vec![true; nodes],
+        }
+    }
+
+    /// The live node owning a Morton key.
+    fn node_of(&self, m: MortonKey) -> u32 {
+        self.redirect[self.base.node_of(m) as usize]
+    }
+
+    /// Kills `node`, redirecting every slab it was responsible for onto the
+    /// survivor. `designated` names the survivor; `None` (or a designated
+    /// node that is itself dead / the crashing node after chain resolution)
+    /// falls back to the lowest-indexed live node. Returns the survivor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node would remain alive (validated up front by
+    /// [`FailurePlan::validate`], re-checked here as an invariant).
+    fn crash(&mut self, node: u32, designated: Option<u32>) -> u32 {
+        self.alive[node as usize] = false;
+        let fallback = || {
+            self.alive
+                .iter()
+                .position(|&a| a)
+                // lint: invariant — FailurePlan::validate rejects plans that
+                // crash every node, so a live node always remains
+                .expect("a crash must leave at least one node alive") as u32
+        };
+        let surv = match designated {
+            Some(s) => {
+                let resolved = self.redirect[s as usize];
+                if self.alive[resolved as usize] {
+                    resolved
+                } else {
+                    fallback()
+                }
+            }
+            None => fallback(),
+        };
+        for r in &mut self.redirect {
+            if *r == node {
+                *r = surv;
+            }
+        }
+        surv
+    }
+
+    /// Splits a query into per-node parts, in ascending live-node order. The
     /// single route borrows the query unchanged; the slab route builds part
-    /// queries whose ids pack the node index ([`part_id`]).
+    /// queries whose ids pack the owning node index ([`part_id`]).
     fn fan_out<'q>(&self, q: &'q Query) -> Vec<(u32, Cow<'q, Query>)> {
-        match self {
+        match self.base {
             Routing::Single => vec![(0, Cow::Borrowed(q))],
             Routing::MortonSlabs { .. } => {
                 let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
@@ -138,7 +231,7 @@ impl Routing {
     /// empty projections are dropped, preserving order. `None` when the node
     /// owns nothing of the job. The single route borrows the job whole.
     fn project_job<'j>(&self, job: &'j Job, node: u32) -> Option<Cow<'j, Job>> {
-        match self {
+        match self.base {
             Routing::Single => Some(Cow::Borrowed(job)),
             Routing::MortonSlabs { .. } => {
                 let queries: Vec<Query> = job
@@ -194,6 +287,8 @@ enum Event {
     PrefetchDone(u32),
     /// A node's idle re-poll fired (starvation-valve wake-up).
     IdleCheck(u32),
+    /// Scripted failure event `i` of the run's [`FailurePlan`] fired.
+    Failure(usize),
 }
 
 /// Wrapper giving f64 event times a total order in the heap.
@@ -294,6 +389,29 @@ fn buffer_node_sinks<'a>(
     Some(TraceBuffers { bufs, out: sink })
 }
 
+/// Per-node failure outcome of one run, consumed by the cluster report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeStatus {
+    /// True once a scripted crash killed the node.
+    pub failed: bool,
+    /// Parts re-dispatched *off* this node when it crashed (in-flight plus
+    /// queued at crash time).
+    pub redispatched_parts: u64,
+    /// Service-time multiplier in force at the end of the run (1.0 = never
+    /// degraded).
+    pub slowdown: f64,
+}
+
+impl Default for NodeStatus {
+    fn default() -> Self {
+        NodeStatus {
+            failed: false,
+            redispatched_parts: 0,
+            slowdown: 1.0,
+        }
+    }
+}
+
 /// Everything a run produced that the report layer needs, plus the per-query
 /// completion log in completion order.
 pub(crate) struct EngineOutcome {
@@ -301,6 +419,29 @@ pub(crate) struct EngineOutcome {
     pub totals: RunTotals,
     /// `(trace query id, response ms)` in completion order.
     pub response_log: Vec<(QueryId, f64)>,
+    /// Per-node failure outcomes (all-default when the plan was empty).
+    pub node_status: Vec<NodeStatus>,
+    /// Time of the first scripted failure that actually fired, if any.
+    pub first_failure_ms: Option<f64>,
+}
+
+/// Bookkeeping that exists only while a non-empty [`FailurePlan`] is in
+/// force; a plain replay allocates none of it and takes the exact pre-failure
+/// code paths.
+struct FailureState {
+    /// Per node: part ids submitted to it and not yet completed (in-flight
+    /// batch parts included — their `BatchDone` hasn't fired yet).
+    pending: Vec<BTreeSet<QueryId>>,
+    /// Every outstanding part as submitted (footprint included), so a crash
+    /// can re-enqueue it verbatim through the survivor.
+    defs: BTreeMap<QueryId, Query>,
+    /// Per node: part ids its scheduler has been told about via a job
+    /// declaration (arrival projections and crash remnants).
+    declared: Vec<BTreeSet<QueryId>>,
+    /// Per trace job: whether its arrival event has fired.
+    arrived: Vec<bool>,
+    /// Crashes handled so far (1-based ordinal tags remnant job ids).
+    crashes: u64,
 }
 
 /// Replays `trace` against `pipelines` under `routing` until the trace drains
@@ -311,17 +452,26 @@ pub(crate) struct EngineOutcome {
 /// passes `false` after an up-front ground-truth declaration override
 /// ([`crate::Executor::declare_jobs`]).
 ///
+/// `failures` scripts node crashes and slowdowns; it must be empty on the
+/// single route (there is no survivor to re-dispatch to).
+///
 /// `sink` receives the engine-level lifecycle events (job arrival, query
-/// submission, part routing, completion, end-of-run counters); per-node
-/// events are emitted by the pipelines through their own (node-tagged) sinks.
+/// submission, part routing, completion, failures, end-of-run counters);
+/// per-node events are emitted by the pipelines through their own
+/// (node-tagged) sinks.
 pub(crate) fn run_trace(
     pipelines: &mut [NodePipeline],
     routing: &Routing,
     cfg: &SimConfig,
     trace: &Trace,
     declare_on_arrival: bool,
+    failures: &FailurePlan,
     sink: &ObsSink,
 ) -> EngineOutcome {
+    assert!(
+        failures.is_empty() || matches!(routing, Routing::MortonSlabs { .. }),
+        "failure plans require the cluster route (a single node has no survivor)"
+    );
     // Query → (job index, query index) for completion routing.
     let mut locate: BTreeMap<QueryId, (usize, usize)> = BTreeMap::new();
     for (ji, job) in trace.jobs.iter().enumerate() {
@@ -343,6 +493,19 @@ pub(crate) fn run_trace(
     let mut truncated = false;
     let mut now_ms = 0.0f64;
     let mut queue = EventQueue::default();
+    let mut live = LiveRouting::new(routing, pipelines.len());
+    let mut node_status: Vec<NodeStatus> = vec![NodeStatus::default(); pipelines.len()];
+    let mut first_failure_ms: Option<f64> = None;
+    // Failure bookkeeping is allocated only when a plan is in force, so the
+    // plain replay pays nothing and stays byte-identical to its pre-failure
+    // behavior (event ids included: the plan pushes no events when empty).
+    let mut fstate: Option<FailureState> = (!failures.is_empty()).then(|| FailureState {
+        pending: vec![BTreeSet::new(); pipelines.len()],
+        defs: BTreeMap::new(),
+        declared: vec![BTreeSet::new(); pipelines.len()],
+        arrived: vec![false; trace.jobs.len()],
+        crashes: 0,
+    });
     // Traced multi-node runs: buffer per-node emissions so worker threads
     // never interleave on the shared recorder (see [`TraceBuffers`]).
     let buffers = buffer_node_sinks(pipelines, sink);
@@ -354,13 +517,15 @@ pub(crate) fn run_trace(
                   qi: usize,
                   observe: bool,
                   now_ms: f64,
+                  live: &LiveRouting,
                   submit_ms: &mut BTreeMap<QueryId, f64>,
                   outstanding: &mut BTreeMap<QueryId, u32>,
+                  fstate: &mut Option<FailureState>,
                   pipelines: &mut [NodePipeline]| {
         let job = &trace.jobs[ji];
         let q = &job.queries[qi];
         submit_ms.insert(q.id, now_ms);
-        let parts = routing.fan_out(q);
+        let parts = live.fan_out(q);
         outstanding.insert(q.id, parts.len() as u32);
         if sink.enabled() {
             sink.emit(
@@ -386,6 +551,10 @@ pub(crate) fn run_trace(
                     },
                 );
             }
+            if let Some(fs) = fstate {
+                fs.pending[node as usize].insert(part.id);
+                fs.defs.insert(part.id, part.as_ref().clone());
+            }
             let p = &mut pipelines[node as usize];
             if observe {
                 p.observe(job.id, part.as_ref());
@@ -400,6 +569,9 @@ pub(crate) fn run_trace(
     for (ji, job) in trace.jobs.iter().enumerate() {
         queue.push(job.arrival_ms, Event::JobArrival(ji));
     }
+    for (i, ev) in failures.events().iter().enumerate() {
+        queue.push(ev.at_ms(), Event::Failure(i));
+    }
 
     while let Some((at, ev)) = queue.pop() {
         if at > cfg.max_sim_ms {
@@ -410,6 +582,9 @@ pub(crate) fn run_trace(
         match ev {
             Event::JobArrival(ji) => {
                 let job = &trace.jobs[ji];
+                if let Some(fs) = &mut fstate {
+                    fs.arrived[ji] = true;
+                }
                 if sink.enabled() {
                     sink.emit(
                         now_ms,
@@ -425,7 +600,13 @@ pub(crate) fn run_trace(
                 }
                 if declare_on_arrival {
                     for node in 0..pipelines.len() as u32 {
-                        if let Some(pj) = routing.project_job(job, node) {
+                        if !live.alive[node as usize] {
+                            continue;
+                        }
+                        if let Some(pj) = live.project_job(job, node) {
+                            if let Some(fs) = &mut fstate {
+                                fs.declared[node as usize].extend(pj.queries.iter().map(|q| q.id));
+                            }
                             pipelines[node as usize].job_declared(pj.as_ref(), now_ms);
                             if let Some(b) = &buffers {
                                 b.drain(node as usize);
@@ -452,8 +633,10 @@ pub(crate) fn run_trace(
                             0,
                             false,
                             now_ms,
+                            &live,
                             &mut submit_ms,
                             &mut outstanding,
+                            &mut fstate,
                             &mut *pipelines,
                         );
                     }
@@ -466,12 +649,19 @@ pub(crate) fn run_trace(
                     qi,
                     observe,
                     now_ms,
+                    &live,
                     &mut submit_ms,
                     &mut outstanding,
+                    &mut fstate,
                     &mut *pipelines,
                 );
             }
             Event::BatchDone(node, completed_parts) => {
+                if !live.alive[node as usize] {
+                    // The node died mid-batch: its completion never happens
+                    // and these parts were re-dispatched at crash time.
+                    continue;
+                }
                 pipelines[node as usize].set_idle();
                 for pid in completed_parts {
                     let qid = routing.original_id(pid);
@@ -483,6 +673,10 @@ pub(crate) fn run_trace(
                         .expect("completed query was submitted");
                     let rt = now_ms - submitted;
                     pipelines[node as usize].complete_part(pid, rt, now_ms);
+                    if let Some(fs) = &mut fstate {
+                        fs.pending[node as usize].remove(&pid);
+                        fs.defs.remove(&pid);
+                    }
                     if let Some(b) = &buffers {
                         b.drain(node as usize);
                     }
@@ -528,13 +722,54 @@ pub(crate) fn run_trace(
                 }
             }
             Event::PrefetchDone(node) => {
-                pipelines[node as usize].set_idle();
+                if live.alive[node as usize] {
+                    pipelines[node as usize].set_idle();
+                }
             }
             Event::IdleCheck(node) => {
-                pipelines[node as usize].clear_idle_check();
+                if live.alive[node as usize] {
+                    pipelines[node as usize].clear_idle_check();
+                }
+            }
+            Event::Failure(i) => {
+                let ev = failures.events()[i];
+                first_failure_ms.get_or_insert(now_ms);
+                match ev {
+                    FailureEvent::Slowdown { node, factor, .. } => {
+                        if live.alive[node as usize] {
+                            pipelines[node as usize].set_service_multiplier(factor);
+                            node_status[node as usize].slowdown = factor;
+                            if sink.enabled() {
+                                sink.emit(now_ms, jaws_obs::Event::NodeSlowdown { node, factor });
+                            }
+                        }
+                    }
+                    FailureEvent::Crash { node, survivor, .. } => {
+                        // lint: invariant — FailurePlan::validate rejects
+                        // plans that crash the same node twice
+                        assert!(live.alive[node as usize], "node {node} crashed twice");
+                        crash_node(
+                            node,
+                            survivor,
+                            now_ms,
+                            trace,
+                            &locate,
+                            &submit_ms,
+                            &mut live,
+                            // lint: invariant — run_trace asserts the plan is
+                            // empty unless the cluster route is in force, and
+                            // fstate is Some whenever the plan is non-empty
+                            fstate.as_mut().expect("failure state exists"),
+                            &mut node_status,
+                            pipelines,
+                            sink,
+                            &buffers,
+                        );
+                    }
+                }
             }
         }
-        dispatch_round(pipelines, now_ms, cfg, &mut queue, &buffers);
+        dispatch_round(pipelines, &live.alive, now_ms, cfg, &mut queue, &buffers);
     }
 
     if let Some(b) = &buffers {
@@ -576,6 +811,149 @@ pub(crate) fn run_trace(
             truncated,
         },
         response_log,
+        node_status,
+        first_failure_ms,
+    }
+}
+
+/// Handles one scripted crash: kills the node in the routing overlay, then
+/// re-dispatches everything it held through the survivor — first declaring
+/// *remnant job* projections so the survivor's job-aware gating knows the
+/// incoming ids, then re-enqueueing the pending parts in ascending part-id
+/// order. Future queries of already-arrived jobs whose atoms now route to the
+/// survivor under a part id it was never told about are declared too, so
+/// their later submission finds a known id.
+#[allow(clippy::too_many_arguments)]
+fn crash_node(
+    node: u32,
+    designated: Option<u32>,
+    now_ms: f64,
+    trace: &Trace,
+    locate: &BTreeMap<QueryId, (usize, usize)>,
+    submit_ms: &BTreeMap<QueryId, f64>,
+    live: &mut LiveRouting<'_>,
+    fs: &mut FailureState,
+    node_status: &mut [NodeStatus],
+    pipelines: &mut [NodePipeline],
+    sink: &ObsSink,
+    buffers: &Option<TraceBuffers<'_>>,
+) {
+    let surv = live.crash(node, designated);
+    fs.crashes += 1;
+    let moved = std::mem::take(&mut fs.pending[node as usize]);
+    node_status[node as usize].failed = true;
+    node_status[node as usize].redispatched_parts = moved.len() as u64;
+    if sink.enabled() {
+        sink.emit(
+            now_ms,
+            jaws_obs::Event::NodeFailed {
+                node,
+                survivor: surv,
+                redispatched: moved.len() as u64,
+            },
+        );
+    }
+
+    // Remnant declarations, grouped per trace job in ascending job index;
+    // within a job, queries stay in sequence order (ties on the same query —
+    // several re-dispatched parts of one query — break by part id).
+    let mut remnants: BTreeMap<usize, Vec<(usize, QueryId, Query)>> = BTreeMap::new();
+    for &pid in &moved {
+        let qid = orig_id(pid);
+        let (ji, qi) = locate[&qid];
+        // lint: invariant — every pending part stored its definition at
+        // submission time
+        let def = fs.defs.get(&pid).expect("pending part has a definition");
+        remnants.entry(ji).or_default().push((qi, pid, def.clone()));
+    }
+    for (ji, job) in trace.jobs.iter().enumerate() {
+        if !fs.arrived[ji] {
+            // Unarrived jobs project through the post-crash routing at their
+            // arrival; nothing to declare early.
+            continue;
+        }
+        for (qi, q) in job.queries.iter().enumerate() {
+            if submit_ms.contains_key(&q.id) {
+                continue; // submitted (or already complete): not a future query
+            }
+            let atoms: Vec<(MortonKey, u32)> = q
+                .footprint
+                .atoms
+                .iter()
+                .copied()
+                .filter(|&(m, _)| live.node_of(m) == surv)
+                .collect();
+            if atoms.is_empty() {
+                continue;
+            }
+            let pid = part_id(q.id, surv);
+            if fs.declared[surv as usize].contains(&pid) {
+                continue; // the survivor's own projection already covers it
+            }
+            remnants.entry(ji).or_default().push((
+                qi,
+                pid,
+                Query {
+                    id: pid,
+                    user: q.user,
+                    op: q.op,
+                    timestep: q.timestep,
+                    footprint: Footprint::from_pairs(atoms),
+                },
+            ));
+        }
+    }
+    for (ji, mut parts) in remnants {
+        parts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let job = &trace.jobs[ji];
+        debug_assert!(
+            job.id < (1 << REMNANT_JOB_BITS),
+            "trace job id exceeds the remnant tag budget"
+        );
+        let remnant = Job {
+            // Tagged with the crash ordinal: distinct from the trace id and
+            // from remnants of earlier crashes.
+            id: (fs.crashes << REMNANT_JOB_BITS) | job.id,
+            user: job.user,
+            kind: job.kind,
+            campaign: job.campaign,
+            queries: parts.into_iter().map(|(_, _, q)| q).collect(),
+            arrival_ms: job.arrival_ms,
+            think_ms: job.think_ms,
+        };
+        fs.declared[surv as usize].extend(remnant.queries.iter().map(|q| q.id));
+        pipelines[surv as usize].job_declared(&remnant, now_ms);
+        if let Some(b) = buffers {
+            b.drain(surv as usize);
+        }
+    }
+
+    // Re-enqueue the dead node's pending parts through the survivor's
+    // scheduler: recovered work re-enters the utility ranking, it does not
+    // jump the queue.
+    for &pid in &moved {
+        // lint: invariant — every pending part stored its definition at
+        // submission time
+        let def = fs
+            .defs
+            .get(&pid)
+            .expect("pending part has a definition")
+            .clone();
+        if sink.enabled() {
+            sink.emit(
+                now_ms,
+                jaws_obs::Event::PartRedispatched {
+                    part: pid,
+                    from: node,
+                    to: surv,
+                },
+            );
+        }
+        fs.pending[surv as usize].insert(pid);
+        pipelines[surv as usize].query_available(&def, now_ms);
+        if let Some(b) = buffers {
+            b.drain(surv as usize);
+        }
     }
 }
 
@@ -591,7 +969,7 @@ enum DispatchPlan {
     Prefetch(f64),
     /// Gated work exists; re-poll after `idle_recheck_ms`.
     IdleCheck,
-    /// Busy, or nothing to do.
+    /// Busy, dead, or nothing to do.
     Nothing,
 }
 
@@ -626,28 +1004,47 @@ fn dispatch_plan(pipeline: &mut NodePipeline, now_ms: f64) -> DispatchPlan {
     }
 }
 
-/// One per-event dispatch round over all pipelines.
+/// One per-event dispatch round over all live pipelines.
 ///
 /// Nodes share no state between events (each owns its database, cache and
 /// scheduler), so when several are free their planning steps run concurrently
 /// via [`jaws_par::map_mut`]; with one free node (the common saturated case)
-/// the round stays inline and spawns nothing. Plans are applied — and any
-/// buffered trace records drained — in ascending node order, so event ids,
-/// reports and JSONL traces are byte-identical at any thread count.
+/// the round stays inline and spawns nothing. Dead nodes are skipped
+/// entirely. Plans are applied — and any buffered trace records drained — in
+/// ascending node order, so event ids, reports and JSONL traces are
+/// byte-identical at any thread count.
 fn dispatch_round(
     pipelines: &mut [NodePipeline],
+    alive: &[bool],
     now_ms: f64,
     cfg: &SimConfig,
     queue: &mut EventQueue,
     buffers: &Option<TraceBuffers<'_>>,
 ) {
-    let free = pipelines.iter().filter(|p| !p.is_busy()).count();
+    let free = pipelines
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| alive[*i] && !p.is_busy())
+        .count();
     let plans: Vec<DispatchPlan> = if free > 1 {
-        jaws_par::map_mut(pipelines, |_, p| dispatch_plan(p, now_ms))
+        jaws_par::map_mut(pipelines, |i, p| {
+            if alive[i] {
+                dispatch_plan(p, now_ms)
+            } else {
+                DispatchPlan::Nothing
+            }
+        })
     } else {
         pipelines
             .iter_mut()
-            .map(|p| dispatch_plan(p, now_ms))
+            .enumerate()
+            .map(|(i, p)| {
+                if alive[i] {
+                    dispatch_plan(p, now_ms)
+                } else {
+                    DispatchPlan::Nothing
+                }
+            })
             .collect()
     };
     for (node, plan) in plans.into_iter().enumerate() {
@@ -726,5 +1123,40 @@ mod tests {
             nodes: 2,
         };
         assert_eq!(r.node_of(MortonKey(500)), 1);
+    }
+
+    #[test]
+    fn live_routing_redirects_a_dead_slab_to_the_survivor() {
+        let base = Routing::MortonSlabs {
+            slab_size: 16,
+            nodes: 4,
+        };
+        let mut live = LiveRouting::new(&base, 4);
+        assert_eq!(live.node_of(MortonKey(20)), 1);
+        let surv = live.crash(1, Some(3));
+        assert_eq!(surv, 3);
+        assert_eq!(live.node_of(MortonKey(20)), 3, "slab 1 must move to 3");
+        assert_eq!(live.node_of(MortonKey(0)), 0, "other slabs untouched");
+        assert!(!live.alive[1]);
+    }
+
+    #[test]
+    fn live_routing_chains_redirects_across_repeated_crashes() {
+        let base = Routing::MortonSlabs {
+            slab_size: 16,
+            nodes: 4,
+        };
+        let mut live = LiveRouting::new(&base, 4);
+        live.crash(1, Some(2));
+        // Node 2 now owns slabs 1 and 2; when it dies both must land on the
+        // next survivor (designated dead ⇒ lowest live fallback).
+        let surv = live.crash(2, Some(1));
+        assert_eq!(
+            surv, 0,
+            "dead designated survivor falls back to lowest live"
+        );
+        assert_eq!(live.node_of(MortonKey(20)), 0);
+        assert_eq!(live.node_of(MortonKey(40)), 0);
+        assert_eq!(live.node_of(MortonKey(60)), 3);
     }
 }

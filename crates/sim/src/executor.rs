@@ -130,6 +130,7 @@ impl Executor {
             &self.cfg,
             trace,
             !self.declarations_overridden,
+            &crate::FailurePlan::none(),
             &self.sink,
         );
         self.response_log.extend(outcome.response_log);

@@ -32,14 +32,16 @@
 pub mod cluster;
 pub mod engine;
 pub mod executor;
+pub mod failure;
 pub mod node;
 pub mod report;
 pub mod setup;
 pub mod sweep;
 
-pub use cluster::{ClusterConfig, ClusterExecutor, ClusterReport, NodeReport};
+pub use cluster::{ClusterConfig, ClusterExecutor, ClusterReport, DegradedReport, NodeReport};
 pub use engine::Routing;
 pub use executor::{Executor, SimConfig};
+pub use failure::{FailureEvent, FailurePlan};
 pub use node::NodePipeline;
 pub use report::{Percentiles, RunReport};
 pub use setup::{build_db, build_policy, build_scheduler, CachePolicyKind, SchedulerKind};

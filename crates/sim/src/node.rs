@@ -38,6 +38,10 @@ pub struct NodePipeline {
     prefetcher: Option<Prefetcher>,
     busy: bool,
     idle_check_pending: bool,
+    /// Straggler factor from a scripted [`crate::FailurePlan`] slowdown:
+    /// every charged batch and speculative-read service time is multiplied
+    /// by it. 1.0 (the default) is a healthy node.
+    service_multiplier: f64,
     busy_ms: f64,
     parts_completed: u64,
     prefetch_reads: u64,
@@ -57,6 +61,7 @@ impl NodePipeline {
             prefetcher,
             busy: false,
             idle_check_pending: false,
+            service_multiplier: 1.0,
             busy_ms: 0.0,
             parts_completed: 0,
             prefetch_reads: 0,
@@ -101,6 +106,22 @@ impl NodePipeline {
     /// True while a batch or speculative read is in flight.
     pub fn is_busy(&self) -> bool {
         self.busy
+    }
+
+    /// Sets the straggler service-time multiplier (scripted
+    /// [`crate::FailurePlan`] slowdown). Applies to every batch and
+    /// speculative read charged from now on.
+    pub fn set_service_multiplier(&mut self, factor: f64) {
+        debug_assert!(
+            factor.is_finite() && factor > 0.0,
+            "service multiplier must be finite and positive"
+        );
+        self.service_multiplier = factor;
+    }
+
+    /// The straggler service-time multiplier currently in force.
+    pub fn service_multiplier(&self) -> f64 {
+        self.service_multiplier
     }
 
     /// Declares a job (or a node-local projection of one) to the scheduler.
@@ -156,6 +177,11 @@ impl NodePipeline {
                 io_ms += r.io_ms;
             }
         }
+        // A straggling node (scripted slowdown) serves everything slower —
+        // dispatch, I/O and compute alike — so the factor scales the whole
+        // charge, and the emitted record reports the degraded times.
+        service_ms *= self.service_multiplier;
+        io_ms *= self.service_multiplier;
         if self.sink.enabled() {
             self.sink.emit(
                 now_ms,
@@ -202,7 +228,7 @@ impl NodePipeline {
         let r = self.db.read_atom_at(atom, &snapshot, now_ms);
         self.prefetch_reads += 1;
         self.busy = true;
-        Some(r.io_ms)
+        Some(r.io_ms * self.service_multiplier)
     }
 
     /// Records one completed part: scheduler notification, run-boundary

@@ -11,7 +11,7 @@ use jaws_obs::{JsonlRecorder, NullRecorder, ObsSink};
 use jaws_scheduler::MetricParams;
 use jaws_sim::{
     build_db, build_scheduler, CachePolicyKind, ClusterConfig, ClusterExecutor, Executor,
-    SchedulerKind, SimConfig,
+    FailurePlan, SchedulerKind, SimConfig,
 };
 use jaws_turbdb::{CostModel, DataMode, DbConfig};
 use jaws_workload::{GenConfig, TraceGenerator};
@@ -93,6 +93,7 @@ fn cluster_config(kind: SchedulerKind, nodes: u32) -> ClusterConfig {
         run_len: 25,
         gate_timeout_ms: 10_000.0,
         sim: SimConfig::default(),
+        failures: FailurePlan::none(),
     }
 }
 
@@ -100,13 +101,66 @@ fn cluster_config(kind: SchedulerKind, nodes: u32) -> ClusterConfig {
 /// plus every per-node breakdown) and the completion log, with every
 /// wall-clock telemetry occurrence masked (one per node plus the aggregate).
 fn serialized_cluster_run(kind: SchedulerKind, nodes: u32, seed: u64) -> String {
-    let trace = TraceGenerator::new(GenConfig::small(seed)).generate();
-    let mut ex = ClusterExecutor::new(cluster_config(kind, nodes));
+    serialized_cluster_run_failing(kind, nodes, seed, FailurePlan::none())
+}
+
+/// The trace failure scenarios replay: arrivals compressed 20× so the
+/// cluster is capacity-bound and every node holds queued work mid-run —
+/// otherwise a mid-replay crash finds an empty node and tests nothing.
+fn failure_trace(seed: u64) -> jaws_workload::Trace {
+    TraceGenerator::new(GenConfig::small(seed))
+        .generate()
+        .speedup(20.0)
+}
+
+/// [`serialized_cluster_run`] under a scripted [`FailurePlan`], on the
+/// compressed [`failure_trace`].
+fn serialized_cluster_run_failing(
+    kind: SchedulerKind,
+    nodes: u32,
+    seed: u64,
+    failures: FailurePlan,
+) -> String {
+    let trace = failure_trace(seed);
+    let mut cfg = cluster_config(kind, nodes);
+    cfg.failures = failures;
+    let mut ex = ClusterExecutor::new(cfg);
     let report = ex.run(&trace);
     let report_json =
         mask_wallclock_fields(&serde_json::to_string(&report).expect("report serializes"));
     let log_json = serde_json::to_string(ex.response_log()).expect("log serializes");
     format!("{report_json}\n{log_json}")
+}
+
+/// One instrumented cluster replay under a scripted [`FailurePlan`]; returns
+/// the JSONL trace it emitted.
+fn jsonl_trace_of_cluster_run_failing(
+    kind: SchedulerKind,
+    nodes: u32,
+    seed: u64,
+    failures: FailurePlan,
+) -> String {
+    let trace = failure_trace(seed);
+    let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
+    let mut cfg = cluster_config(kind, nodes);
+    cfg.failures = failures;
+    let mut ex = ClusterExecutor::new(cfg);
+    ex.set_recorder(ObsSink::new(rec.clone()));
+    let _ = ex.run(&trace);
+    let out = rec.lock().expect("recorder mutex unpoisoned").take();
+    out
+}
+
+/// The standard degraded scenario, derived from a healthy baseline so the
+/// events land mid-replay: node 1 crashes into survivor 0 at 50% of the
+/// healthy makespan, and the last node degrades 2× at 25%.
+fn half_makespan_failure_plan(kind: SchedulerKind, nodes: u32, seed: u64) -> FailurePlan {
+    let trace = failure_trace(seed);
+    let healthy = ClusterExecutor::new(cluster_config(kind, nodes)).run(&trace);
+    let makespan = healthy.aggregate.makespan_ms;
+    FailurePlan::new(17)
+        .crash_with_survivor(0.5 * makespan, 1, 0)
+        .slowdown_at(0.25 * makespan, nodes - 1, 2.0)
 }
 
 /// Replaces the numeric value of *every* `"key":<number>` occurrence of the
@@ -312,6 +366,89 @@ fn one_node_cluster_matches_single_executor_exactly() {
         );
         assert_eq!(cluster.response_log(), single.response_log());
     }
+}
+
+/// Failure injection is part of the determinism contract: the same seed and
+/// the same [`FailurePlan`] must replay byte-for-byte — serialized
+/// `ClusterReport` (degraded section included), completion log, and the full
+/// JSONL trace with its `NodeFailed`/`PartRedispatched`/`NodeSlowdown`
+/// records.
+#[test]
+fn failure_runs_are_byte_identical() {
+    for kind in [
+        SchedulerKind::Jaws2 { batch_k: 15 },
+        SchedulerKind::LifeRaft2,
+    ] {
+        let plan = half_makespan_failure_plan(kind, 3, 3);
+        let a = serialized_cluster_run_failing(kind, 3, 3, plan.clone());
+        let b = serialized_cluster_run_failing(kind, 3, 3, plan.clone());
+        assert_eq!(
+            a,
+            b,
+            "{} degraded runs differ across identical seeded replays",
+            kind.name()
+        );
+        assert!(
+            a.contains("\"degraded\":{"),
+            "degraded section missing from the failure report"
+        );
+        let ta = jsonl_trace_of_cluster_run_failing(kind, 3, 3, plan.clone());
+        let tb = jsonl_trace_of_cluster_run_failing(kind, 3, 3, plan);
+        assert!(
+            ta.contains("NodeFailed") && ta.contains("PartRedispatched"),
+            "{} trace lacks recovery events",
+            kind.name()
+        );
+        assert!(
+            ta.contains("NodeSlowdown"),
+            "trace lacks the straggler event"
+        );
+        assert_eq!(ta, tb, "{} degraded JSONL traces differ", kind.name());
+    }
+}
+
+/// Acceptance scenario: a seeded crash at 50% of the healthy makespan must
+/// still complete *every* query of the trace — re-dispatch drains the dead
+/// node's slab through the survivor — and replaying it at 1, 2 and 8 workers
+/// must yield byte-identical reports and JSONL traces.
+#[test]
+fn crash_at_half_makespan_drains_every_query_at_any_thread_count() {
+    let kind = SchedulerKind::Jaws2 { batch_k: 15 };
+    let plan = half_makespan_failure_plan(kind, 3, 3);
+
+    let trace = failure_trace(3);
+    let mut cfg = cluster_config(kind, 3);
+    cfg.failures = plan.clone();
+    let mut ex = ClusterExecutor::new(cfg);
+    let r = ex.run(&trace);
+    assert_eq!(
+        r.aggregate.queries_completed,
+        trace.query_count() as u64,
+        "the degraded cluster left queries behind"
+    );
+    assert!(!r.aggregate.truncated);
+    assert!(r.nodes[1].failed);
+    let degraded = r.degraded.expect("degraded section");
+    assert_eq!(degraded.failed_nodes, vec![1]);
+    assert!(degraded.redispatched_parts > 0, "crash moved no work");
+
+    let mut reports = Vec::new();
+    let mut traces = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let _guard = jaws_par::override_threads(threads);
+        reports.push(serialized_cluster_run_failing(kind, 3, 3, plan.clone()));
+        traces.push(jsonl_trace_of_cluster_run_failing(kind, 3, 3, plan.clone()));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "failure report differs at 2 workers"
+    );
+    assert_eq!(
+        reports[0], reports[2],
+        "failure report differs at 8 workers"
+    );
+    assert_eq!(traces[0], traces[1], "failure trace differs at 2 workers");
+    assert_eq!(traces[0], traces[2], "failure trace differs at 8 workers");
 }
 
 /// Deterministic intra-run parallelism: the `jaws-par` worker count must be

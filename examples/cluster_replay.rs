@@ -13,7 +13,7 @@
 //! ```
 
 use jaws::prelude::*;
-use jaws::sim::{ClusterConfig, ClusterExecutor};
+use jaws::sim::{ClusterConfig, ClusterExecutor, FailurePlan};
 
 fn config(nodes: u32, prefetch: bool) -> ClusterConfig {
     ClusterConfig {
@@ -39,6 +39,7 @@ fn config(nodes: u32, prefetch: bool) -> ClusterConfig {
             max_sim_ms: 1e10,
             idle_recheck_ms: 500.0,
         },
+        failures: FailurePlan::none(),
     }
 }
 

@@ -3,7 +3,7 @@
 //! and multi-node cluster execution.
 
 use jaws::prelude::*;
-use jaws::sim::{ClusterConfig, ClusterExecutor};
+use jaws::sim::{ClusterConfig, ClusterExecutor, FailurePlan};
 
 fn db_cfg() -> DbConfig {
     DbConfig {
@@ -99,6 +99,7 @@ fn cluster_with_jaws_qos_and_casjobs_nodes() {
             run_len: 25,
             gate_timeout_ms: 10_000.0,
             sim: SimConfig::default(),
+            failures: FailurePlan::none(),
         });
         let r = ex.run(&trace);
         assert_eq!(
@@ -175,6 +176,7 @@ fn one_node_cluster_is_equivalent_to_the_single_executor() {
         run_len: 25,
         gate_timeout_ms: 10_000.0,
         sim: SimConfig::default(),
+        failures: FailurePlan::none(),
     });
     let cluster = ex.run(&trace);
     assert_eq!(
