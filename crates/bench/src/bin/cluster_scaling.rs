@@ -87,7 +87,9 @@ fn main() {
             });
             let r = ex.run(&trace);
             if let Some(rc) = recorder {
-                last_trace = Some(rc.lock().unwrap().take());
+                // lint: invariant — the run above completed; a poisoned mutex
+                // would already have panicked the emitting thread
+                last_trace = Some(rc.lock().expect("recorder lock").take());
             }
             let base = *base_qps.get_or_insert(r.aggregate.throughput_qps);
             println!(

@@ -146,7 +146,9 @@ fn main() {
                 let mut ex = ClusterExecutor::new(config(db, nodes, plan.clone()));
                 ex.set_recorder(ObsSink::new(rc.clone()));
                 ex.run(&trace);
-                let jsonl = rc.lock().unwrap().take();
+                // lint: invariant — the run above completed; a poisoned
+                // mutex would already have panicked the emitting thread
+                let jsonl = rc.lock().expect("recorder lock").take();
                 std::fs::write(path, jsonl).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
                 eprintln!("# wrote observability trace of the crash@50% run to {path}");
             }

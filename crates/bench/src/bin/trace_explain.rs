@@ -174,7 +174,7 @@ fn main() {
         "query", "submit (ms)", "response (ms)", "wait (ms)", "service (ms)", "io (ms)"
     );
     for (id, s) in completed.iter().take(max_queries) {
-        // lint: invariant — `completed` filters on response_ms.is_some()
+        // Safe: `completed` filters on response_ms.is_some().
         let response = s.response_ms.expect("filtered on response");
         let wait = (response - s.service_ms).max(0.0);
         println!(

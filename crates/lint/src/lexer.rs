@@ -1,0 +1,555 @@
+//! A real (if small) Rust lexer for `jaws-lint`.
+//!
+//! The v1 analyzer stripped comments and strings with a per-line state
+//! machine; rules then pattern-matched on the stripped text. That design
+//! could not answer token-level questions ("is this `.lock()` receiver the
+//! same field as that one?", "what is inside the closure passed to
+//! `jaws_par::map`?") and every new rule re-derived lexical structure from
+//! strings. This module lexes a whole file once into a flat token stream
+//! that the rule modules share.
+//!
+//! Properties the rest of the crate (and the property tests) rely on:
+//!
+//! * **Full fidelity** — concatenating `Token::text` in order reproduces the
+//!   input byte-for-byte. Nothing is dropped, including whitespace; there is
+//!   no "error" token that swallows input. Unterminated strings/comments
+//!   extend to end of input rather than failing.
+//! * **Line anchoring** — `Token::line` is the 1-based line on which the
+//!   token *starts*; multi-line tokens (block comments, strings) still get
+//!   one token.
+//! * **Total** — `lex` never panics, for any input, Rust or not. Characters
+//!   that fit no other class become one-byte [`TokenKind::Punct`] tokens.
+//!
+//! Handled syntax: line comments (`//`, doc `///` and `//!`), nested block
+//! comments (`/* /* */ */`, doc `/**` and `/*!`), string literals with
+//! escapes, raw strings `r"…"`/`r#"…"#` with up to 255 hashes, byte strings
+//! `b"…"`/`br#"…"#`, char and byte-char literals, lifetimes vs. char
+//! literals, identifiers (Unicode alphanumeric + `_`), and numeric literals
+//! including `0x…`, exponents and type suffixes. No dependency on `syn` or
+//! any external crate — the workspace is vendored/offline.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace, including newlines.
+    Whitespace,
+    /// Identifier or keyword.
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// Ordinary or byte string literal, delimiters included.
+    Str,
+    /// Raw (or raw byte) string literal, delimiters and hashes included.
+    RawStr,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// `// …` comment. `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Rustdoc comment (`///` or `//!`) rather than a plain comment.
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled). `doc` is true for `/**`, `/*!`.
+    BlockComment {
+        /// Rustdoc comment (`/**` or `/*!`) rather than a plain comment.
+        doc: bool,
+    },
+    /// Any single character that fits no other class.
+    Punct,
+}
+
+/// One lexeme: classification, raw text, and the 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token (full fidelity).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+impl Token {
+    /// The comment *content* for comment tokens (delimiters stripped), or
+    /// `None` for non-comments. Unterminated block comments yield the text
+    /// after `/*`.
+    pub fn comment_content(&self) -> Option<&str> {
+        match self.kind {
+            TokenKind::LineComment { doc } => {
+                let t = self.text.trim_start_matches('/');
+                Some(if doc { t.trim_start_matches('!') } else { t })
+            }
+            TokenKind::BlockComment { doc } => {
+                let t = &self.text[2..];
+                let t = t.strip_suffix("*/").unwrap_or(t);
+                let t = if doc {
+                    t.trim_start_matches(['*', '!'])
+                } else {
+                    t
+                };
+                Some(t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is a plain (non-doc) comment — the only place the
+    /// suppression grammar is recognized.
+    pub fn is_plain_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        )
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Identifier continuation characters (also used by rule modules).
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes `n` chars, returning the consumed text.
+    fn bump(&mut self, n: usize) -> String {
+        let end = (self.i + n).min(self.chars.len());
+        let s: String = self.chars[self.i..end].iter().collect();
+        self.i = end;
+        s
+    }
+}
+
+/// Lexes `src` into a full-fidelity token stream. Never panics; see the
+/// module docs for the invariants.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        src,
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while cur.i < cur.chars.len() {
+        let start_line = cur.line;
+        let (kind, text) = next_token(&mut cur);
+        cur.line += text.matches('\n').count();
+        out.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+    debug_assert_eq!(
+        out.iter().map(|t| t.text.as_str()).collect::<String>(),
+        cur.src,
+        "lexer dropped or duplicated input"
+    );
+    out
+}
+
+fn next_token(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let c = match cur.peek(0) {
+        Some(c) => c,
+        None => return (TokenKind::Punct, String::new()),
+    };
+
+    if c.is_whitespace() {
+        let mut n = 1;
+        while cur.peek(n).is_some_and(char::is_whitespace) {
+            n += 1;
+        }
+        return (TokenKind::Whitespace, cur.bump(n));
+    }
+
+    if c == '/' {
+        match cur.peek(1) {
+            Some('/') => return line_comment(cur),
+            Some('*') => return block_comment(cur),
+            _ => {}
+        }
+    }
+
+    if c == '"' {
+        return string_lit(cur, 0);
+    }
+
+    // Raw strings / byte strings: r"…", r#"…"#, b"…", br"…", br#"…"#.
+    if c == 'r' || c == 'b' {
+        if let Some(tok) = raw_or_byte_string(cur) {
+            return tok;
+        }
+    }
+
+    if c == '\'' {
+        return char_or_lifetime(cur, out_prev_is_ident(cur));
+    }
+
+    if c.is_ascii_digit() {
+        return number(cur);
+    }
+
+    if is_ident_start(c) {
+        let mut n = 1;
+        while cur.peek(n).is_some_and(is_ident_char) {
+            n += 1;
+        }
+        return (TokenKind::Ident, cur.bump(n));
+    }
+
+    (TokenKind::Punct, cur.bump(1))
+}
+
+/// Whether the character immediately before the cursor is an identifier
+/// character (disambiguates `b'x'` from `prob'…`, and `'a` lifetimes).
+fn out_prev_is_ident(cur: &Cursor<'_>) -> bool {
+    cur.i > 0 && is_ident_char(cur.chars[cur.i - 1])
+}
+
+fn line_comment(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut n = 2;
+    while cur.peek(n).is_some_and(|c| c != '\n') {
+        n += 1;
+    }
+    let text = cur.bump(n);
+    // `///` (but not `////`) and `//!` are rustdoc.
+    let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    (TokenKind::LineComment { doc }, text)
+}
+
+fn block_comment(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut n = 2;
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(n), cur.peek(n + 1)) {
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                n += 2;
+            }
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                n += 2;
+            }
+            (Some(_), _) => n += 1,
+            (None, _) => break, // unterminated: extend to EOF
+        }
+    }
+    let text = cur.bump(n);
+    // `/**` (but not the empty `/**/` or `/***`) and `/*!` are rustdoc.
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!");
+    (TokenKind::BlockComment { doc }, text)
+}
+
+/// Lexes a `"…"` string starting `prefix` chars before the opening quote
+/// (0 for plain strings, 1 for `b"…"`).
+fn string_lit(cur: &mut Cursor<'_>, prefix: usize) -> (TokenKind, String) {
+    let mut n = prefix + 1;
+    loop {
+        match cur.peek(n) {
+            Some('\\') => n += if cur.peek(n + 1).is_some() { 2 } else { 1 },
+            Some('"') => {
+                n += 1;
+                break;
+            }
+            Some(_) => n += 1,
+            None => break, // unterminated
+        }
+    }
+    (TokenKind::Str, cur.bump(n))
+}
+
+/// Tries to lex `r…`/`b…` as a raw string, byte string, or byte char.
+/// Returns `None` when the `r`/`b` is just the start of an identifier.
+fn raw_or_byte_string(cur: &mut Cursor<'_>) -> Option<(TokenKind, String)> {
+    let c = cur.peek(0)?;
+    // If the char before is an identifier char this is the middle of an
+    // identifier, and the ident path will consume it.
+    if out_prev_is_ident(cur) {
+        return None;
+    }
+    let mut j = 1;
+    let mut raw = c == 'r';
+    if c == 'b' {
+        match cur.peek(j) {
+            Some('r') => {
+                raw = true;
+                j += 1;
+            }
+            Some('\'') => {
+                // Byte char literal b'x'.
+                let (kind, text) = char_or_lifetime_at(cur, j);
+                return Some((kind, text));
+            }
+            Some('"') => return Some(string_lit(cur, 1)),
+            _ => return None,
+        }
+    }
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(j) == Some('#') && hashes < 255 {
+        hashes += 1;
+        j += 1;
+    }
+    if cur.peek(j) != Some('"') {
+        return None; // r#foo raw identifier, or plain ident starting with r
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    let mut n = j + 1;
+    loop {
+        match cur.peek(n) {
+            Some('"') => {
+                let mut k = 0usize;
+                while k < hashes && cur.peek(n + 1 + k) == Some('#') {
+                    k += 1;
+                }
+                n += 1;
+                if k == hashes {
+                    n += k;
+                    break;
+                }
+            }
+            Some(_) => n += 1,
+            None => break, // unterminated
+        }
+    }
+    Some((TokenKind::RawStr, cur.bump(n)))
+}
+
+fn char_or_lifetime(cur: &mut Cursor<'_>, prev_is_ident: bool) -> (TokenKind, String) {
+    // After an identifier char a bare `'` cannot open a char literal in
+    // valid Rust; treat as punctuation so `x'` doesn't eat the line.
+    if prev_is_ident {
+        return (TokenKind::Punct, cur.bump(1));
+    }
+    char_or_lifetime_at(cur, 0)
+}
+
+/// Lexes a char literal or lifetime whose `'` sits `offset` chars ahead
+/// (offset 1 for `b'x'`).
+fn char_or_lifetime_at(cur: &mut Cursor<'_>, offset: usize) -> (TokenKind, String) {
+    match cur.peek(offset + 1) {
+        // Escape: '\n', '\'', '\u{…}' — scan to the closing quote.
+        Some('\\') => {
+            let mut n = offset + 2;
+            loop {
+                match cur.peek(n) {
+                    Some('\\') => n += if cur.peek(n + 1).is_some() { 2 } else { 1 },
+                    Some('\'') => {
+                        n += 1;
+                        break;
+                    }
+                    Some(_) => n += 1,
+                    None => break,
+                }
+            }
+            (TokenKind::Char, cur.bump(n))
+        }
+        // 'x' — a plain one-char literal.
+        Some(_) if cur.peek(offset + 2) == Some('\'') => (TokenKind::Char, cur.bump(offset + 3)),
+        // 'ident — a lifetime (or an unterminated char; lifetimes win, as in
+        // rustc's lexer for this prefix).
+        Some(c) if is_ident_start(c) => {
+            let mut n = offset + 2;
+            while cur.peek(n).is_some_and(is_ident_char) {
+                n += 1;
+            }
+            (TokenKind::Lifetime, cur.bump(n))
+        }
+        _ => (TokenKind::Punct, cur.bump(offset + 1)),
+    }
+}
+
+fn number(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut n = 1;
+    // Integer part (covers 0x/0b/0o digits and `_` separators and type
+    // suffixes, which are all alphanumeric).
+    while cur.peek(n).is_some_and(is_ident_char) {
+        // `1e-3` / `1E+7`: the sign belongs to the literal only directly
+        // after an exponent marker in a decimal literal.
+        n += 1;
+        if matches!(cur.peek(n), Some('+') | Some('-'))
+            && matches!(cur.peek(n - 1), Some('e') | Some('E'))
+            && cur.peek(n + 1).is_some_and(|c| c.is_ascii_digit())
+            && cur.chars.get(cur.i..cur.i + 2) != Some(&['0', 'x'])
+        {
+            n += 1;
+        }
+    }
+    // Fractional part: a `.` followed by a digit (`0..3` stays a range).
+    if cur.peek(n) == Some('.') && cur.peek(n + 1).is_some_and(|c| c.is_ascii_digit()) {
+        n += 1;
+        while cur.peek(n).is_some_and(is_ident_char) {
+            n += 1;
+            if matches!(cur.peek(n), Some('+') | Some('-'))
+                && matches!(cur.peek(n - 1), Some('e') | Some('E'))
+                && cur.peek(n + 1).is_some_and(|c| c.is_ascii_digit())
+            {
+                n += 1;
+            }
+        }
+    }
+    (TokenKind::Number, cur.bump(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, src, "lexer must preserve input byte-for-byte");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            kinds("let x = 42 + y_2;"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Number,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_embedded_comment_is_one_token() {
+        let toks = roundtrip("let s = \"a // not a comment\";");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "\"a // not a comment\"");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = roundtrip("r#\"unwrap() \" inside\"# r\"x\" br##\"y\"##");
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raws.len(), 3);
+        assert_eq!(raws[0].text, "r#\"unwrap() \" inside\"#");
+        assert_eq!(raws[2].text, "br##\"y\"##");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = roundtrip("a /* outer /* inner */ still */ b");
+        let blocks: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::BlockComment { .. }))
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].text.ends_with("still */"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let toks =
+            roundtrip("/// doc\n//! inner\n// plain\n/** block doc */\n/*! inner */\n/* p */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => Some(doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks =
+            roundtrip("fn f<'a>(c: char) -> &'a str { if c == '\"' { \"x\" } else { \"y\" } }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["'\"'"]
+        );
+    }
+
+    #[test]
+    fn escaped_char_and_byte_literals() {
+        let toks = roundtrip(r"let a = '\n'; let b = b'x'; let c = '\u{1F600}';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_anchor_token_starts() {
+        let toks = lex("a\nbb /* c\nd */ e\nf");
+        let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("bb"), 2);
+        assert_eq!(find("/* c\nd */"), 2);
+        assert_eq!(find("e"), 3);
+        assert_eq!(find("f"), 4);
+    }
+
+    #[test]
+    fn unterminated_tokens_extend_to_eof() {
+        roundtrip("let s = \"never closed");
+        roundtrip("/* never closed");
+        roundtrip("r#\"never closed");
+        roundtrip("let c = '\\");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        let texts: Vec<String> = roundtrip("1.5f64 0x1F 1e-3 1_000u32 0..3 2.")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["1.5f64", "0x1F", "1e-3", "1_000u32", "0", "3", "2"]
+        );
+    }
+
+    #[test]
+    fn comment_content_strips_delimiters() {
+        let toks = lex("// lint: allow(X) — why\n/* lint: sorted */");
+        let contents: Vec<_> = toks.iter().filter_map(|t| t.comment_content()).collect();
+        assert_eq!(contents[0].trim(), "lint: allow(X) — why");
+        assert_eq!(contents[1].trim(), "lint: sorted");
+    }
+}

@@ -1,43 +1,93 @@
-//! `jaws-lint` — repo-specific static analysis for determinism and
-//! panic-safety invariants.
+//! jaws-lint: workspace-specific static analysis for determinism, panic
+//! safety, and lock discipline.
 //!
-//! Every figure the workspace reproduces depends on the simulator being
-//! bit-reproducible per seed and on the Eq. 1 utility ranking being a total,
-//! deterministic order.  This crate scans the workspace's Rust sources with a
-//! lightweight line tokenizer (no `syn` — the workspace is vendored/offline)
-//! and enforces the following named rules:
+//! The generic toolchain (clippy, rustc lints) cannot know JAWS's contracts:
+//! that scheduling decisions must be replayable bit-for-bit, that dispatch
+//! paths must not panic mid-simulation, that every lock in the workspace
+//! follows one idiom, and that `jaws-par` closures must stay deterministic
+//! at any thread count. This crate encodes those contracts as lint rules and
+//! enforces them in CI.
 //!
-//! | rule | invariant |
-//! |------|-----------|
-//! | `D001` | no `HashMap`/`HashSet` iteration in `crates/scheduler` / `crates/sim` decision paths (suppress with `// lint: sorted` when a sort/`BTreeMap` re-establishes order nearby) |
-//! | `D002` | no wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, `rand::random`, `available_parallelism`) outside `crates/bench`, the `crates/cache/src/pool.rs` timing shim, and the `crates/obs/tests/overhead_smoke.rs` overhead-ceiling test shim; `available_parallelism` alone is additionally allowed inside `crates/par`, whose ordered-map contract keeps results thread-count-independent |
-//! | `D003` | `FailurePlan` must be constructed with an explicit seed (`FailurePlan::new(seed)` or `FailurePlan::none()`): no `FailurePlan::default()`, no `Default for FailurePlan` impl, no struct literal outside `crates/sim/src/failure.rs` |
-//! | `F001` | no bare `partial_cmp` in ranking code — use `total_cmp` with an integer tie-break |
-//! | `F002` | no `==`/`!=` against float literals in ranking code |
-//! | `P001` | no `unwrap()`/`expect()`/`panic!`/indexing-by-literal in non-`#[cfg(test)]` scheduler/sim dispatch paths (suppress documented invariants with `// lint: invariant`) |
-//! | `U001` | `#![forbid(unsafe_code)]` present in every non-bench crate root |
+//! # Architecture
 //!
-//! Suppression syntax (trailing comment on the offending line, or a comment on
-//! the line directly above):
+//! The analysis is built on a real (dependency-free) Rust lexer
+//! ([`lexer`]): the token stream is full-fidelity (concatenating token texts
+//! reproduces the input byte-for-byte) and understands strings, raw strings,
+//! byte strings, char literals vs. lifetimes, nested block comments, and doc
+//! comments. The `source` module folds the tokens into per-line views — code with
+//! literal contents blanked, plain comments separated from rustdoc — so no
+//! rule can ever fire on text inside a string or a comment. Each rule family
+//! lives in its own module under `rules/`.
 //!
-//! * `// lint: sorted` — D001 only; the analyzer additionally requires a
-//!   `sort`/`BTreeMap`/`BTreeSet` token within 6 lines as evidence.
-//! * `// lint: invariant — <why this cannot fire>` — P001 `expect`/panic
-//!   macros/literal indexing (never bare `unwrap()`).
-//! * `// lint: allow(<RULE>) — <reason>` — unconditional escape hatch.
+//! # Rules
 //!
-//! The binary (`cargo run -p jaws-lint --release`) prints `file:line [RULE]
-//! message` diagnostics and exits non-zero on any violation; the library is
-//! exercised directly by unit and integration tests, including a self-check
-//! over the real workspace that runs under tier-1 `cargo test`.
+//! | Rule | Scope | What it forbids |
+//! |------|-------|-----------------|
+//! | D001 | scheduler, sim (non-test) | iterating `HashMap`/`HashSet` where order can reach a scheduling decision; sort and attest with `lint: sorted`, or use B-tree collections |
+//! | D002 | everywhere except `crates/bench`, `crates/cache/src/pool.rs`, `crates/obs/tests/overhead_smoke.rs` | wall-clock/entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, …); `available_parallelism` is sanctioned only inside `crates/par` |
+//! | D003 | everywhere except the defining module | building `FailurePlan` without its seeded constructors (`default()`, `Default` impls, struct literals) |
+//! | F001 | scheduler, sim, cache (non-test) | bare `partial_cmp` in ranking code — NaN makes it a partial order |
+//! | F002 | scheduler, sim, cache (non-test) | `==`/`!=` against float literals |
+//! | P001 | scheduler, sim (non-test) | `unwrap()`, unattested `expect()`, panic macros, indexing by integer literal |
+//! | C001 | everywhere, tests included | `.lock().unwrap()`; `.lock().expect(…)` without a `lint: invariant` attestation |
+//! | C002 | everywhere, tests included | acquiring a second distinct `Mutex`/`RwLock` while a guard is held in the same scope (lock-ordering hazard; lock-typed names are collected workspace-wide) |
+//! | C003 | everywhere, tests included | holding a lock guard across a `jaws_par::map*` call |
+//! | T001 | everywhere except `crates/par` | `jaws-par` closures capturing `RefCell`/`Cell`/atomics, doing atomic RMW, or calling obs sinks directly (the per-shard buffer drain in `crates/sim/src/engine.rs` is the sanctioned emission pattern) |
+//! | S001 | everywhere, tests included | suppression debt: a `lint:` marker that no longer justifies anything, or that matches no known form |
+//! | U001 | crate roots except `crates/bench` | missing `#![forbid(unsafe_code)]` |
+//!
+//! # Suppression grammar
+//!
+//! Markers live in **plain** comments only (`//` / `/* … */`; rustdoc is
+//! documentation, not attestation) and must *start* the comment content:
+//!
+//! * `lint: sorted` — D001: iteration order is re-established nearby; the
+//!   rule additionally demands visible sort evidence within a few lines.
+//! * `lint: invariant — why` — P001/C001: the `expect`/panic cannot fire, or
+//!   must abort; say why.
+//! * `lint: allow(<RULE>) — reason` — unconditional per-rule escape hatch.
+//!
+//! A marker attests the violation on its own line, on the same multi-line
+//! statement, or on the code directly below its contiguous comment block.
+//! Every lookup records which marker justified which candidate violation;
+//! S001 then flags the ones that justified nothing. S001 itself is not
+//! suppressible.
+//!
+//! # Machine-readable output
+//!
+//! [`Report::to_json`] renders the scan deterministically (schema below,
+//! `schema_version` 1). Diagnostics are sorted by `(file, line, rule)`, the
+//! summary follows registry order, and nothing environmental (timestamps,
+//! hostnames, absolute paths) is included — two runs over the same tree are
+//! byte-identical.
+//!
+//! ```text
+//! {
+//!   "tool": "jaws-lint",
+//!   "schema_version": 1,
+//!   "files_scanned": <int>,
+//!   "violations": <int>,
+//!   "summary": [ { "rule": "C001", "count": <int> }, … ],
+//!   "diagnostics": [ { "rule": "C001", "file": "crates/…", "line": <int>, "reason": "…" }, … ]
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
+
+pub mod lexer;
+mod rules;
+mod source;
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub use source::{
+    declared_names, hash_collection_names, parse_suppressions, strip_source, test_mask, Check,
+    Line, Marker, Suppression,
+};
 
 /// A single rule violation, keyed by workspace-relative path and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -62,6 +112,170 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Static description of one rule, powering `--explain` and the summary
+/// table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule identifier, e.g. `"C001"`.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// Why the rule exists (the contract it protects).
+    pub rationale: &'static str,
+    /// How to fix or attest a violation.
+    pub fix: &'static str,
+}
+
+/// The rule registry, in stable display order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        title: "no hash-order iteration on dispatch paths",
+        rationale: "HashMap/HashSet iteration order is randomized per process; if it reaches a \
+                    scheduling decision, replays diverge between runs.",
+        fix: "use BTreeMap/BTreeSet, or collect and sort with visible sort evidence plus a \
+              `// lint: sorted` attestation.",
+    },
+    RuleInfo {
+        id: "D002",
+        title: "no wall-clock or entropy sources",
+        rationale: "Instant::now/SystemTime/thread_rng make results depend on when and where the \
+                    run happened, breaking replayability. Carve-outs: crates/bench (measures real \
+                    time by design), the cache pool timing shim, the obs overhead smoke test, and \
+                    `available_parallelism` inside crates/par only.",
+        fix: "thread a seeded RNG or the simulated clock through instead, or move timing code \
+              into crates/bench.",
+    },
+    RuleInfo {
+        id: "D003",
+        title: "FailurePlan must be built seeded",
+        rationale: "FailurePlan::default()/struct literals hide the scenario seed, producing \
+                    unreplayable failure scenarios.",
+        fix: "build plans with `FailurePlan::new(seed)` / `FailurePlan::none()`.",
+    },
+    RuleInfo {
+        id: "F001",
+        title: "no bare partial_cmp in ranking code",
+        rationale: "partial_cmp over f64 is a partial order (NaN); sort_by with it can panic or \
+                    produce order-dependent rankings.",
+        fix: "use `total_cmp` with an integer tie-break.",
+    },
+    RuleInfo {
+        id: "F002",
+        title: "no ==/!= against float literals",
+        rationale: "exact float equality in ranking logic is fragile under refactors that change \
+                    rounding.",
+        fix: "compare via `total_cmp` or an explicit tolerance; `// lint: allow(F002)` for true \
+              sentinel values.",
+    },
+    RuleInfo {
+        id: "P001",
+        title: "no panics on dispatch paths",
+        rationale: "an unwrap/expect/panic in scheduler or sim code aborts a simulation mid-run; \
+                    dispatch code must return Results or prove its invariants.",
+        fix: "handle the None/Err case, or attest the invariant with `// lint: invariant — why` \
+              (expect/panic macros only; unwrap is never attestable).",
+    },
+    RuleInfo {
+        id: "C001",
+        title: "one lock idiom: attested expect, never unwrap",
+        rationale: "`.lock().unwrap()` silently converts lock poisoning into an unexplained \
+                    panic. Each lock site must state why poisoning is impossible or must abort.",
+        fix: "replace with `.lock().expect(\"…\")` under a `// lint: invariant — why` attestation.",
+    },
+    RuleInfo {
+        id: "C002",
+        title: "no nested distinct lock acquisition",
+        rationale: "taking a second Mutex/RwLock while another guard is held in the same scope \
+                    is a lock-ordering hazard; two call paths acquiring in opposite order \
+                    deadlock. Lock-typed names are collected workspace-wide, so cross-file \
+                    fields are recognized.",
+        fix: "narrow the first guard's scope (drop it or use a block) before taking the second \
+              lock.",
+    },
+    RuleInfo {
+        id: "C003",
+        title: "no lock guard held across jaws_par::map*",
+        rationale: "workers that touch the same lock deadlock against the held guard, and any \
+                    contention serializes the pool.",
+        fix: "drain or drop the guard before dispatching; hand workers plain data.",
+    },
+    RuleInfo {
+        id: "T001",
+        title: "jaws-par closures must be deterministic",
+        rationale: "a closure passed to jaws_par::map/map_mut/map_indexed that captures \
+                    RefCell/Cell/atomics, performs atomic RMW, or emits to an obs sink makes \
+                    results or trace order depend on worker interleaving, breaking the \
+                    byte-identical-at-any-thread-count contract.",
+        fix: "keep closures pure per shard; for tracing, buffer into a per-shard VecRecorder \
+              and drain in shard order (see crates/sim/src/engine.rs).",
+    },
+    RuleInfo {
+        id: "S001",
+        title: "zero suppression debt",
+        rationale: "a `lint:` marker whose rule no longer fires is a stale exemption that hides \
+                    future regressions; a malformed marker suppresses nothing and misleads \
+                    readers.",
+        fix: "delete stale markers; fix malformed ones to `lint: sorted`, `lint: invariant`, or \
+              `lint: allow(<RULE>)`. S001 is not suppressible.",
+    },
+    RuleInfo {
+        id: "U001",
+        title: "crate roots forbid unsafe",
+        rationale: "the workspace is pure-Rust by policy; only crates/bench harness shims are \
+                    exempt.",
+        fix: "add `#![forbid(unsafe_code)]` to the crate root.",
+    },
+];
+
+/// Looks up a rule by identifier (case-insensitive).
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id.eq_ignore_ascii_case(id))
+}
+
+/// Cross-file knowledge shared by every per-file check.
+#[derive(Debug, Default, Clone)]
+pub struct Context {
+    /// Identifiers declared anywhere in the workspace with a
+    /// `Mutex`/`RwLock` type (fields, params, bindings) — C002 input.
+    pub mutex_names: BTreeSet<String>,
+}
+
+/// Builds the cross-file [`Context`] from `(relative path, source)` pairs.
+pub fn scan_context(files: &[(String, String)]) -> Context {
+    let mut ctx = Context::default();
+    for (_, src) in files {
+        let lines = strip_source(src);
+        ctx.mutex_names
+            .extend(declared_names(&lines, &["Mutex", "RwLock"]));
+    }
+    ctx
+}
+
+/// Checks a single file against all rules using `ctx` for cross-file
+/// knowledge. Diagnostics come back sorted by `(line, rule)`.
+pub fn check_file_in(rel: &str, src: &str, ctx: &Context) -> Vec<Diagnostic> {
+    let mut c = Check::new(rel, src, ctx);
+    rules::determinism::run(&mut c);
+    rules::floats::run(&mut c);
+    rules::panics::run(&mut c);
+    rules::concurrency::run(&mut c);
+    rules::thread_det::run(&mut c);
+    // The suppression audit must run last: it flags whatever the families
+    // above never consumed.
+    rules::suppression::run(&mut c);
+    let mut diags = c.diags;
+    diags.sort();
+    diags
+}
+
+/// Checks a single file with cross-file context built from that file alone.
+pub fn check_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let files = vec![(rel.to_string(), src.to_string())];
+    let ctx = scan_context(&files);
+    check_file_in(rel, src, &ctx)
+}
+
 /// Result of scanning a whole workspace tree.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -71,671 +285,81 @@ pub struct Report {
     pub files_scanned: usize,
 }
 
-/// One source line after comment/string stripping.
-#[derive(Debug, Default, Clone)]
-pub struct Line {
-    /// Code with comments removed and string/char literal *contents* blanked
-    /// (delimiters are preserved so token boundaries survive).
-    pub code: String,
-    /// Concatenated comment text on this line (line + block comments) —
-    /// searched for `lint:` attestations.
-    pub comment: String,
-}
-
-#[derive(Clone, Copy)]
-enum Mode {
-    Code,
-    Block(u32),
-    Str,
-    RawStr(u32),
-}
-
-/// Strips comments, string literals and char literals, preserving line
-/// structure.  Handles nested block comments, raw strings (`r#"…"#`), byte
-/// strings, escapes, and lifetimes vs. char literals.
-pub fn strip_source(src: &str) -> Vec<Line> {
-    let mut out = Vec::new();
-    let mut mode = Mode::Code;
-    for raw in src.lines() {
-        let chars: Vec<char> = raw.chars().collect();
-        let n = chars.len();
-        let mut code = String::new();
-        let mut comment = String::new();
-        let mut i = 0usize;
-        while i < n {
-            match mode {
-                Mode::Block(depth) => {
-                    if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                        if depth == 1 {
-                            mode = Mode::Code;
-                        } else {
-                            mode = Mode::Block(depth - 1);
-                        }
-                        i += 2;
-                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                        mode = Mode::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(chars[i]);
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    if chars[i] == '\\' {
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        code.push('"');
-                        mode = Mode::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                Mode::RawStr(hashes) => {
-                    if chars[i] == '"' {
-                        let h = hashes as usize;
-                        if chars[i + 1..].iter().take(h).filter(|&&c| c == '#').count() == h {
-                            code.push('"');
-                            mode = Mode::Code;
-                            i += 1 + h;
-                        } else {
-                            i += 1;
-                        }
-                    } else {
-                        i += 1;
-                    }
-                }
-                Mode::Code => {
-                    let c = chars[i];
-                    let next = chars.get(i + 1).copied();
-                    let prev_is_ident = code
-                        .chars()
-                        .last()
-                        .is_some_and(|p| p.is_alphanumeric() || p == '_');
-                    if c == '/' && next == Some('/') {
-                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
-                        break;
-                    } else if c == '/' && next == Some('*') {
-                        mode = Mode::Block(1);
-                        i += 2;
-                    } else if c == '"' {
-                        code.push('"');
-                        mode = Mode::Str;
-                        i += 1;
-                    } else if (c == 'r' || c == 'b') && !prev_is_ident {
-                        // Raw / byte string starts: r", r#", br", b".
-                        let mut j = i + 1;
-                        if c == 'b' && chars.get(j) == Some(&'r') {
-                            j += 1;
-                        }
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        let is_raw = c == 'r' || (c == 'b' && j > i + 1);
-                        if chars.get(j) == Some(&'"') && (is_raw || hashes == 0) {
-                            code.push('"');
-                            mode = if is_raw && (hashes > 0 || chars.get(i + 1) != Some(&'"')) {
-                                Mode::RawStr(hashes)
-                            } else if is_raw {
-                                Mode::RawStr(0)
-                            } else {
-                                Mode::Str
-                            };
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else if c == '\'' && !prev_is_ident {
-                        // Char literal vs. lifetime.
-                        if next == Some('\\') {
-                            let mut j = i + 2;
-                            while j < n && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            code.push(' ');
-                            i = j + 1;
-                        } else if i + 2 < n && chars[i + 2] == '\'' {
-                            code.push(' ');
-                            i += 3;
-                        } else {
-                            code.push('\'');
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        out.push(Line { code, comment });
-    }
-    out
-}
-
-/// Marks lines that belong to `#[cfg(test)]` / `#[test]` items by brace
-/// counting on stripped code.
-pub fn test_mask(lines: &[Line]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    let mut pending = false;
-    let mut region_floor: Option<i64> = None;
-    for (ln, l) in lines.iter().enumerate() {
-        if region_floor.is_some() {
-            pending = false; // already inside a test region
-            mask[ln] = true;
-        }
-        if l.code.contains("#[cfg(test)]") || l.code.contains("#[test]") {
-            pending = true;
-        }
-        if pending {
-            mask[ln] = true;
-        }
-        for c in l.code.chars() {
-            match c {
-                '{' => {
-                    if pending && region_floor.is_none() {
-                        region_floor = Some(depth);
-                        pending = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_floor.is_some_and(|f| depth <= f) {
-                        region_floor = None;
-                    }
-                }
-                // `#[cfg(test)] mod tests;` — attribute applies to a
-                // braceless item; stop waiting for `{`.
-                ';' if pending && region_floor.is_none() => {
-                    pending = false;
-                }
-                _ => {}
-            }
-        }
-    }
-    mask
-}
-
-fn trailing_ident(s: &str) -> Option<String> {
-    let trimmed = s.trim_end();
-    let mut start = trimmed.len();
-    for (i, c) in trimmed.char_indices().rev() {
-        if c.is_alphanumeric() || c == '_' {
-            start = i;
-        } else {
-            break;
-        }
-    }
-    if start < trimmed.len() && !trimmed.as_bytes()[start].is_ascii_digit() {
-        Some(trimmed[start..].to_string())
-    } else {
-        None
-    }
-}
-
-/// Collects identifiers bound to `HashMap`/`HashSet` values in this file:
-/// field/param/let type annotations (`name: HashMap<…>`) and constructor
-/// assignments (`name = HashMap::new()` etc.).
-pub fn hash_collection_names(lines: &[Line]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for l in lines {
-        let code = &l.code;
-        for ty in ["HashMap", "HashSet"] {
-            let mut from = 0usize;
-            while let Some(pos) = code[from..].find(ty) {
-                let abs = from + pos;
-                from = abs + ty.len();
-                // Word boundary on the right (reject e.g. `HashMapLike`).
-                if code[from..]
-                    .chars()
-                    .next()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
-                {
-                    continue;
-                }
-                let mut before = code[..abs].trim_end();
-                // Strip qualifying path segments: `std::collections::HashMap`.
-                while before.ends_with("::") {
-                    before = &before[..before.len() - 2];
-                    while before
-                        .chars()
-                        .next_back()
-                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
-                    {
-                        before = &before[..before.len() - 1];
-                    }
-                }
-                // `name: HashMap<…>` possibly through `&`/`&mut`.
-                let lhs = before
-                    .trim_end_matches(['&', ' '])
-                    .trim_end_matches("mut")
-                    .trim_end();
-                if let Some(stripped) = lhs.strip_suffix(':') {
-                    if let Some(name) = trailing_ident(stripped) {
-                        names.insert(name);
-                    }
-                }
-                // `name = HashMap::new()` / `with_capacity` / `from(...)`.
-                if let Some(stripped) = before.trim_end().strip_suffix('=') {
-                    if let Some(name) = trailing_ident(stripped.trim_end()) {
-                        names.insert(name);
-                    }
-                }
-            }
-        }
-    }
-    names
-}
-
-const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
-    ".drain()",
-];
-
-const WALLCLOCK_TOKENS: &[&str] = &[
-    "Instant::now",
-    "SystemTime",
-    "thread_rng",
-    "from_entropy",
-    "rand::random",
-    "available_parallelism",
-];
-
-/// The one environment probe with a sanctioned home: `available_parallelism`
-/// sizes the `jaws-par` worker pool, whose ordered-map contract guarantees
-/// results independent of the thread count — so the probe cannot leak into
-/// simulated results. Everywhere else it is a D002 violation like any other
-/// ambient-environment read.
-fn token_exempt(tok: &str, rel: &str) -> bool {
-    tok == "available_parallelism" && rel.starts_with("crates/par/")
-}
-
-const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
-
-/// Detects `FailurePlan` constructions that dodge the explicit-seed
-/// constructors: `FailurePlan::default()`, a `Default for FailurePlan` impl,
-/// or a `FailurePlan { … }` struct literal. Type positions (`-> FailurePlan
-/// {`, `impl FailurePlan {`, `struct FailurePlan {` …) are not constructions
-/// and are skipped.
-fn d003_violation(code: &str) -> Option<&'static str> {
-    if code.contains("FailurePlan::default") {
-        return Some("`FailurePlan::default()` hides the scenario seed");
-    }
-    if code.contains("Default for FailurePlan") {
-        return Some("a `Default` impl for `FailurePlan` would hide the scenario seed");
-    }
-    let mut from = 0usize;
-    while let Some(pos) = code[from..].find("FailurePlan") {
-        let abs = from + pos;
-        from = abs + "FailurePlan".len();
-        let left_ok = abs == 0 || !is_ident_char(code[..abs].chars().next_back().unwrap_or(' '));
-        let rest = &code[from..];
-        if !left_ok
-            || !rest.trim_start().starts_with('{')
-            || rest.starts_with(|c: char| is_ident_char(c))
-        {
-            continue;
-        }
-        let before = code[..abs].trim_end();
-        let type_position = ["impl", "for", "struct", "enum", "trait", "dyn"]
+impl Report {
+    /// Per-rule violation counts in registry order; rules with zero hits are
+    /// omitted.
+    pub fn summary(&self) -> Vec<(&'static str, usize)> {
+        RULES
             .iter()
-            .any(|kw| {
-                before.ends_with(kw)
-                    && !before[..before.len() - kw.len()]
-                        .chars()
-                        .next_back()
-                        .is_some_and(is_ident_char)
+            .filter_map(|r| {
+                let n = self.diagnostics.iter().filter(|d| d.rule == r.id).count();
+                (n > 0).then_some((r.id, n))
             })
-            || before.ends_with("->")
-            || before.ends_with(':');
-        if !type_position {
-            return Some(
-                "`FailurePlan { … }` struct literal bypasses the seeded constructors; build \
-                 plans with `FailurePlan::new(seed)` / `FailurePlan::none()`",
-            );
-        }
+            .collect()
     }
-    None
-}
 
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Finds `name` as a whole identifier followed directly by one of `ITER_METHODS`.
-fn iterates_collection(code: &str, name: &str) -> bool {
-    let mut from = 0usize;
-    while let Some(pos) = code[from..].find(name) {
-        let abs = from + pos;
-        from = abs + name.len();
-        let left_ok = abs == 0 || !is_ident_char(code[..abs].chars().next_back().unwrap_or(' '));
-        let rest = &code[abs + name.len()..];
-        if left_ok && ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
-            return true;
-        }
-        // `for x in &name {` / `for (k, v) in name {`
-        if left_ok
-            && code[..abs].contains(" in ")
-            && code.trim_start().starts_with("for ")
-            && rest.trim_start().starts_with('{')
-        {
-            return true;
-        }
-    }
-    false
-}
-
-/// An attestation counts when the marker appears anywhere on the violation's
-/// *statement* (a method chain may span lines) or in the contiguous comment
-/// block directly above it. Walking upward: a line whose code ends with `;`,
-/// `{` or `}` terminates the previous statement, so the walk stops after the
-/// comment block that follows it; a blank, comment-free line also stops it.
-fn attested(lines: &[Line], ln: usize, marker: &str) -> bool {
-    if lines[ln].comment.contains(marker) {
-        return true;
-    }
-    let mut p = ln;
-    let mut in_comment_block = false;
-    while p > 0 {
-        p -= 1;
-        let l = &lines[p];
-        let code = l.code.trim();
-        if code.is_empty() {
-            if l.comment.trim().is_empty() {
-                return false; // blank line: nothing attaches across it
+    /// Renders the report as deterministic JSON (schema_version 1): sorted
+    /// diagnostics, registry-ordered summary, no environmental data. Two
+    /// runs over the same tree produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"jaws-lint\",\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"summary\": [");
+        let summary = self.summary();
+        for (i, (rule, n)) in summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
             }
-            in_comment_block = true;
-            if l.comment.contains(marker) {
-                return true;
-            }
-            continue;
+            out.push_str(&format!("\n    {{ \"rule\": \"{rule}\", \"count\": {n} }}"));
         }
-        if in_comment_block {
-            return false; // code above the comment block belongs elsewhere
-        }
-        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
-            return false; // previous statement ended here
-        }
-        // Same-statement continuation (an open method chain, binding, …).
-        if l.comment.contains(marker) {
-            return true;
-        }
-    }
-    false
-}
-
-fn allow_attested(lines: &[Line], ln: usize, rule: &str) -> bool {
-    let marker = format!("lint: allow({rule})");
-    attested(lines, ln, &marker)
-}
-
-fn sort_evidence_nearby(lines: &[Line], ln: usize) -> bool {
-    let lo = ln.saturating_sub(6);
-    let hi = (ln + 7).min(lines.len());
-    lines[lo..hi].iter().any(|l| {
-        l.code.contains("sort") || l.code.contains("BTreeMap") || l.code.contains("BTreeSet")
-    })
-}
-
-fn in_dispatch_scope(rel: &str) -> bool {
-    rel.starts_with("crates/scheduler/src/") || rel.starts_with("crates/sim/src/")
-}
-
-fn in_ranking_scope(rel: &str) -> bool {
-    in_dispatch_scope(rel) || rel.starts_with("crates/cache/src/")
-}
-
-fn wallclock_exempt(rel: &str) -> bool {
-    rel.starts_with("crates/bench/")
-        || rel == "crates/cache/src/pool.rs"
-        || rel == "crates/obs/tests/overhead_smoke.rs"
-}
-
-/// Scans for `name[<int literal>]` style indexing: `[` preceded by an
-/// identifier char, `)` or `]`, containing only digits/underscores.
-fn literal_index_positions(code: &str) -> bool {
-    let chars: Vec<char> = code.chars().collect();
-    for (i, &c) in chars.iter().enumerate() {
-        if c != '[' || i == 0 {
-            continue;
-        }
-        let prev = chars[i - 1];
-        if !(is_ident_char(prev) || prev == ')' || prev == ']') {
-            continue;
-        }
-        let mut j = i + 1;
-        let mut digits = 0usize;
-        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
-            digits += 1;
-            j += 1;
-        }
-        if digits > 0 && chars.get(j) == Some(&']') {
-            return true;
-        }
-    }
-    false
-}
-
-fn float_literal_token(tok: &str) -> bool {
-    let t = tok.trim();
-    if t.starts_with("f64::") || t.starts_with("f32::") {
-        return true;
-    }
-    t.chars().next().is_some_and(|c| c.is_ascii_digit())
-        && t.contains('.')
-        && t.chars().all(|c| {
-            c.is_ascii_digit()
-                || c == '.'
-                || c == '_'
-                || c == 'f'
-                || c == '6'
-                || c == '4'
-                || c == '3'
-                || c == '2'
-        })
-}
-
-/// Detects `==`/`!=` where one operand is a float literal.
-fn float_eq_violation(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut i = 0usize;
-    while i + 1 < bytes.len() {
-        let two = &code[i..i + 2];
-        let is_eq = two == "=="
-            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'='))
-            && bytes.get(i + 2) != Some(&b'=');
-        let is_ne = two == "!=" && bytes.get(i + 2) != Some(&b'=');
-        if is_eq || is_ne {
-            let left = code[..i]
-                .trim_end()
-                .rsplit(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
-                .next()
-                .unwrap_or("");
-            let right = code[i + 2..]
-                .trim_start()
-                .split(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
-                .next()
-                .unwrap_or("");
-            if float_literal_token(left) || float_literal_token(right) {
-                return true;
-            }
-            i += 2;
+        if summary.is_empty() {
+            out.push_str("],\n");
         } else {
-            i += 1;
+            out.push_str("\n  ],\n");
         }
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"rule\": \"{}\", \"file\": {}, \"line\": {}, \"reason\": {} }}",
+                d.rule,
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message)
+            ));
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
     }
-    false
 }
 
-/// Runs all line-level rules over one file. `rel` is the workspace-relative
-/// path with `/` separators.
-pub fn check_file(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let lines = strip_source(src);
-    let mask = test_mask(&lines);
-    let hash_names = hash_collection_names(&lines);
-    let mut out = Vec::new();
-    let mut push = |ln: usize, rule: &'static str, message: String| {
-        out.push(Diagnostic {
-            file: rel.to_string(),
-            line: ln + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (ln, l) in lines.iter().enumerate() {
-        let code = &l.code;
-        if code.trim().is_empty() {
-            continue;
-        }
-        let in_test = mask[ln];
-
-        // D002 — wall-clock / entropy sources (applies to tests too: a timed
-        // test is a flaky test).
-        if !wallclock_exempt(rel) {
-            for tok in WALLCLOCK_TOKENS {
-                if token_exempt(tok, rel) {
-                    continue;
-                }
-                if code.contains(tok) && !allow_attested(&lines, ln, "D002") {
-                    push(
-                        ln,
-                        "D002",
-                        format!(
-                            "wall-clock/entropy source `{tok}` outside crates/bench and the \
-                             cache pool timing shim breaks replayability; thread a seeded RNG \
-                             or simulated clock instead"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // D003 — seedless FailurePlan construction (applies to tests too: an
-        // unseeded scenario is an unreplayable scenario). The defining module
-        // is the one sanctioned home for the struct literal.
-        if rel != "crates/sim/src/failure.rs" {
-            if let Some(msg) = d003_violation(code) {
-                if !allow_attested(&lines, ln, "D003") {
-                    push(ln, "D003", msg.to_string());
-                }
-            }
-        }
-
-        if in_test {
-            continue;
-        }
-
-        // D001 — HashMap/HashSet iteration in dispatch paths.
-        if in_dispatch_scope(rel) {
-            for name in &hash_names {
-                if iterates_collection(code, name) {
-                    let sorted_ok =
-                        attested(&lines, ln, "lint: sorted") && sort_evidence_nearby(&lines, ln);
-                    if !sorted_ok && !allow_attested(&lines, ln, "D001") {
-                        push(
-                            ln,
-                            "D001",
-                            format!(
-                                "iteration over unordered hash collection `{name}` can reorder \
-                                 scheduling decisions; use BTreeMap/BTreeSet or sort and attest \
-                                 with `// lint: sorted`"
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-
-        // F001/F002 — float ordering in ranking code.
-        if in_ranking_scope(rel) {
-            if code.contains(".partial_cmp(")
-                && !code.contains("fn partial_cmp")
-                && !allow_attested(&lines, ln, "F001")
-            {
-                push(
-                    ln,
-                    "F001",
-                    "bare `partial_cmp` is not a total order over f64 (NaN); use `total_cmp` \
-                     with an integer tie-break"
-                        .to_string(),
-                );
-            }
-            if float_eq_violation(code) && !allow_attested(&lines, ln, "F002") {
-                push(
-                    ln,
-                    "F002",
-                    "`==`/`!=` against a float literal is fragile ranking logic; compare via \
-                     `total_cmp` or an explicit tolerance"
-                        .to_string(),
-                );
-            }
-        }
-
-        // P001 — panic-safety in dispatch paths.
-        if in_dispatch_scope(rel) {
-            if code.contains(".unwrap()") && !allow_attested(&lines, ln, "P001") {
-                push(
-                    ln,
-                    "P001",
-                    "`unwrap()` in a dispatch path; return a Result or convert to an \
-                     invariant `expect` with a `// lint: invariant` attestation"
-                        .to_string(),
-                );
-            }
-            if code.contains(".expect(")
-                && !attested(&lines, ln, "lint: invariant")
-                && !allow_attested(&lines, ln, "P001")
-            {
-                push(
-                    ln,
-                    "P001",
-                    "`expect()` without a documented invariant; add `// lint: invariant — why` \
-                     or handle the None/Err case"
-                        .to_string(),
-                );
-            }
-            for mac in PANIC_MACROS {
-                if code.contains(mac)
-                    && !attested(&lines, ln, "lint: invariant")
-                    && !allow_attested(&lines, ln, "P001")
-                {
-                    push(
-                        ln,
-                        "P001",
-                        format!(
-                            "`{}` in a dispatch path without a `// lint: invariant` attestation",
-                            mac.trim_end_matches('(')
-                        ),
-                    );
-                }
-            }
-            if literal_index_positions(code)
-                && !attested(&lines, ln, "lint: invariant")
-                && !allow_attested(&lines, ln, "P001")
-            {
-                push(
-                    ln,
-                    "P001",
-                    "indexing by integer literal can panic; use `.first()`/`.get()` or attest \
-                     the bound with `// lint: invariant`"
-                        .to_string(),
-                );
-            }
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
+    out.push('"');
     out
 }
 
@@ -785,13 +409,15 @@ fn forbid_unsafe_roots(root: &Path) -> Vec<String> {
     roots
 }
 
-/// Scans a workspace tree rooted at `root`. Returns all diagnostics sorted by
-/// `(file, line, rule)` plus the number of files scanned.
+/// Scans a workspace tree rooted at `root`: reads every `.rs` file (in
+/// sorted order, skipping target/vendor/fixtures), builds the cross-file
+/// [`Context`], checks each file, and applies the U001 crate-root check.
+/// Diagnostics come back sorted by `(file, line, rule)`.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    walk(root, &mut files)?;
-    let mut report = Report::default();
-    for path in &files {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
@@ -799,9 +425,15 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let src = fs::read_to_string(path)?;
-        report.files_scanned += 1;
-        report.diagnostics.extend(check_file(&rel, &src));
+        files.push((rel, fs::read_to_string(path)?));
+    }
+    let ctx = scan_context(&files);
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (rel, src) in &files {
+        report.diagnostics.extend(check_file_in(rel, src, &ctx));
     }
     for rel in forbid_unsafe_roots(root) {
         let src = fs::read_to_string(root.join(&rel))?;
@@ -822,204 +454,96 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
 mod tests {
     use super::*;
 
-    const SCHED: &str = "crates/scheduler/src/foo.rs";
-
-    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
-        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    #[test]
+    fn registry_is_unique_and_explains_every_emitted_rule() {
+        let ids: BTreeSet<&str> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), RULES.len(), "duplicate rule ids");
+        for id in [
+            "D001", "D002", "D003", "F001", "F002", "P001", "C001", "C002", "C003", "T001", "S001",
+            "U001",
+        ] {
+            assert!(rule_info(id).is_some(), "missing registry entry for {id}");
+        }
+        assert!(rule_info("c001").is_some(), "lookup is case-insensitive");
+        assert!(rule_info("Z999").is_none());
     }
 
     #[test]
-    fn stripper_removes_comments_and_strings() {
-        let lines = strip_source("let x = \"a // not a comment\"; // real\nlet y = 1; /* block\nstill block */ let z = 2;");
-        assert_eq!(lines[0].code.trim(), "let x = \"\";");
-        assert!(lines[0].comment.contains("real"));
-        assert_eq!(lines[1].code.trim(), "let y = 1;");
-        assert_eq!(lines[2].code.trim(), "let z = 2;");
-    }
-
-    #[test]
-    fn stripper_handles_char_literals_and_lifetimes() {
-        let lines =
-            strip_source("fn f<'a>(c: char) -> &'a str { if c == '\"' { \"x\" } else { \"y\" } }");
-        assert!(!lines[0].code.contains('x'));
-        assert!(lines[0].code.contains("<'a>"));
-    }
-
-    #[test]
-    fn stripper_handles_raw_strings() {
-        let lines = strip_source("let s = r#\"unwrap() inside\"#; s.len();");
-        assert!(!lines[0].code.contains("unwrap"));
-        assert!(lines[0].code.contains("s.len()"));
-    }
-
-    #[test]
-    fn test_mask_covers_cfg_test_mod() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\nfn live2() {}\n";
-        let lines = strip_source(src);
-        let mask = test_mask(&lines);
-        assert_eq!(mask, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn d001_fires_on_hashmap_iteration_and_respects_attestation() {
-        let bad = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { for _ in self.m.keys() {} } }\n";
-        assert_eq!(codes(SCHED, bad), vec!["D001"]);
-        let attested = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) -> Vec<u32> {\n    let mut v: Vec<u32> = self.m.keys().copied().collect(); // lint: sorted\n    v.sort();\n    v\n} }\n";
-        assert!(codes(SCHED, attested).is_empty());
-        // Attestation without sort evidence still fires.
-        let lying = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) -> u32 { self.m.values().sum() // lint: some\n} }\n";
-        let lying = lying.replace("lint: some", "lint: sorted");
-        assert_eq!(codes(SCHED, &lying), vec!["D001"]);
-    }
-
-    #[test]
-    fn d001_ignores_out_of_scope_and_test_code() {
-        let bad = "struct S { m: std::collections::HashMap<u32, u32> }\nimpl S { fn f(&self) { for _ in self.m.keys() {} } }\n";
-        assert!(codes("crates/workload/src/gen.rs", bad).is_empty());
-        let in_test = format!("#[cfg(test)]\nmod tests {{\n{bad}\n}}\n");
-        assert!(codes(SCHED, &in_test).is_empty());
-    }
-
-    #[test]
-    fn d002_fires_everywhere_but_exempt_paths() {
-        let src = "fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(codes("crates/workload/src/gen.rs", src), vec!["D002"]);
-        assert_eq!(codes("crates/obs/src/lib.rs", src), vec!["D002"]);
-        assert!(codes("crates/cache/src/pool.rs", src).is_empty());
-        assert!(codes("crates/bench/benches/b.rs", src).is_empty());
-        assert!(codes("crates/obs/tests/overhead_smoke.rs", src).is_empty());
-    }
-
-    #[test]
-    fn d002_parallelism_probe_allowed_only_in_jaws_par() {
-        let probe =
-            "fn n() -> usize { std::thread::available_parallelism().map_or(1, |c| c.get()) }\n";
-        assert!(codes("crates/par/src/lib.rs", probe).is_empty());
-        assert_eq!(codes("crates/sim/src/engine.rs", probe), vec!["D002"]);
-        assert_eq!(codes("crates/scheduler/src/jaws.rs", probe), vec!["D002"]);
-        // The carve-out is per-token: a wall clock in crates/par still fires.
-        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(codes("crates/par/src/lib.rs", clock), vec!["D002"]);
-    }
-
-    #[test]
-    fn d003_fires_on_seedless_failure_plan_construction() {
+    fn diagnostics_sort_by_file_line_rule() {
+        let mut diags = [
+            Diagnostic {
+                file: "b.rs".into(),
+                line: 1,
+                rule: "D001",
+                message: String::new(),
+            },
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 9,
+                rule: "P001",
+                message: String::new(),
+            },
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 9,
+                rule: "C001",
+                message: String::new(),
+            },
+        ];
+        diags.sort();
+        let order: Vec<(&str, usize, &str)> = diags
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.rule))
+            .collect();
         assert_eq!(
-            codes(SCHED, "fn f() { let p = FailurePlan::default(); }\n"),
-            vec!["D003"]
+            order,
+            vec![
+                ("a.rs", 9, "C001"),
+                ("a.rs", 9, "P001"),
+                ("b.rs", 1, "D001")
+            ]
         );
-        assert_eq!(
-            codes(
-                "crates/sim/src/cluster.rs",
-                "impl Default for FailurePlan { fn default() -> Self { Self::none() } }\n"
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_escapes() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "C001",
+                message: "uses `.lock()` with \"quotes\"\nand a newline".into(),
+            }],
+            files_scanned: 7,
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\\\"quotes\\\"\\nand a newline"));
+        assert!(a.contains("{ \"rule\": \"C001\", \"count\": 1 }"));
+        assert!(a.ends_with("}\n"));
+
+        let empty = Report::default();
+        let j = empty.to_json();
+        assert!(j.contains("\"summary\": []"));
+        assert!(j.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn scan_context_collects_lock_names_across_files() {
+        let files = vec![
+            (
+                "a.rs".to_string(),
+                "struct S { bufs: Vec<Arc<Mutex<u32>>> }\n".to_string(),
             ),
-            vec!["D003"]
-        );
-        assert_eq!(
-            codes(
-                "tests/extensions.rs",
-                "fn f() { let p = FailurePlan { seed: 1, events: vec![] }; }\n"
+            (
+                "b.rs".to_string(),
+                "fn f() { let door = RwLock::new(0); }\n".to_string(),
             ),
-            vec!["D003"]
-        );
-        // Fires in test code too — an unseeded scenario is unreplayable.
-        let in_test =
-            "#[cfg(test)]\nmod tests {\n    fn f() { let p = FailurePlan::default(); }\n}\n";
-        assert_eq!(codes(SCHED, in_test), vec!["D003"]);
-    }
-
-    #[test]
-    fn d003_allows_seeded_constructors_and_type_positions() {
-        assert!(codes(SCHED, "fn f() { let p = FailurePlan::new(17); }\n").is_empty());
-        assert!(codes(SCHED, "fn f() { let p = FailurePlan::none(); }\n").is_empty());
-        assert!(codes(
-            SCHED,
-            "fn f() -> FailurePlan {\n    FailurePlan::new(3)\n}\n"
-        )
-        .is_empty());
-        assert!(codes(SCHED, "impl FailurePlan { fn x() {} }\n").is_empty());
-        assert!(codes(SCHED, "struct FailurePlanLike { seed: u64 }\n").is_empty());
-        // The defining module may use the struct literal in its constructors.
-        assert!(codes(
-            "crates/sim/src/failure.rs",
-            "fn new(seed: u64) -> FailurePlan { FailurePlan { seed, events: vec![] } }\n"
-        )
-        .is_empty());
-        // Explicit escape hatch still works.
-        let allowed = "fn f() { let p = FailurePlan::default(); // lint: allow(D003) — demo\n}\n";
-        assert!(codes(SCHED, allowed).is_empty());
-    }
-
-    #[test]
-    fn f001_fires_on_partial_cmp_call_not_definition() {
-        assert_eq!(
-            codes(SCHED, "fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n"),
-            vec!["F001"]
-        );
-        assert!(codes(
-            SCHED,
-            "impl PartialOrd for K { fn partial_cmp(&self, o: &K) -> Option<Ordering> { Some(self.cmp(o)) } }\n"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn f002_fires_on_float_literal_equality() {
-        assert_eq!(
-            codes(SCHED, "fn f(x: f64) -> bool { x == 0.0 }\n"),
-            vec!["F002"]
-        );
-        assert_eq!(
-            codes(SCHED, "fn f(x: f64) -> bool { 1.5 != x }\n"),
-            vec!["F002"]
-        );
-        assert!(codes(SCHED, "fn f(x: u32) -> bool { x == 3 }\n").is_empty());
-        assert!(codes(SCHED, "fn f(a: (u32,), b: (u32,)) -> bool { a.0 == b.0 }\n").is_empty());
-        assert!(codes(SCHED, "fn f(x: f64) -> bool { x <= 1.0 }\n").is_empty());
-    }
-
-    #[test]
-    fn p001_fires_on_panic_paths_and_respects_invariant_attestation() {
-        assert_eq!(
-            codes(
-                SCHED,
-                "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap() }\n"
-            ),
-            vec!["P001"]
-        );
-        assert_eq!(
-            codes(SCHED, "fn f(v: &[u32]) -> u32 { v[0] }\n"),
-            vec!["P001"]
-        );
-        assert_eq!(
-            codes(SCHED, "fn f(o: Option<u32>) -> u32 { o.expect(\"x\") }\n"),
-            vec!["P001"]
-        );
-        assert_eq!(codes(SCHED, "fn f() { panic!(\"boom\") }\n"), vec!["P001"]);
-        let ok = "fn f(o: Option<u32>) -> u32 {\n    // lint: invariant — o is always Some here\n    o.expect(\"tracked\")\n}\n";
-        assert!(codes(SCHED, ok).is_empty());
-        // unwrap() is never excusable via `lint: invariant`.
-        let still_bad =
-            "fn f(o: Option<u32>) -> u32 {\n    // lint: invariant — nope\n    o.unwrap()\n}\n";
-        assert_eq!(codes(SCHED, still_bad), vec!["P001"]);
-        // ...but the explicit allow() escape hatch works.
-        let allowed = "fn f(o: Option<u32>) -> u32 { o.unwrap() // lint: allow(P001) — demo\n}\n";
-        assert!(codes(SCHED, allowed).is_empty());
-    }
-
-    #[test]
-    fn p001_ignores_array_type_and_literal_expressions() {
-        assert!(codes(SCHED, "fn f() -> [u8; 4] { [0, 1, 2, 3] }\n").is_empty());
-        assert!(codes(
-            SCHED,
-            "fn f(v: &[u32]) -> Option<u32> { v.get(0).copied() }\n"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn diagnostics_format_is_file_line_rule() {
-        let d = check_file(SCHED, "fn f() { panic!(\"x\") }\n").remove(0);
-        assert_eq!(format!("{d}"), format!("{SCHED}:1 [P001] {}", d.message));
+        ];
+        let ctx = scan_context(&files);
+        assert!(ctx.mutex_names.contains("bufs"));
+        assert!(ctx.mutex_names.contains("door"));
     }
 }

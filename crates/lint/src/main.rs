@@ -1,15 +1,24 @@
 //! Command-line entry point for `jaws-lint`.
 //!
-//! Usage: `cargo run -p jaws-lint --release [-- --root <path>]`
+//! Usage: `cargo run -p jaws-lint --release [-- OPTIONS]`
 //!
-//! Scans the workspace tree (default: the workspace this binary was built
-//! from), prints one `file:line [RULE] message` diagnostic per violation and
-//! exits with status 1 if any were found, 2 on I/O errors.
+//! * `--root <path>` — workspace root to scan (default: the workspace this
+//!   binary was built from).
+//! * `--format text|json` — human diagnostics plus a per-rule summary table
+//!   (default), or the deterministic JSON report (schema_version 1).
+//! * `--out <path>` — write the report to a file instead of stdout.
+//! * `--explain <RULE>` — print a rule's rationale and fix guidance, then
+//!   exit.
+//!
+//! Exits with status 1 if any violations were found, 2 on I/O or usage
+//! errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use jaws_lint::{rule_info, Report, RULES};
 
 fn default_root() -> PathBuf {
     // crates/lint/ -> crates/ -> workspace root.
@@ -21,8 +30,61 @@ fn default_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+fn usage() {
+    println!("jaws-lint — workspace determinism, panic-safety & lock-discipline checks");
+    println!("usage: jaws-lint [--root <workspace-root>] [--format text|json]");
+    println!("                 [--out <path>] [--explain <RULE>]");
+}
+
+fn explain(id: &str) -> ExitCode {
+    match rule_info(id) {
+        Some(r) => {
+            println!("{} — {}", r.id, r.title);
+            println!();
+            println!("why:  {}", r.rationale);
+            println!("fix:  {}", r.fix);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("jaws-lint: unknown rule `{id}`; known rules:");
+            for r in RULES {
+                eprintln!("  {} — {}", r.id, r.title);
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!("{d}\n"));
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str(&format!(
+            "jaws-lint: OK — {} files scanned, 0 violations\n",
+            report.files_scanned
+        ));
+    } else {
+        out.push_str("\nrule   count  title\n");
+        out.push_str("-----  -----  -----\n");
+        for (rule, n) in report.summary() {
+            let title = rule_info(rule).map(|r| r.title).unwrap_or("");
+            out.push_str(&format!("{rule:<5}  {n:>5}  {title}\n"));
+        }
+        out.push_str(&format!(
+            "\njaws-lint: {} violation(s) across {} files scanned\n",
+            report.diagnostics.len(),
+            report.files_scanned
+        ));
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut root = default_root();
+    let mut format = String::from("text");
+    let mut out_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,9 +95,33 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".to_string(),
+                Some("json") => format = "json".to_string(),
+                other => {
+                    eprintln!(
+                        "jaws-lint: --format requires `text` or `json` (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("jaws-lint: --out requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(id) => return explain(&id),
+                None => {
+                    eprintln!("jaws-lint: --explain requires a rule id (e.g. C001)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("jaws-lint — workspace determinism & panic-safety checks");
-                println!("usage: jaws-lint [--root <workspace-root>]");
+                usage();
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -53,21 +139,31 @@ fn main() -> ExitCode {
         }
     };
 
-    for d in &report.diagnostics {
-        println!("{d}");
+    let rendered = if format == "json" {
+        report.to_json()
+    } else {
+        render_text(&report)
+    };
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &rendered) {
+                eprintln!("jaws-lint: failed to write {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
     }
+
     if report.diagnostics.is_empty() {
-        println!(
-            "jaws-lint: OK — {} files scanned, 0 violations",
-            report.files_scanned
-        );
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "jaws-lint: {} violation(s) across {} files scanned",
-            report.diagnostics.len(),
-            report.files_scanned
-        );
+        if out_path.is_some() || format == "json" {
+            eprintln!(
+                "jaws-lint: {} violation(s) across {} files scanned",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,332 @@
+//! C-family rules: lock discipline on the workspace's concurrency surface
+//! (`Arc<Mutex<dyn Recorder>>` obs sinks, per-node trace buffers).
+//!
+//! * **C001** — no `.lock().unwrap()`, anywhere (tests and benches
+//!   included: one lock idiom per workspace). A `.lock().expect(…)` must
+//!   carry a `// lint: invariant — why poisoning is impossible/fatal`
+//!   attestation, exactly like P001 expects.
+//! * **C002** — acquiring a second, *distinct* `Mutex`/`RwLock` while a
+//!   guard is held in the same lexical scope is a lock-ordering hazard.
+//!   Which names are lock-typed is decided **cross-file**: the workspace
+//!   pass collects every `Mutex`/`RwLock`-typed field, param, and binding
+//!   (see [`crate::scan_context`]), so locking `self.bufs[i]` in one file is
+//!   recognized even though `bufs` is declared in another.
+//! * **C003** — holding a lock guard across a `jaws_par::map*` call
+//!   serializes the pool (or deadlocks it if workers take the same lock);
+//!   drain or drop the guard first.
+//!
+//! A guard counts as *held* when the lock result is bound (`let g =
+//! x.lock().expect(…);`) rather than consumed in the same statement
+//! (`x.lock().expect(…).take()` drops the temporary at the `;`). The
+//! analysis is lexical and per-line: it sees the binding statement and
+//! tracks brace depth until the guard's block closes.
+
+use crate::source::Check;
+
+use super::{find_all, is_ident_char};
+
+/// A held guard discovered on an earlier line of the current block.
+struct Guard {
+    /// Receiver text, whitespace-normalized (e.g. `self.bufs[node]`).
+    receiver: String,
+    /// Whether the receiver names a known Mutex/RwLock-typed identifier.
+    known: bool,
+    /// Brace depth at which the binding lives; the guard dies when the
+    /// depth drops below this.
+    depth: i64,
+    /// 0-based line of the binding (for the diagnostic).
+    line: usize,
+}
+
+/// Extracts the receiver expression ending at byte offset `end` (the `.` of
+/// `.lock()`): a maximal run of path/index characters.
+fn receiver_before(code: &str, end: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if is_ident_char(c) || matches!(c, '.' | ']' | '[' | ')' | '(' | '?' | ':') {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    code[start..end]
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect()
+}
+
+/// Whether any identifier segment of `receiver` is a known lock-typed name.
+fn receiver_known(receiver: &str, c: &Check<'_>) -> bool {
+    receiver
+        .split(|ch: char| !is_ident_char(ch))
+        .any(|seg| !seg.is_empty() && c.ctx.mutex_names.contains(seg))
+}
+
+/// If the `.lock()` occurrence at `pos` is a held binding
+/// (`let name = recv.lock().unwrap_or_expect(…);` with nothing chained
+/// after), returns true.
+fn is_held_binding(code: &str, pos: usize) -> bool {
+    let before = &code[..pos];
+    let Some(eq) = before.rfind('=') else {
+        return false;
+    };
+    // The receiver must directly follow the `=` and the binding must be a
+    // `let`/`else`-free simple statement start.
+    let lhs = before[..eq].trim_end();
+    if before[eq + 1..].trim() != receiver_raw(code, pos).trim() {
+        return false;
+    }
+    if !(lhs.ends_with(|c: char| is_ident_char(c)) && code.trim_start().starts_with("let ")) {
+        return false;
+    }
+    // What follows .lock(): .unwrap() or .expect(…), then end of statement.
+    let after = &code[pos + ".lock()".len()..];
+    let rest = if let Some(r) = after.strip_prefix(".unwrap()") {
+        r
+    } else if let Some(r) = after.strip_prefix(".expect(") {
+        match r.find(')') {
+            Some(close) => &r[close + 1..],
+            None => return false,
+        }
+    } else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    rest.is_empty() || rest.starts_with(';')
+}
+
+/// The raw (untrimmed-of-whitespace) receiver slice before `pos`.
+fn receiver_raw(code: &str, pos: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if is_ident_char(c) || matches!(c, '.' | ']' | '[' | ')' | '(' | '?' | ':') {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..pos]
+}
+
+/// Runs C001–C003 over the file.
+pub fn run(c: &mut Check<'_>) {
+    let mut depth: i64 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for ln in 0..c.lines.len() {
+        let code = c.lines[ln].code.clone();
+
+        for pos in find_all(&code, ".lock()") {
+            let mut receiver = receiver_before(&code, pos);
+            // rustfmt may break a long chain before `.lock()` too; the
+            // receiver then sits at the end of the previous line.
+            if receiver.is_empty() && ln > 0 && code[..pos].trim().is_empty() {
+                let prev = c.lines[ln - 1].code.trim_end();
+                receiver = receiver_before(prev, prev.len());
+            }
+            let receiver = receiver;
+            // rustfmt may break a long chain after `.lock()`; the consuming
+            // method then opens the next line.
+            let mut after = code[pos + ".lock()".len()..].to_string();
+            if after.trim().is_empty() {
+                if let Some(next) = c.lines.get(ln + 1) {
+                    after = next.code.trim_start().to_string();
+                }
+            }
+            let after = after.as_str();
+
+            // C001 — lock idiom.
+            if after.starts_with(".unwrap()") {
+                if !c.allowed(ln, "C001") {
+                    c.push(
+                        ln,
+                        "C001",
+                        format!(
+                            "`{receiver}.lock().unwrap()` hides the poisoning story; use \
+                             `.expect(\"…\")` with a `// lint: invariant — why` attestation \
+                             stating why poisoning is impossible or must abort"
+                        ),
+                    );
+                }
+            } else if after.starts_with(".expect(")
+                && !c.invariant_attested(ln)
+                && !c.allowed(ln, "C001")
+            {
+                c.push(
+                    ln,
+                    "C001",
+                    format!(
+                        "`{receiver}.lock().expect(…)` without a `// lint: invariant — why` \
+                         attestation; state why poisoning is impossible or must abort"
+                    ),
+                );
+            }
+
+            // C002 — nested acquisition of a distinct lock while one is held.
+            let known = receiver_known(&receiver, c);
+            let hazards: Vec<(String, usize)> = guards
+                .iter()
+                .filter(|g| g.receiver != receiver && (g.known || known))
+                .map(|g| (g.receiver.clone(), g.line + 1))
+                .collect();
+            for (held, held_line) in hazards {
+                if !c.allowed(ln, "C002") {
+                    c.push(
+                        ln,
+                        "C002",
+                        format!(
+                            "`{receiver}.lock()` while the guard on `{held}` (line {held_line}) \
+                             is still held — a second distinct lock in one scope is a \
+                             lock-ordering hazard; drop or narrow the first guard"
+                        ),
+                    );
+                }
+            }
+
+            if is_held_binding(&code, pos) {
+                guards.push(Guard {
+                    receiver,
+                    known,
+                    depth,
+                    line: ln,
+                });
+            }
+        }
+
+        // C003 — guard held across a jaws-par dispatch.
+        if !guards.is_empty() && code.contains("jaws_par::map") && !c.allowed(ln, "C003") {
+            let held = guards
+                .iter()
+                .map(|g| g.receiver.as_str())
+                .collect::<Vec<_>>()
+                .join("`, `");
+            c.push(
+                ln,
+                "C003",
+                format!(
+                    "`jaws_par::map*` called while the guard on `{held}` is held; workers \
+                     that touch the same lock deadlock, and any contention serializes the \
+                     pool — drain/drop the guard before dispatching"
+                ),
+            );
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check_file, check_file_in, scan_context};
+
+    const OBS: &str = "crates/obs/src/lib.rs";
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn c001_fires_on_lock_unwrap_everywhere_including_tests() {
+        let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+        assert_eq!(codes(OBS, src), vec!["C001"]);
+        assert_eq!(codes("crates/bench/src/bin/x.rs", src), vec!["C001"]);
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert_eq!(codes(OBS, &in_test), vec!["C001"]);
+    }
+
+    #[test]
+    fn c001_requires_attested_expect() {
+        let bare = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().expect(\"poisoned\") }\n";
+        assert_eq!(codes(OBS, bare), vec!["C001"]);
+        let attested = "fn f(m: &Mutex<u32>) -> u32 {\n    // lint: invariant — single-threaded here, poisoning is fatal\n    *m.lock().expect(\"poisoned\")\n}\n";
+        assert!(codes(OBS, attested).is_empty());
+        let allowed =
+            "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() // lint: allow(C001) — demo\n}\n";
+        assert!(codes(OBS, allowed).is_empty());
+    }
+
+    #[test]
+    fn c001_sees_chains_split_across_lines() {
+        // rustfmt's one-method-per-line style must not hide the idiom.
+        let split = "fn f(rec: &Mutex<String>) -> String {\n    rec\n        .lock()\n        .expect(\"recorder lock\")\n        .clone()\n}\n";
+        assert_eq!(codes(OBS, split), vec!["C001"]);
+        let attested = "fn f(rec: &Mutex<String>) -> String {\n    // lint: invariant — single-threaded here, poisoning is fatal\n    rec\n        .lock()\n        .expect(\"recorder lock\")\n        .clone()\n}\n";
+        assert!(
+            codes(OBS, attested).is_empty(),
+            "{:?}",
+            codes(OBS, attested)
+        );
+    }
+
+    #[test]
+    fn c001_ignores_lock_in_strings_and_comments() {
+        let src = "fn f() -> &'static str { \"m.lock().unwrap()\" } // m.lock().unwrap() prose\n";
+        assert!(codes(OBS, src).is_empty());
+    }
+
+    #[test]
+    fn c002_flags_nested_distinct_mutex_guards() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        // lint: invariant — poisoning aborts the run\n        let ga = self.a.lock().expect(\"a\");\n        // lint: invariant — poisoning aborts the run\n        let gb = self.b.lock().expect(\"b\");\n        drop((ga, gb));\n    }\n}\n";
+        assert_eq!(codes(OBS, src), vec!["C002"]);
+    }
+
+    #[test]
+    fn c002_knows_lock_fields_cross_file() {
+        let decl = (
+            "crates/obs/src/types.rs".to_string(),
+            "pub struct Shared { pub left: Mutex<u32>, pub right: Mutex<u32> }\n".to_string(),
+        );
+        let usage_src = "fn f(s: &Shared) {\n    // lint: invariant — poisoning aborts the run\n    let g = s.left.lock().expect(\"left\");\n    // lint: invariant — poisoning aborts the run\n    let h = s.right.lock().expect(\"right\");\n    drop((g, h));\n}\n";
+        let files = vec![
+            decl,
+            (
+                "crates/obs/src/use_site.rs".to_string(),
+                usage_src.to_string(),
+            ),
+        ];
+        let ctx = scan_context(&files);
+        let rules: Vec<_> = check_file_in("crates/obs/src/use_site.rs", usage_src, &ctx)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["C002"]);
+        // Without the declaring file, neither receiver is known — no C002.
+        let blind = scan_context(&files[1..]);
+        let rules: Vec<_> = check_file_in("crates/obs/src/use_site.rs", usage_src, &blind)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn c002_ignores_sequential_scopes_and_same_lock_temporaries() {
+        // Guards in sibling scopes never overlap.
+        let scoped = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        {\n            // lint: invariant — poisoning aborts the run\n            let ga = self.a.lock().expect(\"a\");\n            drop(ga);\n        }\n        {\n            // lint: invariant — poisoning aborts the run\n            let gb = self.b.lock().expect(\"b\");\n            drop(gb);\n        }\n    }\n}\n";
+        assert!(codes(OBS, scoped).is_empty());
+        // Chained temporaries drop at the statement end — not held.
+        let temp = "struct S { a: Mutex<Vec<u32>>, b: Mutex<Vec<u32>> }\nimpl S {\n    fn f(&self) {\n        // lint: invariant — poisoning aborts the run\n        let n = self.a.lock().expect(\"a\").len();\n        // lint: invariant — poisoning aborts the run\n        let m = self.b.lock().expect(\"b\").len();\n        assert_eq!(n, m);\n    }\n}\n";
+        assert!(codes(OBS, temp).is_empty());
+    }
+
+    #[test]
+    fn c003_flags_guard_held_across_jaws_par() {
+        let src = "struct S { buf: Mutex<Vec<u32>> }\nimpl S {\n    fn f(&self, xs: &[u32]) -> Vec<u32> {\n        // lint: invariant — poisoning aborts the run\n        let g = self.buf.lock().expect(\"buf\");\n        let out = jaws_par::map(xs, |x| x + g.len() as u32);\n        out\n    }\n}\n";
+        assert_eq!(codes(OBS, src), vec!["C003"]);
+        // Dropping the guard first is clean.
+        let ok = "struct S { buf: Mutex<Vec<u32>> }\nimpl S {\n    fn f(&self, xs: &[u32]) -> Vec<u32> {\n        {\n            // lint: invariant — poisoning aborts the run\n            let g = self.buf.lock().expect(\"buf\");\n            drop(g);\n        }\n        jaws_par::map(xs, |x| x + 1)\n    }\n}\n";
+        assert!(codes(OBS, ok).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! F-family rules: total float orders in ranking code.
+//!
+//! * **F001** — no bare `partial_cmp` (NaN makes it a partial order).
+//! * **F002** — no `==`/`!=` against float literals.
+
+use crate::source::Check;
+
+use super::{in_ranking_scope, is_ident_char};
+
+fn float_literal_token(tok: &str) -> bool {
+    let t = tok.trim();
+    if t.starts_with("f64::") || t.starts_with("f32::") {
+        return true;
+    }
+    t.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && t.contains('.')
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_' || c == 'f')
+}
+
+/// Detects `==`/`!=` where one operand is a float literal.
+fn float_eq_violation(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        let is_eq = two == "=="
+            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'='))
+            && bytes.get(i + 2) != Some(&b'=');
+        let is_ne = two == "!=" && bytes.get(i + 2) != Some(&b'=');
+        if is_eq || is_ne {
+            let left = code[..i]
+                .trim_end()
+                .rsplit(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+                .next()
+                .unwrap_or("");
+            let right = code[i + 2..]
+                .trim_start()
+                .split(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+                .next()
+                .unwrap_or("");
+            if float_literal_token(left) || float_literal_token(right) {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Runs F001/F002 over the file.
+pub fn run(c: &mut Check<'_>) {
+    if !in_ranking_scope(c.rel) {
+        return;
+    }
+    for ln in 0..c.lines.len() {
+        let code = c.lines[ln].code.clone();
+        if code.trim().is_empty() || c.mask[ln] {
+            continue;
+        }
+        if code.contains(".partial_cmp(")
+            && !code.contains("fn partial_cmp")
+            && !c.allowed(ln, "F001")
+        {
+            c.push(
+                ln,
+                "F001",
+                "bare `partial_cmp` is not a total order over f64 (NaN); use `total_cmp` \
+                 with an integer tie-break"
+                    .to_string(),
+            );
+        }
+        if float_eq_violation(&code) && !c.allowed(ln, "F002") {
+            c.push(
+                ln,
+                "F002",
+                "`==`/`!=` against a float literal is fragile ranking logic; compare via \
+                 `total_cmp` or an explicit tolerance"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_file;
+
+    const SCHED: &str = "crates/scheduler/src/foo.rs";
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn f001_fires_on_partial_cmp_call_not_definition() {
+        assert_eq!(
+            codes(SCHED, "fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n"),
+            vec!["F001"]
+        );
+        assert!(codes(
+            SCHED,
+            "impl PartialOrd for K { fn partial_cmp(&self, o: &K) -> Option<Ordering> { Some(self.cmp(o)) } }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn f001_ignores_mentions_in_strings_and_comments() {
+        let src = "fn f() -> &'static str { \"a.partial_cmp(&b)\" } // .partial_cmp( in prose\n";
+        assert!(codes(SCHED, src).is_empty());
+    }
+
+    #[test]
+    fn f002_fires_on_float_literal_equality() {
+        assert_eq!(
+            codes(SCHED, "fn f(x: f64) -> bool { x == 0.0 }\n"),
+            vec!["F002"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(x: f64) -> bool { 1.5 != x }\n"),
+            vec!["F002"]
+        );
+        assert!(codes(SCHED, "fn f(x: u32) -> bool { x == 3 }\n").is_empty());
+        assert!(codes(SCHED, "fn f(a: (u32,), b: (u32,)) -> bool { a.0 == b.0 }\n").is_empty());
+        assert!(codes(SCHED, "fn f(x: f64) -> bool { x <= 1.0 }\n").is_empty());
+    }
+}

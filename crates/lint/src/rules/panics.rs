@@ -1,0 +1,143 @@
+//! P-family rules: panic-safety on dispatch paths.
+//!
+//! * **P001** — no `unwrap()`, unattested `expect()`, panic macros, or
+//!   indexing-by-literal in non-test scheduler/sim code.
+
+use crate::source::Check;
+
+use super::{in_dispatch_scope, is_ident_char};
+
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Scans for `name[<int literal>]` style indexing: `[` preceded by an
+/// identifier char, `)` or `]`, containing only digits/underscores.
+fn literal_index_positions(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if !(is_ident_char(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut digits = 0usize;
+        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            digits += 1;
+            j += 1;
+        }
+        if digits > 0 && chars.get(j) == Some(&']') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs P001 over the file.
+pub fn run(c: &mut Check<'_>) {
+    if !in_dispatch_scope(c.rel) {
+        return;
+    }
+    for ln in 0..c.lines.len() {
+        let code = c.lines[ln].code.clone();
+        if code.trim().is_empty() || c.mask[ln] {
+            continue;
+        }
+        if code.contains(".unwrap()") && !c.allowed(ln, "P001") {
+            c.push(
+                ln,
+                "P001",
+                "`unwrap()` in a dispatch path; return a Result or convert to an \
+                 invariant `expect` with a `// lint: invariant` attestation"
+                    .to_string(),
+            );
+        }
+        if code.contains(".expect(") && !c.invariant_attested(ln) && !c.allowed(ln, "P001") {
+            c.push(
+                ln,
+                "P001",
+                "`expect()` without a documented invariant; add `// lint: invariant — why` \
+                 or handle the None/Err case"
+                    .to_string(),
+            );
+        }
+        for mac in PANIC_MACROS {
+            if code.contains(mac) && !c.invariant_attested(ln) && !c.allowed(ln, "P001") {
+                c.push(
+                    ln,
+                    "P001",
+                    format!(
+                        "`{}` in a dispatch path without a `// lint: invariant` attestation",
+                        mac.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+        if literal_index_positions(&code) && !c.invariant_attested(ln) && !c.allowed(ln, "P001") {
+            c.push(
+                ln,
+                "P001",
+                "indexing by integer literal can panic; use `.first()`/`.get()` or attest \
+                 the bound with `// lint: invariant`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_file;
+
+    const SCHED: &str = "crates/scheduler/src/foo.rs";
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn p001_fires_on_panic_paths_and_respects_invariant_attestation() {
+        assert_eq!(
+            codes(
+                SCHED,
+                "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap() }\n"
+            ),
+            vec!["P001"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(v: &[u32]) -> u32 { v[0] }\n"),
+            vec!["P001"]
+        );
+        assert_eq!(
+            codes(SCHED, "fn f(o: Option<u32>) -> u32 { o.expect(\"x\") }\n"),
+            vec!["P001"]
+        );
+        assert_eq!(codes(SCHED, "fn f() { panic!(\"boom\") }\n"), vec!["P001"]);
+        let ok = "fn f(o: Option<u32>) -> u32 {\n    // lint: invariant — o is always Some here\n    o.expect(\"tracked\")\n}\n";
+        assert!(codes(SCHED, ok).is_empty());
+        // unwrap() is never excusable via the invariant marker.
+        let still_bad =
+            "fn f(o: Option<u32>) -> u32 {\n    o.unwrap() // lint: invariant — nope\n}\n";
+        assert_eq!(codes(SCHED, still_bad), vec!["P001", "S001"]);
+        // ...but the explicit allow() escape hatch works.
+        let allowed = "fn f(o: Option<u32>) -> u32 { o.unwrap() // lint: allow(P001) — demo\n}\n";
+        assert!(codes(SCHED, allowed).is_empty());
+    }
+
+    #[test]
+    fn p001_ignores_array_type_and_literal_expressions() {
+        assert!(codes(SCHED, "fn f() -> [u8; 4] { [0, 1, 2, 3] }\n").is_empty());
+        assert!(codes(
+            SCHED,
+            "fn f(v: &[u32]) -> Option<u32> { v.get(0).copied() }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn p001_ignores_unwrap_inside_string_literals() {
+        let src = "fn f() -> &'static str { \"v.unwrap() then v[0]\" }\n";
+        assert!(codes(SCHED, src).is_empty());
+    }
+}

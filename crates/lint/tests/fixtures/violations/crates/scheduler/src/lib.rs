@@ -28,3 +28,37 @@ pub fn planted_f002(x: f64) -> bool {
 pub fn planted_p001(o: Option<u32>) -> u32 {
     o.unwrap()
 }
+
+pub fn planted_d003() {
+    let _ = FailurePlan::default();
+}
+
+pub fn planted_c001(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn planted_c002(s: &Shared) -> u32 {
+    // lint: invariant — fixture: poisoning aborts the run
+    let a = s.left.lock().expect("left");
+    // lint: invariant — fixture: poisoning aborts the run
+    let b = s.right.lock().expect("right");
+    *a + *b
+}
+
+pub fn planted_c003(buf: &std::sync::Mutex<Vec<u32>>, xs: &[u32]) -> Vec<u32> {
+    // lint: invariant — fixture: poisoning aborts the run
+    let g = buf.lock().expect("buf");
+    jaws_par::map(xs, |x| x + g.len() as u32)
+}
+
+pub fn planted_t001(xs: &[u32], n: &std::sync::atomic::AtomicUsize) -> Vec<u32> {
+    jaws_par::map(xs, |x| x + n.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as u32)
+}
+
+pub fn planted_s001_stale() -> u32 {
+    1 // lint: sorted — stale: nothing on this line iterates anything
+}
+
+pub fn planted_s001_malformed() -> u32 {
+    2 // lint: allov(D001)
+}

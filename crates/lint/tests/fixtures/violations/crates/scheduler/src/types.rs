@@ -1,0 +1,8 @@
+//! Companion file for the cross-file C002 planting: the lock-typed fields
+//! used by `planted_c002` in `lib.rs` are declared here, so the rule only
+//! fires if the workspace pass carries Mutex-typed names across files.
+
+pub struct Shared {
+    pub left: std::sync::Mutex<u32>,
+    pub right: std::sync::Mutex<u32>,
+}

@@ -1,0 +1,93 @@
+//! Property tests for the jaws-lint lexer: over generated input (adversarial
+//! Rust-ish fragments interleaved with arbitrary unicode), lexing never
+//! panics, concatenating the token texts reproduces the input byte-for-byte,
+//! every token's line anchor equals 1 + the number of newlines before it, and
+//! the stripped line view preserves the source's line count.
+
+#![forbid(unsafe_code)]
+
+use jaws_lint::lexer::lex;
+use jaws_lint::strip_source;
+use proptest::prelude::*;
+
+/// Rust-ish source fragments chosen to stress the tricky lexer states:
+/// unterminated literals, nested block comments, raw strings with varying
+/// hash counts, char-vs-lifetime ambiguity, and escapes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() -> u32 { 1 }\n",
+    "let s = \"str with // not a comment\";\n",
+    "let r = r#\"raw \" inside\"#;\n",
+    "let r = r##\"nested \"# inside\"##;\n",
+    "let b = b\"bytes\\\"esc\";\n",
+    "let c = '\\'';\n",
+    "let q: &'static str = \"x\";\n",
+    "/* outer /* nested */ still outer */\n",
+    "// line comment\n/// doc comment\n//! inner doc\n",
+    "/** block doc */ /*! inner block doc */\n",
+    "let n = 1_000.5e-3f64; let m = 0..3;\n",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "/* unterminated block",
+    "'x",
+    "\\\n",
+    "r\"\"",
+    "b'a'",
+    "0xff_u32 1e9 2.0e+7",
+    "'a'..='z'",
+];
+
+/// Builds one source string from sampled fragment indices; an index past the
+/// table selects the accompanying arbitrary unicode scalar values instead.
+fn build_source(choices: &[(usize, Vec<u32>)]) -> String {
+    let mut src = String::new();
+    for (idx, scalars) in choices {
+        if *idx < FRAGMENTS.len() {
+            src.push_str(FRAGMENTS[*idx]);
+        } else {
+            for &s in scalars {
+                if let Some(ch) = char::from_u32(s) {
+                    src.push(ch);
+                }
+            }
+        }
+    }
+    src
+}
+
+proptest! {
+    #[test]
+    fn lexer_roundtrips_and_anchors_lines(
+        choices in collection::vec(
+            (0usize..FRAGMENTS.len() + 4, collection::vec(0u32..0x11_0000, 0..8)),
+            0..12,
+        )
+    ) {
+        let src = build_source(&choices);
+
+        // Never panics, even on garbage.
+        let tokens = lex(&src);
+
+        // Full fidelity: the token texts reproduce the input exactly.
+        let concat: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(concat.as_str(), src.as_str());
+
+        // Line anchors: each token starts on 1 + (newlines before it).
+        let mut offset = 0usize;
+        for t in &tokens {
+            let expected = 1 + src[..offset].matches('\n').count();
+            prop_assert_eq!(
+                t.line,
+                expected,
+                "token {:?} at byte {} anchored to line {}",
+                t.text,
+                offset,
+                t.line
+            );
+            offset += t.text.len();
+        }
+
+        // The stripped per-line view never gains or loses lines.
+        let lines = strip_source(&src);
+        prop_assert_eq!(lines.len(), src.lines().count());
+    }
+}

@@ -346,8 +346,8 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&mut self, rec: &Record) {
-        // lint: invariant — Record contains only plain structs/enums of
-        // serializable primitives; serde_json cannot fail on them.
+        // Record contains only plain structs/enums of serializable
+        // primitives; serde_json cannot fail on them.
         let line = serde_json::to_string(rec).expect("Record serialization is infallible");
         self.out.push_str(&line);
         self.out.push('\n');
@@ -438,6 +438,8 @@ impl ObsSink {
     /// constructing events (cloning part lists, ranking snapshots) entirely.
     pub fn enabled(&self) -> bool {
         match &self.inner {
+            // lint: invariant — a panicked recorder poisons the lock; no
+            // recovery keeps the trace complete, so propagate the panic
             Some(r) => r.lock().expect("recorder lock poisoned").enabled(),
             None => false,
         }
@@ -447,6 +449,8 @@ impl ObsSink {
     /// enabled.
     pub fn emit(&self, t_ms: f64, event: Event) {
         if let Some(r) = &self.inner {
+            // lint: invariant — a panicked recorder poisons the lock; no
+            // recovery keeps the trace complete, so propagate the panic
             let mut r = r.lock().expect("recorder lock poisoned");
             if r.enabled() {
                 r.record(&Record {
@@ -464,6 +468,8 @@ impl ObsSink {
     /// shared recorder in node order after a parallel section.
     pub fn forward(&self, rec: &Record) {
         if let Some(r) = &self.inner {
+            // lint: invariant — a panicked recorder poisons the lock; no
+            // recovery keeps the trace complete, so propagate the panic
             let mut r = r.lock().expect("recorder lock poisoned");
             if r.enabled() {
                 r.record(rec);
@@ -507,7 +513,9 @@ mod tests {
         for t in 0..5 {
             sink.emit(t as f64, sample(t as f64));
         }
-        let ring = ring.lock().unwrap();
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        let ring = ring.lock().expect("ring recorder lock");
         assert_eq!(ring.len(), 2);
         let kept: Vec<f64> = ring.records().map(|r| r.t_ms).collect();
         assert_eq!(kept, vec![3.0, 4.0]);
@@ -518,7 +526,13 @@ mod tests {
         let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
         let sink = ObsSink::new(rec.clone()).with_node(7);
         sink.emit(12.5, sample(12.5));
-        let out = rec.lock().unwrap().contents().to_string();
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        let out = rec
+            .lock()
+            .expect("jsonl recorder lock")
+            .contents()
+            .to_string();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("\"AtomRead\""), "{out}");
         assert!(out.contains("\"node\":7"), "{out}");
@@ -554,7 +568,9 @@ mod tests {
         let tagged = base.with_node(3);
         base.emit(0.0, sample(0.0));
         tagged.emit(1.0, sample(1.0));
-        let rec = rec.lock().unwrap();
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        let rec = rec.lock().expect("ring recorder lock");
         let nodes: Vec<Option<u32>> = rec.records().map(|r| r.node).collect();
         assert_eq!(nodes, vec![None, Some(3)]);
     }
@@ -568,9 +584,13 @@ mod tests {
         let node_sink = ObsSink::new(buf.clone()).with_node(2);
         node_sink.emit(5.0, sample(5.0));
         node_sink.emit(6.0, sample(6.0));
-        let records = buf.lock().unwrap().take();
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        let records = buf.lock().expect("buffer lock").take();
         assert_eq!(records.len(), 2);
-        assert!(buf.lock().unwrap().is_empty());
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        assert!(buf.lock().expect("buffer lock").is_empty());
 
         let shared = Arc::new(Mutex::new(JsonlRecorder::new()));
         let drain = ObsSink::new(shared.clone());
@@ -582,10 +602,17 @@ mod tests {
             let sink2 = ObsSink::new(shared2.clone()).with_node(2);
             sink2.emit(5.0, sample(5.0));
             sink2.emit(6.0, sample(6.0));
-            let out = shared2.lock().unwrap().take();
+            // lint: invariant — single-threaded test: a poisoned lock means
+            // an earlier assertion already failed
+            let out = shared2.lock().expect("jsonl recorder lock").take();
             out
         };
-        assert_eq!(shared.lock().unwrap().contents(), direct);
+        // lint: invariant — single-threaded test: a poisoned lock means an
+        // earlier assertion already failed
+        assert_eq!(
+            shared.lock().expect("jsonl recorder lock").contents(),
+            direct
+        );
     }
 
     #[test]

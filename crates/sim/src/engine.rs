@@ -745,8 +745,8 @@ pub(crate) fn run_trace(
                         }
                     }
                     FailureEvent::Crash { node, survivor, .. } => {
-                        // lint: invariant — FailurePlan::validate rejects
-                        // plans that crash the same node twice
+                        // FailurePlan::validate rejects plans that crash the
+                        // same node twice, so this assert cannot fire.
                         assert!(live.alive[node as usize], "node {node} crashed twice");
                         crash_node(
                             node,

@@ -67,6 +67,8 @@ fn serialized_run_wired(kind: SchedulerKind, seed: u64, sink: Option<ObsSink>) -
 fn jsonl_trace_of_run(kind: SchedulerKind, seed: u64) -> String {
     let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
     let _ = serialized_run_wired(kind, seed, Some(ObsSink::new(rec.clone())));
+    // lint: invariant — the run above completed; a poisoned mutex would
+    // already have panicked the emitting thread
     let trace = rec.lock().expect("recorder mutex unpoisoned").take();
     trace
 }
@@ -78,6 +80,8 @@ fn jsonl_trace_of_cluster_run(kind: SchedulerKind, nodes: u32, seed: u64) -> Str
     let mut ex = ClusterExecutor::new(cluster_config(kind, nodes));
     ex.set_recorder(ObsSink::new(rec.clone()));
     let _ = ex.run(&trace);
+    // lint: invariant — the run above completed; a poisoned mutex would
+    // already have panicked the emitting thread
     let out = rec.lock().expect("recorder mutex unpoisoned").take();
     out
 }
@@ -147,6 +151,8 @@ fn jsonl_trace_of_cluster_run_failing(
     let mut ex = ClusterExecutor::new(cfg);
     ex.set_recorder(ObsSink::new(rec.clone()));
     let _ = ex.run(&trace);
+    // lint: invariant — the run above completed; a poisoned mutex would
+    // already have panicked the emitting thread
     let out = rec.lock().expect("recorder mutex unpoisoned").take();
     out
 }
