@@ -5,6 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jaws_morton::{AtomId, MortonKey};
+use jaws_scheduler::delta::reference;
 use jaws_scheduler::{
     Jaws, JawsConfig, LifeRaft, MetricParams, Residency, Scheduler, SubQuery, WorkloadManager,
 };
@@ -111,13 +112,13 @@ fn loaded_wm(n: u64) -> WorkloadManager {
     wm
 }
 
-/// One steady-state scheduling step against the reference full-scan path:
-/// argmax over a fresh `aged_utilities` scan, take the atom, enqueue a
-/// replacement sub-query, rebuild the URC snapshot from scratch.
+/// One steady-state scheduling step against the full-scan reference oracle
+/// (`jaws_scheduler::delta::reference`): argmax over a fresh
+/// `aged_utilities` scan, take the atom, enqueue a replacement sub-query,
+/// rebuild the URC snapshot from scratch.
 fn full_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
     let res = NoneResident;
-    let (atom, _) = wm
-        .aged_utilities(now_ms, 0.3, &res)
+    let (atom, _) = reference::aged_utilities(wm, now_ms, 0.3, &res)
         .into_iter()
         .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
         .unwrap();
@@ -129,11 +130,11 @@ fn full_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
         positions: 100,
         enqueued_ms: now_ms,
     }]);
-    black_box(wm.utility_snapshot(&res));
+    black_box(reference::utility_snapshot(wm, &res));
 }
 
-/// The same step through the incrementally maintained state: O(#timesteps)
-/// argmax, O(Δ) refresh, O(1) snapshot clone.
+/// The same step through the delta-propagation core: O(#timesteps) argmax,
+/// O(Δ) integration, O(1) snapshot clone.
 fn incremental_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
     let res = NoneResident;
     let (atom, _) = wm.best_atom(now_ms, 0.3, &res).unwrap();
@@ -145,7 +146,7 @@ fn incremental_step(wm: &mut WorkloadManager, i: u64, now_ms: f64) {
         positions: 100,
         enqueued_ms: now_ms,
     }]);
-    black_box(wm.utility_snapshot_incremental(&res));
+    black_box(wm.utility_snapshot(&res));
 }
 
 /// Full-recompute versus incremental metric maintenance at 1k / 10k / 100k
@@ -165,7 +166,7 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         group.bench_function(&format!("incremental_{n}_atoms"), |b| {
             let mut wm = loaded_wm(n);
             let res = NoneResident;
-            black_box(wm.utility_snapshot_incremental(&res)); // prime the cache
+            black_box(wm.utility_snapshot(&res)); // prime the arrangements
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;

@@ -1,0 +1,20 @@
+//! Clean-fixture delta layer: the annotated arrangement struct mutates only
+//! inside this module, so A001 stays quiet and the declaration marker is
+//! consumed (no S001 debt).
+
+// lint: arrangement
+pub struct ArrangementTable {
+    slots: std::collections::BTreeMap<u32, u32>,
+    epoch: u64,
+}
+
+impl ArrangementTable {
+    pub fn apply(&mut self, k: u32, v: u32) {
+        self.slots.insert(k, v);
+        self.epoch += 1;
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}

@@ -1,0 +1,18 @@
+//! Companion file for the A001 planting: declares the guarded arrangement
+//! struct inside a delta-layer path. The illegal mutation lives in
+//! `lib.rs`, outside this module — the rule only fires if the workspace
+//! pass carries the annotated type and field names across files.
+
+// lint: arrangement
+pub struct ArrangementTable {
+    pub slots: std::collections::BTreeMap<u32, u32>,
+    pub epoch: u64,
+}
+
+impl ArrangementTable {
+    /// The sanctioned mutation path: inside `delta/`, A001 is silent.
+    pub fn apply(&mut self, k: u32, v: u32) {
+        self.slots.insert(k, v);
+        self.epoch += 1;
+    }
+}

@@ -62,3 +62,7 @@ pub fn planted_s001_stale() -> u32 {
 pub fn planted_s001_malformed() -> u32 {
     2 // lint: allov(D001)
 }
+
+pub fn planted_a001(t: &mut crate::delta::ArrangementTable) {
+    t.slots.insert(1, 2);
+}

@@ -1,0 +1,827 @@
+//! The delta-propagation core: every piece of *derived* scheduler state,
+//! maintained incrementally behind one typed update stream.
+//!
+//! # Why a single layer
+//!
+//! Schedulers consult the Eq. 1 / Eq. 2 metrics on every dispatch, but each
+//! dispatch changes only a handful of atoms (the batch taken, the residency
+//! flips its reads caused, the sub-queries that arrived). Before this module
+//! existed, the incremental caches that exploited that observation — the
+//! per-atom Eq. 1 values, the per-timestep aggregates, the clamped-age
+//! indexes, the URC snapshot, the residency change log — were hand-maintained
+//! fields scattered through `queues.rs`, each with its own invalidation
+//! story. This module folds them into one **delta-propagation core** in the
+//! style of differential dataflow: base-state changes enter as typed
+//! [`Delta`]s through a single `DeltaCore::apply` entry point, flow into
+//! *arrangements* (maintained indexes over the update stream), and leave
+//! through read-only views. Dispatch cost is proportional to what changed,
+//! not to queue size.
+//!
+//! # Delta taxonomy
+//!
+//! | Delta                  | Source                         | Effect |
+//! |------------------------|--------------------------------|--------|
+//! | [`Delta::Arrived`]     | `WorkloadManager::enqueue`     | atom joins the per-timestep sets, marked dirty |
+//! | [`Delta::Taken`]       | `WorkloadManager::take_atom`   | atom leaves the sets, marked dirty |
+//! | [`Delta::Completed`]   | `Scheduler::on_query_complete` | bookkeeping counter (queue state already settled at take time) |
+//! | [`Delta::ResidencyChanged`] | [`Residency`] change tracking (internal) | atom marked dirty iff pending and φ actually flipped |
+//! | [`Delta::Aged`]        | every timed read               | advances the clock watermark (ages derive from `now` lazily) |
+//!
+//! # Arrangements
+//!
+//! `DeltaCore` owns: the per-atom Eq. 1 cache and the residency view it was
+//! computed under; the per-timestep pending-atom sets (Morton order — the
+//! canonical fold order); the per-timestep aggregates (ΣU, max U, Σoldest,
+//! min/max oldest); the lazily built clamped-age prefix indexes; and the
+//! `Arc`-backed [`UtilitySnapshot`] the URC cache policy consumes. All of it
+//! is private: the only mutation path is `DeltaCore::apply` plus the
+//! integration step that folds dirty atoms back in (jaws-lint rule A001
+//! enforces this layering textually, the module privacy enforces it
+//! structurally).
+//!
+//! # Bitwise equivalence
+//!
+//! Floating-point sums are *refolded* per dirty timestep in sorted-atom
+//! order — never drifted with `+=`/`-=` across dispatches — so every
+//! incremental result is bit-for-bit identical to the full-scan
+//! [`mod@reference`] oracle, which is retained **only** for tests, proptests and
+//! the `dispatch_scaling` bench. No production caller may use it. The
+//! interleaving proptests in `queues.rs` and the `delta_oracle` integration
+//! test assert the equivalence after every step of random
+//! enqueue/take/complete/residency-flip/clock-advance sequences.
+//!
+//! # Generation counter and no-op reads
+//!
+//! Every state-changing delta bumps a generation counter. The coarse
+//! timestep choice and the Eq. 2 max-normalizers are memoized on
+//! `(generation, now, α)`, so a dispatch that changed nothing — gate rulings,
+//! `AlphaController` probes, repeated snapshot reads — performs **zero**
+//! arrangement folds and zero coarse scans ([`DeltaStats`] counts both; a
+//! regression test pins the zero).
+
+pub mod reference;
+
+use crate::policy::Residency;
+use crate::queues::{finite_or_zero, MetricParams};
+use jaws_cache::{UtilityOracle, UtilityRank};
+use jaws_morton::AtomId;
+use jaws_workload::QueryId;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Eq. 1 for one queue. Shared by the reference and incremental paths so the
+/// two can never diverge.
+pub(crate) fn eq1(params: &MetricParams, positions: u64, resident: bool) -> f64 {
+    debug_assert!(
+        params.atom_read_ms.is_finite() && params.position_compute_ms.is_finite(),
+        "non-finite cost model: T_b={} T_m={}",
+        params.atom_read_ms,
+        params.position_compute_ms
+    );
+    let w = positions as f64;
+    let phi = if resident { 0.0 } else { 1.0 };
+    let denom = params.atom_read_ms * phi + params.position_compute_ms * w;
+    if denom > 0.0 {
+        return finite_or_zero(w / denom);
+    }
+    // Degenerate cost model: a resident atom with zero per-position compute
+    // cost (or an all-zero model). An "infinite" throughput sentinel would
+    // poison max-normalization — every other atom's normalized utility
+    // collapses toward 0 and Eq. 2 degenerates to pure age order. Instead
+    // rank the atom as if it still cost half an atom read: finite, monotone
+    // in ΣW, and on the same scale as disk atoms (exactly twice the utility
+    // of an equally loaded non-resident atom in the T_m → 0 limit).
+    let half_read = 0.5 * params.atom_read_ms;
+    if half_read > 0.0 {
+        finite_or_zero(w / half_read)
+    } else {
+        w
+    }
+}
+
+/// Eq. 2 blend of a max-normalized throughput and age. Shared by the
+/// reference and incremental paths so the two can never diverge.
+pub(crate) fn blend(u: f64, e: f64, max_u: f64, max_e: f64, alpha: f64) -> f64 {
+    let un = if max_u > 0.0 { u / max_u } else { 0.0 };
+    let en = if max_e > 0.0 { e / max_e } else { 0.0 };
+    un * (1.0 - alpha) + en * alpha
+}
+
+/// One typed update entering the delta-propagation core. See the module docs
+/// for the taxonomy table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delta {
+    /// A sub-query was enqueued on `atom` (its queue totals changed).
+    Arrived {
+        /// The atom whose workload queue grew.
+        atom: AtomId,
+    },
+    /// `atom`'s whole queue was taken for execution.
+    Taken {
+        /// The atom whose workload queue was drained.
+        atom: AtomId,
+    },
+    /// A query's last sub-query finished executing. Queue state settled at
+    /// take time; this is lifecycle bookkeeping for [`DeltaStats`].
+    Completed {
+        /// The completed query.
+        query: QueryId,
+    },
+    /// An atom's buffer-pool residency (φ of Eq. 1) flipped. Generated
+    /// internally from the [`Residency`] change-tracking protocol during
+    /// integration — external callers never construct these.
+    ResidencyChanged {
+        /// The atom whose residency flipped.
+        atom: AtomId,
+        /// Its new residency.
+        resident: bool,
+    },
+    /// The simulated clock advanced. Ages derive from `now` lazily at read
+    /// time, so this only moves the watermark — no arrangement is touched.
+    Aged {
+        /// The new clock value, ms.
+        now_ms: f64,
+    },
+}
+
+/// Counters over the delta stream and the maintenance work it caused.
+/// Monotone; consumers diff two snapshots to measure one window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DeltaStats {
+    /// [`Delta::Arrived`] applied.
+    pub arrived: u64,
+    /// [`Delta::Taken`] applied.
+    pub taken: u64,
+    /// [`Delta::Completed`] applied.
+    pub completed: u64,
+    /// [`Delta::ResidencyChanged`] applied (including no-op flips for
+    /// non-pending atoms).
+    pub residency_changed: u64,
+    /// [`Delta::Aged`] applied.
+    pub aged: u64,
+    /// Per-atom Eq. 1 recomputations performed by integration.
+    pub eq1_recomputes: u64,
+    /// Per-timestep aggregate refolds performed by integration.
+    pub ts_refolds: u64,
+    /// Residency probes issued for untracked/volatile sources (the
+    /// conservative fallback of the change-tracking protocol).
+    pub residency_probes: u64,
+    /// Coarse-level O(#timesteps) scans that actually ran (memo misses).
+    pub coarse_scans: u64,
+}
+
+/// What the integration step needs from the base state (the workload queues
+/// owned by `WorkloadManager`): the cost constants and per-atom queue totals.
+/// Read-only by construction — the delta layer can never mutate base state,
+/// and the base can never reach into the arrangements.
+pub(crate) trait QueueBase {
+    /// Eq. 1 cost constants.
+    fn metric_params(&self) -> &MetricParams;
+    /// `(ΣW, oldest enqueue ms)` of one atom's queue, `None` if queue-less.
+    fn queue_info(&self, atom: &AtomId) -> Option<QueueInfo>;
+}
+
+/// Per-atom queue totals served by [`QueueBase::queue_info`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueInfo {
+    /// Cached ΣW (total positions) — the numerator of Eq. 1.
+    pub positions: u64,
+    /// Enqueue time of the oldest sub-query, ms.
+    pub oldest_ms: f64,
+}
+
+/// Per-timestep aggregates, refolded (in sorted-atom order) whenever any atom
+/// of the timestep changes. Everything the coarse scheduling level and the
+/// global normalizers need is answerable from these in O(#timesteps).
+#[derive(Debug, Clone, Copy)]
+struct TsAgg {
+    /// Σ of cached Eq. 1 values over pending atoms of the timestep.
+    sum_u: f64,
+    /// max of cached Eq. 1 values.
+    max_u: f64,
+    /// Pending atom count.
+    count: u64,
+    /// Σ of per-atom oldest enqueue times, ms.
+    sum_oldest: f64,
+    /// min/max of per-atom oldest enqueue times, ms.
+    min_oldest: f64,
+    max_oldest: f64,
+    /// Refold generation stamp, for invalidating derived lazy indexes.
+    epoch: u64,
+}
+
+/// Lazily built per-timestep index for the clamped-age case of
+/// [`DeltaCore::best_timestep`]: oldest enqueue times sorted ascending with
+/// their running prefix sums. Lets Σ (now − oldest)⁺ be answered in
+/// O(log n) — atoms enqueued at or before `now` contribute through the
+/// prefix closed form, later ones contribute exactly zero.
+#[derive(Debug, Clone)]
+struct AgeIndex {
+    /// The [`TsAgg::epoch`] this index was built against.
+    epoch: u64,
+    /// Per-atom oldest enqueue times, ascending (`total_cmp` order).
+    oldest: Vec<f64>,
+    /// `prefix[i]` = Σ `oldest[..=i]`, folded in ascending order.
+    prefix: Vec<f64>,
+}
+
+/// Memo of the coarse timestep choice, keyed on the state generation and the
+/// read parameters. A hit means nothing changed since the identical question
+/// was last answered, so the cached answer is returned without any scan.
+#[derive(Debug, Clone, Copy)]
+struct CoarseMemo {
+    generation: u64,
+    now_bits: u64,
+    alpha_bits: u64,
+    best: Option<u32>,
+}
+
+/// Memo of the Eq. 2 max-normalizers, keyed like [`CoarseMemo`] minus α
+/// (the normalizers do not depend on it).
+#[derive(Debug, Clone, Copy)]
+struct NormMemo {
+    generation: u64,
+    now_bits: u64,
+    max_u: f64,
+    max_e: f64,
+}
+
+/// The delta-propagation core: every maintained arrangement, mutable only
+/// through [`DeltaCore::apply`] and the integration step. See module docs.
+// lint: arrangement
+#[derive(Debug)]
+pub(crate) struct DeltaCore {
+    /// Cached Eq. 1 value per pending atom, as of the last integration.
+    eq1_cache: HashMap<AtomId, f64>,
+    /// The residency each `eq1_cache` entry was computed with.
+    resident_view: HashMap<AtomId, bool>,
+    /// Pending atoms per timestep in Morton order — the canonical fold order.
+    ts_atoms: BTreeMap<u32, BTreeSet<AtomId>>,
+    /// Per-timestep aggregates (lazily refolded).
+    ts_aggs: BTreeMap<u32, TsAgg>,
+    /// Clamped-age indexes, built on demand (lookup-only, never iterated).
+    age_indexes: HashMap<u32, AgeIndex>,
+    /// Atoms whose inputs changed since the last integration.
+    dirty_atoms: BTreeSet<AtomId>,
+    /// Residency epoch the view is synced to (`None` = never/volatile).
+    synced_epoch: Option<u64>,
+    /// Refold generation counter feeding [`TsAgg::epoch`].
+    refold_epoch: u64,
+    /// Arc-backed URC snapshot view, patched in place on integration.
+    urc_view: UtilitySnapshot,
+    /// State generation: bumps on every delta that can change a read result.
+    generation: u64,
+    /// Clock watermark from [`Delta::Aged`], ms.
+    clock_ms: f64,
+    /// Monotone counters over the stream and its maintenance work.
+    delta_stats: DeltaStats,
+    /// Memoized coarse timestep choice.
+    coarse_memo: Option<CoarseMemo>,
+    /// Memoized Eq. 2 normalizers.
+    norm_memo: Option<NormMemo>,
+}
+
+impl DeltaCore {
+    /// An empty core: no pending atoms, generation zero.
+    pub(crate) fn new() -> Self {
+        DeltaCore {
+            eq1_cache: HashMap::new(),
+            resident_view: HashMap::new(),
+            ts_atoms: BTreeMap::new(),
+            ts_aggs: BTreeMap::new(),
+            age_indexes: HashMap::new(),
+            dirty_atoms: BTreeSet::new(),
+            synced_epoch: None,
+            refold_epoch: 0,
+            urc_view: UtilitySnapshot::empty(),
+            generation: 0,
+            clock_ms: 0.0,
+            delta_stats: DeltaStats::default(),
+            coarse_memo: None,
+            norm_memo: None,
+        }
+    }
+
+    /// The single mutation entry point: folds one delta into the
+    /// arrangements. O(log n) bookkeeping — the float work is deferred to
+    /// the next integration so a burst of deltas costs one refold, not many.
+    pub(crate) fn apply(&mut self, delta: Delta) {
+        match delta {
+            Delta::Arrived { atom } => {
+                self.delta_stats.arrived += 1;
+                self.ts_atoms.entry(atom.timestep).or_default().insert(atom);
+                self.dirty_atoms.insert(atom);
+                self.generation += 1;
+            }
+            Delta::Taken { atom } => {
+                self.delta_stats.taken += 1;
+                if let Some(set) = self.ts_atoms.get_mut(&atom.timestep) {
+                    set.remove(&atom);
+                    if set.is_empty() {
+                        self.ts_atoms.remove(&atom.timestep);
+                    }
+                }
+                self.dirty_atoms.insert(atom);
+                self.generation += 1;
+            }
+            Delta::Completed { query: _ } => {
+                self.delta_stats.completed += 1;
+            }
+            Delta::ResidencyChanged { atom, resident } => {
+                self.delta_stats.residency_changed += 1;
+                let pending = self
+                    .ts_atoms
+                    .get(&atom.timestep)
+                    .is_some_and(|set| set.contains(&atom));
+                if pending && self.resident_view.get(&atom) != Some(&resident) {
+                    self.dirty_atoms.insert(atom);
+                    self.generation += 1;
+                }
+            }
+            Delta::Aged { now_ms } => {
+                self.delta_stats.aged += 1;
+                // Watermark only: ages derive from `now` lazily at read time,
+                // so the clock does not invalidate the generation (memos key
+                // on `now` themselves).
+                self.clock_ms = now_ms;
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> DeltaStats {
+        self.delta_stats
+    }
+
+    /// Current state generation (bumps on every state-changing delta).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Latest [`Delta::Aged`] watermark, ms.
+    pub(crate) fn clock_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Number of timesteps with pending atoms.
+    pub(crate) fn timestep_count(&self) -> usize {
+        self.ts_atoms.len()
+    }
+
+    /// Pending atoms of one timestep, Morton order.
+    pub(crate) fn atoms_in_timestep(&self, timestep: u32) -> Vec<AtomId> {
+        self.ts_atoms
+            .get(&timestep)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Residency sync: turns the [`Residency`] change-tracking protocol (or
+    /// the conservative full probe, for untracked sources) into
+    /// [`Delta::ResidencyChanged`] updates through [`Self::apply`].
+    fn sync_residency(&mut self, residency: &dyn Residency) {
+        let epoch = residency.residency_epoch();
+        let in_sync = matches!((epoch, self.synced_epoch), (Some(e), Some(s)) if e == s);
+        if in_sync {
+            return;
+        }
+        let changes = match self.synced_epoch {
+            Some(since) if epoch.is_some() => residency.residency_changes_since(since),
+            _ => None,
+        };
+        match changes {
+            Some(list) => {
+                for (atom, resident) in list {
+                    self.apply(Delta::ResidencyChanged { atom, resident });
+                }
+            }
+            None => {
+                // Untracked source or truncated log: re-probe every pending
+                // atom (cheap boolean probe; only actual flips dirty).
+                let pending: Vec<AtomId> = self
+                    .ts_atoms
+                    .values()
+                    .flat_map(|set| set.iter().copied())
+                    .collect();
+                for atom in pending {
+                    self.delta_stats.residency_probes += 1;
+                    let resident = residency.is_resident(&atom);
+                    if self.resident_view.get(&atom) != Some(&resident) {
+                        self.apply(Delta::ResidencyChanged { atom, resident });
+                    }
+                }
+            }
+        }
+        self.synced_epoch = epoch;
+    }
+
+    /// Integration: brings every arrangement up to date with the deltas
+    /// applied since the last call, recomputing only dirty atoms and
+    /// refolding only their timesteps. O(Δ) plus O(m_ts) per dirty timestep.
+    pub(crate) fn integrate(&mut self, base: &dyn QueueBase, residency: &dyn Residency) {
+        self.sync_residency(residency);
+        if self.dirty_atoms.is_empty() {
+            return;
+        }
+        // 1. Recompute dirty atoms (and drop taken ones).
+        let params = *base.metric_params();
+        let mut dirty_ts: BTreeSet<u32> = BTreeSet::new();
+        let atoms_mut = Arc::make_mut(&mut self.urc_view.atoms);
+        for &atom in &self.dirty_atoms {
+            dirty_ts.insert(atom.timestep);
+            if let Some(info) = base.queue_info(&atom) {
+                let res = residency.is_resident(&atom);
+                let u = eq1(&params, info.positions, res);
+                self.delta_stats.eq1_recomputes += 1;
+                self.resident_view.insert(atom, res);
+                self.eq1_cache.insert(atom, u);
+                atoms_mut.insert(atom, u);
+            } else {
+                self.resident_view.remove(&atom);
+                self.eq1_cache.remove(&atom);
+                atoms_mut.remove(&atom);
+            }
+        }
+        self.dirty_atoms.clear();
+        // 2. Refold dirty timesteps in sorted-atom order — a full refold, not
+        // a `+=`/`-=` adjustment, so the sums are bitwise identical to the
+        // reference full-scan fold.
+        let means_mut = Arc::make_mut(&mut self.urc_view.means);
+        let n = params.atoms_per_timestep.max(1) as f64;
+        self.refold_epoch += 1;
+        for &ts in &dirty_ts {
+            match self.ts_atoms.get(&ts) {
+                Some(set) => {
+                    self.delta_stats.ts_refolds += 1;
+                    let mut agg = TsAgg {
+                        sum_u: 0.0,
+                        max_u: 0.0,
+                        count: 0,
+                        sum_oldest: 0.0,
+                        min_oldest: f64::INFINITY,
+                        max_oldest: f64::NEG_INFINITY,
+                        epoch: self.refold_epoch,
+                    };
+                    for a in set {
+                        let u = self.eq1_cache[a];
+                        // lint: invariant — every atom in ts_atoms has a queue
+                        let oldest = base
+                            .queue_info(a)
+                            .expect("pending atom has a queue")
+                            .oldest_ms;
+                        agg.sum_u += u;
+                        agg.max_u = agg.max_u.max(u);
+                        agg.count += 1;
+                        agg.sum_oldest += oldest;
+                        agg.min_oldest = agg.min_oldest.min(oldest);
+                        agg.max_oldest = agg.max_oldest.max(oldest);
+                    }
+                    self.ts_aggs.insert(ts, agg);
+                    means_mut.insert(ts, agg.sum_u / n);
+                }
+                None => {
+                    self.ts_aggs.remove(&ts);
+                    self.age_indexes.remove(&ts);
+                    means_mut.remove(&ts);
+                }
+            }
+        }
+    }
+
+    /// Global max-normalizers of Eq. 2 — `(max U_t, max E)` over all pending
+    /// atoms — answered from the per-timestep aggregates in O(#timesteps),
+    /// memoized on `(generation, now)` so clean repeat reads are O(1).
+    fn normalizers(&mut self, now_ms: f64) -> (f64, f64) {
+        if let Some(m) = self.norm_memo {
+            if m.generation == self.generation && m.now_bits == now_ms.to_bits() {
+                return (m.max_u, m.max_e);
+            }
+        }
+        let mut max_u = 0.0f64;
+        let mut min_oldest = f64::INFINITY;
+        for agg in self.ts_aggs.values() {
+            max_u = max_u.max(agg.max_u);
+            min_oldest = min_oldest.min(agg.min_oldest);
+        }
+        let max_e = if min_oldest.is_finite() {
+            (now_ms - min_oldest).max(0.0)
+        } else {
+            0.0
+        };
+        self.norm_memo = Some(NormMemo {
+            generation: self.generation,
+            now_bits: now_ms.to_bits(),
+            max_u,
+            max_e,
+        });
+        (max_u, max_e)
+    }
+
+    /// Lazily (re)builds the clamped-age index for one timestep. Only
+    /// degenerate timesteps — some atom enqueued "after" the query's
+    /// `now_ms` — ever pay for the O(n log n) build; the index is reused
+    /// across calls until the timestep's aggregate refolds.
+    pub(crate) fn ensure_age_index(&mut self, base: &dyn QueueBase, ts: u32) {
+        let Some(agg) = self.ts_aggs.get(&ts) else {
+            self.age_indexes.remove(&ts);
+            return;
+        };
+        if self
+            .age_indexes
+            .get(&ts)
+            .is_some_and(|ix| ix.epoch == agg.epoch)
+        {
+            return;
+        }
+        // A timestep with an aggregate always has pending atoms.
+        let mut oldest: Vec<f64> = self.ts_atoms[&ts]
+            .iter()
+            .map(|a| {
+                // lint: invariant — every atom in ts_atoms has a queue
+                base.queue_info(a)
+                    .expect("pending atom has a queue")
+                    .oldest_ms
+            })
+            .collect();
+        oldest.sort_by(|a, b| a.total_cmp(b));
+        let mut prefix = Vec::with_capacity(oldest.len());
+        let mut s = 0.0f64;
+        for &o in &oldest {
+            s += o;
+            prefix.push(s);
+        }
+        self.age_indexes.insert(
+            ts,
+            AgeIndex {
+                epoch: agg.epoch,
+                oldest,
+                prefix,
+            },
+        );
+    }
+
+    /// Σ (now − oldest)⁺ over one timestep's pending atoms, answered from the
+    /// [`AgeIndex`] in O(log n): atoms enqueued at or before `now_ms`
+    /// contribute through the prefix closed form, later ones exactly zero.
+    /// Requires [`Self::ensure_age_index`] to have run for `ts`.
+    pub(crate) fn clamped_age_sum(&self, ts: u32, now_ms: f64) -> f64 {
+        let ix = &self.age_indexes[&ts];
+        let cut = ix.oldest.partition_point(|&o| o <= now_ms);
+        if cut == 0 {
+            0.0
+        } else {
+            cut as f64 * now_ms - ix.prefix[cut - 1]
+        }
+    }
+
+    /// Coarse level of two-level scheduling: the timestep with the highest
+    /// summed aged utility (equivalently, the highest mean over its fixed
+    /// atom count). Ties prefer the smaller timestep. O(#timesteps) after an
+    /// O(Δ) integration — and O(1) on a clean generation (memoized).
+    pub(crate) fn best_timestep(
+        &mut self,
+        base: &dyn QueueBase,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Option<u32> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.integrate(base, residency);
+        if let Some(m) = self.coarse_memo {
+            if m.generation == self.generation
+                && m.now_bits == now_ms.to_bits()
+                && m.alpha_bits == alpha.to_bits()
+            {
+                return m.best;
+            }
+        }
+        self.delta_stats.coarse_scans += 1;
+        // Degenerate timesteps (some atom enqueued "after" now_ms, so ages
+        // clamp) answer from a lazily built sorted-prefix index instead of
+        // an O(n) exact fold on every call.
+        let degenerate: Vec<u32> = self
+            .ts_aggs
+            .iter()
+            .filter(|&(_, agg)| now_ms < agg.max_oldest)
+            .map(|(&ts, _)| ts)
+            .collect();
+        for ts in degenerate {
+            self.ensure_age_index(base, ts);
+        }
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let mut best: Option<(u32, f64)> = None;
+        for (&ts, agg) in &self.ts_aggs {
+            let sum_e = if now_ms >= agg.max_oldest {
+                agg.count as f64 * now_ms - agg.sum_oldest
+            } else {
+                self.clamped_age_sum(ts, now_ms)
+            };
+            let su = if max_u > 0.0 { agg.sum_u / max_u } else { 0.0 };
+            let se = if max_e > 0.0 { sum_e / max_e } else { 0.0 };
+            let score = su * (1.0 - alpha) + se * alpha;
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((ts, score));
+            }
+        }
+        let best = best.map(|(ts, _)| ts);
+        self.coarse_memo = Some(CoarseMemo {
+            generation: self.generation,
+            now_bits: now_ms.to_bits(),
+            alpha_bits: alpha.to_bits(),
+            best,
+        });
+        best
+    }
+
+    /// Fine level of two-level scheduling: Eq. 2 for every pending atom of
+    /// one timestep, in Morton order. Per-atom values are bitwise identical
+    /// to the corresponding [`reference::aged_utilities`] entries.
+    pub(crate) fn timestep_aged_utilities(
+        &mut self,
+        base: &dyn QueueBase,
+        timestep: u32,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.integrate(base, residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let Some(set) = self.ts_atoms.get(&timestep) else {
+            return Vec::new();
+        };
+        set.iter()
+            .map(|a| {
+                // lint: invariant — every atom in ts_atoms has a queue
+                let oldest = base
+                    .queue_info(a)
+                    .expect("pending atom has a queue")
+                    .oldest_ms;
+                let e = (now_ms - oldest).max(0.0);
+                (*a, blend(self.eq1_cache[a], e, max_u, max_e, alpha))
+            })
+            .collect()
+    }
+
+    /// Eq. 2 over every pending atom, from the arrangements — same contract
+    /// as [`reference::aged_utilities`] (modulo output order, which here is
+    /// always sorted). The output is O(n) by definition; schedulers that only
+    /// need an argmax use [`Self::best_atom`] instead.
+    pub(crate) fn aged_utilities(
+        &mut self,
+        base: &dyn QueueBase,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.integrate(base, residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        let mut out = Vec::new();
+        for set in self.ts_atoms.values() {
+            for a in set {
+                // lint: invariant — every atom in ts_atoms has a queue
+                let oldest = base
+                    .queue_info(a)
+                    .expect("pending atom has a queue")
+                    .oldest_ms;
+                let e = (now_ms - oldest).max(0.0);
+                out.push((*a, blend(self.eq1_cache[a], e, max_u, max_e, alpha)));
+            }
+        }
+        out
+    }
+
+    /// The single pending atom with the highest aged utility (ties prefer
+    /// the smaller atom id) — LifeRaft's contention-order pick. Timesteps are
+    /// visited in descending upper-bound order and pruned once no remaining
+    /// timestep can beat the incumbent, so the common case inspects only the
+    /// hottest timestep's atoms.
+    pub(crate) fn best_atom(
+        &mut self,
+        base: &dyn QueueBase,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Option<(AtomId, f64)> {
+        debug_assert!((0.0..=1.0).contains(&alpha));
+        self.integrate(base, residency);
+        let (max_u, max_e) = self.normalizers(now_ms);
+        // blend() is monotone in both terms, so a timestep's best atom is
+        // bounded by blending its per-timestep maxima.
+        let mut order: Vec<(f64, u32)> = self
+            .ts_aggs
+            .iter()
+            .map(|(&ts, agg)| {
+                let e_ub = (now_ms - agg.min_oldest).max(0.0);
+                (blend(agg.max_u, e_ub, max_u, max_e, alpha), ts)
+            })
+            .collect();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut best: Option<(AtomId, f64)> = None;
+        for &(ub, ts) in &order {
+            if let Some((_, bs)) = best {
+                // Strict: an exact tie with the bound could still hide an
+                // atom with a smaller id.
+                if bs > ub {
+                    break;
+                }
+            }
+            for a in &self.ts_atoms[&ts] {
+                // lint: invariant — every atom in ts_atoms has a queue
+                let oldest = base
+                    .queue_info(a)
+                    .expect("pending atom has a queue")
+                    .oldest_ms;
+                let e = (now_ms - oldest).max(0.0);
+                let score = blend(self.eq1_cache[a], e, max_u, max_e, alpha);
+                // Total order: (score via total_cmp, then smaller AtomId).
+                let better = match best {
+                    None => true,
+                    Some((ba, bs)) => match score.total_cmp(&bs) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => *a < ba,
+                        std::cmp::Ordering::Less => false,
+                    },
+                };
+                if better {
+                    best = Some((*a, score));
+                }
+            }
+        }
+        best
+    }
+
+    /// The URC oracle snapshot view: an O(Δ) integration followed by an O(1)
+    /// `Arc` clone. Bitwise identical to [`reference::utility_snapshot`].
+    pub(crate) fn snapshot(
+        &mut self,
+        base: &dyn QueueBase,
+        residency: &dyn Residency,
+    ) -> UtilitySnapshot {
+        self.integrate(base, residency);
+        self.urc_view.clone()
+    }
+
+    /// Per-timestep means view. Bitwise identical to
+    /// [`reference::timestep_means`].
+    pub(crate) fn timestep_means(
+        &mut self,
+        base: &dyn QueueBase,
+        residency: &dyn Residency,
+    ) -> BTreeMap<u32, f64> {
+        self.integrate(base, residency);
+        // The snapshot map is keyed storage (never iterated for decisions);
+        // collecting into a BTreeMap re-establishes sorted order for callers.
+        self.urc_view
+            .means
+            .iter() // lint: sorted — collected into a BTreeMap below
+            .map(|(&t, &m)| (t, m))
+            .collect::<BTreeMap<u32, f64>>()
+    }
+}
+
+/// A point-in-time ranking of pending atoms, consumed by the URC cache policy
+/// through the [`UtilityOracle`] interface. Backed by shared maps, so cloning
+/// one is O(1) and the delta core can patch its own copy in place between
+/// dispatches.
+#[derive(Debug, Clone)]
+pub struct UtilitySnapshot {
+    atoms: Arc<HashMap<AtomId, f64>>,
+    means: Arc<HashMap<u32, f64>>,
+}
+
+impl UtilitySnapshot {
+    /// A snapshot with no pending workload: every atom ranks
+    /// [`UtilityRank::ZERO`], so URC degrades to plain LRU. Used by
+    /// schedulers that keep no workload queues (NoShare).
+    pub fn empty() -> Self {
+        UtilitySnapshot {
+            atoms: Arc::new(HashMap::new()),
+            means: Arc::new(HashMap::new()),
+        }
+    }
+
+    /// Builds a snapshot from already-computed maps — the [`reference`]
+    /// oracle's constructor. Production code receives snapshots from
+    /// [`DeltaCore::snapshot`] instead.
+    pub(crate) fn from_parts(atoms: HashMap<AtomId, f64>, means: HashMap<u32, f64>) -> Self {
+        UtilitySnapshot {
+            atoms: Arc::new(atoms),
+            means: Arc::new(means),
+        }
+    }
+}
+
+impl UtilityOracle<AtomId> for UtilitySnapshot {
+    fn rank(&self, key: &AtomId) -> UtilityRank {
+        match self.atoms.get(key) {
+            Some(&u) => UtilityRank {
+                timestep_mean: self.means.get(&key.timestep).copied().unwrap_or(0.0),
+                atom_utility: u,
+            },
+            None => UtilityRank::ZERO,
+        }
+    }
+}

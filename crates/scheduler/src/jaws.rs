@@ -81,6 +81,11 @@ pub struct JawsConfig {
     pub job_aware: bool,
     /// Gating knobs (timeout valve, alignment fan-in).
     pub gating: GatingConfig,
+    /// If true (and a recorder is attached), every produced batch is followed
+    /// by an [`Event::DeltaStats`] snapshot of the delta layer's counters and
+    /// arrangement sizes. Off by default: enabling it changes the trace
+    /// byte-stream, so the determinism suite's golden traces keep it off.
+    pub emit_delta_stats: bool,
 }
 
 impl JawsConfig {
@@ -94,6 +99,7 @@ impl JawsConfig {
             run_len: 50,
             job_aware: true,
             gating: GatingConfig::default(),
+            emit_delta_stats: false,
         }
     }
 
@@ -148,6 +154,12 @@ impl Jaws {
     /// The α adaptation history.
     pub fn alpha_history(&self) -> &[(f64, crate::adaptive::RunFeedback)] {
         self.alpha_ctl.history()
+    }
+
+    /// The delta layer's monotone maintenance counters (diagnostics; also
+    /// what the no-op-dispatch regression test pins).
+    pub fn delta_stats(&self) -> crate::delta::DeltaStats {
+        self.wm.delta_stats()
     }
 
     fn enqueue_query(&mut self, query: &Query, now_ms: f64) {
@@ -273,10 +285,10 @@ impl Scheduler for Jaws {
         selected.sort_unstable();
         if self.sink.enabled() {
             // Capture the utility terms before take_atom drains the queues:
-            // Eq. 1 from the residency-aware snapshot (its refresh is
+            // Eq. 1 from the residency-aware snapshot (its integration is
             // bitwise-idempotent, so reading it here changes nothing), Eq. 2
             // from the aged ranking the selection actually sorted on.
-            let snapshot = self.wm.utility_snapshot_incremental(residency);
+            let snapshot = self.wm.utility_snapshot(residency);
             // One lookup table over the k finalists, not a linear scan per
             // selected atom (every selected atom is a finalist by
             // construction, including the below-mean fallback).
@@ -309,6 +321,23 @@ impl Scheduler for Jaws {
         }
         self.stats.batches += 1;
         self.stats.atom_groups += atoms.len() as u64;
+        if self.cfg.emit_delta_stats && self.sink.enabled() {
+            let d = self.wm.delta_stats();
+            self.sink.emit(
+                now_ms,
+                Event::DeltaStats {
+                    arrived: d.arrived,
+                    taken: d.taken,
+                    completed: d.completed,
+                    residency_changed: d.residency_changed,
+                    eq1_recomputes: d.eq1_recomputes,
+                    ts_refolds: d.ts_refolds,
+                    coarse_scans: d.coarse_scans,
+                    pending_atoms: self.wm.pending_atoms() as u64,
+                    pending_timesteps: self.wm.pending_timesteps() as u64,
+                },
+            );
+        }
         Some(Batch {
             atoms,
             completing_queries: completing,
@@ -316,6 +345,7 @@ impl Scheduler for Jaws {
     }
 
     fn on_query_complete(&mut self, query: QueryId, response_ms: f64, now_ms: f64) {
+        self.wm.note_completed(query);
         if self.cfg.adaptive_alpha {
             if self.alpha_ctl.on_query_complete(response_ms, now_ms) {
                 self.run_boundary = true;
@@ -366,7 +396,7 @@ impl Scheduler for Jaws {
     }
 
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot_incremental(residency)
+        self.wm.utility_snapshot(residency)
     }
 
     fn set_recorder(&mut self, sink: ObsSink) {
@@ -590,6 +620,42 @@ mod tests {
         let mut s = jaws1();
         assert!(s.next_batch(0.0, &FixedResidency::none()).is_none());
         assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn noop_dispatch_performs_zero_arrangement_folds() {
+        // Satellite regression (ISSUE 8): a dispatch attempt that produces
+        // nothing — here the gate holds every available query — must not
+        // trigger incidental recomputation in the delta layer. Before the
+        // generation-counter short-circuit, gate rulings and α probes inside
+        // next_batch re-derived timestep means on every call.
+        let mut s = Jaws::new(JawsConfig {
+            batch_k: 4,
+            ..JawsConfig::jaws2(params())
+        });
+        let none = FixedResidency::none();
+        let mk_job = |jid: u64, base: u64| Job {
+            id: jid,
+            user: jid as u32,
+            kind: JobKind::Ordered,
+            campaign: jid,
+            queries: vec![q(base, 0, &[(1, 50)]), q(base + 1, 1, &[(2, 50)])],
+            arrival_ms: 0.0,
+            think_ms: 0.0,
+        };
+        s.job_declared(&mk_job(1, 100), 0.0);
+        s.job_declared(&mk_job(2, 200), 0.0);
+        // Job 1's first query arrives alone and is gated on job 2's.
+        s.query_available(&mk_job(1, 100).queries[0], 0.0);
+        let before = s.delta_stats();
+        for i in 0..5 {
+            assert!(s.next_batch(1.0 + i as f64, &none).is_none(), "held");
+        }
+        let after = s.delta_stats();
+        assert_eq!(after.eq1_recomputes, before.eq1_recomputes, "Eq. 1 folds");
+        assert_eq!(after.ts_refolds, before.ts_refolds, "aggregate refolds");
+        assert_eq!(after.coarse_scans, before.coarse_scans, "coarse scans");
+        assert_eq!(after.residency_probes, before.residency_probes, "probes");
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod adaptive;
 pub mod align;
 pub mod batch;
 pub mod casjobs;
+pub mod delta;
 pub mod gating;
 pub mod jaws;
 pub mod liferaft;
@@ -37,6 +38,7 @@ pub use adaptive::{AlphaController, RunFeedback};
 pub use align::align_jobs;
 pub use batch::{AtomBatch, Batch, SubQuery};
 pub use casjobs::CasJobs;
+pub use delta::{Delta, DeltaStats};
 pub use gating::{GatingConfig, GatingGraph, QueryState};
 pub use jaws::{Jaws, JawsConfig};
 pub use liferaft::LifeRaft;

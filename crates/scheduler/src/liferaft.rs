@@ -82,7 +82,8 @@ impl Scheduler for LifeRaft {
         })
     }
 
-    fn on_query_complete(&mut self, _query: QueryId, _response_ms: f64, _now_ms: f64) {
+    fn on_query_complete(&mut self, query: QueryId, _response_ms: f64, _now_ms: f64) {
+        self.wm.note_completed(query);
         self.completed_in_run += 1;
         if self.completed_in_run >= self.run_len {
             self.completed_in_run = 0;
@@ -103,7 +104,7 @@ impl Scheduler for LifeRaft {
     }
 
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot_incremental(residency)
+        self.wm.utility_snapshot(residency)
     }
 
     fn stats(&self) -> SchedulerStats {

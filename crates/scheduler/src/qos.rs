@@ -126,7 +126,8 @@ impl Scheduler for QosScheduler {
         })
     }
 
-    fn on_query_complete(&mut self, _query: QueryId, _response_ms: f64, _now_ms: f64) {
+    fn on_query_complete(&mut self, query: QueryId, _response_ms: f64, _now_ms: f64) {
+        self.wm.note_completed(query);
         self.completed_in_run += 1;
         if self.completed_in_run >= self.run_len {
             self.completed_in_run = 0;
@@ -147,7 +148,7 @@ impl Scheduler for QosScheduler {
     }
 
     fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.wm.utility_snapshot_incremental(residency)
+        self.wm.utility_snapshot(residency)
     }
 
     fn set_recorder(&mut self, sink: ObsSink) {

@@ -18,28 +18,19 @@
 //! The manager also produces the [`UtilitySnapshot`] that URC (the
 //! workload-aware cache policy of §V-B) consumes as its ranking oracle.
 //!
-//! # Incremental maintenance
+//! # Layering
 //!
-//! Schedulers consult these metrics on every dispatch, but each dispatch
-//! changes only a handful of atoms (the batch taken, the residency flips its
-//! reads caused, the sub-queries that arrived). The manager therefore keeps:
-//!
-//! * a cached Eq. 1 value per pending atom (`WorkloadManager::refresh`
-//!   recomputes only atoms whose queue or residency changed, driven by the
-//!   [`Residency`] change-tracking protocol);
-//! * per-timestep aggregates (ΣU, max U, Σoldest, min/max oldest) that the
-//!   coarse level of two-level scheduling and the global max-normalizers are
-//!   answered from in O(#timesteps);
-//! * an [`UtilitySnapshot`] patched in place (shared via `Arc`) instead of
-//!   rebuilt per dispatch.
-//!
-//! Floating-point sums are *refolded* per dirty timestep in sorted-atom
-//! order — never drifted with `+=`/`-=` — so every incremental result is
-//! bit-for-bit identical to the full-scan reference methods
-//! ([`WorkloadManager::aged_utilities`], [`WorkloadManager::timestep_means`],
-//! [`WorkloadManager::utility_snapshot`]), which are kept as the oracle the
-//! equivalence property tests compare against. The reference methods iterate
-//! atoms in sorted order for the same reason.
+//! This module owns only the **base state**: the queues themselves and the
+//! per-query completion bookkeeping. Every *derived* view — cached Eq. 1
+//! values, per-timestep aggregates, age indexes, the URC snapshot — lives in
+//! the [`crate::delta`] arrangement layer, fed by typed
+//! [`Delta`]s from the mutating methods here. The public
+//! read API ([`WorkloadManager::aged_utilities`],
+//! [`WorkloadManager::timestep_means`], [`WorkloadManager::utility_snapshot`],
+//! [`WorkloadManager::best_timestep`], [`WorkloadManager::best_atom`]) is
+//! incremental — O(Δ) per dispatch — and bitwise identical to the full-scan
+//! oracle in [`crate::delta::reference`], which only tests, proptests and the
+//! `dispatch_scaling` bench may call.
 //!
 //! # Total order (determinism)
 //!
@@ -53,13 +44,14 @@
 //! normalization folds — and with them every comparison — NaN.
 
 use crate::batch::{AtomBatch, SubQuery};
+use crate::delta::{eq1, Delta, DeltaCore, DeltaStats, QueueBase, QueueInfo};
 use crate::policy::Residency;
-use jaws_cache::{UtilityOracle, UtilityRank};
 use jaws_morton::AtomId;
 use jaws_workload::QueryId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+
+pub use crate::delta::UtilitySnapshot;
 
 /// Clamps a non-finite metric term to zero. A NaN utility or age would
 /// propagate through the max-normalizers into *every* atom's Eq. 2 blend and
@@ -101,44 +93,6 @@ impl MetricParams {
     }
 }
 
-/// Eq. 1 for one queue. Shared by the reference and incremental paths so the
-/// two can never diverge.
-fn eq1(params: &MetricParams, positions: u64, resident: bool) -> f64 {
-    debug_assert!(
-        params.atom_read_ms.is_finite() && params.position_compute_ms.is_finite(),
-        "non-finite cost model: T_b={} T_m={}",
-        params.atom_read_ms,
-        params.position_compute_ms
-    );
-    let w = positions as f64;
-    let phi = if resident { 0.0 } else { 1.0 };
-    let denom = params.atom_read_ms * phi + params.position_compute_ms * w;
-    if denom > 0.0 {
-        return finite_or_zero(w / denom);
-    }
-    // Degenerate cost model: a resident atom with zero per-position compute
-    // cost (or an all-zero model). An "infinite" throughput sentinel would
-    // poison max-normalization — every other atom's normalized utility
-    // collapses toward 0 and Eq. 2 degenerates to pure age order. Instead
-    // rank the atom as if it still cost half an atom read: finite, monotone
-    // in ΣW, and on the same scale as disk atoms (exactly twice the utility
-    // of an equally loaded non-resident atom in the T_m → 0 limit).
-    let half_read = 0.5 * params.atom_read_ms;
-    if half_read > 0.0 {
-        finite_or_zero(w / half_read)
-    } else {
-        w
-    }
-}
-
-/// Eq. 2 blend of a max-normalized throughput and age. Shared by the
-/// reference and incremental paths so the two can never diverge.
-fn blend(u: f64, e: f64, max_u: f64, max_e: f64, alpha: f64) -> f64 {
-    let un = if max_u > 0.0 { u / max_u } else { 0.0 };
-    let en = if max_e > 0.0 { e / max_e } else { 0.0 };
-    un * (1.0 - alpha) + en * alpha
-}
-
 /// One atom's workload queue.
 #[derive(Debug, Default, Clone)]
 struct AtomQueue {
@@ -149,42 +103,30 @@ struct AtomQueue {
     oldest_ms: f64,
 }
 
-/// Per-timestep aggregates, refolded (in sorted-atom order) whenever any atom
-/// of the timestep changes. Everything the coarse scheduling level and the
-/// global normalizers need is answerable from these in O(#timesteps).
-#[derive(Debug, Clone, Copy)]
-struct TsAgg {
-    /// Σ of cached Eq. 1 values over pending atoms of the timestep.
-    sum_u: f64,
-    /// max of cached Eq. 1 values.
-    max_u: f64,
-    /// Pending atom count.
-    count: u64,
-    /// Σ of per-atom oldest enqueue times, ms.
-    sum_oldest: f64,
-    /// min/max of per-atom oldest enqueue times, ms.
-    min_oldest: f64,
-    max_oldest: f64,
-    /// Refold generation stamp, for invalidating derived lazy indexes.
-    epoch: u64,
+/// Read-only window onto the base queue state, handed to the delta layer's
+/// integration step. Borrows only the base fields, so the arrangement core
+/// can be borrowed mutably at the same time ([`WorkloadManager::parts`]).
+struct BaseView<'a> {
+    params: &'a MetricParams,
+    queues: &'a BTreeMap<AtomId, AtomQueue>,
 }
 
-/// Lazily built per-timestep index for the clamped-age case of
-/// [`WorkloadManager::best_timestep`]: oldest enqueue times sorted ascending
-/// with their running prefix sums. Lets Σ (now − oldest)⁺ be answered in
-/// O(log n) — atoms enqueued at or before `now` contribute through the
-/// prefix closed form, later ones contribute exactly zero.
-#[derive(Debug, Clone)]
-struct AgeIndex {
-    /// The [`TsAgg::epoch`] this index was built against.
-    epoch: u64,
-    /// Per-atom oldest enqueue times, ascending (`total_cmp` order).
-    oldest: Vec<f64>,
-    /// `prefix[i]` = Σ `oldest[..=i]`, folded in ascending order.
-    prefix: Vec<f64>,
+impl QueueBase for BaseView<'_> {
+    fn metric_params(&self) -> &MetricParams {
+        self.params
+    }
+
+    fn queue_info(&self, atom: &AtomId) -> Option<QueueInfo> {
+        self.queues.get(atom).map(|q| QueueInfo {
+            positions: q.positions,
+            oldest_ms: q.oldest_ms,
+        })
+    }
 }
 
-/// The workload manager: per-atom queues plus per-query bookkeeping.
+/// The workload manager: per-atom queues plus per-query bookkeeping (base
+/// state), and the `DeltaCore` arrangement layer every derived view is
+/// answered from.
 #[derive(Debug)]
 pub struct WorkloadManager {
     params: MetricParams,
@@ -193,24 +135,8 @@ pub struct WorkloadManager {
     /// Remaining sub-query count per query (for completion detection).
     pending_subs: HashMap<QueryId, usize>,
     total_subs: usize,
-    /// Cached Eq. 1 value per pending atom, as of the last [`Self::refresh`].
-    u_of: HashMap<AtomId, f64>,
-    /// The residency each `u_of` entry was computed with.
-    resident_view: HashMap<AtomId, bool>,
-    /// Pending atoms per timestep in Morton order — the canonical fold order.
-    ts_atoms: BTreeMap<u32, BTreeSet<AtomId>>,
-    /// Per-timestep aggregates (lazily refolded).
-    ts_aggs: BTreeMap<u32, TsAgg>,
-    /// Clamped-age indexes, built on demand (lookup-only, never iterated).
-    age_index: HashMap<u32, AgeIndex>,
-    /// Refold generation counter feeding [`TsAgg::epoch`].
-    refold_epoch: u64,
-    /// Atoms whose queue changed since the last refresh.
-    dirty_atoms: BTreeSet<AtomId>,
-    /// Residency epoch the view is synced to (`None` = never/volatile).
-    synced_epoch: Option<u64>,
-    /// Arc-backed URC snapshot, patched in place on refresh.
-    snapshot: UtilitySnapshot,
+    /// The delta-propagation core: all derived state, fed through `apply`.
+    core: DeltaCore,
 }
 
 impl WorkloadManager {
@@ -221,21 +147,26 @@ impl WorkloadManager {
             queues: BTreeMap::new(),
             pending_subs: HashMap::new(),
             total_subs: 0,
-            u_of: HashMap::new(),
-            resident_view: HashMap::new(),
-            ts_atoms: BTreeMap::new(),
-            ts_aggs: BTreeMap::new(),
-            age_index: HashMap::new(),
-            refold_epoch: 0,
-            dirty_atoms: BTreeSet::new(),
-            synced_epoch: None,
-            snapshot: UtilitySnapshot::empty(),
+            core: DeltaCore::new(),
         }
     }
 
     /// Cost constants in use.
     pub fn params(&self) -> MetricParams {
         self.params
+    }
+
+    /// Splits the borrow: a read-only view of the base queue state plus the
+    /// mutable arrangement core, so the core can integrate against the base
+    /// without aliasing.
+    fn parts(&mut self) -> (BaseView<'_>, &mut DeltaCore) {
+        (
+            BaseView {
+                params: &self.params,
+                queues: &self.queues,
+            },
+            &mut self.core,
+        )
     }
 
     /// Adds sub-queries to their atoms' queues.
@@ -253,11 +184,7 @@ impl WorkloadManager {
             q.subs.push(s);
             *self.pending_subs.entry(s.query).or_insert(0) += 1;
             self.total_subs += 1;
-            self.ts_atoms
-                .entry(s.atom.timestep)
-                .or_default()
-                .insert(s.atom);
-            self.dirty_atoms.insert(s.atom);
+            self.core.apply(Delta::Arrived { atom: s.atom });
         }
     }
 
@@ -276,6 +203,11 @@ impl WorkloadManager {
         self.queues.len()
     }
 
+    /// Number of timesteps with at least one pending atom.
+    pub fn pending_timesteps(&self) -> usize {
+        self.core.timestep_count()
+    }
+
     /// Pending positions on one atom (ΣW of Eq. 1), zero if queue-less.
     pub fn atom_positions(&self, atom: &AtomId) -> u64 {
         self.queues.get(atom).map_or(0, |q| q.positions)
@@ -284,8 +216,8 @@ impl WorkloadManager {
     /// Eq. 1 for one atom. `resident` is φ(i) = 0 (cached) / 1 (on disk).
     ///
     /// Cost models with `position_compute_ms = 0` make a resident atom's
-    /// denominator vanish; see `eq1` for the finite ranking used instead of
-    /// an infinity sentinel.
+    /// denominator vanish; see [`crate::delta`]'s `eq1` for the finite
+    /// ranking used instead of an infinity sentinel.
     pub fn workload_throughput(&self, atom: &AtomId, resident: bool) -> f64 {
         self.queues
             .get(atom)
@@ -300,73 +232,12 @@ impl WorkloadManager {
     }
 
     /// Pending atoms in sorted `(timestep, morton)` order — the canonical
-    /// iteration order of every floating-point fold in this module. Free:
-    /// `queues` is a `BTreeMap`, so its keys already iterate in that order.
-    fn sorted_pending(&self) -> Vec<AtomId> {
+    /// iteration order of every floating-point fold. Free: `queues` is a
+    /// `BTreeMap`, so its keys already iterate in that order. Base-state
+    /// accessor for the [`crate::delta::reference`] oracle; production
+    /// schedulers never need the full list.
+    pub fn pending_atom_ids(&self) -> Vec<AtomId> {
         self.queues.keys().copied().collect()
-    }
-
-    /// Eq. 2 over every pending atom: `(atom, U_e)` with both terms
-    /// max-normalized before blending. `alpha = 0` is pure contention order,
-    /// `alpha = 1` pure arrival (age) order.
-    ///
-    /// Reference implementation: full scan over every pending atom, in sorted
-    /// order. Schedulers use [`Self::best_timestep`] /
-    /// [`Self::timestep_aged_utilities`] / [`Self::best_atom`], which answer
-    /// from incrementally maintained state; this method is kept as the oracle
-    /// the equivalence property tests compare against.
-    pub fn aged_utilities(
-        &self,
-        now_ms: f64,
-        alpha: f64,
-        residency: &dyn Residency,
-    ) -> Vec<(AtomId, f64)> {
-        debug_assert!((0.0..=1.0).contains(&alpha));
-        let raw: Vec<(AtomId, f64, f64)> = self
-            .sorted_pending()
-            .into_iter()
-            .map(|a| {
-                (
-                    a,
-                    self.workload_throughput(&a, residency.is_resident(&a)),
-                    self.age(&a, now_ms),
-                )
-            })
-            .collect();
-        debug_assert!(
-            raw.iter().all(|&(_, u, e)| u.is_finite() && e.is_finite()),
-            "non-finite utility/age reached the Eq. 2 normalization fold"
-        );
-        let max_u = raw
-            .iter()
-            .map(|&(_, u, _)| finite_or_zero(u))
-            .fold(0.0f64, f64::max);
-        let max_e = raw
-            .iter()
-            .map(|&(_, _, e)| finite_or_zero(e))
-            .fold(0.0f64, f64::max);
-        raw.into_iter()
-            .map(|(a, u, e)| (a, blend(u, e, max_u, max_e, alpha)))
-            .collect()
-    }
-
-    /// Mean workload throughput per timestep over *all* of that timestep's
-    /// atoms (workload-free atoms contribute zero) — the coarse level of
-    /// two-level scheduling (§V) and the cross-timestep eviction order of
-    /// URC. Because every timestep has the same atom count, this ranks
-    /// timesteps by total pending utility, which "tends to yield higher
-    /// workload density".
-    ///
-    /// Reference implementation (full scan, sorted fold); the incremental
-    /// equivalent is [`Self::timestep_means_incremental`].
-    pub fn timestep_means(&self, residency: &dyn Residency) -> BTreeMap<u32, f64> {
-        let mut sum: BTreeMap<u32, f64> = BTreeMap::new();
-        for a in self.sorted_pending() {
-            let u = self.workload_throughput(&a, residency.is_resident(&a));
-            *sum.entry(a.timestep).or_insert(0.0) += u;
-        }
-        let n = self.params.atoms_per_timestep.max(1) as f64;
-        sum.into_iter().map(|(t, s)| (t, s / n)).collect()
     }
 
     /// Removes and returns the whole queue of one atom, plus the queries that
@@ -384,13 +255,7 @@ impl WorkloadManager {
             .remove(atom)
             .unwrap_or_else(|| panic!("take_atom on empty queue {atom}"));
         self.total_subs -= q.subs.len();
-        if let Some(set) = self.ts_atoms.get_mut(&atom.timestep) {
-            set.remove(atom);
-            if set.is_empty() {
-                self.ts_atoms.remove(&atom.timestep);
-            }
-        }
-        self.dirty_atoms.insert(*atom);
+        self.core.apply(Delta::Taken { atom: *atom });
         let mut completing = Vec::new();
         for s in &q.subs {
             // lint: invariant — enqueue() registered every sub-query's query id
@@ -413,248 +278,91 @@ impl WorkloadManager {
         )
     }
 
+    /// Records that a query finished executing (its last sub-query's batch
+    /// came back). Pure lifecycle bookkeeping in the delta stream — queue
+    /// state already settled at take time.
+    pub fn note_completed(&mut self, query: QueryId) {
+        self.core.apply(Delta::Completed { query });
+    }
+
     /// Pending atoms of one timestep.
     pub fn atoms_in_timestep(&self, timestep: u32) -> Vec<AtomId> {
-        self.ts_atoms
-            .get(&timestep)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default()
+        self.core.atoms_in_timestep(timestep)
     }
 
-    /// Builds the URC oracle snapshot: every pending atom's Eq. 1 value plus
-    /// its timestep's mean. Atoms without pending work rank
-    /// [`UtilityRank::ZERO`] and are evicted first.
-    ///
-    /// Reference implementation (full rebuild); schedulers use
-    /// [`Self::utility_snapshot_incremental`].
-    pub fn utility_snapshot(&self, residency: &dyn Residency) -> UtilitySnapshot {
-        let means: HashMap<u32, f64> = self.timestep_means(residency).into_iter().collect();
-        let atoms = self
-            .sorted_pending()
-            .into_iter()
-            .map(|a| {
-                let u = self.workload_throughput(&a, residency.is_resident(&a));
-                (a, u)
-            })
-            .collect();
-        UtilitySnapshot {
-            atoms: Arc::new(atoms),
-            means: Arc::new(means),
-        }
+    /// Counters over the delta stream and the arrangement maintenance it
+    /// caused. Monotone; diff two snapshots to measure one window.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.core.stats()
     }
 
-    // ---- incremental path -------------------------------------------------
-
-    /// Brings cached per-atom metrics, per-timestep aggregates and the URC
-    /// snapshot up to date, recomputing only what changed: atoms with queue
-    /// changes since the last refresh, plus atoms whose residency flipped
-    /// (discovered through the [`Residency`] change-tracking protocol, or by
-    /// a full residency re-check when the source is untracked/volatile).
-    fn refresh(&mut self, residency: &dyn Residency) {
-        // 1. Residency sync: find pending atoms whose φ changed.
-        let epoch = residency.residency_epoch();
-        let in_sync = matches!((epoch, self.synced_epoch), (Some(e), Some(s)) if e == s);
-        if !in_sync {
-            let deltas = match self.synced_epoch {
-                Some(since) if epoch.is_some() => residency.residency_changes_since(since),
-                _ => None,
-            };
-            match deltas {
-                Some(changes) => {
-                    for (atom, now_res) in changes {
-                        if self.queues.contains_key(&atom)
-                            && self.resident_view.get(&atom) != Some(&now_res)
-                        {
-                            self.dirty_atoms.insert(atom);
-                        }
-                    }
-                }
-                None => {
-                    // Untracked source or truncated log: re-check every
-                    // pending atom (cheap boolean probe, no metric work for
-                    // atoms that did not flip).
-                    for &atom in self.queues.keys() {
-                        if self.resident_view.get(&atom).copied()
-                            != Some(residency.is_resident(&atom))
-                        {
-                            self.dirty_atoms.insert(atom);
-                        }
-                    }
-                }
-            }
-            self.synced_epoch = epoch;
-        }
-        if self.dirty_atoms.is_empty() {
-            return;
-        }
-        // 2. Recompute dirty atoms (and drop taken ones).
-        let params = self.params;
-        let mut dirty_ts: BTreeSet<u32> = BTreeSet::new();
-        let atoms_mut = Arc::make_mut(&mut self.snapshot.atoms);
-        for &atom in &self.dirty_atoms {
-            dirty_ts.insert(atom.timestep);
-            if let Some(q) = self.queues.get(&atom) {
-                let res = residency.is_resident(&atom);
-                let u = eq1(&params, q.positions, res);
-                self.resident_view.insert(atom, res);
-                self.u_of.insert(atom, u);
-                atoms_mut.insert(atom, u);
-            } else {
-                self.resident_view.remove(&atom);
-                self.u_of.remove(&atom);
-                atoms_mut.remove(&atom);
-            }
-        }
-        self.dirty_atoms.clear();
-        // 3. Refold dirty timesteps in sorted-atom order — a full refold, not
-        // a `+=`/`-=` adjustment, so the sums are bitwise identical to the
-        // reference full-scan fold.
-        let means_mut = Arc::make_mut(&mut self.snapshot.means);
-        let n = params.atoms_per_timestep.max(1) as f64;
-        self.refold_epoch += 1;
-        for &ts in &dirty_ts {
-            match self.ts_atoms.get(&ts) {
-                Some(set) => {
-                    let mut agg = TsAgg {
-                        sum_u: 0.0,
-                        max_u: 0.0,
-                        count: 0,
-                        sum_oldest: 0.0,
-                        min_oldest: f64::INFINITY,
-                        max_oldest: f64::NEG_INFINITY,
-                        epoch: self.refold_epoch,
-                    };
-                    for a in set {
-                        let u = self.u_of[a];
-                        let oldest = self.queues[a].oldest_ms;
-                        agg.sum_u += u;
-                        agg.max_u = agg.max_u.max(u);
-                        agg.count += 1;
-                        agg.sum_oldest += oldest;
-                        agg.min_oldest = agg.min_oldest.min(oldest);
-                        agg.max_oldest = agg.max_oldest.max(oldest);
-                    }
-                    self.ts_aggs.insert(ts, agg);
-                    means_mut.insert(ts, agg.sum_u / n);
-                }
-                None => {
-                    self.ts_aggs.remove(&ts);
-                    self.age_index.remove(&ts);
-                    means_mut.remove(&ts);
-                }
-            }
-        }
+    /// The arrangement state generation: bumps on every delta that can change
+    /// a read result, stays put across pure reads and clock advances. Two
+    /// equal generations bracket a window in which every derived view was
+    /// provably served from cache.
+    pub fn generation(&self) -> u64 {
+        self.core.generation()
     }
 
-    /// Global max-normalizers of Eq. 2 — `(max U_t, max E)` over all pending
-    /// atoms — answered from the per-timestep aggregates in O(#timesteps).
-    fn normalizers(&self, now_ms: f64) -> (f64, f64) {
-        let mut max_u = 0.0f64;
-        let mut min_oldest = f64::INFINITY;
-        for agg in self.ts_aggs.values() {
-            max_u = max_u.max(agg.max_u);
-            min_oldest = min_oldest.min(agg.min_oldest);
-        }
-        let max_e = if min_oldest.is_finite() {
-            (now_ms - min_oldest).max(0.0)
-        } else {
-            0.0
-        };
-        (max_u, max_e)
+    /// The latest clock watermark that entered the delta stream
+    /// ([`Delta::Aged`] from a timed read), ms. Diagnostics only — ages are
+    /// always derived from the caller's `now`, never from this.
+    pub fn clock_watermark_ms(&self) -> f64 {
+        self.core.clock_ms()
     }
 
-    /// Lazily (re)builds the clamped-age index for one timestep. Only
-    /// degenerate timesteps — some atom enqueued "after" the query's
-    /// `now_ms` — ever pay for the O(n log n) build; the index is reused
-    /// across calls until the timestep's aggregate refolds.
-    fn ensure_age_index(&mut self, ts: u32) {
-        let Some(agg) = self.ts_aggs.get(&ts) else {
-            self.age_index.remove(&ts);
-            return;
-        };
-        if self
-            .age_index
-            .get(&ts)
-            .is_some_and(|ix| ix.epoch == agg.epoch)
-        {
-            return;
-        }
-        // A timestep with an aggregate always has pending atoms.
-        let mut oldest: Vec<f64> = self.ts_atoms[&ts]
-            .iter()
-            .map(|a| self.queues[a].oldest_ms)
-            .collect();
-        oldest.sort_by(|a, b| a.total_cmp(b));
-        let mut prefix = Vec::with_capacity(oldest.len());
-        let mut s = 0.0f64;
-        for &o in &oldest {
-            s += o;
-            prefix.push(s);
-        }
-        self.age_index.insert(
-            ts,
-            AgeIndex {
-                epoch: agg.epoch,
-                oldest,
-                prefix,
-            },
-        );
+    /// Eq. 2 over every pending atom: `(atom, U_e)` with both terms
+    /// max-normalized before blending, in sorted `(timestep, morton)` order.
+    /// `alpha = 0` is pure contention order, `alpha = 1` pure arrival (age)
+    /// order. Incremental (O(Δ) + O(n) output); bitwise identical to
+    /// [`crate::delta::reference::aged_utilities`]. Schedulers that only need
+    /// an argmax use [`Self::best_atom`] instead.
+    pub fn aged_utilities(
+        &mut self,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+    ) -> Vec<(AtomId, f64)> {
+        let (base, core) = self.parts();
+        core.apply(Delta::Aged { now_ms });
+        core.aged_utilities(&base, now_ms, alpha, residency)
     }
 
-    /// Σ (now − oldest)⁺ over one timestep's pending atoms, answered from the
-    /// [`AgeIndex`] in O(log n): atoms enqueued at or before `now_ms`
-    /// contribute through the prefix closed form, later ones exactly zero.
-    /// Requires [`Self::ensure_age_index`] to have run for `ts`.
-    fn clamped_age_sum(&self, ts: u32, now_ms: f64) -> f64 {
-        let ix = &self.age_index[&ts];
-        let cut = ix.oldest.partition_point(|&o| o <= now_ms);
-        if cut == 0 {
-            0.0
-        } else {
-            cut as f64 * now_ms - ix.prefix[cut - 1]
-        }
+    /// Mean workload throughput per timestep over *all* of that timestep's
+    /// atoms (workload-free atoms contribute zero) — the coarse level of
+    /// two-level scheduling (§V) and the cross-timestep eviction order of
+    /// URC. Because every timestep has the same atom count, this ranks
+    /// timesteps by total pending utility, which "tends to yield higher
+    /// workload density". Incremental; bitwise identical to
+    /// [`crate::delta::reference::timestep_means`].
+    pub fn timestep_means(&mut self, residency: &dyn Residency) -> BTreeMap<u32, f64> {
+        let (base, core) = self.parts();
+        core.timestep_means(&base, residency)
+    }
+
+    /// The URC oracle snapshot: every pending atom's Eq. 1 value plus its
+    /// timestep's mean. Atoms without pending work rank
+    /// [`jaws_cache::UtilityRank::ZERO`] and are evicted first. Incremental
+    /// (O(Δ) integration + O(1) `Arc` clone); bitwise identical to
+    /// [`crate::delta::reference::utility_snapshot`].
+    pub fn utility_snapshot(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
+        let (base, core) = self.parts();
+        core.snapshot(&base, residency)
     }
 
     /// Coarse level of two-level scheduling: the timestep with the highest
     /// summed aged utility (equivalently, the highest mean over its fixed
     /// atom count). Ties prefer the smaller timestep. O(#timesteps) after an
-    /// O(Δ) refresh.
+    /// O(Δ) integration, O(1) on a clean generation.
     pub fn best_timestep(
         &mut self,
         now_ms: f64,
         alpha: f64,
         residency: &dyn Residency,
     ) -> Option<u32> {
-        debug_assert!((0.0..=1.0).contains(&alpha));
-        self.refresh(residency);
-        // Degenerate timesteps (some atom enqueued "after" now_ms, so ages
-        // clamp) answer from a lazily built sorted-prefix index instead of
-        // an O(n) exact fold on every call.
-        let degenerate: Vec<u32> = self
-            .ts_aggs
-            .iter()
-            .filter(|&(_, agg)| now_ms < agg.max_oldest)
-            .map(|(&ts, _)| ts)
-            .collect();
-        for ts in degenerate {
-            self.ensure_age_index(ts);
-        }
-        let (max_u, max_e) = self.normalizers(now_ms);
-        let mut best: Option<(u32, f64)> = None;
-        for (&ts, agg) in &self.ts_aggs {
-            let sum_e = if now_ms >= agg.max_oldest {
-                agg.count as f64 * now_ms - agg.sum_oldest
-            } else {
-                self.clamped_age_sum(ts, now_ms)
-            };
-            let su = if max_u > 0.0 { agg.sum_u / max_u } else { 0.0 };
-            let se = if max_e > 0.0 { sum_e / max_e } else { 0.0 };
-            let score = su * (1.0 - alpha) + se * alpha;
-            if best.is_none_or(|(_, b)| score > b) {
-                best = Some((ts, score));
-            }
-        }
-        best.map(|(ts, _)| ts)
+        let (base, core) = self.parts();
+        core.apply(Delta::Aged { now_ms });
+        core.best_timestep(&base, now_ms, alpha, residency)
     }
 
     /// Fine level of two-level scheduling: Eq. 2 for every pending atom of
@@ -667,41 +375,9 @@ impl WorkloadManager {
         alpha: f64,
         residency: &dyn Residency,
     ) -> Vec<(AtomId, f64)> {
-        debug_assert!((0.0..=1.0).contains(&alpha));
-        self.refresh(residency);
-        let (max_u, max_e) = self.normalizers(now_ms);
-        let Some(set) = self.ts_atoms.get(&timestep) else {
-            return Vec::new();
-        };
-        set.iter()
-            .map(|a| {
-                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
-                (*a, blend(self.u_of[a], e, max_u, max_e, alpha))
-            })
-            .collect()
-    }
-
-    /// Eq. 2 over every pending atom, from cached state — same contract as
-    /// the reference [`Self::aged_utilities`] (modulo output order, which
-    /// here is always sorted). The output is O(n) by definition; schedulers
-    /// that only need an argmax use [`Self::best_atom`] instead.
-    pub fn aged_utilities_incremental(
-        &mut self,
-        now_ms: f64,
-        alpha: f64,
-        residency: &dyn Residency,
-    ) -> Vec<(AtomId, f64)> {
-        debug_assert!((0.0..=1.0).contains(&alpha));
-        self.refresh(residency);
-        let (max_u, max_e) = self.normalizers(now_ms);
-        let mut out = Vec::with_capacity(self.queues.len());
-        for set in self.ts_atoms.values() {
-            for a in set {
-                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
-                out.push((*a, blend(self.u_of[a], e, max_u, max_e, alpha)));
-            }
-        }
-        out
+        let (base, core) = self.parts();
+        core.apply(Delta::Aged { now_ms });
+        core.timestep_aged_utilities(&base, timestep, now_ms, alpha, residency)
     }
 
     /// The single pending atom with the highest aged utility (ties prefer
@@ -715,110 +391,33 @@ impl WorkloadManager {
         alpha: f64,
         residency: &dyn Residency,
     ) -> Option<(AtomId, f64)> {
-        debug_assert!((0.0..=1.0).contains(&alpha));
-        self.refresh(residency);
-        let (max_u, max_e) = self.normalizers(now_ms);
-        // blend() is monotone in both terms, so a timestep's best atom is
-        // bounded by blending its per-timestep maxima.
-        let mut order: Vec<(f64, u32)> = self
-            .ts_aggs
-            .iter()
-            .map(|(&ts, agg)| {
-                let e_ub = (now_ms - agg.min_oldest).max(0.0);
-                (blend(agg.max_u, e_ub, max_u, max_e, alpha), ts)
-            })
-            .collect();
-        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut best: Option<(AtomId, f64)> = None;
-        for &(ub, ts) in &order {
-            if let Some((_, bs)) = best {
-                // Strict: an exact tie with the bound could still hide an
-                // atom with a smaller id.
-                if bs > ub {
-                    break;
-                }
-            }
-            for a in &self.ts_atoms[&ts] {
-                let e = (now_ms - self.queues[a].oldest_ms).max(0.0);
-                let score = blend(self.u_of[a], e, max_u, max_e, alpha);
-                // Total order: (score via total_cmp, then smaller AtomId).
-                let better = match best {
-                    None => true,
-                    Some((ba, bs)) => match score.total_cmp(&bs) {
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Equal => *a < ba,
-                        std::cmp::Ordering::Less => false,
-                    },
-                };
-                if better {
-                    best = Some((*a, score));
-                }
-            }
-        }
-        best
+        let (base, core) = self.parts();
+        core.apply(Delta::Aged { now_ms });
+        core.best_atom(&base, now_ms, alpha, residency)
     }
 
-    /// The URC oracle snapshot from incrementally maintained state: an O(Δ)
-    /// refresh followed by an O(1) `Arc` clone. Bitwise identical to the
-    /// reference [`Self::utility_snapshot`].
-    pub fn utility_snapshot_incremental(&mut self, residency: &dyn Residency) -> UtilitySnapshot {
-        self.refresh(residency);
-        self.snapshot.clone()
+    /// Test hook: force-build the clamped-age index of one timestep.
+    #[cfg(test)]
+    fn ensure_age_index(&mut self, ts: u32) {
+        let (base, core) = self.parts();
+        core.ensure_age_index(&base, ts);
     }
 
-    /// Per-timestep means from incrementally maintained state. Bitwise
-    /// identical to the reference [`Self::timestep_means`].
-    pub fn timestep_means_incremental(&mut self, residency: &dyn Residency) -> BTreeMap<u32, f64> {
-        self.refresh(residency);
-        // The snapshot map is keyed storage (never iterated for decisions);
-        // collecting into a BTreeMap re-establishes sorted order for callers.
-        self.snapshot
-            .means
-            .iter() // lint: sorted — collected into a BTreeMap below
-            .map(|(&t, &m)| (t, m))
-            .collect::<BTreeMap<u32, f64>>()
-    }
-}
-
-/// A point-in-time ranking of pending atoms, consumed by the URC cache policy
-/// through the [`UtilityOracle`] interface. Backed by shared maps, so cloning
-/// one is O(1) and the workload manager can patch its own copy in place
-/// between dispatches.
-#[derive(Debug, Clone)]
-pub struct UtilitySnapshot {
-    atoms: Arc<HashMap<AtomId, f64>>,
-    means: Arc<HashMap<u32, f64>>,
-}
-
-impl UtilitySnapshot {
-    /// A snapshot with no pending workload: every atom ranks
-    /// [`UtilityRank::ZERO`], so URC degrades to plain LRU. Used by
-    /// schedulers that keep no workload queues (NoShare).
-    pub fn empty() -> Self {
-        UtilitySnapshot {
-            atoms: Arc::new(HashMap::new()),
-            means: Arc::new(HashMap::new()),
-        }
-    }
-}
-
-impl UtilityOracle<AtomId> for UtilitySnapshot {
-    fn rank(&self, key: &AtomId) -> UtilityRank {
-        match self.atoms.get(key) {
-            Some(&u) => UtilityRank {
-                timestep_mean: self.means.get(&key.timestep).copied().unwrap_or(0.0),
-                atom_utility: u,
-            },
-            None => UtilityRank::ZERO,
-        }
+    /// Test hook: the indexed Σ (now − oldest)⁺ of one timestep.
+    #[cfg(test)]
+    fn clamped_age_sum(&self, ts: u32, now_ms: f64) -> f64 {
+        self.core.clamped_age_sum(ts, now_ms)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::{eq1, reference};
     use crate::policy::test_support::FixedResidency;
+    use jaws_cache::UtilityOracle;
     use jaws_morton::MortonKey;
+    use std::collections::BTreeMap;
 
     fn sub(query: QueryId, t: u32, m: u64, positions: u32, at: f64) -> SubQuery {
         SubQuery {
@@ -974,7 +573,7 @@ mod tests {
         // Atom 0: huge queue, fresh. Atom 1: tiny queue, ancient.
         wm.enqueue([sub(1, 0, 0, 1000, 990.0), sub(2, 0, 1, 1, 0.0)]);
         let none = FixedResidency::none();
-        let rank_of = |alpha: f64| {
+        let mut rank_of = |alpha: f64| {
             let mut u = wm.aged_utilities(1000.0, alpha, &none);
             u.sort_by(|a, b| b.1.total_cmp(&a.1));
             u[0].0
@@ -1060,14 +659,13 @@ mod tests {
         ]);
         let none = FixedResidency::none();
         for &alpha in &[0.0, 0.3, 1.0] {
-            let reference = wm
-                .aged_utilities(1000.0, alpha, &none)
+            let oracle = reference::aged_utilities(&wm, 1000.0, alpha, &none)
                 .into_iter()
                 .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
                 .unwrap();
             let fast = wm.best_atom(1000.0, alpha, &none).unwrap();
-            assert_eq!(fast.0, reference.0, "alpha={alpha}");
-            assert_eq!(fast.1.to_bits(), reference.1.to_bits());
+            assert_eq!(fast.0, oracle.0, "alpha={alpha}");
+            assert_eq!(fast.1.to_bits(), oracle.1.to_bits());
         }
     }
 
@@ -1076,11 +674,11 @@ mod tests {
         let mut wm = WorkloadManager::new(params());
         let none = FixedResidency::none();
         wm.enqueue([sub(1, 0, 0, 100, 0.0), sub(2, 3, 1, 5, 0.0)]);
-        let s1 = wm.utility_snapshot_incremental(&none);
+        let s1 = wm.utility_snapshot(&none);
         assert!(s1.rank(&AtomId::new(0, MortonKey(0))).atom_utility > 0.0);
         wm.take_atom(&AtomId::new(0, MortonKey(0)));
         wm.enqueue([sub(3, 3, 2, 50, 4.0)]);
-        let s2 = wm.utility_snapshot_incremental(&none);
+        let s2 = wm.utility_snapshot(&none);
         assert_eq!(
             s2.rank(&AtomId::new(0, MortonKey(0))).atom_utility,
             0.0,
@@ -1123,13 +721,91 @@ mod tests {
         );
         assert!((fast2 - exact2).abs() <= 1e-9 * exact2.max(1.0));
     }
+
+    #[test]
+    fn delta_stats_track_the_update_stream() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 5, 0.0), sub(1, 0, 1, 5, 0.0)]);
+        let (_, done) = wm.take_atom(&AtomId::new(0, MortonKey(0)));
+        assert!(done.is_empty());
+        let (_, done) = wm.take_atom(&AtomId::new(0, MortonKey(1)));
+        assert_eq!(done, vec![1]);
+        for q in done {
+            wm.note_completed(q);
+        }
+        let s = wm.delta_stats();
+        assert_eq!(s.arrived, 2);
+        assert_eq!(s.taken, 2);
+        assert_eq!(s.completed, 1);
+        // Timed reads advance the clock watermark through the same stream.
+        let none = FixedResidency::none();
+        assert!(wm.best_atom(123.0, 0.5, &none).is_none(), "drained");
+        assert_eq!(wm.clock_watermark_ms(), 123.0);
+        assert_eq!(wm.delta_stats().aged, 1);
+    }
+
+    /// Satellite regression (ISSUE 8): a dispatch attempt that changed
+    /// nothing — gate rulings, `AlphaController` probes, repeated snapshot
+    /// reads — must perform **zero** arrangement folds and zero coarse
+    /// scans. The generation counter plus the read memos make clean repeat
+    /// reads O(1).
+    #[test]
+    fn clean_generation_performs_zero_folds() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([
+            sub(1, 0, 0, 10, 0.0),
+            sub(2, 1, 3, 40, 5.0),
+            sub(3, 2, 7, 25, 9.0),
+        ]);
+        let none = FixedResidency::none();
+        let now = 1_000.0;
+        let first = wm.best_timestep(now, 0.3, &none);
+        let _ = wm.utility_snapshot(&none);
+        let _ = wm.timestep_means(&none);
+        let gen = wm.generation();
+        let before = wm.delta_stats();
+        for _ in 0..5 {
+            assert_eq!(wm.best_timestep(now, 0.3, &none), first);
+            let _ = wm.utility_snapshot(&none);
+            let _ = wm.timestep_means(&none);
+        }
+        let after = wm.delta_stats();
+        assert_eq!(wm.generation(), gen, "pure reads must not dirty state");
+        assert_eq!(after.eq1_recomputes, before.eq1_recomputes, "Eq. 1 folds");
+        assert_eq!(after.ts_refolds, before.ts_refolds, "aggregate refolds");
+        assert_eq!(after.coarse_scans, before.coarse_scans, "coarse scans");
+        assert_eq!(after.residency_probes, before.residency_probes, "probes");
+        // A real change resumes normal maintenance.
+        wm.enqueue([sub(4, 0, 9, 10, 20.0)]);
+        let _ = wm.best_timestep(now, 0.3, &none);
+        let resumed = wm.delta_stats();
+        assert!(resumed.eq1_recomputes > after.eq1_recomputes);
+        assert!(resumed.coarse_scans > after.coarse_scans);
+    }
+
+    /// A changed `now` or α is a different question: the coarse memo must
+    /// miss (and rescan), not serve the stale answer.
+    #[test]
+    fn coarse_memo_keys_on_now_and_alpha() {
+        let mut wm = WorkloadManager::new(params());
+        wm.enqueue([sub(1, 0, 0, 10, 0.0), sub(2, 1, 1, 400, 900.0)]);
+        let none = FixedResidency::none();
+        // At α=0 (pure contention) ts 1 wins on utility; at α=1 with a late
+        // `now`, ts 0's age dominates.
+        assert_eq!(wm.best_timestep(1_000.0, 0.0, &none), Some(1));
+        assert_eq!(wm.best_timestep(10_000.0, 1.0, &none), Some(0));
+        let scans = wm.delta_stats().coarse_scans;
+        assert!(scans >= 2, "distinct questions must rescan: {scans}");
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
     use crate::batch::SubQuery;
+    use crate::delta::reference;
     use crate::policy::test_support::FixedResidency;
+    use jaws_cache::UtilityOracle;
     use jaws_morton::MortonKey;
     use proptest::prelude::*;
     use std::collections::HashSet;
@@ -1265,7 +941,7 @@ mod proptests {
 
     /// A mutable residency source with full change tracking, standing in for
     /// the buffer pool. `tracked = false` degrades it to the conservative
-    /// protocol (no epoch, no log) so both refresh paths get exercised.
+    /// protocol (no epoch, no log) so both integration paths get exercised.
     struct FlipResidency {
         resident: HashSet<AtomId>,
         log: Vec<(AtomId, bool)>,
@@ -1309,8 +985,8 @@ mod proptests {
         }
     }
 
-    /// Bitwise comparison of f64 maps/vecs: the incremental path must agree
-    /// with the reference recompute to the last ulp, not approximately.
+    /// Bitwise comparison of f64 maps/vecs: the delta layer must agree with
+    /// the full-scan [`reference`] oracle to the last ulp, not approximately.
     fn assert_equiv(
         wm: &mut WorkloadManager,
         res: &dyn Residency,
@@ -1318,27 +994,23 @@ mod proptests {
         alpha: f64,
         probes: &[AtomId],
     ) {
-        let mut reference = wm.aged_utilities(now_ms, alpha, res);
-        reference.sort_by_key(|&(a, _)| a);
-        let incremental = wm.aged_utilities_incremental(now_ms, alpha, res);
-        assert_eq!(reference.len(), incremental.len());
-        for (r, i) in reference.iter().zip(&incremental) {
+        let mut oracle = reference::aged_utilities(wm, now_ms, alpha, res);
+        oracle.sort_by_key(|&(a, _)| a);
+        let incremental = wm.aged_utilities(now_ms, alpha, res);
+        assert_eq!(oracle.len(), incremental.len());
+        for (r, i) in oracle.iter().zip(&incremental) {
             assert_eq!(r.0, i.0);
             assert_eq!(r.1.to_bits(), i.1.to_bits(), "aged utility of {}", r.0);
         }
-        let ref_means = wm.timestep_means(res);
-        let inc_means = wm.timestep_means_incremental(res);
+        let ref_means = reference::timestep_means(wm, res);
+        let inc_means = wm.timestep_means(res);
         assert_eq!(ref_means.len(), inc_means.len());
         for (ts, m) in &ref_means {
             assert_eq!(m.to_bits(), inc_means[ts].to_bits(), "mean of ts {ts}");
         }
-        let ref_snap = wm.utility_snapshot(res);
-        let inc_snap = wm.utility_snapshot_incremental(res);
-        for a in reference
-            .iter()
-            .map(|&(a, _)| a)
-            .chain(probes.iter().copied())
-        {
+        let ref_snap = reference::utility_snapshot(wm, res);
+        let inc_snap = wm.utility_snapshot(res);
+        for a in oracle.iter().map(|&(a, _)| a).chain(probes.iter().copied()) {
             let r = ref_snap.rank(&a);
             let i = inc_snap.rank(&a);
             assert_eq!(r.atom_utility.to_bits(), i.atom_utility.to_bits(), "{a}");
@@ -1388,19 +1060,21 @@ mod proptests {
     }
 
     proptest! {
-        /// Interleaved enqueue / take_atom / residency flips: the incremental
-        /// utilities, timestep means and URC snapshot match a reference
-        /// recompute bit for bit after every step — under both the tracked
+        /// Interleaved enqueue / take_atom / completion / residency-flip /
+        /// clock-advance sequences: the delta layer's utilities, timestep
+        /// means and URC snapshot match the full-scan [`reference`] oracle
+        /// bit for bit after every step — under both the tracked
         /// (epoch + change log) and the conservative residency protocols.
         #[test]
-        fn incremental_matches_reference_under_interleaving(
+        fn delta_layer_matches_reference_under_interleaving(
             tracked in 0u32..2,
             alpha in 0.0f64..=1.0,
             ops in proptest::collection::vec(
                 // (kind, ts, morton, positions): kind 0-4 enqueue (biased),
-                // 5-6 take some pending atom, 7-8 flip residency, 9 flip a
-                // pending atom specifically.
-                (0u32..10, 0u32..4, 0u64..12, 1u32..200), 1..60),
+                // 5-6 take some pending atom (+ note completions), 7-8 flip
+                // residency, 9 flip a pending atom specifically, 10-11
+                // advance the clock with no state change.
+                (0u32..12, 0u32..4, 0u64..12, 1u32..200), 1..60),
         ) {
             let mut wm = WorkloadManager::new(MetricParams {
                 atom_read_ms: 100.0,
@@ -1410,8 +1084,9 @@ mod proptests {
             let mut res = FlipResidency::new(tracked == 1);
             let probes = [AtomId::new(90, MortonKey(0)), AtomId::new(0, MortonKey(999))];
             let mut next_query: QueryId = 1;
+            let mut clock_bump = 0.0f64;
             for (i, &(kind, ts, m, positions)) in ops.iter().enumerate() {
-                let now_ms = (i as f64 + 1.0) * 50.0;
+                let now_ms = (i as f64 + 1.0) * 50.0 + clock_bump;
                 let atom = AtomId::new(ts, MortonKey(m));
                 match kind {
                     0..=4 => {
@@ -1424,17 +1099,22 @@ mod proptests {
                         next_query += 1;
                     }
                     5 | 6 => {
-                        // Take the current best atom, like a scheduler would.
+                        // Take the current best atom, like a scheduler would,
+                        // and route the completions back as deltas.
                         if let Some((best, _)) = wm.best_atom(now_ms, alpha, &res) {
-                            wm.take_atom(&best);
+                            let (_, done) = wm.take_atom(&best);
+                            for q in done {
+                                wm.note_completed(q);
+                            }
                         }
                     }
                     7 | 8 => res.flip(atom),
-                    _ => {
+                    9 => {
                         if let Some(&a) = wm.atoms_in_timestep(ts).first() {
                             res.flip(a);
                         }
                     }
+                    _ => clock_bump += 500.0,
                 }
                 assert_equiv(&mut wm, &res, now_ms, alpha, &probes);
             }
@@ -1463,9 +1143,9 @@ mod proptests {
             }
             let none = FixedResidency::none();
             let now_ms = 1e4;
-            let reference = wm.aged_utilities(now_ms, alpha, &none);
+            let oracle = reference::aged_utilities(&wm, now_ms, alpha, &none);
             let by_atom: HashMap<AtomId, u64> =
-                reference.iter().map(|&(a, u)| (a, u.to_bits())).collect();
+                oracle.iter().map(|&(a, u)| (a, u.to_bits())).collect();
             let mut seen = 0usize;
             for ts in 0..5u32 {
                 for (a, u) in wm.timestep_aged_utilities(ts, now_ms, alpha, &none) {
@@ -1474,7 +1154,7 @@ mod proptests {
                 }
             }
             prop_assert_eq!(seen, by_atom.len(), "timestep lists partition the atoms");
-            let ref_best = reference
+            let ref_best = oracle
                 .into_iter()
                 .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
                 .unwrap();
