@@ -79,6 +79,7 @@ fn main() {
                     ..SimConfig::default()
                 },
                 failures: FailurePlan::none(),
+                replication: jaws_sim::ReplicationConfig::disabled(),
             });
             let recorder = trace_path.as_ref().map(|_| {
                 let rc = Arc::new(Mutex::new(JsonlRecorder::new()));

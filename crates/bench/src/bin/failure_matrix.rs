@@ -73,6 +73,7 @@ fn config(db: DbConfig, nodes: u32, failures: FailurePlan) -> ClusterConfig {
         gate_timeout_ms: exp::GATE_TIMEOUT_MS,
         sim: SimConfig::default(),
         failures,
+        replication: jaws_sim::ReplicationConfig::disabled(),
     }
 }
 

@@ -14,7 +14,11 @@
 //! * a failure-recovery section when the run carried a scripted
 //!   [`jaws_sim::FailurePlan`]: each crash with its survivor and re-dispatch
 //!   volume, each straggler with its factor, and how many distinct queries
-//!   had a part moved.
+//!   had a part moved;
+//! * a dynamic-placement section when the run replicated hot atoms
+//!   ([`jaws_sim::ReplicationConfig`]): promotions/demotions/crash drops,
+//!   how many sub-queries were diverted to replicas, and the hottest
+//!   replicated Morton keys by diverted volume.
 //!
 //! Batch-level costs are split evenly over the parts completing in the batch
 //! and folded onto the original trace query id via
@@ -85,6 +89,10 @@ fn main() {
     let mut slowdowns: Vec<Slowdown> = Vec::new();
     let mut moved_parts = 0u64;
     let mut moved_queries: std::collections::BTreeSet<u64> = Default::default();
+    let mut promotions = 0u64;
+    let mut demotions = 0u64;
+    let mut crash_drops = 0u64;
+    let mut routed_by_atom: BTreeMap<u64, u64> = BTreeMap::new();
 
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let rec: Record = serde_json::from_str(line)
@@ -152,6 +160,17 @@ fn main() {
                 node,
                 factor,
             }),
+            Event::ReplicaPromoted { .. } => promotions += 1,
+            Event::ReplicaDropped { crashed, .. } => {
+                if crashed {
+                    crash_drops += 1;
+                } else {
+                    demotions += 1;
+                }
+            }
+            Event::ReplicaRouted { morton, .. } => {
+                *routed_by_atom.entry(morton).or_default() += 1;
+            }
             _ => {}
         }
     }
@@ -260,6 +279,21 @@ fn main() {
                 moved_queries.len(),
                 if moved_queries.len() == 1 { "y" } else { "ies" }
             );
+        }
+    }
+
+    if promotions + demotions + crash_drops > 0 || !routed_by_atom.is_empty() {
+        let diverted: u64 = routed_by_atom.values().sum();
+        println!("\nDynamic placement");
+        println!(
+            "  {promotions} promotion(s), {demotions} demotion(s), {crash_drops} crash drop(s); \
+             {diverted} sub-quer{} diverted to replicas",
+            if diverted == 1 { "y" } else { "ies" }
+        );
+        let mut hottest: Vec<(u64, u64)> = routed_by_atom.into_iter().collect();
+        hottest.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (morton, count) in hottest.iter().take(5) {
+            println!("  morton={morton:<6} {count} diverted sub-queries");
         }
     }
 }

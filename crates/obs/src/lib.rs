@@ -201,6 +201,38 @@ pub enum Event {
         /// The service-time multiplier now in force.
         factor: f64,
     },
+    /// Dynamic placement promoted a hot Morton key: a replica of its atoms
+    /// now serves queries alongside the static slab owner.
+    ReplicaPromoted {
+        /// The hot Morton key.
+        morton: u64,
+        /// The least-loaded live node chosen to host the replica.
+        node: u32,
+        /// Accesses inside the sliding window that crossed the threshold.
+        window_accesses: u32,
+    },
+    /// A replica left the routing table — demoted because the access
+    /// histogram drifted, or dropped because its host node crashed.
+    ReplicaDropped {
+        /// The Morton key that was replicated.
+        morton: u64,
+        /// The node that hosted the replica.
+        node: u32,
+        /// True when a scripted crash (not histogram drift) dropped it.
+        crashed: bool,
+    },
+    /// Dynamic placement diverted a footprint atom of a submitted query from
+    /// its slab owner to a less-loaded replica.
+    ReplicaRouted {
+        /// Original trace query id.
+        query: u64,
+        /// The diverted Morton key.
+        morton: u64,
+        /// The static slab owner that would have served it.
+        owner: u32,
+        /// The replica node actually chosen.
+        replica: u32,
+    },
     /// The adaptive controller closed a run and (possibly) moved α.
     AlphaAdjusted {
         /// α after the adjustment.

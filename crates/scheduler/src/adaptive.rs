@@ -42,6 +42,10 @@ pub struct AlphaController {
     /// Whether `run_started_ms` was pinned by an observed arrival (the
     /// correct anchor for the first run's throughput window).
     anchored: bool,
+    /// Arrivals not yet matched by a completion. When a run closes with an
+    /// empty queue the anchor is re-armed, so an idle gap before the next
+    /// arrival is excluded from the next run's throughput window.
+    outstanding: u64,
     response_sum_ms: f64,
     /// Smoothed rt′/tp′ of the previous run.
     prev: Option<RunFeedback>,
@@ -68,6 +72,7 @@ impl AlphaController {
             completed_in_run: 0,
             run_started_ms: 0.0,
             anchored: false,
+            outstanding: 0,
             response_sum_ms: 0.0,
             prev: None,
             flat_runs: 0,
@@ -92,7 +97,12 @@ impl AlphaController {
     /// several queries queue before the first finishes) starts the clock far
     /// too late and inflates the first `throughput_qps` sample that α
     /// adaptation feeds on.
+    ///
+    /// The same anchoring re-arms at every run boundary that drains the
+    /// queue: the first arrival after an idle gap re-pins the window, so the
+    /// gap does not deflate the next run's `throughput_qps`.
     pub fn note_arrival(&mut self, now_ms: f64) {
+        self.outstanding += 1;
         if !self.anchored {
             self.run_started_ms = now_ms.max(0.0);
             self.anchored = true;
@@ -112,6 +122,7 @@ impl AlphaController {
         }
         self.response_sum_ms += response_ms;
         self.completed_in_run += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
         if self.completed_in_run < self.run_len {
             return false;
         }
@@ -124,6 +135,13 @@ impl AlphaController {
         self.completed_in_run = 0;
         self.response_sum_ms = 0.0;
         self.run_started_ms = now_ms;
+        if self.outstanding == 0 {
+            // The closing completion drained the queue. Pinning the next
+            // run's start here would absorb any idle gap before the next
+            // arrival into that run's throughput window; re-arm instead so
+            // the next `note_arrival` re-anchors.
+            self.anchored = false;
+        }
         true
     }
 
@@ -315,6 +333,55 @@ mod tests {
         c.on_query_complete(1_000.0, 1_000.0);
         assert!(c.on_query_complete(1_000.0, 2_000.0));
         let (_, fb) = c.history().last().unwrap();
+        assert!(
+            (fb.throughput_qps - 1.0).abs() < 1e-9,
+            "{}",
+            fb.throughput_qps
+        );
+    }
+
+    #[test]
+    fn idle_gap_between_runs_does_not_deflate_throughput() {
+        // Run 1: two arrivals at t=0 drain by t=2 s → 1 q/s. Then the system
+        // sits idle for 98 s before the next two queries arrive and drain in
+        // 2 s — another genuine 1 q/s run. The old code pinned run 2's start
+        // at run 1's closing completion (t=2 s), so the idle gap inflated the
+        // window to 100 s and rule 2 saw a phantom throughput collapse.
+        let mut c = AlphaController::new(0.5, 2);
+        c.note_arrival(0.0);
+        c.note_arrival(0.0);
+        c.on_query_complete(1_000.0, 1_000.0);
+        assert!(c.on_query_complete(1_000.0, 2_000.0), "run 1 closes");
+        c.note_arrival(100_000.0);
+        c.note_arrival(100_000.0);
+        c.on_query_complete(1_000.0, 101_000.0);
+        assert!(c.on_query_complete(1_000.0, 102_000.0), "run 2 closes");
+        let (_, fb) = c.history().last().unwrap();
+        // Raw run-2 throughput is 2 q / 2 s = 1 q/s, and the EWMA of two
+        // identical samples is still 1 q/s. Pre-fix the raw sample was
+        // 2 q / 100 s = 0.02 q/s → smoothed 0.804.
+        assert!(
+            (fb.throughput_qps - 1.0).abs() < 1e-9,
+            "throughput {} deflated by the idle gap",
+            fb.throughput_qps
+        );
+    }
+
+    #[test]
+    fn continuous_load_keeps_back_to_back_run_windows() {
+        // With queries still outstanding at the boundary, run 2's window must
+        // stay pinned at run 1's close (no re-arming mid-stream).
+        let mut c = AlphaController::new(0.5, 2);
+        for _ in 0..4 {
+            c.note_arrival(0.0);
+        }
+        c.on_query_complete(1_000.0, 1_000.0);
+        assert!(c.on_query_complete(2_000.0, 2_000.0));
+        c.on_query_complete(3_000.0, 3_000.0);
+        assert!(c.on_query_complete(4_000.0, 4_000.0));
+        let (_, fb) = c.history().last().unwrap();
+        // Run 2 spans 2 s (from the run-1 close at t=2 s to t=4 s): raw
+        // 1 q/s, smoothed with run 1's identical 1 q/s → 1 q/s.
         assert!(
             (fb.throughput_qps - 1.0).abs() < 1e-9,
             "{}",

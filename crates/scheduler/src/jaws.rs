@@ -379,6 +379,18 @@ impl Scheduler for Jaws {
         }
     }
 
+    fn query_withdrawn(&mut self, query: QueryId, now_ms: f64) {
+        // Dynamic placement diverted the id's atoms to a replica on another
+        // node: its job-mates must not keep waiting for it at a gate.
+        // `query_done` removes the id from the gating graph and fires any
+        // alignment it was the last holdout of; `held` needs no touch — a
+        // withdrawn id was declared but never became available here.
+        if self.cfg.job_aware {
+            let fired = self.gating.query_done(query);
+            self.release(fired, now_ms);
+        }
+    }
+
     fn has_pending(&self) -> bool {
         !self.wm.is_empty() || !self.held.is_empty()
     }

@@ -82,6 +82,24 @@ pub trait Scheduler: Send {
     /// Reports a query completion with its response time.
     fn on_query_complete(&mut self, query: QueryId, response_ms: f64, now_ms: f64);
 
+    /// Withdraws a previously declared query id that will never become
+    /// available on this scheduler — dynamic placement routed its atoms to a
+    /// replica on another node. Job-aware schedulers must release any gating
+    /// structure referencing the id (partners would otherwise stall until the
+    /// gate timeout); schedulers without declaration state ignore it.
+    fn query_withdrawn(&mut self, query: QueryId, now_ms: f64) {
+        let _ = (query, now_ms);
+    }
+
+    /// Discards all pending work and per-query bookkeeping. The engine calls
+    /// this when a run is truncated at `max_sim_ms`: queries still queued
+    /// will never complete, and schedulers keeping per-query state (QoS
+    /// deadlines) must drop it rather than leak it — the long-running-daemon
+    /// direction reuses scheduler instances across traces.
+    fn retire_pending(&mut self, now_ms: f64) {
+        let _ = now_ms;
+    }
+
     /// True if the scheduler holds any pending work (queued *or* gated).
     fn has_pending(&self) -> bool;
 

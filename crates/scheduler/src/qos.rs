@@ -85,13 +85,14 @@ impl Scheduler for QosScheduler {
     fn job_declared(&mut self, _job: &Job, _now_ms: f64) {}
 
     fn query_available(&mut self, query: &Query, now_ms: f64) {
-        let d = now_ms + self.stretch * self.estimate_ms(query);
+        let est = self.estimate_ms(query);
+        let d = now_ms + self.stretch * est;
         if self.sink.enabled() {
             self.sink.emit(
                 now_ms,
                 jaws_obs::Event::DeadlineAssigned {
                     query: query.id,
-                    estimate_ms: self.estimate_ms(query),
+                    estimate_ms: est,
                     deadline_ms: d,
                 },
             );
@@ -133,6 +134,29 @@ impl Scheduler for QosScheduler {
             self.completed_in_run = 0;
             self.run_boundary = true;
         }
+    }
+
+    fn query_withdrawn(&mut self, query: QueryId, _now_ms: f64) {
+        // Deadlines are assigned at availability, so a withdrawn (declared
+        // but never-submitted) id has no state here. Kept explicit: if a
+        // future QoS admits at declaration time, this is where its deadline
+        // must be dropped.
+        debug_assert!(!self.deadline.contains_key(&query));
+    }
+
+    fn retire_pending(&mut self, _now_ms: f64) {
+        // Truncation: queued queries will never complete, so every map must
+        // empty or the daemon direction leaks one entry per abandoned query.
+        // The workload manager has no bulk clear — drain it atom by atom so
+        // its delta core sees a consistent Taken/Completed lifecycle.
+        for atom in self.wm.pending_atom_ids() {
+            let (_, completing) = self.wm.take_atom(&atom);
+            for q in completing {
+                self.wm.note_completed(q);
+            }
+        }
+        self.deadline.clear();
+        self.atom_deadline.clear();
     }
 
     fn has_pending(&self) -> bool {
@@ -250,6 +274,33 @@ mod tests {
         }
         assert_eq!(done, 6);
         assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn retiring_pending_work_empties_every_deadline_map() {
+        // Simulates `max_sim_ms` truncation: some atoms served, others never
+        // selected. Before the retire hook existed, the unserved queries'
+        // entries stayed in `deadline`/`atom_deadline` forever — unbounded
+        // growth for a scheduler reused across traces.
+        let mut s = sched(2.0);
+        let none = FixedResidency::none();
+        for i in 0..3 {
+            s.query_available(&q(i + 1, 1, 100), i as f64); // complete in one pass
+        }
+        for i in 3..6 {
+            s.query_available(&q(i + 1, 2, 100), i as f64); // span two atoms
+        }
+        let b = s.next_batch(10.0, &none).unwrap();
+        assert!(!b.completing_queries.is_empty(), "one atom pass served");
+        s.retire_pending(20.0);
+        assert!(s.deadline.is_empty(), "deadlines leaked: {:?}", s.deadline);
+        assert!(
+            s.atom_deadline.is_empty(),
+            "atom deadlines leaked: {:?}",
+            s.atom_deadline
+        );
+        assert!(!s.has_pending(), "workload manager still holds sub-queries");
+        assert!(s.next_batch(30.0, &none).is_none());
     }
 
     #[test]

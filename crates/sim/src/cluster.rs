@@ -23,6 +23,7 @@
 use crate::engine::{self, Routing};
 use crate::failure::FailurePlan;
 use crate::node::NodePipeline;
+use crate::replication::{ReplicationConfig, ReplicationSummary};
 use crate::report::{self, RunReport};
 use crate::setup::{build_db, build_scheduler, CachePolicyKind, SchedulerKind};
 use crate::SimConfig;
@@ -63,6 +64,10 @@ pub struct ClusterConfig {
     /// ([`FailurePlan::none`] for a healthy run). Validated against the node
     /// count at construction.
     pub failures: FailurePlan,
+    /// Dynamic data placement: hot-atom replication with least-loaded
+    /// replica routing ([`ReplicationConfig::disabled`] for the paper's
+    /// static Morton slabs). Validated at construction.
+    pub replication: ReplicationConfig,
 }
 
 /// Per-node measurements.
@@ -83,6 +88,10 @@ pub struct NodeReport {
     /// Fraction of the makespan this node's pipeline was busy (0 when the
     /// run completed nothing — never NaN).
     pub utilization: f64,
+    /// Simulated time this node's pipeline spent servicing batches, ms —
+    /// the numerator of `utilization`, kept raw so load comparisons do not
+    /// depend on a shared makespan divisor.
+    pub busy_ms: f64,
     /// Final adaptive α of this node's controller (per-node controllers
     /// diverge under skewed slabs).
     pub alpha_final: f64,
@@ -121,18 +130,23 @@ pub struct ClusterReport {
     /// empty (the serialized report is then byte-identical to a pre-failure
     /// one modulo the per-node status fields).
     pub degraded: Option<DegradedReport>,
+    /// Dynamic-placement summary (replica table, promotion/demotion/routing
+    /// counters); `None` when replication was disabled.
+    pub replication: Option<ReplicationSummary>,
 }
 
 impl ClusterReport {
     /// Load imbalance: max/mean node busy time (1.0 = perfectly balanced).
+    ///
+    /// Computed over the raw per-node `busy_ms`, matching this doc — it used
+    /// to divide `utilization` values instead, which is only equivalent when
+    /// every node's utilization was derived from the *same* makespan; a
+    /// report assembled or post-processed from heterogeneous runs silently
+    /// got a makespan-weighted ratio.
     pub fn imbalance(&self) -> f64 {
-        let max = self
-            .nodes
-            .iter()
-            .map(|n| n.utilization)
-            .fold(0.0f64, f64::max);
+        let max = self.nodes.iter().map(|n| n.busy_ms).fold(0.0f64, f64::max);
         let mean =
-            self.nodes.iter().map(|n| n.utilization).sum::<f64>() / self.nodes.len().max(1) as f64;
+            self.nodes.iter().map(|n| n.busy_ms).sum::<f64>() / self.nodes.len().max(1) as f64;
         if mean > 0.0 {
             max / mean
         } else {
@@ -188,6 +202,7 @@ impl ClusterExecutor {
             engine::MAX_NODE_INDEX + 1
         );
         cfg.failures.validate(cfg.nodes);
+        cfg.replication.validate();
         // Ceil-sized slabs: every node owns ⌈per_ts/nodes⌉ contiguous Morton
         // keys except the last, which owns whatever remains (routing clamps
         // onto it). `atoms_per_timestep` feeds Eq. 2's per-timestep
@@ -219,10 +234,23 @@ impl ClusterExecutor {
             })
             .collect();
         let nodes = cfg.nodes;
+        // Static Morton slabs, or the same slabs under the hot-atom replica
+        // overlay when dynamic placement is on. A disabled config routes
+        // through `MortonSlabs` so the replay is bit-identical to a build
+        // predating replication.
+        let routing = if cfg.replication.enabled {
+            Routing::Replicated {
+                slab_size,
+                nodes,
+                replication: cfg.replication,
+            }
+        } else {
+            Routing::MortonSlabs { slab_size, nodes }
+        };
         ClusterExecutor {
             cfg,
             pipelines,
-            routing: Routing::MortonSlabs { slab_size, nodes },
+            routing,
             response_log: Vec::new(),
             sink: ObsSink::null(),
         }
@@ -340,6 +368,7 @@ impl ClusterExecutor {
                     // A zero-completion run has a zero makespan; the guard
                     // keeps the ratio (and imbalance()) NaN-free.
                     utilization: finite_or_zero(p.busy_ms() / makespan_ms),
+                    busy_ms: p.busy_ms(),
                     alpha_final: p.scheduler().alpha(),
                     failed: status.failed,
                     redispatched_parts: status.redispatched_parts,
@@ -377,6 +406,7 @@ impl ClusterExecutor {
             aggregate,
             nodes,
             degraded,
+            replication: outcome.replication,
         }
     }
 }
@@ -406,6 +436,7 @@ mod tests {
             gate_timeout_ms: 10_000.0,
             sim: SimConfig::default(),
             failures: FailurePlan::none(),
+            replication: ReplicationConfig::disabled(),
         }
     }
 
@@ -698,7 +729,10 @@ mod tests {
         assert!(!r.aggregate.truncated);
         assert!(r.nodes[1].failed, "crashed node not marked failed");
         assert!(!r.nodes[2].failed);
-        let d = r.degraded.expect("degraded section for a failure run");
+        let d = r
+            .degraded
+            .as_ref()
+            .expect("degraded section for a failure run");
         assert_eq!(d.failed_nodes, vec![1]);
         assert_eq!(d.redispatched_parts, r.nodes[1].redispatched_parts);
         assert!(
@@ -706,10 +740,145 @@ mod tests {
             "node 1 held no work at the crash — the scenario tests nothing"
         );
         assert!(d.first_failure_ms.is_some());
+        // A crash run is the case where busy time and utilization disagree
+        // in spirit: the dead node's pipeline stops accumulating busy-ms
+        // while the survivor's inflates. The busy-time imbalance must be a
+        // finite ratio strictly above balanced, and must agree with a
+        // recomputation from the reported per-node busy_ms fields.
+        let imb = r.imbalance();
+        assert!(imb.is_finite() && imb > 1.0, "degraded imbalance {imb}");
+        let max = r.nodes.iter().map(|n| n.busy_ms).fold(0.0f64, f64::max);
+        let mean = r.nodes.iter().map(|n| n.busy_ms).sum::<f64>() / r.nodes.len() as f64;
+        assert_eq!(imb.to_bits(), (max / mean).to_bits());
         // The log still folds to trace query ids only.
         for &(qid, _) in ex.response_log() {
             assert!(qid <= engine::PART_QUERY_MASK);
         }
+    }
+
+    /// The trace every dynamic-placement test shares: four batched jobs
+    /// hammering `MortonKey(0)` — node 0's slab in a 4-node split of 64 keys
+    /// — the canonical hot-atom skew replication exists to fix.
+    fn hot_atom_trace() -> jaws_workload::Trace {
+        use jaws_morton::MortonKey as MK;
+        use jaws_workload::{Job, JobKind, Query, QueryOp, Trace};
+        let q = |id: u64| Query {
+            id,
+            user: 0,
+            op: QueryOp::Velocity,
+            timestep: 0,
+            footprint: Footprint::from_pairs([(MK(0), 60u32)]),
+        };
+        let jobs = (0..4u64)
+            .map(|j| Job {
+                id: j + 1,
+                user: j as u32,
+                kind: JobKind::Batched,
+                campaign: 1,
+                queries: (0..10u64).map(|i| q(j * 10 + i + 1)).collect(),
+                arrival_ms: j as f64 * 50.0,
+                think_ms: 0.0,
+            })
+            .collect();
+        Trace::new(8, 4, jobs)
+    }
+
+    #[test]
+    fn hot_atom_replication_promotes_and_diverts_load() {
+        let trace = hot_atom_trace();
+        let static_run =
+            ClusterExecutor::new(cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 })).run(&trace);
+        assert!(
+            static_run.replication.is_none(),
+            "disabled must report None"
+        );
+
+        let mut cfg = cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 });
+        cfg.replication = ReplicationConfig::on();
+        let r = ClusterExecutor::new(cfg).run(&trace);
+        assert_eq!(r.aggregate.queries_completed, trace.query_count() as u64);
+        let rep = r.replication.as_ref().expect("replication summary");
+        assert!(rep.promotions >= 1, "the hot atom never promoted");
+        assert!(
+            rep.replica_routed > 0,
+            "no sub-query was diverted to a replica"
+        );
+        assert!(
+            rep.replicas.iter().any(|e| e.morton == 0),
+            "the hot atom is missing from the replica table: {:?}",
+            rep.replicas
+        );
+        // The replica host actually absorbed diverted work.
+        let helpers: u64 = r.nodes[1..].iter().map(|n| n.parts_completed).sum();
+        assert!(helpers > 0, "every part still ran on the static owner");
+        assert!(
+            r.imbalance() < static_run.imbalance(),
+            "replication did not reduce imbalance: {:.3} vs static {:.3}",
+            r.imbalance(),
+            static_run.imbalance()
+        );
+    }
+
+    #[test]
+    fn crashed_node_drops_its_replicas_and_the_trace_drains() {
+        // Same skew, co-designed with the failure layer: promote a replica,
+        // find its host from the healthy report, then crash that host
+        // mid-run. The directory must drop the dead node's replicas (routing
+        // falls back to the slab owner) while slab re-chaining drains the
+        // trace exactly as in the replication-free crash scenario.
+        let trace = hot_atom_trace();
+        let mut cfg = cluster_cfg(4, SchedulerKind::Jaws2 { batch_k: 8 });
+        cfg.replication = ReplicationConfig::on();
+        let healthy = ClusterExecutor::new(cfg.clone()).run(&trace);
+        let rep = healthy.replication.as_ref().expect("replication summary");
+        let host = rep.replicas.first().expect("a replica promoted").nodes[0];
+        assert_ne!(host, 0, "a replica must never land on the owner");
+        let survivor = if host == 3 { 2 } else { 3 };
+        cfg.failures = FailurePlan::new(17).crash_with_survivor(
+            0.5 * healthy.aggregate.makespan_ms,
+            host,
+            survivor,
+        );
+        let r = ClusterExecutor::new(cfg).run(&trace);
+        assert_eq!(
+            r.aggregate.queries_completed,
+            trace.query_count() as u64,
+            "replica host crash left queries behind"
+        );
+        assert!(!r.aggregate.truncated);
+        assert!(r.nodes[host as usize].failed);
+        let rep = r.replication.as_ref().expect("replication summary");
+        assert!(
+            rep.crash_drops >= 1,
+            "the crashed host's replicas were never dropped"
+        );
+        assert!(
+            rep.replicas.iter().all(|e| !e.nodes.contains(&host)),
+            "a dead node is still in the replica table: {:?}",
+            rep.replicas
+        );
+    }
+
+    #[test]
+    fn imbalance_is_computed_over_busy_time_not_utilization() {
+        // Regression: `imbalance()` documented max/mean *busy time* but
+        // divided `utilization` values. Equivalent only while every node's
+        // utilization shares one makespan divisor; a report whose
+        // utilizations are stale or heterogeneous silently degraded to the
+        // mean-zero guard. Pre-fix this returned 1.0; the busy-ms ratio is
+        // 3000/2000 = 1.5.
+        let trace = jaws_workload::Trace::new(8, 4, vec![]);
+        let mut r = ClusterExecutor::new(cluster_cfg(2, SchedulerKind::NoShare)).run(&trace);
+        for n in &mut r.nodes {
+            n.utilization = 0.0;
+        }
+        r.nodes[0].busy_ms = 3000.0;
+        r.nodes[1].busy_ms = 1000.0;
+        assert!(
+            (r.imbalance() - 1.5).abs() < 1e-12,
+            "imbalance must ratio busy time, got {}",
+            r.imbalance()
+        );
     }
 
     #[test]

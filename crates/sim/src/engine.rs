@@ -42,6 +42,7 @@
 
 use crate::failure::{FailureEvent, FailurePlan};
 use crate::node::NodePipeline;
+use crate::replication::{ReplicaAction, ReplicaDirectory, ReplicationConfig, ReplicationSummary};
 use crate::report::RunTotals;
 use crate::SimConfig;
 use jaws_morton::MortonKey;
@@ -93,6 +94,13 @@ pub fn part_node(part: QueryId) -> u32 {
 /// each time and never collides with trace job ids.
 const REMNANT_JOB_BITS: u32 = 48;
 
+/// Just-in-time replica declarations (a diverted part arriving at a node the
+/// job was never projected onto) use synthetic single-query job ids in their
+/// own namespace: the top bit set over a run-monotone ordinal. Remnant ids
+/// tag crash ordinals into bits 48.. and crash counts are bounded by the node
+/// count (far below 2¹⁵), so the namespaces never collide.
+const REPLICA_DECL_BIT: u64 = 1 << 63;
+
 /// How submitted queries reach the node pipelines.
 #[derive(Debug, Clone, Copy)]
 pub enum Routing {
@@ -110,6 +118,19 @@ pub enum Routing {
         /// final node so the short remainder slab is still owned.
         nodes: u32,
     },
+    /// Morton slabs plus a dynamic hot-atom replica overlay: static slab
+    /// ownership exactly as in [`Routing::MortonSlabs`], but the engine
+    /// maintains a per-key access histogram and routes each footprint atom to
+    /// the least-loaded live replica, falling back to the owner
+    /// ([`crate::replication`]).
+    Replicated {
+        /// Atoms per node slab, as in [`Routing::MortonSlabs`].
+        slab_size: u64,
+        /// Number of nodes, as in [`Routing::MortonSlabs`].
+        nodes: u32,
+        /// Histogram window and hysteresis thresholds of the overlay.
+        replication: ReplicationConfig,
+    },
 }
 
 impl Routing {
@@ -119,9 +140,10 @@ impl Routing {
     pub fn node_of(&self, m: MortonKey) -> u32 {
         match self {
             Routing::Single => 0,
-            Routing::MortonSlabs { slab_size, nodes } => {
-                ((m.raw() / slab_size) as u32).min(nodes - 1)
-            }
+            Routing::MortonSlabs { slab_size, nodes }
+            | Routing::Replicated {
+                slab_size, nodes, ..
+            } => ((m.raw() / slab_size) as u32).min(nodes - 1),
         }
     }
 
@@ -129,7 +151,7 @@ impl Routing {
     pub fn original_id(&self, part: QueryId) -> QueryId {
         match self {
             Routing::Single => part,
-            Routing::MortonSlabs { .. } => orig_id(part),
+            Routing::MortonSlabs { .. } | Routing::Replicated { .. } => orig_id(part),
         }
     }
 }
@@ -204,7 +226,7 @@ impl<'r> LiveRouting<'r> {
     fn fan_out<'q>(&self, q: &'q Query) -> Vec<(u32, Cow<'q, Query>)> {
         match self.base {
             Routing::Single => vec![(0, Cow::Borrowed(q))],
-            Routing::MortonSlabs { .. } => {
+            Routing::MortonSlabs { .. } | Routing::Replicated { .. } => {
                 let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
                 for &(m, c) in &q.footprint.atoms {
                     per_node.entry(self.node_of(m)).or_default().push((m, c));
@@ -233,7 +255,7 @@ impl<'r> LiveRouting<'r> {
     fn project_job<'j>(&self, job: &'j Job, node: u32) -> Option<Cow<'j, Job>> {
         match self.base {
             Routing::Single => Some(Cow::Borrowed(job)),
-            Routing::MortonSlabs { .. } => {
+            Routing::MortonSlabs { .. } | Routing::Replicated { .. } => {
                 let queries: Vec<Query> = job
                     .queries
                     .iter()
@@ -423,6 +445,9 @@ pub(crate) struct EngineOutcome {
     pub node_status: Vec<NodeStatus>,
     /// Time of the first scripted failure that actually fired, if any.
     pub first_failure_ms: Option<f64>,
+    /// Replica-overlay summary; `None` unless [`Routing::Replicated`] with
+    /// replication enabled was in force.
+    pub replication: Option<ReplicationSummary>,
 }
 
 /// Bookkeeping that exists only while a non-empty [`FailurePlan`] is in
@@ -442,6 +467,24 @@ struct FailureState {
     arrived: Vec<bool>,
     /// Crashes handled so far (1-based ordinal tags remnant job ids).
     crashes: u64,
+}
+
+/// Bookkeeping that exists only under an enabled [`Routing::Replicated`]
+/// overlay; static-slab and single-node replays allocate none of it and take
+/// the exact pre-replication code paths.
+struct ReplicationState {
+    /// Histogram, replica table and transition counters.
+    dir: ReplicaDirectory,
+    /// Per node: part ids its scheduler has been told about — arrival
+    /// projections, crash remnants, and just-in-time replica declarations.
+    /// Kept in lockstep with `FailureState::declared` when both layers are
+    /// active, so either layer's membership test answers for both.
+    declared: Vec<BTreeSet<QueryId>>,
+    /// Per node: parts submitted and not yet completed — the integer load
+    /// signal that replica placement and routing minimize over.
+    node_load: Vec<u64>,
+    /// Monotone ordinal for just-in-time declaration job ids.
+    decls: u64,
 }
 
 /// Replays `trace` against `pipelines` under `routing` until the trace drains
@@ -469,7 +512,11 @@ pub(crate) fn run_trace(
     sink: &ObsSink,
 ) -> EngineOutcome {
     assert!(
-        failures.is_empty() || matches!(routing, Routing::MortonSlabs { .. }),
+        failures.is_empty()
+            || matches!(
+                routing,
+                Routing::MortonSlabs { .. } | Routing::Replicated { .. }
+            ),
         "failure plans require the cluster route (a single node has no survivor)"
     );
     // Query → (job index, query index) for completion routing.
@@ -506,6 +553,16 @@ pub(crate) fn run_trace(
         arrived: vec![false; trace.jobs.len()],
         crashes: 0,
     });
+    // Replication bookkeeping follows the same only-pay-when-active rule.
+    let mut rstate: Option<ReplicationState> = match routing {
+        Routing::Replicated { replication, .. } if replication.enabled => Some(ReplicationState {
+            dir: ReplicaDirectory::new(*replication),
+            declared: vec![BTreeSet::new(); pipelines.len()],
+            node_load: vec![0; pipelines.len()],
+            decls: 0,
+        }),
+        _ => None,
+    };
     // Traced multi-node runs: buffer per-node emissions so worker threads
     // never interleave on the shared recorder (see [`TraceBuffers`]).
     let buffers = buffer_node_sinks(pipelines, sink);
@@ -521,12 +578,11 @@ pub(crate) fn run_trace(
                   submit_ms: &mut BTreeMap<QueryId, f64>,
                   outstanding: &mut BTreeMap<QueryId, u32>,
                   fstate: &mut Option<FailureState>,
+                  rstate: &mut Option<ReplicationState>,
                   pipelines: &mut [NodePipeline]| {
         let job = &trace.jobs[ji];
         let q = &job.queries[qi];
         submit_ms.insert(q.id, now_ms);
-        let parts = live.fan_out(q);
-        outstanding.insert(q.id, parts.len() as u32);
         if sink.enabled() {
             sink.emit(
                 now_ms,
@@ -539,6 +595,13 @@ pub(crate) fn run_trace(
                 },
             );
         }
+        let parts = match rstate {
+            Some(rs) => {
+                replicated_fan_out(rs, fstate, q, job, now_ms, live, pipelines, sink, &buffers)
+            }
+            None => live.fan_out(q),
+        };
+        outstanding.insert(q.id, parts.len() as u32);
         for (node, part) in parts {
             if sink.enabled() {
                 sink.emit(
@@ -554,6 +617,9 @@ pub(crate) fn run_trace(
             if let Some(fs) = fstate {
                 fs.pending[node as usize].insert(part.id);
                 fs.defs.insert(part.id, part.as_ref().clone());
+            }
+            if let Some(rs) = rstate {
+                rs.node_load[node as usize] += 1;
             }
             let p = &mut pipelines[node as usize];
             if observe {
@@ -607,6 +673,9 @@ pub(crate) fn run_trace(
                             if let Some(fs) = &mut fstate {
                                 fs.declared[node as usize].extend(pj.queries.iter().map(|q| q.id));
                             }
+                            if let Some(rs) = &mut rstate {
+                                rs.declared[node as usize].extend(pj.queries.iter().map(|q| q.id));
+                            }
                             pipelines[node as usize].job_declared(pj.as_ref(), now_ms);
                             if let Some(b) = &buffers {
                                 b.drain(node as usize);
@@ -637,6 +706,7 @@ pub(crate) fn run_trace(
                             &mut submit_ms,
                             &mut outstanding,
                             &mut fstate,
+                            &mut rstate,
                             &mut *pipelines,
                         );
                     }
@@ -653,6 +723,7 @@ pub(crate) fn run_trace(
                     &mut submit_ms,
                     &mut outstanding,
                     &mut fstate,
+                    &mut rstate,
                     &mut *pipelines,
                 );
             }
@@ -676,6 +747,9 @@ pub(crate) fn run_trace(
                     if let Some(fs) = &mut fstate {
                         fs.pending[node as usize].remove(&pid);
                         fs.defs.remove(&pid);
+                    }
+                    if let Some(rs) = &mut rstate {
+                        rs.node_load[node as usize] = rs.node_load[node as usize].saturating_sub(1);
                     }
                     if let Some(b) = &buffers {
                         b.drain(node as usize);
@@ -760,6 +834,7 @@ pub(crate) fn run_trace(
                             // empty unless the cluster route is in force, and
                             // fstate is Some whenever the plan is non-empty
                             fstate.as_mut().expect("failure state exists"),
+                            &mut rstate,
                             &mut node_status,
                             pipelines,
                             sink,
@@ -785,6 +860,16 @@ pub(crate) fn run_trace(
 
     if responses.len() < total_queries {
         truncated = true;
+    }
+    if truncated {
+        // Queries still queued will never complete; let schedulers that keep
+        // per-query bookkeeping (QoS deadlines) retire it instead of leaking
+        // it — scheduler instances outlive the trace in the daemon direction.
+        for (node, p) in pipelines.iter_mut().enumerate() {
+            if live.alive[node] {
+                p.retire_pending(now_ms);
+            }
+        }
     }
     if sink.enabled() {
         sink.emit(
@@ -813,7 +898,131 @@ pub(crate) fn run_trace(
         response_log,
         node_status,
         first_failure_ms,
+        replication: rstate.map(|rs| rs.dir.summary()),
     }
+}
+
+/// Computes the per-node parts of `q` under the replica overlay: records each
+/// footprint atom in the access histogram, applies the promotion/demotion
+/// transitions the refreshed windows trigger, routes every atom to the
+/// least-loaded live candidate (slab owner or replica), and regroups the
+/// atoms into per-target parts. Two declaration-consistency duties ride
+/// along, in deterministic order:
+///
+/// * **withdrawals** — a statically-owning node whose every atom diverted
+///   away holds a declared part id that will never arrive; job-aware gating
+///   would stall its partners until the gate timeout, so the id is withdrawn
+///   ([`crate::scheduler_api::Scheduler::query_withdrawn`] via the pipeline);
+/// * **just-in-time declarations** — a replica host outside the job's static
+///   projection has never heard of the incoming part id (JAWS₂ gating
+///   requires every available query to be declared), so a synthetic
+///   single-query job (id namespace [`REPLICA_DECL_BIT`]) declares it first.
+///   Single-query jobs never form gating alignments, so the declaration
+///   cannot distort schedule quality.
+#[allow(clippy::too_many_arguments)]
+fn replicated_fan_out<'q>(
+    rs: &mut ReplicationState,
+    fstate: &mut Option<FailureState>,
+    q: &'q Query,
+    job: &Job,
+    now_ms: f64,
+    live: &LiveRouting<'_>,
+    pipelines: &mut [NodePipeline],
+    sink: &ObsSink,
+    buffers: &Option<TraceBuffers<'_>>,
+) -> Vec<(u32, Cow<'q, Query>)> {
+    let mut actions: Vec<ReplicaAction> = Vec::new();
+    let mut owners: BTreeSet<u32> = BTreeSet::new();
+    let mut assignment: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
+    for &(m, c) in &q.footprint.atoms {
+        let owner = live.node_of(m);
+        owners.insert(owner);
+        let target = rs
+            .dir
+            .route_atom(m, owner, now_ms, &live.alive, &rs.node_load, &mut actions);
+        assignment.entry(target).or_default().push((m, c));
+    }
+    if sink.enabled() {
+        for a in &actions {
+            let ev = match *a {
+                ReplicaAction::Promoted {
+                    morton,
+                    node,
+                    window_accesses,
+                } => jaws_obs::Event::ReplicaPromoted {
+                    morton: morton.raw(),
+                    node,
+                    window_accesses,
+                },
+                ReplicaAction::Demoted { morton, node } => jaws_obs::Event::ReplicaDropped {
+                    morton: morton.raw(),
+                    node,
+                    crashed: false,
+                },
+                ReplicaAction::Routed {
+                    morton,
+                    owner,
+                    replica,
+                } => jaws_obs::Event::ReplicaRouted {
+                    query: q.id,
+                    morton: morton.raw(),
+                    owner,
+                    replica,
+                },
+            };
+            sink.emit(now_ms, ev);
+        }
+    }
+    // Withdrawals before deliveries, so gating state is settled when the
+    // diverted parts arrive.
+    for &node in &owners {
+        if assignment.contains_key(&node) {
+            continue;
+        }
+        let pid = part_id(q.id, node);
+        if rs.declared[node as usize].remove(&pid) {
+            if let Some(fs) = fstate {
+                fs.declared[node as usize].remove(&pid);
+            }
+            pipelines[node as usize].query_withdrawn(pid, now_ms);
+            if let Some(b) = buffers {
+                b.drain(node as usize);
+            }
+        }
+    }
+    assignment
+        .into_iter()
+        .map(|(node, atoms)| {
+            let part = Query {
+                id: part_id(q.id, node),
+                user: q.user,
+                op: q.op,
+                timestep: q.timestep,
+                footprint: Footprint::from_pairs(atoms),
+            };
+            if !rs.declared[node as usize].contains(&part.id) {
+                rs.decls += 1;
+                let decl = Job {
+                    id: REPLICA_DECL_BIT | rs.decls,
+                    user: job.user,
+                    kind: job.kind,
+                    campaign: job.campaign,
+                    queries: vec![part.clone()],
+                    arrival_ms: job.arrival_ms,
+                    think_ms: job.think_ms,
+                };
+                rs.declared[node as usize].insert(part.id);
+                if let Some(fs) = fstate {
+                    fs.declared[node as usize].insert(part.id);
+                }
+                pipelines[node as usize].job_declared(&decl, now_ms);
+                if let Some(b) = buffers {
+                    b.drain(node as usize);
+                }
+            }
+            (node, Cow::Owned(part))
+        })
+        .collect()
 }
 
 /// Handles one scripted crash: kills the node in the routing overlay, then
@@ -833,6 +1042,7 @@ fn crash_node(
     submit_ms: &BTreeMap<QueryId, f64>,
     live: &mut LiveRouting<'_>,
     fs: &mut FailureState,
+    rstate: &mut Option<ReplicationState>,
     node_status: &mut [NodeStatus],
     pipelines: &mut [NodePipeline],
     sink: &ObsSink,
@@ -852,6 +1062,26 @@ fn crash_node(
                 redispatched: moved.len() as u64,
             },
         );
+    }
+    if let Some(rs) = rstate {
+        // The dead node's replicas leave the routing table (its slab itself
+        // re-chains through `LiveRouting` exactly as without replication),
+        // and the load it carried moves to the survivor along with the parts.
+        for m in rs.dir.drop_node(node) {
+            if sink.enabled() {
+                sink.emit(
+                    now_ms,
+                    jaws_obs::Event::ReplicaDropped {
+                        morton: m.raw(),
+                        node,
+                        crashed: true,
+                    },
+                );
+            }
+        }
+        let moved_load = std::mem::take(&mut rs.node_load[node as usize]);
+        debug_assert_eq!(moved_load, moved.len() as u64, "load tracks pending");
+        rs.node_load[surv as usize] += moved_load;
     }
 
     // Remnant declarations, grouped per trace job in ascending job index;
@@ -922,6 +1152,9 @@ fn crash_node(
             think_ms: job.think_ms,
         };
         fs.declared[surv as usize].extend(remnant.queries.iter().map(|q| q.id));
+        if let Some(rs) = rstate {
+            rs.declared[surv as usize].extend(remnant.queries.iter().map(|q| q.id));
+        }
         pipelines[surv as usize].job_declared(&remnant, now_ms);
         if let Some(b) = buffers {
             b.drain(surv as usize);

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod executor;
 pub mod failure;
 pub mod node;
+pub mod replication;
 pub mod report;
 pub mod setup;
 pub mod sweep;
@@ -43,6 +44,7 @@ pub use engine::Routing;
 pub use executor::{Executor, SimConfig};
 pub use failure::{FailureEvent, FailurePlan};
 pub use node::NodePipeline;
+pub use replication::{ReplicaEntry, ReplicationConfig, ReplicationSummary};
 pub use report::{Percentiles, RunReport};
 pub use setup::{build_db, build_policy, build_scheduler, CachePolicyKind, SchedulerKind};
 pub use sweep::run_parallel;

@@ -134,6 +134,18 @@ impl NodePipeline {
         self.scheduler.query_available(q, now_ms);
     }
 
+    /// Withdraws a declared part id that dynamic placement diverted to a
+    /// replica on another node — it will never become available here.
+    pub fn query_withdrawn(&mut self, part: QueryId, now_ms: f64) {
+        self.scheduler.query_withdrawn(part, now_ms);
+    }
+
+    /// Drops all pending scheduler work and per-query bookkeeping (the run
+    /// was truncated at `max_sim_ms`; queued parts will never complete).
+    pub fn retire_pending(&mut self, now_ms: f64) {
+        self.scheduler.retire_pending(now_ms);
+    }
+
     /// Feeds an ordered-job observation to the trajectory predictor, if
     /// prefetching is enabled.
     pub fn observe(&mut self, job: JobId, q: &Query) {

@@ -98,6 +98,7 @@ fn cluster_config(kind: SchedulerKind, nodes: u32) -> ClusterConfig {
         gate_timeout_ms: 10_000.0,
         sim: SimConfig::default(),
         failures: FailurePlan::none(),
+        replication: jaws_sim::ReplicationConfig::disabled(),
     }
 }
 
@@ -455,6 +456,113 @@ fn crash_at_half_makespan_drains_every_query_at_any_thread_count() {
     );
     assert_eq!(traces[0], traces[1], "failure trace differs at 2 workers");
     assert_eq!(traces[0], traces[2], "failure trace differs at 8 workers");
+}
+
+/// A Zipf-flavored skew: most queries hammer node 0's first Morton key,
+/// the rest scatter across the grid. This is the workload dynamic placement
+/// exists for — hot enough that [`jaws_sim::ReplicationConfig::on`]'s
+/// promotion threshold fires deterministically.
+fn skewed_trace() -> jaws_workload::Trace {
+    use jaws_morton::MortonKey;
+    use jaws_workload::{Footprint, Job, JobKind, Query, QueryOp, Trace};
+    let q = |id: u64, m: u64| Query {
+        id,
+        user: 0,
+        op: QueryOp::Velocity,
+        timestep: (id % 8) as u32,
+        footprint: Footprint::from_pairs([(MortonKey(m), 60u32)]),
+    };
+    let jobs = (0..6u64)
+        .map(|j| Job {
+            id: j + 1,
+            user: j as u32,
+            kind: JobKind::Batched,
+            campaign: 1,
+            // Three of every four queries hit the hot key; the remainder
+            // walks the other slabs so every node owns some work.
+            queries: (0..12u64)
+                .map(|i| {
+                    let id = j * 12 + i + 1;
+                    q(id, if i % 4 < 3 { 0 } else { (id * 7) % 64 })
+                })
+                .collect(),
+            arrival_ms: j as f64 * 40.0,
+            think_ms: 0.0,
+        })
+        .collect();
+    Trace::new(8, 4, jobs)
+}
+
+/// One replicated-cluster replay on the [`skewed_trace`]: serialized masked
+/// report + completion log, and the full JSONL observability trace.
+fn replicated_cluster_run(enabled: bool) -> (String, String) {
+    let trace = skewed_trace();
+    let mut cfg = cluster_config(SchedulerKind::Jaws2 { batch_k: 15 }, 4);
+    if enabled {
+        cfg.replication = jaws_sim::ReplicationConfig::on();
+    }
+    let rec = Arc::new(Mutex::new(JsonlRecorder::new()));
+    let mut ex = ClusterExecutor::new(cfg);
+    ex.set_recorder(ObsSink::new(rec.clone()));
+    let report = ex.run(&trace);
+    let report_json =
+        mask_wallclock_fields(&serde_json::to_string(&report).expect("report serializes"));
+    let log_json = serde_json::to_string(ex.response_log()).expect("log serializes");
+    // lint: invariant — the run above completed; a poisoned mutex would
+    // already have panicked the emitting thread
+    let jsonl = rec.lock().expect("recorder mutex unpoisoned").take();
+    (format!("{report_json}\n{log_json}"), jsonl)
+}
+
+/// Dynamic placement joins the determinism contract: promotion, demotion and
+/// least-loaded routing are pure functions of simulated time and the seeded
+/// trace, so a replicated replay must be byte-identical at 1, 2 and 8
+/// workers — serialized `ClusterReport` (replica table included), completion
+/// log, and the JSONL trace with its `ReplicaPromoted`/`ReplicaRouted`
+/// records — with replication on and off alike.
+#[test]
+fn replicated_runs_are_byte_identical_at_any_thread_count() {
+    for enabled in [true, false] {
+        let mut reports = Vec::new();
+        let mut traces = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let _guard = jaws_par::override_threads(threads);
+            let (r, t) = replicated_cluster_run(enabled);
+            reports.push(r);
+            traces.push(t);
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "replication={enabled}: report differs at 2 workers"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "replication={enabled}: report differs at 8 workers"
+        );
+        assert_eq!(
+            traces[0], traces[1],
+            "replication={enabled}: trace differs at 2 workers"
+        );
+        assert_eq!(
+            traces[0], traces[2],
+            "replication={enabled}: trace differs at 8 workers"
+        );
+        if enabled {
+            assert!(
+                reports[0].contains("\"replication\":{"),
+                "replica summary missing from the serialized report"
+            );
+            assert!(
+                traces[0].contains("ReplicaPromoted") && traces[0].contains("ReplicaRouted"),
+                "trace lacks dynamic-placement events"
+            );
+        } else {
+            assert!(
+                reports[0].contains("\"replication\":null"),
+                "disabled replication must serialize as null"
+            );
+        }
+    }
 }
 
 /// Deterministic intra-run parallelism: the `jaws-par` worker count must be

@@ -40,6 +40,7 @@ fn config(nodes: u32, prefetch: bool) -> ClusterConfig {
             idle_recheck_ms: 500.0,
         },
         failures: FailurePlan::none(),
+        replication: jaws_sim::ReplicationConfig::disabled(),
     }
 }
 

@@ -100,6 +100,7 @@ fn cluster_with_jaws_qos_and_casjobs_nodes() {
             gate_timeout_ms: 10_000.0,
             sim: SimConfig::default(),
             failures: FailurePlan::none(),
+            replication: jaws_sim::ReplicationConfig::disabled(),
         });
         let r = ex.run(&trace);
         assert_eq!(
@@ -177,6 +178,7 @@ fn one_node_cluster_is_equivalent_to_the_single_executor() {
         gate_timeout_ms: 10_000.0,
         sim: SimConfig::default(),
         failures: FailurePlan::none(),
+        replication: jaws_sim::ReplicationConfig::disabled(),
     });
     let cluster = ex.run(&trace);
     assert_eq!(
