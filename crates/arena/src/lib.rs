@@ -1,0 +1,348 @@
+//! Allocation-reuse primitives for the JAWS hot paths.
+//!
+//! The discrete-event engine and the scheduler's dispatch path run once per
+//! simulated event — millions of times per experiment — and every transient
+//! `Vec` they allocate there is pure allocator traffic: the buffers have the
+//! same shape every round and could simply be reused. This crate provides the
+//! three shapes those paths need:
+//!
+//! * [`VecPool`] — a free-list of cleared `Vec<T>`s. `take` hands out a
+//!   buffer with its old capacity intact; `put` clears and shelves it.
+//!   Buffers that escape into long-lived structures simply never come back —
+//!   the pool is a cache, not an owner.
+//! * [`Lanes`] — a fixed set of reusable buckets (one per cluster node) for
+//!   group-by-node scatters, replacing a fresh `BTreeMap<u32, Vec<T>>` per
+//!   query fan-out. Iteration is always in ascending lane order, so the
+//!   deterministic-order obligations of the engine hold by construction.
+//! * [`Slab`] — an index-keyed arena with an intrusive free-list: O(1)
+//!   insert/remove with stable keys and no per-entry allocation after
+//!   warm-up.
+//!
+//! Everything here is plain safe Rust over `Vec`; the win is reuse, not
+//! custom memory management. None of these types are thread-safe — each hot
+//! path owns its scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A free-list of cleared `Vec<T>` buffers.
+///
+/// `take` pops a recycled buffer (empty, capacity preserved) or allocates a
+/// fresh one; `put` clears a buffer and shelves it for the next `take`. The
+/// pool holds at most [`VecPool::MAX_SHELVED`] buffers — beyond that, `put`
+/// simply drops, so a one-off burst cannot pin memory forever.
+#[derive(Debug)]
+pub struct VecPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        VecPool { free: Vec::new() }
+    }
+}
+
+impl<T> VecPool<T> {
+    /// Buffers shelved at most; `put` beyond this drops the buffer.
+    pub const MAX_SHELVED: usize = 64;
+
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out an empty buffer, reusing a shelved one when available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Clears `v` and shelves it for reuse (or drops it if the shelf is
+    /// full). Clearing drops the elements now, so `put` is safe for element
+    /// types with meaningful destructors.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        if self.free.len() < Self::MAX_SHELVED && v.capacity() > 0 {
+            v.clear();
+            self.free.push(v);
+        }
+    }
+
+    /// Buffers currently shelved (diagnostics).
+    pub fn shelved(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// A fixed set of reusable buckets for group-by-lane scatters.
+///
+/// The cluster fan-out path groups a query's footprint atoms by owning node.
+/// With a `BTreeMap<u32, Vec<_>>` that is one map allocation plus one `Vec`
+/// per touched node *per query*; `Lanes` keeps one bucket per node alive
+/// across queries instead. [`Lanes::drain`] visits the non-empty buckets in
+/// ascending lane order — the same order the `BTreeMap` iteration produced —
+/// and leaves every bucket empty (capacity retained) for the next query.
+#[derive(Debug, Default)]
+pub struct Lanes<T> {
+    lanes: Vec<Vec<T>>,
+}
+
+impl<T> Lanes<T> {
+    /// Creates `n` empty lanes.
+    pub fn new(n: usize) -> Self {
+        Lanes {
+            lanes: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when there are no lanes at all.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Items currently in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.lanes[lane].len()
+    }
+
+    /// Appends `item` to lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn push(&mut self, lane: usize, item: T) {
+        self.lanes[lane].push(item);
+    }
+
+    /// Visits every non-empty lane in ascending order, handing each bucket's
+    /// contents out by `mem::take` (the callee owns the `Vec`). A taken
+    /// bucket's capacity leaves with it; buckets the callee gives back via
+    /// [`Lanes::restore`] keep their capacity for the next round.
+    pub fn drain(&mut self, mut f: impl FnMut(usize, Vec<T>)) {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if !lane.is_empty() {
+                f(i, std::mem::take(lane));
+            }
+        }
+    }
+
+    /// Takes lane `lane`'s bucket out by `mem::take`, leaving an empty slot.
+    ///
+    /// This is the borrow-friendly sibling of [`Lanes::drain`] for loops that
+    /// need `&mut self` access between visiting lanes (take the bucket, use
+    /// it, [`Lanes::restore`] it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn take_lane(&mut self, lane: usize) -> Vec<T> {
+        std::mem::take(&mut self.lanes[lane])
+    }
+
+    /// Returns a drained bucket's `Vec` to lane `lane` so its capacity is
+    /// reused. The buffer is cleared here; empty or out-of-range restores are
+    /// dropped silently.
+    pub fn restore(&mut self, lane: usize, mut v: Vec<T>) {
+        if let Some(slot) = self.lanes.get_mut(lane) {
+            if slot.capacity() < v.capacity() {
+                v.clear();
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// An index-keyed arena with an intrusive free-list.
+///
+/// `insert` returns a stable `usize` key; `remove` frees the slot for reuse.
+/// After warm-up, insert/remove cycles perform no allocation. Keys are only
+/// meaningful to the slab that issued them; accessing a vacant key returns
+/// `None` (or panics on `remove`, which is a caller bug).
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Entry<T>>,
+    /// Head of the free-list (index into `slots`), or `usize::MAX`.
+    free_head: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Entry<T> {
+    Occupied(T),
+    /// Next free slot index, or `usize::MAX` for the list tail.
+    Vacant(usize),
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: usize::MAX,
+            len: 0,
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, reusing a vacant slot when one exists.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if self.free_head != usize::MAX {
+            let key = self.free_head;
+            match self.slots[key] {
+                Entry::Vacant(next) => {
+                    self.free_head = next;
+                    self.slots[key] = Entry::Occupied(value);
+                    key
+                }
+                // free_head only ever points at Vacant entries, so this arm
+                // is unreachable by construction.
+                Entry::Occupied(_) => unreachable!("free-list points at an occupied slot"),
+            }
+        } else {
+            self.slots.push(Entry::Occupied(value));
+            self.slots.len() - 1
+        }
+    }
+
+    /// Removes and returns the entry under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of range — callers own their keys.
+    pub fn remove(&mut self, key: usize) -> T {
+        let entry = std::mem::replace(&mut self.slots[key], Entry::Vacant(self.free_head));
+        match entry {
+            Entry::Occupied(v) => {
+                self.free_head = key;
+                self.len -= 1;
+                v
+            }
+            Entry::Vacant(prev) => {
+                // Undo the replace so the free-list is not corrupted, then
+                // report the caller bug.
+                self.slots[key] = Entry::Vacant(prev);
+                panic!("slab key {key} is vacant");
+            }
+        }
+    }
+
+    /// Borrows the entry under `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.slots.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the entry under `key`, if occupied.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.slots.get_mut(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_pool_recycles_capacity() {
+        let mut pool: VecPool<u64> = VecPool::new();
+        let mut v = pool.take();
+        v.extend(0..100);
+        let cap = v.capacity();
+        assert!(cap >= 100);
+        pool.put(v);
+        assert_eq!(pool.shelved(), 1);
+        let v2 = pool.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap, "capacity survives the round-trip");
+        assert_eq!(pool.shelved(), 0);
+    }
+
+    #[test]
+    fn vec_pool_bounds_its_shelf() {
+        let mut pool: VecPool<u8> = VecPool::new();
+        for _ in 0..(VecPool::<u8>::MAX_SHELVED + 10) {
+            pool.put(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.shelved(), VecPool::<u8>::MAX_SHELVED);
+        // Capacity-less buffers are not worth shelving.
+        pool.put(Vec::new());
+        assert_eq!(pool.shelved(), VecPool::<u8>::MAX_SHELVED);
+    }
+
+    #[test]
+    fn lanes_drain_in_ascending_order_and_reuse_capacity() {
+        let mut lanes: Lanes<u32> = Lanes::new(4);
+        lanes.push(2, 20);
+        lanes.push(0, 1);
+        lanes.push(2, 21);
+        let mut seen = Vec::new();
+        let mut returned = Vec::new();
+        lanes.drain(|lane, bucket| {
+            seen.push((lane, bucket.clone()));
+            returned.push((lane, bucket));
+        });
+        assert_eq!(seen, vec![(0, vec![1]), (2, vec![20, 21])]);
+        for (lane, bucket) in returned {
+            lanes.restore(lane, bucket);
+        }
+        // Buckets are empty again and a second round sees fresh contents.
+        lanes.push(1, 7);
+        let mut second = Vec::new();
+        lanes.drain(|lane, bucket| second.push((lane, bucket)));
+        assert_eq!(second, vec![(1, vec![7])]);
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_growing() {
+        let mut slab: Slab<String> = Slab::new();
+        let a = slab.insert("a".into());
+        let b = slab.insert("b".into());
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), "a");
+        let c = slab.insert("c".into());
+        assert_eq!(c, a, "vacant slot is reused");
+        assert_eq!(slab.get(b).map(String::as_str), Some("b"));
+        assert_eq!(slab.get_mut(c).map(|s| s.as_str()), Some("c"));
+        assert_eq!(slab.get(99), None);
+        assert_eq!(slab.remove(b), "b");
+        assert_eq!(slab.remove(c), "c");
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slab key 0 is vacant")]
+    fn slab_remove_of_vacant_key_panics() {
+        let mut slab: Slab<u32> = Slab::new();
+        let k = slab.insert(5);
+        slab.remove(k);
+        slab.remove(k);
+    }
+}

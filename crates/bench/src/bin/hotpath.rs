@@ -23,7 +23,7 @@
 //! `--smoke` shrinks geometry and rep counts for CI; `--out=PATH` overrides
 //! the output path.
 
-use jaws_bench::exp;
+use jaws_bench::{alloc_counter, exp};
 use jaws_morton::AtomId;
 use jaws_scheduler::MetricParams;
 use jaws_sim::{build_db, build_scheduler, CachePolicyKind, Executor, SchedulerKind, SimConfig};
@@ -33,22 +33,35 @@ use std::cmp::Ordering;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Every heap acquisition in the measured regions below is counted, so the
+/// allocation columns are measurements, not estimates.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
 #[derive(Serialize)]
 struct MatRow {
     threads: usize,
+    /// What the host could run, as opposed to what we asked for (`threads`):
+    /// a 1.0× speedup at `threads: 4` reads very differently when this is 1.
+    available_parallelism: usize,
     atoms: usize,
     voxels: usize,
     wall_ms: f64,
     speedup_vs_serial: f64,
+    /// Heap acquisitions during this row's timed region.
+    allocations: u64,
     checksum: String,
 }
 
 #[derive(Serialize)]
 struct E2eRow {
     threads: usize,
+    available_parallelism: usize,
     wall_ms: f64,
     speedup_vs_serial: f64,
     queries_completed: u64,
+    allocations: u64,
+    allocations_per_query: f64,
     report_identical_to_serial: bool,
 }
 
@@ -157,6 +170,7 @@ fn bench_materialize(cfg: DbConfig, threads: &[usize]) -> Vec<MatRow> {
     let mut rows: Vec<MatRow> = Vec::new();
     for &t in threads {
         let _guard = jaws_par::override_threads(t);
+        alloc_counter::reset();
         let start = Instant::now();
         let mut checksum = 0u64;
         for &id in &ids {
@@ -164,6 +178,7 @@ fn bench_materialize(cfg: DbConfig, threads: &[usize]) -> Vec<MatRow> {
             checksum ^= atom_checksum(black_box(&atom));
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let allocations = alloc_counter::count();
         if let Some(first) = rows.first() {
             assert_eq!(
                 format!("{checksum:016x}"),
@@ -174,17 +189,19 @@ fn bench_materialize(cfg: DbConfig, threads: &[usize]) -> Vec<MatRow> {
         let serial_ms = rows.first().map_or(wall_ms, |r| r.wall_ms);
         rows.push(MatRow {
             threads: t,
+            available_parallelism: jaws_par::hardware_parallelism(),
             atoms: ids.len(),
             voxels,
             wall_ms,
             speedup_vs_serial: serial_ms / wall_ms,
+            allocations,
             checksum: format!("{checksum:016x}"),
         });
     }
     rows
 }
 
-fn e2e_report(cfg: DbConfig) -> (String, u64, f64) {
+fn e2e_report(cfg: DbConfig) -> (String, u64, f64, u64) {
     let cost = CostModel::paper_testbed();
     let db = build_db(cfg, cost, DataMode::Synthetic, 32, CachePolicyKind::Urc);
     let params = MetricParams {
@@ -200,14 +217,17 @@ fn e2e_report(cfg: DbConfig) -> (String, u64, f64) {
     );
     let mut ex = Executor::new(db, sched, SimConfig::default());
     let trace = exp::smoke_trace();
+    alloc_counter::reset();
     let start = Instant::now();
     let report = ex.run(&trace);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let allocations = alloc_counter::count();
     let json = serde_json::to_string(&report).expect("report serializes");
     (
         exp::mask_wallclock_fields(&json),
         report.queries_completed,
         wall_ms,
+        allocations,
     )
 }
 
@@ -216,15 +236,18 @@ fn bench_end_to_end(cfg: DbConfig, threads: &[usize]) -> Vec<E2eRow> {
     let mut serial: Option<(String, f64)> = None;
     for &t in threads {
         let _guard = jaws_par::override_threads(t);
-        let (masked, queries, wall_ms) = e2e_report(cfg);
+        let (masked, queries, wall_ms, allocations) = e2e_report(cfg);
         let (serial_masked, serial_ms) = serial.get_or_insert((masked.clone(), wall_ms));
         let identical = masked == *serial_masked;
         assert!(identical, "masked report differs at {t} workers");
         rows.push(E2eRow {
             threads: t,
+            available_parallelism: jaws_par::hardware_parallelism(),
             wall_ms,
             speedup_vs_serial: *serial_ms / wall_ms,
             queries_completed: queries,
+            allocations,
+            allocations_per_query: allocations as f64 / queries.max(1) as f64,
             report_identical_to_serial: identical,
         });
     }
@@ -296,13 +319,20 @@ fn main() {
     exp::rule();
     let materialize = bench_materialize(mat_cfg, threads);
     println!(
-        "{:<8} {:>8} {:>10} {:>12} {:>10}  checksum",
-        "threads", "atoms", "voxels", "wall_ms", "speedup"
+        "{:<8} {:>5} {:>8} {:>10} {:>12} {:>10} {:>10}  checksum",
+        "threads", "hw", "atoms", "voxels", "wall_ms", "speedup", "allocs"
     );
     for r in &materialize {
         println!(
-            "{:<8} {:>8} {:>10} {:>12.2} {:>9.2}x  {}",
-            r.threads, r.atoms, r.voxels, r.wall_ms, r.speedup_vs_serial, r.checksum
+            "{:<8} {:>5} {:>8} {:>10} {:>12.2} {:>9.2}x {:>10}  {}",
+            r.threads,
+            r.available_parallelism,
+            r.atoms,
+            r.voxels,
+            r.wall_ms,
+            r.speedup_vs_serial,
+            r.allocations,
+            r.checksum
         );
     }
 
@@ -310,16 +340,18 @@ fn main() {
     exp::rule();
     let end_to_end = bench_end_to_end(exp::smoke_db(), threads);
     println!(
-        "{:<8} {:>10} {:>12} {:>10} {:>10}",
-        "threads", "queries", "wall_ms", "speedup", "identical"
+        "{:<8} {:>5} {:>10} {:>12} {:>10} {:>14} {:>10}",
+        "threads", "hw", "queries", "wall_ms", "speedup", "allocs/query", "identical"
     );
     for r in &end_to_end {
         println!(
-            "{:<8} {:>10} {:>12.2} {:>9.2}x {:>10}",
+            "{:<8} {:>5} {:>10} {:>12.2} {:>9.2}x {:>14.1} {:>10}",
             r.threads,
+            r.available_parallelism,
             r.queries_completed,
             r.wall_ms,
             r.speedup_vs_serial,
+            r.allocations_per_query,
             r.report_identical_to_serial
         );
     }

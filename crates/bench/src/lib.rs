@@ -6,6 +6,65 @@
 //! the paper's single experimental setup (800 GB sample, 31 timesteps,
 //! 4096 atoms/timestep, 2 GB external cache, 50k-query trace of ~1k jobs).
 
+pub mod alloc_counter {
+    //! A counting global allocator for the allocation-discipline benches.
+    //!
+    //! Wraps [`std::alloc::System`] and counts every `alloc`/`alloc_zeroed`/
+    //! `realloc` call in a relaxed [`AtomicU64`]. Bench binaries register it
+    //! with `#[global_allocator]` and report allocations-per-query next to
+    //! wall-clock, turning "the hot path is alloc-free" from a claim into a
+    //! measured column. Frees are not counted: the discipline under test is
+    //! *acquiring* memory per event, and every counted acquisition has at
+    //! most one matching free.
+    //!
+    //! The counter is process-global, so concurrent measurements interleave;
+    //! the bench binaries are single-measurement-at-a-time by construction.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocation calls.
+    ///
+    /// Register in a binary with:
+    /// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`
+    pub struct CountingAlloc;
+
+    // SAFETY: pure pass-through to `System`; the only addition is a relaxed
+    // counter increment, which cannot violate allocator invariants.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    /// Allocation calls counted since process start (or the last [`reset`]).
+    pub fn count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter. Call immediately before the measured region.
+    pub fn reset() {
+        ALLOCATIONS.store(0, Ordering::Relaxed);
+    }
+}
+
 pub mod exp {
     use jaws_sim::sweep::RunSpec;
     use jaws_sim::{CachePolicyKind, SchedulerKind};

@@ -34,6 +34,7 @@
 //! | C003 | everywhere, tests included | holding a lock guard across a `jaws_par::map*` call |
 //! | T001 | everywhere except `crates/par` | `jaws-par` closures capturing `RefCell`/`Cell`/atomics, doing atomic RMW, or calling obs sinks directly (the per-shard buffer drain in `crates/sim/src/engine.rs` is the sanctioned emission pattern) |
 //! | A001 | everywhere except `delta/` modules, tests included | constructing or field-writing a `// lint: arrangement` struct outside the delta layer — arrangement state changes only through the layer's `apply` |
+//! | M001 | bodies of `// lint: hotpath` functions, tests included | per-call allocation (`Vec::new`, `Box::new`, `.collect()`) inside a declared hot path — reuse scratch from `jaws-arena` or a caller-provided buffer |
 //! | S001 | everywhere, tests included | suppression debt: a `lint:` marker that no longer justifies anything, or that matches no known form |
 //! | U001 | crate roots except `crates/bench` | missing `#![forbid(unsafe_code)]` |
 //!
@@ -50,6 +51,9 @@
 //!   below, in a delta-layer file, holds arrangement state; the rule guards
 //!   its type and field names workspace-wide. A marker that annotates no
 //!   struct, or sits outside `delta/`, is S001 debt.
+//! * `lint: hotpath` — M001 declaration (not a suppression): the function
+//!   below is a per-event hot path; its body must not allocate per call. A
+//!   marker that annotates no function is S001 debt.
 //! * `lint: allow(<RULE>) — reason` — unconditional per-rule escape hatch.
 //!
 //! A marker attests the violation on its own line, on the same multi-line
@@ -226,13 +230,24 @@ pub const RULES: &[RuleInfo] = &[
               typed delta; new derived state belongs inside the `delta/` module.",
     },
     RuleInfo {
+        id: "M001",
+        title: "no per-call allocation in hot-path functions",
+        rationale: "functions declared `// lint: hotpath` (engine event loop, next_batch, sweep \
+                    kernels) run once per simulated event; a `Vec::new`/`Box::new`/`collect()` \
+                    there is allocator traffic repeated millions of times per experiment.",
+        fix: "reuse scratch: take buffers from a jaws-arena pool, accept a caller-provided \
+              buffer, or `mem::take` a reusable field; `// lint: allow(M001)` for genuinely \
+              cold branches inside a hot body.",
+    },
+    RuleInfo {
         id: "S001",
         title: "zero suppression debt",
         rationale: "a `lint:` marker whose rule no longer fires is a stale exemption that hides \
                     future regressions; a malformed marker suppresses nothing and misleads \
                     readers.",
         fix: "delete stale markers; fix malformed ones to `lint: sorted`, `lint: invariant`, \
-              `lint: arrangement`, or `lint: allow(<RULE>)`. S001 is not suppressible.",
+              `lint: arrangement`, `lint: hotpath`, or `lint: allow(<RULE>)`. S001 is not \
+              suppressible.",
     },
     RuleInfo {
         id: "U001",
@@ -288,6 +303,7 @@ pub fn check_file_in(rel: &str, src: &str, ctx: &Context) -> Vec<Diagnostic> {
     rules::concurrency::run(&mut c);
     rules::thread_det::run(&mut c);
     rules::arrangement::run(&mut c);
+    rules::hotpath::run(&mut c);
     // The suppression audit must run last: it flags whatever the families
     // above never consumed.
     rules::suppression::run(&mut c);
@@ -487,7 +503,7 @@ mod tests {
         assert_eq!(ids.len(), RULES.len(), "duplicate rule ids");
         for id in [
             "D001", "D002", "D003", "F001", "F002", "P001", "C001", "C002", "C003", "T001", "A001",
-            "S001", "U001",
+            "M001", "S001", "U001",
         ] {
             assert!(rule_info(id).is_some(), "missing registry entry for {id}");
         }

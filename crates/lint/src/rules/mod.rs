@@ -7,6 +7,7 @@ pub mod arrangement;
 pub mod concurrency;
 pub mod determinism;
 pub mod floats;
+pub mod hotpath;
 pub mod panics;
 pub mod suppression;
 pub mod thread_det;

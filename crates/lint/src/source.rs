@@ -140,6 +140,9 @@ pub enum Marker {
     /// delta-layer file) holds arrangement state, mutable only through the
     /// delta layer.
     Arrangement,
+    /// `lint: hotpath` — M001 declaration: the function below is a per-event
+    /// hot path; per-call allocations are forbidden in its body.
+    Hotpath,
     /// `lint: allow(<RULE>) — reason` — unconditional per-rule escape hatch.
     Allow(String),
     /// A `lint:` marker that matches no known form (malformed suppression).
@@ -171,6 +174,8 @@ pub fn parse_suppressions(lines: &[Line]) -> Vec<Suppression> {
             Marker::Invariant
         } else if rest.starts_with("arrangement") {
             Marker::Arrangement
+        } else if rest.starts_with("hotpath") {
+            Marker::Hotpath
         } else if let Some(r) = rest.strip_prefix("allow(") {
             match r.split(')').next() {
                 Some(rule)
@@ -587,15 +592,16 @@ mod tests {
     #[test]
     fn suppression_grammar_parses_known_markers() {
         let lines = strip_source(
-            "a(); // lint: sorted — why\nb(); // lint: invariant — why\nc(); // lint: allow(D002) — why\nd(); // lint: frobnicate\ne(); // mentions `lint: sorted` mid-sentence? no: backticks\nf(); // lint: arrangement\n",
+            "a(); // lint: sorted — why\nb(); // lint: invariant — why\nc(); // lint: allow(D002) — why\nd(); // lint: frobnicate\ne(); // mentions `lint: sorted` mid-sentence? no: backticks\nf(); // lint: arrangement\ng(); // lint: hotpath\n",
         );
         let sup = parse_suppressions(&lines);
-        assert_eq!(sup.len(), 5);
+        assert_eq!(sup.len(), 6);
         assert_eq!(sup[0].marker, Marker::Sorted);
         assert_eq!(sup[1].marker, Marker::Invariant);
         assert_eq!(sup[2].marker, Marker::Allow("D002".to_string()));
         assert!(matches!(sup[3].marker, Marker::Unknown(_)));
         assert_eq!(sup[4].marker, Marker::Arrangement);
+        assert_eq!(sup[5].marker, Marker::Hotpath);
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub fn thread_count() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The host's available parallelism, ignoring overrides — a reporting aid.
+///
+/// Bench reports record this next to the *configured* [`thread_count`] so a
+/// reader can tell "ran serial because asked to" apart from "ran serial
+/// because the box has one core". Never used to size work: that is
+/// [`thread_count`]'s job.
+pub fn hardware_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Scatters per-worker `(index, result)` runs back into input order.
 fn reassemble<R>(n: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
@@ -103,7 +113,35 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = thread_count().min(n.max(1));
+    map_indexed_with_workers(n, thread_count().min(n.max(1)), f)
+}
+
+/// Like [`map_indexed`], but caps the worker count so every spawned worker
+/// has at least `grain` indices to claim: `workers = min(thread_count,
+/// n / grain)`. Runs inline (no spawns at all) when `n < 2 * grain`.
+///
+/// `std::thread::scope` spawns fresh OS threads on every call, which costs
+/// tens of microseconds per worker — more than a small shard of work is
+/// worth. Hot paths that map over a handful of cheap items (per-atom z-slice
+/// fills, per-slab gradient sweeps) pick a bench-chosen `grain` so the spawn
+/// overhead is amortized or skipped entirely. Purely a wall-clock knob:
+/// results are in input order and bitwise independent of `grain`.
+pub fn map_indexed_grained<R, F>(n: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = thread_count().min(n / grain.max(1)).max(1);
+    map_indexed_with_workers(n, workers, f)
+}
+
+/// Shared body of the indexed maps: `workers` threads claim indices from an
+/// atomic counter; results are reassembled in index order.
+fn map_indexed_with_workers<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -206,6 +244,35 @@ mod tests {
         let _g = override_threads(4);
         assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
         assert_eq!(map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn grained_map_matches_ungrained_at_any_thread_count() {
+        let expect: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 16] {
+            let _g = override_threads(threads);
+            for grain in [0usize, 1, 7, 50, 99, 100, 1000] {
+                assert_eq!(
+                    map_indexed_grained(100, grain, |i| i * 3 + 1),
+                    expect,
+                    "threads={threads} grain={grain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grained_map_runs_inline_below_two_grains() {
+        // With n < 2*grain every index runs on the calling thread — proof no
+        // worker was spawned despite the 8-thread override.
+        let _g = override_threads(8);
+        let main_id = std::thread::current().id();
+        let ids = map_indexed_grained(9, 5, |_| std::thread::current().id());
+        assert_eq!(ids.len(), 9);
+        assert!(
+            ids.iter().all(|&id| id == main_id),
+            "all work ran on the calling thread"
+        );
     }
 
     #[test]

@@ -264,6 +264,11 @@ pub(crate) struct DeltaCore {
     age_indexes: HashMap<u32, AgeIndex>,
     /// Atoms whose inputs changed since the last integration.
     dirty_atoms: BTreeSet<AtomId>,
+    /// Reusable scratch listing the timesteps touched by one integration.
+    /// `AtomId`'s order is `(timestep, morton)`, so a pass over `dirty_atoms`
+    /// emits timesteps non-decreasing and a last-value check dedups them;
+    /// reusing the vector keeps `integrate` alloc-free at steady state.
+    dirty_ts_scratch: Vec<u32>,
     /// Residency epoch the view is synced to (`None` = never/volatile).
     synced_epoch: Option<u64>,
     /// Refold generation counter feeding [`TsAgg::epoch`].
@@ -292,6 +297,7 @@ impl DeltaCore {
             ts_aggs: BTreeMap::new(),
             age_indexes: HashMap::new(),
             dirty_atoms: BTreeSet::new(),
+            dirty_ts_scratch: Vec::new(),
             synced_epoch: None,
             refold_epoch: 0,
             urc_view: UtilitySnapshot::empty(),
@@ -426,10 +432,13 @@ impl DeltaCore {
         }
         // 1. Recompute dirty atoms (and drop taken ones).
         let params = *base.metric_params();
-        let mut dirty_ts: BTreeSet<u32> = BTreeSet::new();
+        let mut dirty_ts = std::mem::take(&mut self.dirty_ts_scratch);
+        dirty_ts.clear();
         let atoms_mut = Arc::make_mut(&mut self.urc_view.atoms);
         for &atom in &self.dirty_atoms {
-            dirty_ts.insert(atom.timestep);
+            if dirty_ts.last() != Some(&atom.timestep) {
+                dirty_ts.push(atom.timestep);
+            }
             if let Some(info) = base.queue_info(&atom) {
                 let res = residency.is_resident(&atom);
                 let u = eq1(&params, info.positions, res);
@@ -487,6 +496,7 @@ impl DeltaCore {
                 }
             }
         }
+        self.dirty_ts_scratch = dirty_ts;
     }
 
     /// Global max-normalizers of Eq. 2 — `(max U_t, max E)` over all pending
@@ -635,33 +645,36 @@ impl DeltaCore {
     }
 
     /// Fine level of two-level scheduling: Eq. 2 for every pending atom of
-    /// one timestep, in Morton order. Per-atom values are bitwise identical
-    /// to the corresponding [`reference::aged_utilities`] entries.
-    pub(crate) fn timestep_aged_utilities(
+    /// one timestep, in Morton order, written into `out` (cleared first) so
+    /// the dispatch hot path reuses one buffer across calls. Per-atom values
+    /// are bitwise identical to the corresponding
+    /// [`reference::aged_utilities`] entries.
+    pub(crate) fn timestep_aged_utilities_into(
         &mut self,
         base: &dyn QueueBase,
         timestep: u32,
         now_ms: f64,
         alpha: f64,
         residency: &dyn Residency,
-    ) -> Vec<(AtomId, f64)> {
+        out: &mut Vec<(AtomId, f64)>,
+    ) {
         debug_assert!((0.0..=1.0).contains(&alpha));
+        out.clear();
         self.integrate(base, residency);
         let (max_u, max_e) = self.normalizers(now_ms);
         let Some(set) = self.ts_atoms.get(&timestep) else {
-            return Vec::new();
+            return;
         };
-        set.iter()
-            .map(|a| {
-                // lint: invariant — every atom in ts_atoms has a queue
-                let oldest = base
-                    .queue_info(a)
-                    .expect("pending atom has a queue")
-                    .oldest_ms;
-                let e = (now_ms - oldest).max(0.0);
-                (*a, blend(self.eq1_cache[a], e, max_u, max_e, alpha))
-            })
-            .collect()
+        out.reserve(set.len());
+        for a in set {
+            // lint: invariant — every atom in ts_atoms has a queue
+            let oldest = base
+                .queue_info(a)
+                .expect("pending atom has a queue")
+                .oldest_ms;
+            let e = (now_ms - oldest).max(0.0);
+            out.push((*a, blend(self.eq1_cache[a], e, max_u, max_e, alpha)));
+        }
     }
 
     /// Eq. 2 over every pending atom, from the arrangements — same contract

@@ -126,6 +126,12 @@ pub struct Jaws {
     run_boundary: bool,
     stats: SchedulerStats,
     sink: ObsSink,
+    /// Dispatch-path scratch: the ranked `(atom, utility)` buffer of the
+    /// current timestep, reused across `next_batch` calls (capacity
+    /// retained, contents rebuilt each call).
+    ranked_scratch: Vec<(AtomId, f64)>,
+    /// Dispatch-path scratch: the selected atom ids of the current batch.
+    selected_scratch: Vec<AtomId>,
 }
 
 impl Jaws {
@@ -142,6 +148,8 @@ impl Jaws {
             run_boundary: false,
             stats: SchedulerStats::default(),
             sink: ObsSink::null(),
+            ranked_scratch: Vec::new(),
+            selected_scratch: Vec::new(),
             cfg,
         }
     }
@@ -171,6 +179,87 @@ impl Jaws {
             if let Some(q) = self.held.remove(&qid) {
                 self.enqueue_query(&q, now_ms);
             }
+        }
+    }
+
+    /// Emits the [`Event::BatchSelected`] record for an accepted batch. Only
+    /// reached with a recorder attached, so its per-call allocations stay off
+    /// the (unrecorded) dispatch hot path.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_batch_selected(
+        &mut self,
+        residency: &dyn Residency,
+        best_ts: u32,
+        alpha: f64,
+        ts_mean: f64,
+        in_ts: &[(AtomId, f64)],
+        selected: &[AtomId],
+        now_ms: f64,
+    ) {
+        // Capture the utility terms before take_atom drains the queues:
+        // Eq. 1 from the residency-aware snapshot (its integration is
+        // bitwise-idempotent, so reading it here changes nothing), Eq. 2
+        // from the aged ranking the selection actually sorted on.
+        let snapshot = self.wm.utility_snapshot(residency);
+        // One lookup table over the k finalists, not a linear scan per
+        // selected atom (every selected atom is a finalist by
+        // construction, including the below-mean fallback).
+        let aged_of: HashMap<AtomId, f64> = in_ts.iter().copied().collect();
+        let choices = selected
+            .iter()
+            .map(|a| jaws_obs::AtomChoice {
+                morton: a.morton.raw(),
+                eq1: snapshot.rank(a).atom_utility,
+                aged: aged_of.get(a).copied().unwrap_or(0.0),
+            })
+            .collect();
+        self.sink.emit(
+            now_ms,
+            Event::BatchSelected {
+                timestep: best_ts,
+                alpha,
+                threshold: ts_mean,
+                atoms: choices,
+            },
+        );
+    }
+
+    /// Drains the selected atoms out of the workload queues into a [`Batch`],
+    /// updating the dispatch counters. The batch's own vectors are the only
+    /// allocations here — they escape to the engine with the batch.
+    fn build_batch(&mut self, selected: &[AtomId], now_ms: f64) -> Batch {
+        let mut atoms = Vec::with_capacity(selected.len());
+        // The two batch Vecs escape into the returned `Batch` (the engine
+        // owns them); `take_atom_into` keeps the k takes themselves
+        // alloc-free.
+        let mut completing = Vec::new();
+        for atom in selected {
+            let group = self.wm.take_atom_into(atom, &mut completing);
+            self.stats.subqueries += group.subqueries.len() as u64;
+            atoms.push(group);
+        }
+        self.stats.batches += 1;
+        self.stats.atom_groups += atoms.len() as u64;
+        if self.cfg.emit_delta_stats && self.sink.enabled() {
+            let d = self.wm.delta_stats();
+            self.sink.emit(
+                now_ms,
+                Event::DeltaStats {
+                    arrived: d.arrived,
+                    taken: d.taken,
+                    completed: d.completed,
+                    residency_changed: d.residency_changed,
+                    eq1_recomputes: d.eq1_recomputes,
+                    ts_refolds: d.ts_refolds,
+                    coarse_scans: d.coarse_scans,
+                    pending_atoms: self.wm.pending_atoms() as u64,
+                    pending_timesteps: self.wm.pending_timesteps() as u64,
+                },
+            );
+        }
+        Batch {
+            atoms,
+            completing_queries: completing,
         }
     }
 }
@@ -224,6 +313,7 @@ impl Scheduler for Jaws {
         }
     }
 
+    // lint: hotpath
     fn next_batch(&mut self, now_ms: f64, residency: &dyn Residency) -> Option<Batch> {
         if self.cfg.job_aware {
             // Starvation valve: break gates that out-waited their budget.
@@ -257,21 +347,25 @@ impl Scheduler for Jaws {
         // Fine level: up to k atoms of that timestep with utility above the
         // (all-atoms) mean, best first; always at least the maximum. The
         // threshold only bites for very large k, which is why "the impact
-        // beyond 50 is marginal" (Fig. 12).
-        let in_ts = self
-            .wm
-            .timestep_aged_utilities(best_ts, now_ms, alpha, residency);
+        // beyond 50 is marginal" (Fig. 12). Both working buffers are taken
+        // from (and returned to) the scheduler's scratch, so a warmed-up
+        // dispatch allocates nothing here.
+        let mut in_ts = std::mem::take(&mut self.ranked_scratch);
+        self.wm
+            .timestep_aged_utilities_into(best_ts, now_ms, alpha, residency, &mut in_ts);
         let sum: f64 = in_ts.iter().map(|&(_, u)| u).sum();
         let ts_mean = sum / self.cfg.params.atoms_per_timestep.max(1) as f64;
         // Bounded top-k instead of a full sort of the pending timestep: the
         // k survivors (and their order) are bitwise identical to the sorted
         // prefix because the ranking is a strict total order.
         let in_ts = top_k(in_ts, self.cfg.batch_k);
-        let mut selected: Vec<AtomId> = in_ts
-            .iter()
-            .filter(|&&(_, u)| u >= ts_mean)
-            .map(|&(a, _)| a)
-            .collect();
+        let mut selected = std::mem::take(&mut self.selected_scratch);
+        selected.extend(
+            in_ts
+                .iter()
+                .filter(|&&(_, u)| u >= ts_mean)
+                .map(|&(a, _)| a),
+        );
         if selected.is_empty() {
             // lint: invariant — best_timestep returned Some, so the chosen
             // timestep holds at least one pending atom (and top_k put the
@@ -284,64 +378,15 @@ impl Scheduler for Jaws {
         // that order".
         selected.sort_unstable();
         if self.sink.enabled() {
-            // Capture the utility terms before take_atom drains the queues:
-            // Eq. 1 from the residency-aware snapshot (its integration is
-            // bitwise-idempotent, so reading it here changes nothing), Eq. 2
-            // from the aged ranking the selection actually sorted on.
-            let snapshot = self.wm.utility_snapshot(residency);
-            // One lookup table over the k finalists, not a linear scan per
-            // selected atom (every selected atom is a finalist by
-            // construction, including the below-mean fallback).
-            let aged_of: HashMap<AtomId, f64> = in_ts.iter().copied().collect();
-            let choices = selected
-                .iter()
-                .map(|a| jaws_obs::AtomChoice {
-                    morton: a.morton.raw(),
-                    eq1: snapshot.rank(a).atom_utility,
-                    aged: aged_of.get(a).copied().unwrap_or(0.0),
-                })
-                .collect();
-            self.sink.emit(
-                now_ms,
-                Event::BatchSelected {
-                    timestep: best_ts,
-                    alpha,
-                    threshold: ts_mean,
-                    atoms: choices,
-                },
+            self.emit_batch_selected(
+                residency, best_ts, alpha, ts_mean, &in_ts, &selected, now_ms,
             );
         }
-        let mut atoms = Vec::with_capacity(selected.len());
-        let mut completing = Vec::new();
-        for atom in selected {
-            let (group, done) = self.wm.take_atom(&atom);
-            self.stats.subqueries += group.subqueries.len() as u64;
-            atoms.push(group);
-            completing.extend(done);
-        }
-        self.stats.batches += 1;
-        self.stats.atom_groups += atoms.len() as u64;
-        if self.cfg.emit_delta_stats && self.sink.enabled() {
-            let d = self.wm.delta_stats();
-            self.sink.emit(
-                now_ms,
-                Event::DeltaStats {
-                    arrived: d.arrived,
-                    taken: d.taken,
-                    completed: d.completed,
-                    residency_changed: d.residency_changed,
-                    eq1_recomputes: d.eq1_recomputes,
-                    ts_refolds: d.ts_refolds,
-                    coarse_scans: d.coarse_scans,
-                    pending_atoms: self.wm.pending_atoms() as u64,
-                    pending_timesteps: self.wm.pending_timesteps() as u64,
-                },
-            );
-        }
-        Some(Batch {
-            atoms,
-            completing_queries: completing,
-        })
+        let batch = self.build_batch(&selected, now_ms);
+        self.ranked_scratch = in_ts;
+        selected.clear();
+        self.selected_scratch = selected;
+        Some(batch)
     }
 
     fn on_query_complete(&mut self, query: QueryId, response_ms: f64, now_ms: f64) {

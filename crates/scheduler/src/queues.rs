@@ -244,11 +244,29 @@ impl WorkloadManager {
     /// now have no pending sub-queries anywhere (they complete with this
     /// batch).
     ///
+    /// Convenience wrapper over [`Self::take_atom_into`] for callers taking a
+    /// single atom; batch builders loop over [`Self::take_atom_into`] with
+    /// one reused buffer instead of paying a `Vec` per atom.
+    ///
     /// # Panics
     ///
     /// Panics if the atom has no queue — schedulers must only take atoms they
     /// observed as pending.
     pub fn take_atom(&mut self, atom: &AtomId) -> (AtomBatch, Vec<QueryId>) {
+        let mut completing = Vec::new();
+        let group = self.take_atom_into(atom, &mut completing);
+        (group, completing)
+    }
+
+    /// [`Self::take_atom`], but appending the completing query ids to a
+    /// caller-provided buffer so a k-atom batch build performs no per-atom
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom has no queue — schedulers must only take atoms they
+    /// observed as pending.
+    pub fn take_atom_into(&mut self, atom: &AtomId, completing: &mut Vec<QueryId>) -> AtomBatch {
         // lint: invariant — documented public contract (see # Panics above)
         let q = self
             .queues
@@ -256,7 +274,6 @@ impl WorkloadManager {
             .unwrap_or_else(|| panic!("take_atom on empty queue {atom}"));
         self.total_subs -= q.subs.len();
         self.core.apply(Delta::Taken { atom: *atom });
-        let mut completing = Vec::new();
         for s in &q.subs {
             // lint: invariant — enqueue() registered every sub-query's query id
             let left = self
@@ -269,13 +286,10 @@ impl WorkloadManager {
                 completing.push(s.query);
             }
         }
-        (
-            AtomBatch {
-                atom: *atom,
-                subqueries: q.subs,
-            },
-            completing,
-        )
+        AtomBatch {
+            atom: *atom,
+            subqueries: q.subs,
+        }
     }
 
     /// Records that a query finished executing (its last sub-query's batch
@@ -375,9 +389,26 @@ impl WorkloadManager {
         alpha: f64,
         residency: &dyn Residency,
     ) -> Vec<(AtomId, f64)> {
+        let mut out = Vec::new();
+        self.timestep_aged_utilities_into(timestep, now_ms, alpha, residency, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Self::timestep_aged_utilities`]: clears
+    /// `out` and fills it with the same entries (bitwise identical, same
+    /// order). The dispatch hot path reuses one buffer across batches instead
+    /// of allocating per call.
+    pub fn timestep_aged_utilities_into(
+        &mut self,
+        timestep: u32,
+        now_ms: f64,
+        alpha: f64,
+        residency: &dyn Residency,
+        out: &mut Vec<(AtomId, f64)>,
+    ) {
         let (base, core) = self.parts();
         core.apply(Delta::Aged { now_ms });
-        core.timestep_aged_utilities(&base, timestep, now_ms, alpha, residency)
+        core.timestep_aged_utilities_into(&base, timestep, now_ms, alpha, residency, out);
     }
 
     /// The single pending atom with the highest aged utility (ties prefer
@@ -413,7 +444,7 @@ impl WorkloadManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delta::{eq1, reference};
+    use crate::delta::reference;
     use crate::policy::test_support::FixedResidency;
     use jaws_cache::UtilityOracle;
     use jaws_morton::MortonKey;

@@ -45,12 +45,13 @@ use crate::node::NodePipeline;
 use crate::replication::{ReplicaAction, ReplicaDirectory, ReplicationConfig, ReplicationSummary};
 use crate::report::RunTotals;
 use crate::SimConfig;
+use jaws_arena::Lanes;
 use jaws_morton::MortonKey;
 use jaws_obs::{ObsSink, VecRecorder};
 use jaws_workload::{Footprint, Job, JobKind, Query, QueryId, Trace};
 use std::borrow::Cow;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 /// Bits of a packed part id that carry the original query id. The remaining
@@ -220,34 +221,6 @@ impl<'r> LiveRouting<'r> {
         surv
     }
 
-    /// Splits a query into per-node parts, in ascending live-node order. The
-    /// single route borrows the query unchanged; the slab route builds part
-    /// queries whose ids pack the owning node index ([`part_id`]).
-    fn fan_out<'q>(&self, q: &'q Query) -> Vec<(u32, Cow<'q, Query>)> {
-        match self.base {
-            Routing::Single => vec![(0, Cow::Borrowed(q))],
-            Routing::MortonSlabs { .. } | Routing::Replicated { .. } => {
-                let mut per_node: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
-                for &(m, c) in &q.footprint.atoms {
-                    per_node.entry(self.node_of(m)).or_default().push((m, c));
-                }
-                per_node
-                    .into_iter()
-                    .map(|(node, atoms)| {
-                        let part = Query {
-                            id: part_id(q.id, node),
-                            user: q.user,
-                            op: q.op,
-                            timestep: q.timestep,
-                            footprint: Footprint::from_pairs(atoms),
-                        };
-                        (node, Cow::Owned(part))
-                    })
-                    .collect()
-            }
-        }
-    }
-
     /// Projects a job onto one node for declaration: each query keeps only
     /// the footprint atoms the node owns (under its part id); queries with
     /// empty projections are dropped, preserving order. `None` when the node
@@ -313,47 +286,162 @@ enum Event {
     Failure(usize),
 }
 
-/// Wrapper giving f64 event times a total order in the heap.
-#[derive(Debug, PartialEq)]
-struct Key(f64, u64);
+/// Cumulative push count of every [`EventQueue`] in the process. Updated only
+/// from the (serial) engine event loop; read by the bench bins so event-queue
+/// traffic is a measured quantity. Never feeds a scheduling decision.
+static EV_PUSHES: AtomicU64 = AtomicU64::new(0);
 
-impl Eq for Key {}
+/// Cumulative pop count, mirroring [`EV_PUSHES`].
+static EV_POPS: AtomicU64 = AtomicU64::new(0);
 
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Process-wide event-queue operation counters (pushes, pops) since start or
+/// the last [`reset_queue_ops`]. Observability for the bench bins only — the
+/// counts are themselves deterministic (the replay pushes and pops the exact
+/// same event sequence at any thread count), so they may appear unmasked in
+/// bench reports.
+pub fn queue_ops() -> (u64, u64) {
+    (
+        EV_PUSHES.load(AtomicOrdering::Relaxed),
+        EV_POPS.load(AtomicOrdering::Relaxed),
+    )
 }
 
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
+/// Resets the process-wide event-queue counters to zero.
+pub fn reset_queue_ops() {
+    EV_PUSHES.store(0, AtomicOrdering::Relaxed);
+    EV_POPS.store(0, AtomicOrdering::Relaxed);
 }
 
-/// The event queue: a min-heap of (time, insertion id) keys over a payload
-/// map. Insertion ids break time ties first-pushed-first-popped, keeping the
-/// replay deterministic.
-#[derive(Default)]
+/// One-millisecond buckets in the calendar ring. Events scheduled further
+/// ahead of the cursor than this wait in the sorted overflow map and migrate
+/// into the ring as the window slides over them.
+const RING_BUCKETS: u64 = 4096;
+
+/// A pending event stored inline in its bucket: `(time, insertion id,
+/// payload)`. Insertion ids break time ties first-pushed-first-popped.
+type Slot = (f64, u64, Event);
+
+/// The event queue: a calendar queue of integer-millisecond buckets over
+/// simulated time. The ring covers the next [`RING_BUCKETS`] ms from the pop
+/// cursor; pops select the intra-bucket minimum under the same
+/// `(f64::total_cmp, insertion id)` total order the former binary heap used,
+/// so the replay's event sequence is bit-for-bit unchanged — but pushes and
+/// pops are O(bucket occupancy) with no per-event sift or payload-map
+/// round-trip, and drained bucket `Vec`s keep their capacity as the ring
+/// wraps, so a warmed-up queue allocates nothing in steady state.
 struct EventQueue {
-    heap: BinaryHeap<Reverse<(Key, u64)>>,
-    events: BTreeMap<u64, Event>,
+    /// `RING_BUCKETS` buckets; slot `b % RING_BUCKETS` holds exactly the
+    /// events of absolute bucket `b` for `b` in `[cursor, cursor + RING)`.
+    ring: Vec<Vec<Slot>>,
+    /// Far-future events, keyed by absolute bucket index (all `>= cursor +
+    /// RING_BUCKETS`).
+    overflow: BTreeMap<u64, Vec<Slot>>,
+    /// Lowest absolute bucket index that may still hold events.
+    cursor: u64,
+    /// Events currently in `ring`.
+    ring_len: usize,
+    /// Total pending events (ring + overflow).
+    len: usize,
     next_event: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+            cursor: 0,
+            ring_len: 0,
+            len: 0,
+            next_event: 0,
+        }
+    }
+}
+
 impl EventQueue {
+    // lint: hotpath
     fn push(&mut self, at_ms: f64, ev: Event) {
         let id = self.next_event;
         self.next_event += 1;
-        self.events.insert(id, ev);
-        self.heap.push(Reverse((Key(at_ms, id), id)));
+        // Event times are finite and non-negative (now_ms plus a non-negative
+        // delay), so `as u64` is floor(). The clamp keeps a (never observed)
+        // sub-cursor time poppable — it lands in the current bucket, where
+        // min-selection orders it first.
+        let bucket = (at_ms as u64).max(self.cursor);
+        if bucket - self.cursor < RING_BUCKETS {
+            self.ring[(bucket % RING_BUCKETS) as usize].push((at_ms, id, ev));
+            self.ring_len += 1;
+        } else {
+            self.overflow
+                .entry(bucket)
+                .or_default()
+                .push((at_ms, id, ev));
+        }
+        self.len += 1;
+        EV_PUSHES.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
+    // lint: hotpath
     fn pop(&mut self) -> Option<(f64, Event)> {
-        let Reverse((Key(at, _), id)) = self.heap.pop()?;
-        // lint: invariant — push() stores a payload under every heap id
-        let ev = self.events.remove(&id).expect("event payload");
-        Some((at, ev))
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Everything pending is far-future: jump the window instead of
+            // walking empty buckets.
+            // lint: invariant — len > 0 with an empty ring means overflow is
+            // non-empty
+            let (&first, _) = self
+                .overflow
+                .first_key_value()
+                .expect("pending events live in ring or overflow");
+            self.cursor = first;
+            self.migrate_window();
+        }
+        loop {
+            let slot = (self.cursor % RING_BUCKETS) as usize;
+            if !self.ring[slot].is_empty() {
+                let bucket = &mut self.ring[slot];
+                let mut best = 0;
+                for i in 1..bucket.len() {
+                    let ord = bucket[i]
+                        .0
+                        .total_cmp(&bucket[best].0)
+                        .then(bucket[i].1.cmp(&bucket[best].1));
+                    if ord == std::cmp::Ordering::Less {
+                        best = i;
+                    }
+                }
+                let (at, _, ev) = bucket.swap_remove(best);
+                self.ring_len -= 1;
+                self.len -= 1;
+                EV_POPS.fetch_add(1, AtomicOrdering::Relaxed);
+                return Some((at, ev));
+            }
+            self.cursor += 1;
+            // The window slid by one: the newly covered far bucket (if any)
+            // enters the ring at the slot just vacated.
+            if let Some(mut evs) = self.overflow.remove(&(self.cursor + RING_BUCKETS - 1)) {
+                self.ring_len += evs.len();
+                let far = ((self.cursor + RING_BUCKETS - 1) % RING_BUCKETS) as usize;
+                self.ring[far].append(&mut evs);
+            }
+        }
+    }
+
+    /// Moves every overflow bucket now inside `[cursor, cursor + RING)` into
+    /// the ring. Called after a cursor jump.
+    fn migrate_window(&mut self) {
+        while let Some((&k, _)) = self.overflow.first_key_value() {
+            if k >= self.cursor + RING_BUCKETS {
+                break;
+            }
+            // lint: invariant — first_key_value just returned this key
+            let mut evs = self.overflow.remove(&k).expect("first overflow bucket");
+            self.ring_len += evs.len();
+            let slot = (k % RING_BUCKETS) as usize;
+            self.ring[slot].append(&mut evs);
+        }
     }
 }
 
@@ -487,6 +575,78 @@ struct ReplicationState {
     decls: u64,
 }
 
+/// Reusable per-submit scratch for the engine's fan-out path. One query's
+/// footprint is scattered into per-node lanes, built into part queries, and
+/// the lane buffers are recovered after delivery — so a warmed-up submit
+/// allocates nothing on the static-slab route and only the per-part `Query`
+/// clones demanded by declarations on the replicated route.
+struct EngineScratch {
+    /// Per-node `(morton, count)` buckets for the footprint scatter.
+    lanes: Lanes<(MortonKey, u32)>,
+    /// Replicated route: which nodes statically own atoms of the current
+    /// query (withdrawal bookkeeping). Reset per submit.
+    owner_flag: Vec<bool>,
+    /// Replicated route: replica promote/demote/route transitions of the
+    /// current query. Cleared per submit.
+    actions: Vec<ReplicaAction>,
+    /// Replicated route: built parts awaiting delivery — the trace event
+    /// order requires every just-in-time declaration to precede the first
+    /// delivery, so parts are staged here between the two passes.
+    parts: Vec<(u32, Query)>,
+}
+
+impl EngineScratch {
+    fn new(nodes: usize) -> Self {
+        EngineScratch {
+            lanes: Lanes::new(nodes),
+            owner_flag: vec![false; nodes],
+            actions: Vec::new(),
+            parts: Vec::new(),
+        }
+    }
+}
+
+/// Hands one part query to its owning pipeline: emits the routing record,
+/// registers failure-plan bookkeeping, feeds the trajectory predictor (for
+/// ordered follow-ups) and makes the part available to the node's scheduler.
+#[allow(clippy::too_many_arguments)]
+fn deliver_part(
+    node: u32,
+    part: &Query,
+    query: QueryId,
+    observe: bool,
+    job_id: u64,
+    now_ms: f64,
+    fstate: &mut Option<FailureState>,
+    pipelines: &mut [NodePipeline],
+    sink: &ObsSink,
+    buffers: &Option<TraceBuffers<'_>>,
+) {
+    if sink.enabled() {
+        sink.emit(
+            now_ms,
+            jaws_obs::Event::PartRouted {
+                query,
+                part: part.id,
+                node,
+                atoms: part.footprint.atoms.len() as u32,
+            },
+        );
+    }
+    if let Some(fs) = fstate {
+        fs.pending[node as usize].insert(part.id);
+        fs.defs.insert(part.id, part.clone());
+    }
+    let p = &mut pipelines[node as usize];
+    if observe {
+        p.observe(job_id, part);
+    }
+    p.query_available(part, now_ms);
+    if let Some(b) = buffers {
+        b.drain(node as usize);
+    }
+}
+
 /// Replays `trace` against `pipelines` under `routing` until the trace drains
 /// or the simulated-time cap fires.
 ///
@@ -566,10 +726,16 @@ pub(crate) fn run_trace(
     // Traced multi-node runs: buffer per-node emissions so worker threads
     // never interleave on the shared recorder (see [`TraceBuffers`]).
     let buffers = buffer_node_sinks(pipelines, sink);
+    // Reusable fan-out and dispatch scratch: allocated once per run, cleared
+    // per event — the per-event hot path allocates nothing after warm-up.
+    let mut scratch = EngineScratch::new(pipelines.len());
+    let mut plans: Vec<DispatchPlan> = Vec::with_capacity(pipelines.len());
 
     // Submits query (ji, qi): records the submission time, fans the query
     // out to its owning pipelines, and (for ordered follow-ups) feeds the
-    // trajectory predictors.
+    // trajectory predictors. The fan-out scatters into the reusable scratch
+    // lanes and recovers each part's footprint buffer after delivery, so a
+    // warmed-up submit performs no allocation on the static routes.
     let submit = |ji: usize,
                   qi: usize,
                   observe: bool,
@@ -579,7 +745,8 @@ pub(crate) fn run_trace(
                   outstanding: &mut BTreeMap<QueryId, u32>,
                   fstate: &mut Option<FailureState>,
                   rstate: &mut Option<ReplicationState>,
-                  pipelines: &mut [NodePipeline]| {
+                  pipelines: &mut [NodePipeline],
+                  scratch: &mut EngineScratch| {
         let job = &trace.jobs[ji];
         let q = &job.queries[qi];
         submit_ms.insert(q.id, now_ms);
@@ -595,40 +762,69 @@ pub(crate) fn run_trace(
                 },
             );
         }
-        let parts = match rstate {
+        match rstate {
             Some(rs) => {
-                replicated_fan_out(rs, fstate, q, job, now_ms, live, pipelines, sink, &buffers)
-            }
-            None => live.fan_out(q),
-        };
-        outstanding.insert(q.id, parts.len() as u32);
-        for (node, part) in parts {
-            if sink.enabled() {
-                sink.emit(
+                replicated_fan_out(
+                    rs,
+                    fstate,
+                    q,
+                    job,
+                    observe,
                     now_ms,
-                    jaws_obs::Event::PartRouted {
-                        query: q.id,
-                        part: part.id,
-                        node,
-                        atoms: part.footprint.atoms.len() as u32,
-                    },
+                    live,
+                    pipelines,
+                    sink,
+                    &buffers,
+                    scratch,
+                    outstanding,
                 );
             }
-            if let Some(fs) = fstate {
-                fs.pending[node as usize].insert(part.id);
-                fs.defs.insert(part.id, part.as_ref().clone());
-            }
-            if let Some(rs) = rstate {
-                rs.node_load[node as usize] += 1;
-            }
-            let p = &mut pipelines[node as usize];
-            if observe {
-                p.observe(job.id, part.as_ref());
-            }
-            p.query_available(part.as_ref(), now_ms);
-            if let Some(b) = &buffers {
-                b.drain(node as usize);
-            }
+            None => match live.base {
+                Routing::Single => {
+                    // The single route delivers the query itself, unchanged.
+                    outstanding.insert(q.id, 1);
+                    deliver_part(
+                        0, q, q.id, observe, job.id, now_ms, fstate, pipelines, sink, &buffers,
+                    );
+                }
+                Routing::MortonSlabs { .. } | Routing::Replicated { .. } => {
+                    for &(m, c) in &q.footprint.atoms {
+                        scratch.lanes.push(live.node_of(m) as usize, (m, c));
+                    }
+                    let parts = (0..scratch.lanes.len())
+                        .filter(|&n| scratch.lanes.lane_len(n) > 0)
+                        .count();
+                    outstanding.insert(q.id, parts as u32);
+                    for node in 0..scratch.lanes.len() {
+                        if scratch.lanes.lane_len(node) == 0 {
+                            continue;
+                        }
+                        let atoms = scratch.lanes.take_lane(node);
+                        let mut part = Query {
+                            id: part_id(q.id, node as u32),
+                            user: q.user,
+                            op: q.op,
+                            timestep: q.timestep,
+                            footprint: Footprint::from_pairs_in_place(atoms),
+                        };
+                        deliver_part(
+                            node as u32,
+                            &part,
+                            q.id,
+                            observe,
+                            job.id,
+                            now_ms,
+                            fstate,
+                            pipelines,
+                            sink,
+                            &buffers,
+                        );
+                        scratch
+                            .lanes
+                            .restore(node, std::mem::take(&mut part.footprint.atoms));
+                    }
+                }
+            },
         }
     };
 
@@ -708,6 +904,7 @@ pub(crate) fn run_trace(
                             &mut fstate,
                             &mut rstate,
                             &mut *pipelines,
+                            &mut scratch,
                         );
                     }
                 }
@@ -725,6 +922,7 @@ pub(crate) fn run_trace(
                     &mut fstate,
                     &mut rstate,
                     &mut *pipelines,
+                    &mut scratch,
                 );
             }
             Event::BatchDone(node, completed_parts) => {
@@ -844,7 +1042,15 @@ pub(crate) fn run_trace(
                 }
             }
         }
-        dispatch_round(pipelines, &live.alive, now_ms, cfg, &mut queue, &buffers);
+        dispatch_round(
+            pipelines,
+            &live.alive,
+            now_ms,
+            cfg,
+            &mut queue,
+            &buffers,
+            &mut plans,
+        );
     }
 
     if let Some(b) = &buffers {
@@ -920,30 +1126,37 @@ pub(crate) fn run_trace(
 ///   Single-query jobs never form gating alignments, so the declaration
 ///   cannot distort schedule quality.
 #[allow(clippy::too_many_arguments)]
-fn replicated_fan_out<'q>(
+fn replicated_fan_out(
     rs: &mut ReplicationState,
     fstate: &mut Option<FailureState>,
-    q: &'q Query,
+    q: &Query,
     job: &Job,
+    observe: bool,
     now_ms: f64,
     live: &LiveRouting<'_>,
     pipelines: &mut [NodePipeline],
     sink: &ObsSink,
     buffers: &Option<TraceBuffers<'_>>,
-) -> Vec<(u32, Cow<'q, Query>)> {
-    let mut actions: Vec<ReplicaAction> = Vec::new();
-    let mut owners: BTreeSet<u32> = BTreeSet::new();
-    let mut assignment: BTreeMap<u32, Vec<(MortonKey, u32)>> = BTreeMap::new();
+    scratch: &mut EngineScratch,
+    outstanding: &mut BTreeMap<QueryId, u32>,
+) {
+    scratch.actions.clear();
+    scratch.owner_flag.iter_mut().for_each(|f| *f = false);
     for &(m, c) in &q.footprint.atoms {
         let owner = live.node_of(m);
-        owners.insert(owner);
-        let target = rs
-            .dir
-            .route_atom(m, owner, now_ms, &live.alive, &rs.node_load, &mut actions);
-        assignment.entry(target).or_default().push((m, c));
+        scratch.owner_flag[owner as usize] = true;
+        let target = rs.dir.route_atom(
+            m,
+            owner,
+            now_ms,
+            &live.alive,
+            &rs.node_load,
+            &mut scratch.actions,
+        );
+        scratch.lanes.push(target as usize, (m, c));
     }
     if sink.enabled() {
-        for a in &actions {
+        for a in &scratch.actions {
             let ev = match *a {
                 ReplicaAction::Promoted {
                     morton,
@@ -975,54 +1188,74 @@ fn replicated_fan_out<'q>(
     }
     // Withdrawals before deliveries, so gating state is settled when the
     // diverted parts arrive.
-    for &node in &owners {
-        if assignment.contains_key(&node) {
+    for (node, pipeline) in pipelines.iter_mut().enumerate() {
+        if !scratch.owner_flag[node] || scratch.lanes.lane_len(node) > 0 {
             continue;
         }
-        let pid = part_id(q.id, node);
-        if rs.declared[node as usize].remove(&pid) {
+        let pid = part_id(q.id, node as u32);
+        if rs.declared[node].remove(&pid) {
             if let Some(fs) = fstate {
-                fs.declared[node as usize].remove(&pid);
+                fs.declared[node].remove(&pid);
             }
-            pipelines[node as usize].query_withdrawn(pid, now_ms);
+            pipeline.query_withdrawn(pid, now_ms);
             if let Some(b) = buffers {
-                b.drain(node as usize);
+                b.drain(node);
             }
         }
     }
-    assignment
-        .into_iter()
-        .map(|(node, atoms)| {
-            let part = Query {
-                id: part_id(q.id, node),
-                user: q.user,
-                op: q.op,
-                timestep: q.timestep,
-                footprint: Footprint::from_pairs(atoms),
+    // Build the parts and run every just-in-time declaration first (ascending
+    // node order) — the trace byte-stream pins declarations ahead of the
+    // first delivery.
+    debug_assert!(scratch.parts.is_empty(), "parts scratch left dirty");
+    for (node, pipeline) in pipelines.iter_mut().enumerate() {
+        if scratch.lanes.lane_len(node) == 0 {
+            continue;
+        }
+        let atoms = scratch.lanes.take_lane(node);
+        let part = Query {
+            id: part_id(q.id, node as u32),
+            user: q.user,
+            op: q.op,
+            timestep: q.timestep,
+            footprint: Footprint::from_pairs_in_place(atoms),
+        };
+        if !rs.declared[node].contains(&part.id) {
+            rs.decls += 1;
+            let decl = Job {
+                id: REPLICA_DECL_BIT | rs.decls,
+                user: job.user,
+                kind: job.kind,
+                campaign: job.campaign,
+                queries: vec![part.clone()],
+                arrival_ms: job.arrival_ms,
+                think_ms: job.think_ms,
             };
-            if !rs.declared[node as usize].contains(&part.id) {
-                rs.decls += 1;
-                let decl = Job {
-                    id: REPLICA_DECL_BIT | rs.decls,
-                    user: job.user,
-                    kind: job.kind,
-                    campaign: job.campaign,
-                    queries: vec![part.clone()],
-                    arrival_ms: job.arrival_ms,
-                    think_ms: job.think_ms,
-                };
-                rs.declared[node as usize].insert(part.id);
-                if let Some(fs) = fstate {
-                    fs.declared[node as usize].insert(part.id);
-                }
-                pipelines[node as usize].job_declared(&decl, now_ms);
-                if let Some(b) = buffers {
-                    b.drain(node as usize);
-                }
+            rs.declared[node].insert(part.id);
+            if let Some(fs) = fstate {
+                fs.declared[node].insert(part.id);
             }
-            (node, Cow::Owned(part))
-        })
-        .collect()
+            pipeline.job_declared(&decl, now_ms);
+            if let Some(b) = buffers {
+                b.drain(node);
+            }
+        }
+        scratch.parts.push((node as u32, part));
+    }
+    outstanding.insert(q.id, scratch.parts.len() as u32);
+    // Deliveries in ascending node order; each part's footprint buffer goes
+    // back to its lane once the pipeline has taken what it needs.
+    let mut parts = std::mem::take(&mut scratch.parts);
+    for (node, part) in &mut parts {
+        rs.node_load[*node as usize] += 1;
+        deliver_part(
+            *node, part, q.id, observe, job.id, now_ms, fstate, pipelines, sink, buffers,
+        );
+        scratch
+            .lanes
+            .restore(*node as usize, std::mem::take(&mut part.footprint.atoms));
+    }
+    parts.clear();
+    scratch.parts = parts;
 }
 
 /// Handles one scripted crash: kills the node in the routing overlay, then
@@ -1237,15 +1470,25 @@ fn dispatch_plan(pipeline: &mut NodePipeline, now_ms: f64) -> DispatchPlan {
     }
 }
 
+/// Free nodes below which a dispatch round plans inline instead of on the
+/// `jaws_par` pool. A delta-core planning step costs ~20–60 µs (BENCH_8)
+/// while `std::thread::scope` pays a fresh OS-thread spawn of the same order
+/// per worker per call, so fanning out for two or three free nodes loses
+/// wall-clock; bench-chosen, wall-clock only (plans are reassembled in node
+/// order either way).
+const PAR_DISPATCH_MIN_FREE: usize = 4;
+
 /// One per-event dispatch round over all live pipelines.
 ///
 /// Nodes share no state between events (each owns its database, cache and
 /// scheduler), so when several are free their planning steps run concurrently
-/// via [`jaws_par::map_mut`]; with one free node (the common saturated case)
-/// the round stays inline and spawns nothing. Dead nodes are skipped
-/// entirely. Plans are applied — and any buffered trace records drained — in
-/// ascending node order, so event ids, reports and JSONL traces are
-/// byte-identical at any thread count.
+/// via [`jaws_par::map_mut`]; with fewer than [`PAR_DISPATCH_MIN_FREE`] free
+/// nodes (the common saturated case is one) the round stays inline and
+/// spawns nothing. Dead nodes are skipped entirely. Plans are applied — and
+/// any buffered trace records drained — in ascending node order, so event
+/// ids, reports and JSONL traces are byte-identical at any thread count.
+// lint: hotpath
+#[allow(clippy::too_many_arguments)]
 fn dispatch_round(
     pipelines: &mut [NodePipeline],
     alive: &[bool],
@@ -1253,34 +1496,32 @@ fn dispatch_round(
     cfg: &SimConfig,
     queue: &mut EventQueue,
     buffers: &Option<TraceBuffers<'_>>,
+    plans: &mut Vec<DispatchPlan>,
 ) {
     let free = pipelines
         .iter()
         .enumerate()
         .filter(|(i, p)| alive[*i] && !p.is_busy())
         .count();
-    let plans: Vec<DispatchPlan> = if free > 1 {
-        jaws_par::map_mut(pipelines, |i, p| {
+    plans.clear();
+    if free >= PAR_DISPATCH_MIN_FREE {
+        *plans = jaws_par::map_mut(pipelines, |i, p| {
             if alive[i] {
                 dispatch_plan(p, now_ms)
             } else {
                 DispatchPlan::Nothing
             }
-        })
+        });
     } else {
-        pipelines
-            .iter_mut()
-            .enumerate()
-            .map(|(i, p)| {
-                if alive[i] {
-                    dispatch_plan(p, now_ms)
-                } else {
-                    DispatchPlan::Nothing
-                }
-            })
-            .collect()
-    };
-    for (node, plan) in plans.into_iter().enumerate() {
+        plans.extend(pipelines.iter_mut().enumerate().map(|(i, p)| {
+            if alive[i] {
+                dispatch_plan(p, now_ms)
+            } else {
+                DispatchPlan::Nothing
+            }
+        }));
+    }
+    for (node, plan) in plans.drain(..).enumerate() {
         if let Some(b) = buffers {
             b.drain(node);
         }
@@ -1305,6 +1546,157 @@ fn dispatch_round(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// The retired heap key: f64 event times under a total order. Kept as the
+    /// test oracle for the calendar queue's pop order.
+    #[derive(Debug, PartialEq)]
+    struct Key(f64, u64);
+
+    impl Eq for Key {}
+
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    /// The pre-calendar-queue implementation, verbatim: a min-heap of
+    /// `(time, insertion id)` keys. Pop order is the specification the
+    /// calendar queue must reproduce bit-for-bit.
+    #[derive(Default)]
+    struct HeapOracle {
+        heap: BinaryHeap<Reverse<(Key, u64)>>,
+        events: BTreeMap<u64, Event>,
+        next_event: u64,
+    }
+
+    impl HeapOracle {
+        fn push(&mut self, at_ms: f64, ev: Event) {
+            let id = self.next_event;
+            self.next_event += 1;
+            self.events.insert(id, ev);
+            self.heap.push(Reverse((Key(at_ms, id), id)));
+        }
+
+        fn pop(&mut self) -> Option<(f64, Event)> {
+            let Reverse((Key(at, _), id)) = self.heap.pop()?;
+            let ev = self.events.remove(&id).expect("event payload");
+            Some((at, ev))
+        }
+    }
+
+    /// Tags pops so sequences can be compared: (time bits, payload tag).
+    fn tag(popped: Option<(f64, Event)>) -> Option<(u64, u32)> {
+        popped.map(|(at, ev)| match ev {
+            Event::IdleCheck(n) => (at.to_bits(), n),
+            other => panic!("test events are IdleCheck only, got {other:?}"),
+        })
+    }
+
+    #[test]
+    fn calendar_queue_pops_nothing_when_empty() {
+        let mut q = EventQueue::default();
+        assert!(q.pop().is_none());
+        q.push(5.0, Event::IdleCheck(0));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_queue_orders_by_time_then_insertion_id() {
+        let mut q = EventQueue::default();
+        q.push(3.25, Event::IdleCheck(0));
+        q.push(1.5, Event::IdleCheck(1));
+        q.push(1.5, Event::IdleCheck(2));
+        q.push(0.75, Event::IdleCheck(3));
+        let order: Vec<u32> = std::iter::from_fn(|| tag(q.pop()).map(|(_, n)| n)).collect();
+        assert_eq!(order, vec![3, 1, 2, 0], "ties pop first-pushed-first");
+    }
+
+    #[test]
+    fn calendar_queue_migrates_far_future_overflow() {
+        let mut q = EventQueue::default();
+        // Far beyond the ring window, out of push order, with a tie.
+        let far = RING_BUCKETS as f64 * 3.0;
+        q.push(far + 7.0, Event::IdleCheck(0));
+        q.push(2.0, Event::IdleCheck(1));
+        q.push(far + 7.0, Event::IdleCheck(2));
+        q.push(far + 1.0, Event::IdleCheck(3));
+        let order: Vec<u32> = std::iter::from_fn(|| tag(q.pop()).map(|(_, n)| n)).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn calendar_queue_interleaves_pushes_between_pops() {
+        // The engine's shape: pops advance the cursor while new events land
+        // at or after the popped time, including in the current bucket.
+        let mut q = EventQueue::default();
+        let mut oracle = HeapOracle::default();
+        for (i, t) in [10.0, 4.5, 4.5, 2_000.0, 9_999.5].iter().enumerate() {
+            q.push(*t, Event::IdleCheck(i as u32));
+            oracle.push(*t, Event::IdleCheck(i as u32));
+        }
+        let mut next = 100u32;
+        while let Some((at, ev)) = oracle.pop() {
+            assert_eq!(tag(Some((at, ev))), tag(q.pop()));
+            if next < 106 {
+                // Re-arm two follow-ups relative to the popped time.
+                for dt in [0.0, 750.25] {
+                    q.push(at + dt, Event::IdleCheck(next));
+                    oracle.push(at + dt, Event::IdleCheck(next));
+                    next += 1;
+                }
+            }
+        }
+        assert!(q.pop().is_none());
+    }
+
+    proptest! {
+        /// Pop order equals the retired binary heap's over random event
+        /// sequences — quantized times force same-timestamp ties, the far
+        /// multiplier exercises overflow migration, and interleaved pops
+        /// exercise the sliding window.
+        #[test]
+        fn calendar_queue_matches_heap_oracle(
+            ops in proptest::collection::vec((0u8..2, 0u16..200, 0u8..2), 1..200)
+        ) {
+            let mut q = EventQueue::default();
+            let mut oracle = HeapOracle::default();
+            let mut n = 0u32;
+            for (is_pop, t_raw, far) in ops {
+                let (is_pop, far) = (is_pop == 1, far == 1);
+                if is_pop {
+                    prop_assert_eq!(tag(q.pop()), tag(oracle.pop()));
+                } else {
+                    let t = if far {
+                        t_raw as f64 * 97.5
+                    } else {
+                        (t_raw % 24) as f64 * 0.5
+                    };
+                    q.push(t, Event::IdleCheck(n));
+                    oracle.push(t, Event::IdleCheck(n));
+                    n += 1;
+                }
+            }
+            loop {
+                let (a, b) = (tag(q.pop()), tag(oracle.pop()));
+                let done = b.is_none();
+                prop_assert_eq!(a, b);
+                if done {
+                    break;
+                }
+            }
+        }
+    }
 
     #[test]
     fn part_ids_round_trip() {

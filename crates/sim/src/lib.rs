@@ -40,7 +40,7 @@ pub mod setup;
 pub mod sweep;
 
 pub use cluster::{ClusterConfig, ClusterExecutor, ClusterReport, DegradedReport, NodeReport};
-pub use engine::Routing;
+pub use engine::{queue_ops, reset_queue_ops, Routing};
 pub use executor::{Executor, SimConfig};
 pub use failure::{FailureEvent, FailurePlan};
 pub use node::NodePipeline;

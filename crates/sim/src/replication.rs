@@ -7,8 +7,9 @@
 //! STAR-Scheduler's dispatch-to-replicas and LifeRaft's contention ordering
 //! (PAPERS.md):
 //!
-//! * a per-key **access histogram** (sliding window over simulated time) is
-//!   fed from the engine's dispatch path;
+//! * a per-key **access histogram** (a fixed-capacity ring of recent access
+//!   times standing in for a sliding window — see [`AccessRing`]) is fed
+//!   from the engine's dispatch path without allocating per access;
 //! * keys whose windowed traffic crosses `promote_accesses` are **promoted**:
 //!   a replica is placed on the least-loaded live node that is not the owner
 //!   (every node opens the full geometry, so a replica is just a remote cache
@@ -32,7 +33,7 @@
 
 use jaws_morton::MortonKey;
 use serde::Serialize;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Knobs for the hot-atom replica overlay.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,14 +112,65 @@ impl Default for ReplicationConfig {
     }
 }
 
+/// Fixed-capacity ring of the most recent access timestamps for one key.
+///
+/// Promotion and demotion only ever compare the windowed access count
+/// against `promote_accesses` and `demote_accesses < promote_accesses`, so
+/// the last `promote_accesses` timestamps determine every decision exactly:
+/// the ring reports `min(exact windowed count, capacity)`, which lands on
+/// the same side of both thresholds as the exact count (engine time is
+/// non-decreasing, so the ring always holds the *newest* accesses). Unlike
+/// the per-key `VecDeque<f64>` it replaced — which held every in-window
+/// access and reallocated as hot keys grew — the ring never grows after
+/// construction, so the dispatch path records accesses allocation-free.
+#[derive(Debug)]
+struct AccessRing {
+    /// The last `slots.len()` access times; `slots[cursor]` is the next
+    /// overwrite target (the oldest entry once the ring has wrapped).
+    slots: Box<[f64]>,
+    cursor: usize,
+    /// Slots holding real timestamps: `min(total accesses, slots.len())`.
+    filled: usize,
+}
+
+impl AccessRing {
+    fn new(capacity: usize) -> Self {
+        AccessRing {
+            slots: vec![0.0; capacity.max(1)].into_boxed_slice(),
+            cursor: 0,
+            filled: 0,
+        }
+    }
+
+    /// Records one access at `now_ms`, evicting the oldest retained
+    /// timestamp once full. No allocation.
+    fn record(&mut self, now_ms: f64) {
+        self.slots[self.cursor] = now_ms;
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        self.filled = (self.filled + 1).min(self.slots.len());
+    }
+
+    /// Retained accesses still inside the window ending at `now_ms`:
+    /// `min(exact windowed count, capacity)`.
+    fn windowed_count(&self, now_ms: f64, window_ms: f64) -> u32 {
+        self.slots[..self.filled]
+            .iter()
+            .filter(|&&t| now_ms - t <= window_ms)
+            .count() as u32
+    }
+}
+
 /// One replica-table transition decided while routing an access; the engine
 /// turns these into `jaws-obs` events in decision order.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum ReplicaAction {
     /// A key crossed the promotion threshold; `node` now hosts a replica.
     Promoted {
         morton: MortonKey,
         node: u32,
+        /// Windowed access count at promotion, saturated at
+        /// `promote_accesses` (the ring retains no more — see
+        /// [`AccessRing`]).
         window_accesses: u32,
     },
     /// A key drained below the demotion threshold; `node`'s replica is gone.
@@ -135,8 +187,8 @@ pub(crate) enum ReplicaAction {
 #[derive(Debug)]
 pub(crate) struct ReplicaDirectory {
     cfg: ReplicationConfig,
-    /// Per key: access timestamps inside the sliding window, oldest first.
-    hits: BTreeMap<MortonKey, VecDeque<f64>>,
+    /// Per key: the fixed-capacity ring of recent access timestamps.
+    hits: BTreeMap<MortonKey, AccessRing>,
     /// Per replicated key: hosting nodes, ascending (never the owner).
     replicas: BTreeMap<MortonKey, Vec<u32>>,
     promotions: u64,
@@ -164,6 +216,7 @@ impl ReplicaDirectory {
     /// should serve the access: the least-loaded live candidate among the
     /// owner and the key's replicas (ties prefer the owner, then the lowest
     /// node index). Transitions and diversions are appended to `actions`.
+    // lint: hotpath
     pub(crate) fn route_atom(
         &mut self,
         m: MortonKey,
@@ -173,16 +226,13 @@ impl ReplicaDirectory {
         load: &[u64],
         actions: &mut Vec<ReplicaAction>,
     ) -> u32 {
-        let window = self.hits.entry(m).or_default();
-        window.push_back(now_ms);
-        while let Some(&t) = window.front() {
-            if now_ms - t > self.cfg.window_ms {
-                window.pop_front();
-            } else {
-                break;
-            }
-        }
-        let count = window.len() as u32;
+        let capacity = self.cfg.promote_accesses as usize;
+        let ring = self
+            .hits
+            .entry(m)
+            .or_insert_with(|| AccessRing::new(capacity));
+        ring.record(now_ms);
+        let count = ring.windowed_count(now_ms, self.cfg.window_ms);
 
         if let Some(hosts) = self.replicas.get(&m) {
             if count <= self.cfg.demote_accesses {
@@ -196,6 +246,8 @@ impl ReplicaDirectory {
         {
             // Candidate hosts: live nodes other than the owner, least loaded
             // first (ties by index). Integer loads, so the order is total.
+            // lint: allow(M001) — promotion is a rare table transition; the
+            // Vec escapes into the replica table, it is not scratch.
             let mut hosts: Vec<u32> = (0..alive.len() as u32)
                 .filter(|&n| n != owner && alive[n as usize])
                 .collect();
@@ -416,6 +468,168 @@ mod tests {
         d.route_atom(MortonKey(1), 0, 0.0, &alive, &load, &mut acts);
         d.route_atom(MortonKey(2), 0, 0.0, &alive, &load, &mut acts);
         assert_eq!(d.summary().replicas.len(), 1, "budget of one key");
+    }
+
+    /// The retired histogram, verbatim: per-key `VecDeque<f64>` of every
+    /// in-window access timestamp, trimmed exactly. Kept as the decision
+    /// oracle for [`AccessRing`]. The only deliberate difference is the
+    /// `window_accesses` payload of `Promoted`, which the ring saturates at
+    /// `promote_accesses`; the oracle applies the same saturation so the
+    /// comparison below is exact over full action sequences.
+    struct DequeOracle {
+        cfg: ReplicationConfig,
+        hits: BTreeMap<MortonKey, std::collections::VecDeque<f64>>,
+        replicas: BTreeMap<MortonKey, Vec<u32>>,
+    }
+
+    impl DequeOracle {
+        fn new(cfg: ReplicationConfig) -> Self {
+            DequeOracle {
+                cfg,
+                hits: BTreeMap::new(),
+                replicas: BTreeMap::new(),
+            }
+        }
+
+        fn route_atom(
+            &mut self,
+            m: MortonKey,
+            owner: u32,
+            now_ms: f64,
+            alive: &[bool],
+            load: &[u64],
+            actions: &mut Vec<ReplicaAction>,
+        ) -> u32 {
+            let window = self.hits.entry(m).or_default();
+            window.push_back(now_ms);
+            while let Some(&t) = window.front() {
+                if now_ms - t > self.cfg.window_ms {
+                    window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let count = window.len() as u32;
+            if let Some(hosts) = self.replicas.get(&m) {
+                if count <= self.cfg.demote_accesses {
+                    for &n in hosts {
+                        actions.push(ReplicaAction::Demoted { morton: m, node: n });
+                    }
+                    self.replicas.remove(&m);
+                }
+            } else if count >= self.cfg.promote_accesses
+                && self.replicas.len() < self.cfg.max_hot_atoms
+            {
+                let mut hosts: Vec<u32> = (0..alive.len() as u32)
+                    .filter(|&n| n != owner && alive[n as usize])
+                    .collect();
+                hosts.sort_by_key(|&n| (load[n as usize], n));
+                hosts.truncate(self.cfg.max_replicas_per_atom as usize);
+                if !hosts.is_empty() {
+                    for &n in &hosts {
+                        actions.push(ReplicaAction::Promoted {
+                            morton: m,
+                            node: n,
+                            window_accesses: count.min(self.cfg.promote_accesses),
+                        });
+                    }
+                    self.replicas.insert(m, hosts);
+                }
+            }
+            let mut best = owner;
+            if let Some(hosts) = self.replicas.get(&m) {
+                for &n in hosts {
+                    if alive[n as usize] && load[n as usize] < load[best as usize] {
+                        best = n;
+                    }
+                }
+            }
+            if best != owner {
+                actions.push(ReplicaAction::Routed {
+                    morton: m,
+                    owner,
+                    replica: best,
+                });
+            }
+            best
+        }
+    }
+
+    /// The bucket-ring histogram must reproduce the exact sliding window's
+    /// promote/demote/route decisions on a paper-like skewed trace: ~70 % of
+    /// accesses hammer a dozen hot keys (driving promotions, demotions on
+    /// drift, and replica routing), the rest spread over a long cold tail.
+    #[test]
+    fn ring_pins_identical_decisions_to_the_deque_oracle_on_a_skewed_trace() {
+        let cfg = ReplicationConfig {
+            enabled: true,
+            window_ms: 500.0,
+            promote_accesses: 8,
+            demote_accesses: 2,
+            max_replicas_per_atom: 2,
+            max_hot_atoms: 6, // deliberately tight: budget refusals included
+        };
+        let mut ring = ReplicaDirectory::new(cfg);
+        let mut oracle = DequeOracle::new(cfg);
+        let nodes = 5usize;
+        let mut alive = vec![true; nodes];
+        let mut load = vec![0u64; nodes];
+        let mut state = 0x2009_0720_u64;
+        let mut rng = move || {
+            // splitmix64 — the workspace's seeded-stream idiom.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut now_ms = 0.0f64;
+        let mut ring_actions = Vec::new();
+        let mut oracle_actions = Vec::new();
+        for step in 0..4096 {
+            let r = rng();
+            // 70 % of traffic on 12 hot keys, the rest on a 500-key tail.
+            let key = if r % 10 < 7 {
+                MortonKey((r / 10) % 12)
+            } else {
+                MortonKey(100 + (r / 10) % 500)
+            };
+            let owner = (key.raw() % nodes as u64) as u32;
+            // Phased arrivals: dense bursts (hot keys cross the promotion
+            // threshold) alternating with lulls (their windows drain past
+            // the demotion threshold).
+            now_ms += if (step / 512) % 2 == 0 {
+                (r >> 32) as f64 % 4.0
+            } else {
+                60.0 + (r >> 32) as f64 % 80.0
+            };
+            load[step % nodes] = r % 97; // drifting load picture
+            if step == 1500 {
+                // Mid-trace crash: both tables drop node 3's replicas.
+                assert_eq!(ring.drop_node(3), {
+                    let mut dropped = Vec::new();
+                    oracle.replicas.retain(|&m, hosts| {
+                        let before = hosts.len();
+                        hosts.retain(|&n| n != 3);
+                        if hosts.len() < before {
+                            dropped.push(m);
+                        }
+                        !hosts.is_empty()
+                    });
+                    dropped
+                });
+                alive[3] = false;
+            }
+            let a = ring.route_atom(key, owner, now_ms, &alive, &load, &mut ring_actions);
+            let b = oracle.route_atom(key, owner, now_ms, &alive, &load, &mut oracle_actions);
+            assert_eq!(a, b, "routing diverged at step {step}");
+        }
+        assert_eq!(ring_actions, oracle_actions, "action sequences diverged");
+        // The trace actually exercised every transition kind.
+        let has = |f: &dyn Fn(&ReplicaAction) -> bool| ring_actions.iter().any(f);
+        assert!(has(&|a| matches!(a, ReplicaAction::Promoted { .. })));
+        assert!(has(&|a| matches!(a, ReplicaAction::Demoted { .. })));
+        assert!(has(&|a| matches!(a, ReplicaAction::Routed { .. })));
     }
 
     #[test]

@@ -14,9 +14,19 @@ use jaws_morton::AtomId;
 
 /// Materialized voxel data of one atom, including the ghost shell.
 ///
-/// Voxels store a velocity vector (`[f32; 3]`) and a pressure scalar, exactly
-/// the fields of the production database. Local coordinates run over
+/// Voxels store a velocity vector and a pressure scalar, exactly the fields
+/// of the production database. Local coordinates run over
 /// `[-ghost, side + ghost)` on each axis.
+///
+/// Storage is structure-of-arrays: four parallel `f32` planes (`vx`, `vy`,
+/// `vz`, `p`) indexed by the same voxel offset, rather than one
+/// `Vec<[f32; 3]>` plus a pressure vector. Sweep kernels that walk a single
+/// component (the longitudinal structure function reads only `vx`; gradient
+/// sweeps read one component per difference quotient) touch a quarter of the
+/// memory they used to, in unit stride — the layout the autovectorizer
+/// wants. The per-voxel accessors gather from the planes, so the numeric
+/// values are unchanged from the array-of-structs layout
+/// ([`crate::reference`] retains that layout for bitwise-equality tests).
 #[derive(Debug, Clone)]
 pub struct AtomData {
     id: AtomId,
@@ -24,9 +34,21 @@ pub struct AtomData {
     ghost: u32,
     /// Base (global) voxel coordinate of the atom's (0,0,0) corner.
     base: [i64; 3],
-    velocity: Vec<[f32; 3]>,
-    pressure: Vec<f32>,
+    vx: Vec<f32>,
+    vy: Vec<f32>,
+    vz: Vec<f32>,
+    p: Vec<f32>,
 }
+
+/// Minimum z-slices a materialize worker must have before it is worth
+/// spawning: `std::thread::scope` starts fresh OS threads per call, and a
+/// thin slice of field evaluations is cheaper than a spawn. Chosen on the
+/// `hotpath` bench (see DESIGN.md "Memory layout & event queue"): the
+/// smoke-geometry atom (ext = 12) fills inline — its whole block costs less
+/// than the spawns did, which is what made the 4-thread end-to-end run
+/// *slower* than serial in BENCH_5 — while the full-geometry atom (ext = 24)
+/// still shards across up to 3 workers.
+const SLICES_PER_WORKER: usize = 8;
 
 impl AtomData {
     /// Materializes an atom from the synthetic field at the timestep's
@@ -47,35 +69,49 @@ impl AtomData {
         let base = [(ax * side) as i64, (ay * side) as i64, (az * side) as i64];
         let t = id.timestep as f64 * cfg.dt;
         let l = cfg.grid_side as f64;
-        let slices = jaws_par::map_indexed(ext, |lz| {
-            let mut velocity = Vec::with_capacity(ext * ext);
-            let mut pressure = Vec::with_capacity(ext * ext);
+        let slices = jaws_par::map_indexed_grained(ext, SLICES_PER_WORKER, |lz| {
+            let area = ext * ext;
+            let mut svx = Vec::with_capacity(area);
+            let mut svy = Vec::with_capacity(area);
+            let mut svz = Vec::with_capacity(area);
+            let mut sp = Vec::with_capacity(area);
             for ly in 0..ext {
                 for lx in 0..ext {
                     // Global voxel coordinate, wrapped periodically.
                     let gx = (base[0] + lx as i64 - ghost as i64).rem_euclid(l as i64) as f64;
                     let gy = (base[1] + ly as i64 - ghost as i64).rem_euclid(l as i64) as f64;
                     let gz = (base[2] + lz as i64 - ghost as i64).rem_euclid(l as i64) as f64;
-                    let u = field.velocity([gx, gy, gz], t);
-                    velocity.push([u[0] as f32, u[1] as f32, u[2] as f32]);
-                    pressure.push(field.pressure([gx, gy, gz], t) as f32);
+                    // One fused mode sweep per voxel; velocity and pressure
+                    // values are bitwise those of the separate evaluations.
+                    let (u, pr) = field.velocity_pressure([gx, gy, gz], t);
+                    svx.push(u[0] as f32);
+                    svy.push(u[1] as f32);
+                    svz.push(u[2] as f32);
+                    sp.push(pr as f32);
                 }
             }
-            (velocity, pressure)
+            (svx, svy, svz, sp)
         });
-        let mut velocity = Vec::with_capacity(ext * ext * ext);
-        let mut pressure = Vec::with_capacity(ext * ext * ext);
-        for (v, p) in slices {
-            velocity.extend_from_slice(&v);
-            pressure.extend_from_slice(&p);
+        let vol = ext * ext * ext;
+        let mut vx = Vec::with_capacity(vol);
+        let mut vy = Vec::with_capacity(vol);
+        let mut vz = Vec::with_capacity(vol);
+        let mut p = Vec::with_capacity(vol);
+        for (svx, svy, svz, sp) in slices {
+            vx.extend_from_slice(&svx);
+            vy.extend_from_slice(&svy);
+            vz.extend_from_slice(&svz);
+            p.extend_from_slice(&sp);
         }
         AtomData {
             id,
             side,
             ghost,
             base,
-            velocity,
-            pressure,
+            vx,
+            vy,
+            vz,
+            p,
         }
     }
 
@@ -116,20 +152,50 @@ impl AtomData {
     }
 
     /// Velocity at local voxel `(lx, ly, lz)`; ghost coordinates allowed.
+    /// Gathers from the three component planes.
     #[inline]
     pub fn velocity_at(&self, lx: i64, ly: i64, lz: i64) -> [f32; 3] {
-        self.velocity[self.index(lx, ly, lz)]
+        let i = self.index(lx, ly, lz);
+        [self.vx[i], self.vy[i], self.vz[i]]
+    }
+
+    /// Longitudinal (x) velocity component at local voxel `(lx, ly, lz)` —
+    /// a single-plane read for kernels that only need one component, such as
+    /// the longitudinal structure-function gather.
+    #[inline]
+    pub fn velocity_x_at(&self, lx: i64, ly: i64, lz: i64) -> f32 {
+        self.vx[self.index(lx, ly, lz)]
     }
 
     /// Pressure at local voxel `(lx, ly, lz)`; ghost coordinates allowed.
     #[inline]
     pub fn pressure_at(&self, lx: i64, ly: i64, lz: i64) -> f32 {
-        self.pressure[self.index(lx, ly, lz)]
+        self.p[self.index(lx, ly, lz)]
+    }
+
+    /// The four SoA planes `(vx, vy, vz, pressure)`, each `ext³` long in
+    /// z-major voxel order, for sweep kernels that want unit-stride slices.
+    /// Use [`AtomData::plane_index`] to address them.
+    pub fn planes(&self) -> (&[f32], &[f32], &[f32], &[f32]) {
+        (&self.vx, &self.vy, &self.vz, &self.p)
+    }
+
+    /// Offset of local voxel `(lx, ly, lz)` into the [`AtomData::planes`]
+    /// slices; ghost coordinates allowed.
+    ///
+    /// # Panics
+    ///
+    /// May panic (debug) or return an out-of-range offset (release) when the
+    /// coordinates fall outside the ghost-extended block; callers gate on
+    /// [`AtomData::covers_local`].
+    #[inline]
+    pub fn plane_index(&self, lx: i64, ly: i64, lz: i64) -> usize {
+        self.index(lx, ly, lz)
     }
 
     /// Nominal stored size in bytes (velocity + pressure voxels, with ghosts).
     pub fn nominal_bytes(&self) -> usize {
-        self.velocity.len() * (3 * 4 + 4)
+        self.vx.len() * (3 * 4 + 4)
     }
 }
 

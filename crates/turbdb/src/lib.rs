@@ -28,6 +28,8 @@
 //! * [`structures`] — turbulent-structure identification and tracking
 //!   (vorticity / Q-criterion thresholding + connected components), the
 //!   third production workload class.
+//! * [`reference`] — the retained array-of-structs atom layout, pinning the
+//!   SoA conversion's bitwise-identity obligations under property tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod config;
 pub mod db;
 pub mod disk;
 pub mod kernels;
+pub mod reference;
 pub mod structures;
 pub mod synth;
 

@@ -1,0 +1,224 @@
+//! Retained array-of-structs reference for the SoA atom layout.
+//!
+//! [`crate::atom::AtomData`] stores voxels as four parallel component planes
+//! (structure-of-arrays) so sweep kernels read unit-stride slices. This
+//! module keeps the previous array-of-structs layout — one `Vec<[f32; 3]>`
+//! of velocity vectors plus a pressure vector, filled serially with separate
+//! `velocity`/`pressure` field evaluations — as an executable reference. The
+//! bitwise-identity obligations of the conversion are pinned here:
+//!
+//! * every per-voxel accessor of the SoA atom returns exactly the bits the
+//!   AoS layout stored, ghost shell included;
+//! * the SoA plane-sweep fold of the longitudinal structure-function moment
+//!   equals the AoS gather fold bit for bit.
+//!
+//! The property tests below exercise both across random seeds, atom sides
+//! and ghost widths.
+
+use crate::atom::AtomData;
+use crate::config::DbConfig;
+use crate::synth::SyntheticField;
+use jaws_morton::AtomId;
+
+/// One atom in the pre-SoA array-of-structs layout, filled serially.
+#[derive(Debug, Clone)]
+pub struct AosAtom {
+    side: u32,
+    ghost: u32,
+    base: [i64; 3],
+    velocity: Vec<[f32; 3]>,
+    pressure: Vec<f32>,
+}
+
+impl AosAtom {
+    /// Materializes the atom exactly as the AoS layout did: one serial
+    /// z→y→x pass, velocity and pressure evaluated by separate field calls.
+    pub fn materialize(cfg: &DbConfig, field: &SyntheticField, id: AtomId) -> Self {
+        let side = cfg.atom_side;
+        let ghost = cfg.ghost;
+        let ext = (side + 2 * ghost) as usize;
+        let (ax, ay, az) = id.morton.coords();
+        let base = [(ax * side) as i64, (ay * side) as i64, (az * side) as i64];
+        let t = id.timestep as f64 * cfg.dt;
+        let l = cfg.grid_side as f64;
+        let mut velocity = Vec::with_capacity(ext * ext * ext);
+        let mut pressure = Vec::with_capacity(ext * ext * ext);
+        for lz in 0..ext {
+            for ly in 0..ext {
+                for lx in 0..ext {
+                    let gx = (base[0] + lx as i64 - ghost as i64).rem_euclid(l as i64) as f64;
+                    let gy = (base[1] + ly as i64 - ghost as i64).rem_euclid(l as i64) as f64;
+                    let gz = (base[2] + lz as i64 - ghost as i64).rem_euclid(l as i64) as f64;
+                    let u = field.velocity([gx, gy, gz], t);
+                    velocity.push([u[0] as f32, u[1] as f32, u[2] as f32]);
+                    pressure.push(field.pressure([gx, gy, gz], t) as f32);
+                }
+            }
+        }
+        AosAtom {
+            side,
+            ghost,
+            base,
+            velocity,
+            pressure,
+        }
+    }
+
+    #[inline]
+    fn index(&self, lx: i64, ly: i64, lz: i64) -> usize {
+        let ext = (self.side + 2 * self.ghost) as i64;
+        let g = self.ghost as i64;
+        ((lz + g) * ext * ext + (ly + g) * ext + (lx + g)) as usize
+    }
+
+    /// Velocity at local voxel `(lx, ly, lz)`; ghost coordinates allowed.
+    #[inline]
+    pub fn velocity_at(&self, lx: i64, ly: i64, lz: i64) -> [f32; 3] {
+        self.velocity[self.index(lx, ly, lz)]
+    }
+
+    /// Pressure at local voxel `(lx, ly, lz)`; ghost coordinates allowed.
+    #[inline]
+    pub fn pressure_at(&self, lx: i64, ly: i64, lz: i64) -> f32 {
+        self.pressure[self.index(lx, ly, lz)]
+    }
+
+    /// Global voxel coordinate of the atom's (0,0,0) corner.
+    pub fn base(&self) -> [i64; 3] {
+        self.base
+    }
+}
+
+/// Reference fold: the p-th longitudinal moment `Σ |u_x(x+r) − u_x(x)|^p`
+/// over the atom's interior, gathering full velocity vectors from the AoS
+/// layout in z→y→x order. `r` must stay within the ghost shell.
+pub fn aos_longitudinal_moment(atom: &AosAtom, r: i64, p: f64) -> f64 {
+    let s = atom.side as i64;
+    assert!(
+        r.unsigned_abs() <= atom.ghost as u64,
+        "separation exceeds ghost"
+    );
+    let mut sum = 0.0f64;
+    for lz in 0..s {
+        for ly in 0..s {
+            for lx in 0..s {
+                let here = atom.velocity_at(lx, ly, lz)[0] as f64;
+                let there = atom.velocity_at(lx + r, ly, lz)[0] as f64;
+                sum += (there - here).abs().powf(p);
+            }
+        }
+    }
+    sum
+}
+
+/// SoA sweep: the same moment computed from the `vx` plane alone, walking
+/// unit-stride x-rows of the plane slice — the autovectorizable form the
+/// SoA conversion exists for. Fold order matches
+/// [`aos_longitudinal_moment`] term for term, so the result is bitwise
+/// identical.
+pub fn soa_longitudinal_moment(atom: &AtomData, r: i64, p: f64) -> f64 {
+    let s = atom.side() as i64;
+    assert!(
+        r.unsigned_abs() <= atom.ghost() as u64,
+        "separation exceeds ghost"
+    );
+    let (vx, _, _, _) = atom.planes();
+    let mut sum = 0.0f64;
+    for lz in 0..s {
+        for ly in 0..s {
+            let row = atom.plane_index(0, ly, lz);
+            let here = &vx[row..row + s as usize];
+            let shifted = atom.plane_index(r, ly, lz);
+            let there = &vx[shifted..shifted + s as usize];
+            for (h, t) in here.iter().zip(there) {
+                sum += (*t as f64 - *h as f64).abs().powf(p);
+            }
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg_for(seed: u64, side: u32, ghost: u32) -> DbConfig {
+        DbConfig {
+            grid_side: side * 2,
+            atom_side: side,
+            ghost,
+            timesteps: 2,
+            dt: 0.003,
+            seed,
+        }
+    }
+
+    proptest! {
+        /// Every voxel accessor of the SoA atom — full-vector gather,
+        /// single-plane read and pressure — returns the bits the retained
+        /// AoS layout stored, across the whole ghost-extended block.
+        #[test]
+        fn soa_accessors_match_aos_reference_bitwise(
+            seed in 0u64..1_000_000,
+            side in 4u32..9,
+            ghost in 1u32..4,
+            timestep in 0u32..2,
+        ) {
+            let cfg = cfg_for(seed, side, ghost);
+            let field = SyntheticField::with_modes(cfg.seed, cfg.grid_side, 6);
+            let id = AtomId::from_coords(timestep, 1, 0, 1);
+            let soa = AtomData::materialize(&cfg, &field, id);
+            let aos = AosAtom::materialize(&cfg, &field, id);
+            prop_assert_eq!(soa.base(), aos.base());
+            let g = ghost as i64;
+            let s = side as i64;
+            for lz in -g..s + g {
+                for ly in -g..s + g {
+                    for lx in -g..s + g {
+                        let u_soa = soa.velocity_at(lx, ly, lz);
+                        let u_aos = aos.velocity_at(lx, ly, lz);
+                        for i in 0..3 {
+                            prop_assert_eq!(u_soa[i].to_bits(), u_aos[i].to_bits());
+                        }
+                        prop_assert_eq!(
+                            soa.velocity_x_at(lx, ly, lz).to_bits(),
+                            u_aos[0].to_bits()
+                        );
+                        prop_assert_eq!(
+                            soa.pressure_at(lx, ly, lz).to_bits(),
+                            aos.pressure_at(lx, ly, lz).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The SoA plane-sweep structure-function fold equals the AoS gather
+        /// fold bit for bit — and the SoA payload itself is thread-count
+        /// independent (materialized under different worker counts).
+        #[test]
+        fn soa_sweep_fold_matches_aos_fold_bitwise(
+            seed in 0u64..1_000_000,
+            side in 4u32..9,
+            ghost in 1u32..4,
+            r_raw in 0i64..4,
+            threads in 1usize..5,
+            p_idx in 0usize..3,
+        ) {
+            let cfg = cfg_for(seed, side, ghost);
+            let field = SyntheticField::with_modes(cfg.seed, cfg.grid_side, 6);
+            let id = AtomId::from_coords(0, 0, 1, 0);
+            let soa = {
+                let _g = jaws_par::override_threads(threads);
+                AtomData::materialize(&cfg, &field, id)
+            };
+            let aos = AosAtom::materialize(&cfg, &field, id);
+            let r = r_raw.min(ghost as i64);
+            let p = [1.0, 2.0, 4.0][p_idx];
+            let from_soa = soa_longitudinal_moment(&soa, r, p);
+            let from_aos = aos_longitudinal_moment(&aos, r, p);
+            prop_assert_eq!(from_soa.to_bits(), from_aos.to_bits());
+        }
+    }
+}

@@ -140,9 +140,12 @@ pub fn identify_structures(
     // arithmetic, sharded across jaws-par workers by z-slice. The difference
     // quotients are written exactly as in `velocity_gradient_fd4`, so the
     // field is bitwise identical to the serial sampler-backed evaluation at
-    // any thread count.
+    // any thread count. Workers take at least `SLABS_PER_WORKER` slices each
+    // (bench-chosen, wall-clock only): one slab of gradient arithmetic is
+    // far cheaper than spawning the OS thread that would compute it.
+    const SLABS_PER_WORKER: usize = 4;
     let vel_ref = &vel;
-    let slabs = jaws_par::map_indexed(nz, |z| {
+    let slabs = jaws_par::map_indexed_grained(nz, SLABS_PER_WORKER, |z| {
         let mut slab = Vec::with_capacity(nx * ny);
         for y in 0..ny {
             for x in 0..nx {

@@ -160,8 +160,18 @@ impl SyntheticField {
     /// Pressure-like scalar at `p`, `t`: minus half the local kinetic energy
     /// fluctuation, a standard kinematic-simulation surrogate.
     pub fn pressure(&self, p: [f64; 3], t: f64) -> f64 {
+        self.velocity_pressure(p, t).1
+    }
+
+    /// Velocity and pressure in one mode sweep. Pressure is derived from the
+    /// velocity vector, so evaluating both separately pays the trigonometric
+    /// mode sum twice; this returns the exact values of [`Self::velocity`]
+    /// and [`Self::pressure`] (bitwise — same operations on the same inputs)
+    /// at half the cost. Atom materialization, which fills both fields for
+    /// every voxel, runs on this.
+    pub fn velocity_pressure(&self, p: [f64; 3], t: f64) -> ([f64; 3], f64) {
         let u = self.velocity(p, t);
-        -0.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2])
+        (u, -0.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]))
     }
 
     /// Analytic velocity gradient tensor ∂uᵢ/∂xⱼ at `p`, `t` — used to verify
@@ -270,6 +280,22 @@ mod tests {
         let u0 = f.velocity(p, 0.0);
         let u1 = f.velocity(p, 0.5);
         assert_ne!(u0, u1, "time-frozen field");
+    }
+
+    #[test]
+    fn fused_velocity_pressure_is_bitwise_identical_to_separate_calls() {
+        let f = field();
+        for &p in &[[0.0, 0.0, 0.0], [3.7, 12.1, 40.0], [63.9, 0.1, 31.4]] {
+            for &t in &[0.0, 0.004, 0.5] {
+                let (u, pr) = f.velocity_pressure(p, t);
+                let u_sep = f.velocity(p, t);
+                let pr_sep = f.pressure(p, t);
+                for i in 0..3 {
+                    assert_eq!(u[i].to_bits(), u_sep[i].to_bits());
+                }
+                assert_eq!(pr.to_bits(), pr_sep.to_bits());
+            }
+        }
     }
 
     #[test]

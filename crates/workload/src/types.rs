@@ -51,6 +51,26 @@ impl Footprint {
         Footprint { atoms: merged }
     }
 
+    /// Builds a footprint from an owned pair buffer without allocating: the
+    /// canonical form (sorted by Morton key, duplicates merged, zero counts
+    /// dropped) is produced in place and `v`'s storage becomes the
+    /// footprint's. Output is bitwise identical to [`Footprint::from_pairs`]
+    /// over the same pairs — the dispatch-path variant for reused scratch
+    /// buffers.
+    pub fn from_pairs_in_place(mut v: Vec<(MortonKey, u32)>) -> Self {
+        v.retain(|&(_, c)| c > 0);
+        v.sort_unstable_by_key(|&(m, _)| m);
+        v.dedup_by(|cur, acc| {
+            if acc.0 == cur.0 {
+                acc.1 += cur.1;
+                true
+            } else {
+                false
+            }
+        });
+        Footprint { atoms: v }
+    }
+
     /// Total queried positions.
     pub fn positions(&self) -> u64 {
         self.atoms.iter().map(|&(_, c)| c as u64).sum()
@@ -324,6 +344,18 @@ mod proptests {
             prop_assert!(f.atoms.iter().all(|&(_, c)| c > 0));
             let expect: u64 = pairs.iter().map(|&(_, c)| c as u64).sum();
             prop_assert_eq!(f.positions(), expect);
+        }
+
+        /// The in-place (scratch-buffer) constructor produces the bitwise
+        /// identical canonical form as from_pairs — same atoms, same order,
+        /// same merged counts — so the dispatch path may use either.
+        #[test]
+        fn from_pairs_in_place_matches_from_pairs(pairs in arb_pairs()) {
+            let keyed: Vec<(MortonKey, u32)> =
+                pairs.iter().map(|&(m, c)| (MortonKey(m), c)).collect();
+            let reference = Footprint::from_pairs(keyed.iter().copied());
+            let in_place = Footprint::from_pairs_in_place(keyed);
+            prop_assert_eq!(reference, in_place);
         }
 
         /// Overlap is symmetric and consistent with overlap_count.

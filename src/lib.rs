@@ -53,6 +53,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use jaws_arena as arena;
 pub use jaws_cache as cache;
 pub use jaws_morton as morton;
 pub use jaws_obs as obs;
